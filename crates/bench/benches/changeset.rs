@@ -1,0 +1,42 @@
+//! Criterion: change-set operations (the hot path of every message).
+
+use std::hint::black_box;
+
+use awr_types::{Change, ChangeSet, Ratio, ServerId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn set_with(n: usize, extra: usize) -> ChangeSet {
+    let mut c = ChangeSet::uniform_initial(n, Ratio::ONE);
+    for i in 0..extra {
+        let s = ServerId((i % n) as u32);
+        let t = ServerId(((i + 1) % n) as u32);
+        c.insert(Change::new(s, 2 + i as u64, s, Ratio::new(-1, 100)));
+        c.insert(Change::new(s, 2 + i as u64, t, Ratio::new(1, 100)));
+    }
+    c
+}
+
+fn bench_changeset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("changeset");
+    for &extra in &[10usize, 100, 1000] {
+        let a = set_with(7, extra);
+        let mut b2 = a.clone();
+        b2.insert(Change::new(ServerId(0), 9999, ServerId(1), Ratio::new(1, 10)));
+        g.bench_with_input(BenchmarkId::new("server_weight", extra), &extra, |b, _| {
+            b.iter(|| black_box(&a).server_weight(ServerId(0)))
+        });
+        g.bench_with_input(BenchmarkId::new("union", extra), &extra, |b, _| {
+            b.iter(|| black_box(&a).union(black_box(&b2)))
+        });
+        g.bench_with_input(BenchmarkId::new("contains_all", extra), &extra, |b, _| {
+            b.iter(|| black_box(&b2).contains_all(black_box(&a)))
+        });
+        g.bench_with_input(BenchmarkId::new("digest", extra), &extra, |b, _| {
+            b.iter(|| black_box(&a).digest())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_changeset);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion: linearizability checker throughput on sequential and
+//! concurrent histories.
+
+use std::hint::black_box;
+
+use awr_sim::Time;
+use awr_storage::{check_linearizable, HistOp, History, OpKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn sequential_history(ops: usize) -> History<u64> {
+    let mut h = History::new();
+    for i in 0..ops as u64 {
+        h.record(HistOp {
+            client: 0,
+            kind: OpKind::Write(i),
+            invoke: Time(i * 20),
+            response: Time(i * 20 + 5),
+        });
+        h.record(HistOp {
+            client: 1,
+            kind: OpKind::Read(Some(i)),
+            invoke: Time(i * 20 + 10),
+            response: Time(i * 20 + 15),
+        });
+    }
+    h
+}
+
+fn concurrent_history(width: usize) -> History<u64> {
+    // `width` writers all overlapping, then a read of one of them.
+    let mut h = History::new();
+    for i in 0..width as u64 {
+        h.record(HistOp {
+            client: i as usize,
+            kind: OpKind::Write(i),
+            invoke: Time(0),
+            response: Time(1000),
+        });
+    }
+    h.record(HistOp {
+        client: width,
+        kind: OpKind::Read(Some(0)),
+        invoke: Time(2000),
+        response: Time(2100),
+    });
+    h
+}
+
+fn bench_lin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linearizability");
+    for &n in &[100usize, 1000] {
+        let h = sequential_history(n);
+        g.bench_with_input(BenchmarkId::new("sequential", n * 2), &n, |b, _| {
+            b.iter(|| check_linearizable(black_box(&h)).unwrap())
+        });
+    }
+    for &w in &[6usize, 10, 14] {
+        let h = concurrent_history(w);
+        g.bench_with_input(BenchmarkId::new("concurrent_window", w), &w, |b, _| {
+            b.iter(|| check_linearizable(black_box(&h)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lin);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion: quorum predicate evaluation and smallest-quorum computation.
+
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+use awr_quorum::{MajorityQuorumSystem, QuorumSystem, WeightedMajorityQuorumSystem};
+use awr_types::{Ratio, ServerId, WeightMap};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_quorum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("is_quorum");
+    for &n in &[7usize, 25, 101] {
+        let weights = WeightMap::from_fn(n, |s| Ratio::new(10 + s.index() as i128 % 7, 10));
+        let wmqs = WeightedMajorityQuorumSystem::new(weights);
+        let mqs = MajorityQuorumSystem::new(n);
+        let set: BTreeSet<ServerId> = ServerId::all(n).step_by(2).collect();
+        g.bench_with_input(BenchmarkId::new("weighted", n), &n, |b, _| {
+            b.iter(|| wmqs.is_quorum(black_box(&set)))
+        });
+        g.bench_with_input(BenchmarkId::new("majority", n), &n, |b, _| {
+            b.iter(|| mqs.is_quorum(black_box(&set)))
+        });
+        g.bench_with_input(BenchmarkId::new("smallest_quorum", n), &n, |b, _| {
+            b.iter(|| black_box(&wmqs).smallest_quorum())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_quorum);
+criterion_main!(benches);

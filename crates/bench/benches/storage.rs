@@ -1,0 +1,37 @@
+//! Criterion: simulated dynamic-weighted storage operations vs the static
+//! ABD baseline (events processed per read/write).
+
+use std::hint::black_box;
+
+use awr_core::RpConfig;
+use awr_sim::UniformLatency;
+use awr_storage::{DynOptions, StorageHarness};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_storage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynamic_storage");
+    g.sample_size(20);
+    for &(n, f) in &[(5usize, 1usize), (7, 2)] {
+        g.bench_with_input(
+            BenchmarkId::new("write+read", format!("n{n}f{f}")),
+            &(n, f),
+            |b, &(n, f)| {
+                b.iter(|| {
+                    let mut h: StorageHarness<u64> = StorageHarness::build(
+                        RpConfig::uniform(n, f),
+                        1,
+                        3,
+                        UniformLatency::new(1_000, 40_000),
+                        DynOptions::default(),
+                    );
+                    h.write(0, 42).unwrap();
+                    black_box(h.read(0).unwrap())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

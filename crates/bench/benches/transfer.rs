@@ -1,0 +1,53 @@
+//! Criterion: end-to-end simulated cost of one `transfer` and one
+//! `read_changes` invocation (events processed per op; virtual network).
+
+use std::hint::black_box;
+
+use awr_core::{RpConfig, RpHarness};
+use awr_sim::UniformLatency;
+use awr_types::{Ratio, ServerId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("restricted_protocol");
+    g.sample_size(20);
+    for &(n, f) in &[(4usize, 1usize), (7, 2), (13, 4)] {
+        g.bench_with_input(
+            BenchmarkId::new("transfer", format!("n{n}f{f}")),
+            &(n, f),
+            |b, &(n, f)| {
+                b.iter(|| {
+                    let mut h = RpHarness::build(
+                        RpConfig::uniform(n, f),
+                        1,
+                        7,
+                        UniformLatency::new(1_000, 50_000),
+                    );
+                    let out = h
+                        .transfer_and_wait(ServerId(1), ServerId(0), Ratio::new(1, 10))
+                        .unwrap();
+                    black_box(out)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("read_changes", format!("n{n}f{f}")),
+            &(n, f),
+            |b, &(n, f)| {
+                b.iter(|| {
+                    let mut h = RpHarness::build(
+                        RpConfig::uniform(n, f),
+                        1,
+                        7,
+                        UniformLatency::new(1_000, 50_000),
+                    );
+                    black_box(h.read_changes(0, ServerId(0)).unwrap())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transfer);
+criterion_main!(benches);

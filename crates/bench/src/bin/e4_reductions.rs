@@ -1,0 +1,104 @@
+//! **E4 + E5 / Theorems 1–2** — the consensus reductions, executed.
+//!
+//! Runs Algorithm 1 (consensus from weight reassignment) and Algorithm 2
+//! (consensus from pairwise weight reassignment) against the linearizable
+//! oracles across system sizes and many adversarial interleavings, checking
+//! Agreement / Validity / Termination every time. Also runs the *naive*
+//! asynchronous implementation to exhibit the Integrity violation that
+//! makes the oracle necessary.
+
+use awr_bench::{f2, print_table, Stats};
+use awr_core::naive::run_theorem1_race;
+use awr_core::reduction::{run_alg1, run_alg2};
+
+fn main() {
+    let seeds = 200u64;
+    let mut rows = Vec::new();
+
+    for &(n, f) in &[(3usize, 1usize), (4, 1), (5, 2), (7, 2), (7, 3), (10, 4)] {
+        let mut polls = Vec::new();
+        let mut winners = std::collections::BTreeSet::new();
+        let mut ok = 0u64;
+        for seed in 0..seeds {
+            let run = run_alg1(n, f, (0..n as u64).collect(), seed);
+            if run.agreement() && run.validity() {
+                ok += 1;
+            }
+            winners.insert(*run.decided().expect("agreement"));
+            polls.push(run.poll_iterations as f64);
+        }
+        let st = Stats::of(&polls);
+        rows.push(vec![
+            format!("Alg 1  n={n} f={f}"),
+            format!("{ok}/{seeds}"),
+            winners.len().to_string(),
+            f2(st.mean),
+            f2(st.max),
+        ]);
+    }
+
+    for &(n, f) in &[(4usize, 1usize), (7, 2), (9, 3), (10, 4)] {
+        let mut polls = Vec::new();
+        let mut winners = std::collections::BTreeSet::new();
+        let mut ok = 0u64;
+        let mut outside_f = true;
+        for seed in 0..seeds {
+            let run = run_alg2(n, f, (0..n as u64).collect(), seed);
+            if run.agreement() && run.validity() {
+                ok += 1;
+            }
+            let w = *run.decided().expect("agreement");
+            outside_f &= w >= f as u64; // winner proposed by S \ F
+            winners.insert(w);
+            polls.push(run.poll_iterations as f64);
+        }
+        let st = Stats::of(&polls);
+        rows.push(vec![
+            format!("Alg 2  n={n} f={f}{}", if outside_f { " (S\\F)" } else { " (!)" }),
+            format!("{ok}/{seeds}"),
+            winners.len().to_string(),
+            f2(st.mean),
+            f2(st.max),
+        ]);
+    }
+
+    print_table(
+        "E4/E5 — consensus via the weight-reassignment oracles",
+        &[
+            "reduction",
+            "agreement+validity",
+            "distinct winners across seeds",
+            "mean polls",
+            "max polls",
+        ],
+        &rows,
+    );
+
+    // The naive protocol: local checks only → Integrity breaks.
+    let mut rows = Vec::new();
+    for &(n, f) in &[(4usize, 1usize), (7, 3), (10, 4)] {
+        let mut violated = 0u64;
+        let trials = 50;
+        for seed in 0..trials {
+            let (_, ok) = run_theorem1_race(n, f, seed);
+            if !ok {
+                violated += 1;
+            }
+        }
+        rows.push(vec![
+            format!("n={n} f={f}"),
+            format!("{violated}/{trials}"),
+        ]);
+    }
+    print_table(
+        "E4b — naive asynchronous reassignment: Integrity violations",
+        &["system", "violating runs"],
+        &rows,
+    );
+    println!(
+        "\nShape check: the oracle-backed reductions decide unanimously on every\n\
+         seed (Theorems 1–2), while the naive local-check protocol violates\n\
+         Integrity on every concurrent schedule — asynchronous weight\n\
+         reassignment is consensus-hard."
+    );
+}

@@ -1,0 +1,83 @@
+//! **E6 / §VI** — cost of the restricted pairwise protocol: latency and
+//! message complexity of `transfer` and `read_changes` as the system grows,
+//! on the five-region WAN, with and without `f` crashed servers.
+
+use awr_bench::{f2, print_table, Stats};
+use awr_core::{RpConfig, RpHarness};
+use awr_sim::five_region_wan;
+use awr_types::{Ratio, ServerId};
+
+fn run_config(n: usize, f: usize, crash: bool, seed: u64) -> Vec<String> {
+    let cfg = RpConfig::uniform(n, f);
+    // n servers + 1 client on the WAN.
+    let mut h = RpHarness::build(cfg, 1, seed, five_region_wan(n + 1, 0.1));
+    if crash {
+        for i in 0..f {
+            h.crash_server(ServerId((n - 1 - i) as u32));
+        }
+    }
+    let mut transfer_ms = Vec::new();
+    let mut rc_ms = Vec::new();
+    let delta = Ratio::new(1, 50);
+    for round in 0..10u32 {
+        let from = ServerId(round % (n as u32 - 1));
+        let to = ServerId((round + 1) % (n as u32 - 1));
+        let t0 = h.world.now();
+        if h.transfer_and_wait(from, to, delta).is_ok() {
+            transfer_ms.push((h.world.now() - t0) as f64 / 1e6);
+        }
+        let t0 = h.world.now();
+        if h.read_changes(0, to).is_ok() {
+            rc_ms.push((h.world.now() - t0) as f64 / 1e6);
+        }
+    }
+    h.settle();
+    let m = h.world.metrics();
+    let per_transfer_msgs =
+        (m.sent_of_kind("T") + m.sent_of_kind("T_Ack")) as f64 / transfer_ms.len().max(1) as f64;
+    let per_rc_msgs = (m.sent_of_kind("RC")
+        + m.sent_of_kind("RC_Ack")
+        + m.sent_of_kind("WC")
+        + m.sent_of_kind("WC_Ack")) as f64
+        / rc_ms.len().max(1) as f64;
+    let t = Stats::of(&transfer_ms);
+    let r = Stats::of(&rc_ms);
+    vec![
+        format!("n={n} f={f}{}", if crash { " (f crashed)" } else { "" }),
+        f2(t.mean),
+        f2(t.p99),
+        f2(per_transfer_msgs),
+        f2(r.mean),
+        f2(r.p99),
+        f2(per_rc_msgs),
+    ]
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for &(n, f) in &[(4usize, 1usize), (7, 2), (10, 3), (13, 4), (19, 6), (25, 8)] {
+        rows.push(run_config(n, f, false, 42));
+    }
+    for &(n, f) in &[(7usize, 2usize), (13, 4)] {
+        rows.push(run_config(n, f, true, 42));
+    }
+    print_table(
+        "E6 — restricted pairwise protocol cost on the 5-region WAN",
+        &[
+            "system",
+            "transfer mean ms",
+            "transfer p99 ms",
+            "msgs/transfer",
+            "read_changes mean ms",
+            "read_changes p99 ms",
+            "msgs/read_changes",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape check: transfer latency is ~2 one-way delays (RB + ack wave)\n\
+         and independent of f; message cost grows quadratically with n\n\
+         (eager-relay reliable broadcast); crashes of f servers do not block\n\
+         liveness (RP-Liveness, Theorem 4)."
+    );
+}

@@ -1,0 +1,189 @@
+//! **E9 / §I, §VIII** — consensus-based reassignment stalls under
+//! asynchrony; the restricted pairwise protocol does not.
+//!
+//! Both systems receive one reassignment request every 200 ms of virtual
+//! time. An adversary (legal in an asynchronous network: it only delays)
+//! slows every message *touching the leader* 1000× between t = 2 s and
+//! t = 8 s. The consensus-based baseline freezes for the whole window; the
+//! leaderless restricted pairwise protocol keeps completing transfers.
+
+use awr_bench::print_table;
+use awr_consensus::{CwrNode, SlotMsg, WeightCmd};
+use awr_core::{RpConfig, RpHarness};
+use awr_sim::{shared_latency, ActorId, SlowActors, UniformLatency, World, MILLI, SECOND};
+use awr_types::{Ratio, ServerId, WeightMap};
+
+const N: usize = 7;
+const F: usize = 2;
+const REQS: u64 = 45;
+const PERIOD: u64 = 200 * MILLI;
+const STALL_FROM: u64 = 2 * SECOND;
+const STALL_TO: u64 = 8 * SECOND;
+
+fn request(i: u64) -> (ServerId, ServerId, Ratio) {
+    let from = ServerId((i % N as u64) as u32);
+    let to = ServerId(((i + 1) % N as u64) as u32);
+    (from, to, Ratio::new(1, 100))
+}
+
+fn sample_points() -> Vec<u64> {
+    (0..=20).map(|i| i * 500 * MILLI).collect()
+}
+
+/// Drives a world along the timeline: submissions every PERIOD, adversary
+/// toggles at the window edges, samples at each sample point. `advance`
+/// runs the world for a duration; `submit` fires request `i`; `toggle`
+/// engages/releases the adversary; `count` reads the completion counter.
+fn drive(
+    mut advance: impl FnMut(u64),
+    mut submit: impl FnMut(u64),
+    mut toggle: impl FnMut(bool),
+    mut count: impl FnMut() -> usize,
+) -> Vec<usize> {
+    let samples = sample_points();
+    let horizon = *samples.last().unwrap();
+    let mut curve = Vec::new();
+    let mut now = 0u64;
+    let mut submitted = 0u64;
+    let mut stalled = false;
+    let mut si = 0usize;
+    loop {
+        // Fire everything due at `now`.
+        while si < samples.len() && samples[si] <= now {
+            curve.push(count());
+            si += 1;
+        }
+        if !stalled && (STALL_FROM..STALL_TO).contains(&now) {
+            toggle(true);
+            stalled = true;
+        }
+        if stalled && now >= STALL_TO {
+            toggle(false);
+            stalled = false;
+        }
+        while submitted < REQS && (submitted + 1) * PERIOD <= now {
+            submit(submitted);
+            submitted += 1;
+        }
+        if now >= horizon {
+            break;
+        }
+        // Next boundary.
+        let mut next = horizon;
+        if submitted < REQS {
+            next = next.min((submitted + 1) * PERIOD);
+        }
+        if now < STALL_FROM {
+            next = next.min(STALL_FROM);
+        }
+        if now < STALL_TO {
+            next = next.min(STALL_TO);
+        }
+        if si < samples.len() {
+            next = next.min(samples[si]);
+        }
+        debug_assert!(next > now, "driver stuck at {now}");
+        advance(next - now);
+        now = next;
+    }
+    while si < samples.len() {
+        curve.push(count());
+        si += 1;
+    }
+    curve
+}
+
+fn run_consensus() -> Vec<usize> {
+    let base = UniformLatency::new(MILLI, 40 * MILLI);
+    let (handle, model) = shared_latency(SlowActors::new(base, vec![], 1_000));
+    let mut w: World<SlotMsg> = World::new(0xE9, model);
+    for i in 0..N {
+        w.add_actor(CwrNode::new(N, F, WeightMap::uniform(N, Ratio::ONE), i == 0));
+    }
+    let w = std::cell::RefCell::new(w);
+    drive(
+        |d| {
+            w.borrow_mut().run_for(d);
+        },
+        |i| {
+            let (from, to, delta) = request(i);
+            w.borrow_mut()
+                .with_actor_ctx::<CwrNode, _>(ActorId(0), |n, ctx| {
+                    n.submit(WeightCmd { from, to, delta }, ctx);
+                });
+        },
+        |on| {
+            handle
+                .lock()
+                .set_slow(if on { vec![ActorId(0)] } else { vec![] });
+        },
+        || {
+            w.borrow()
+                .actor::<CwrNode>(ActorId(1))
+                .unwrap()
+                .applied_count()
+        },
+    )
+}
+
+fn run_restricted() -> Vec<usize> {
+    let base = UniformLatency::new(MILLI, 40 * MILLI);
+    let (handle, model) = shared_latency(SlowActors::new(base, vec![], 1_000));
+    let cfg = RpConfig::uniform(N, F);
+    let h = std::cell::RefCell::new(RpHarness::build(cfg, 1, 0xE9, model));
+    drive(
+        |d| {
+            h.borrow_mut().world.run_for(d);
+        },
+        |i| {
+            let (from, to, delta) = request(i);
+            // Leaderless: each donor drives its own transfer; busy donors
+            // skip (processes are sequential).
+            let _ = h.borrow_mut().transfer_async(from, to, delta);
+        },
+        |on| {
+            handle
+                .lock()
+                .set_slow(if on { vec![ActorId(0)] } else { vec![] });
+        },
+        || h.borrow().all_completed().len(),
+    )
+}
+
+fn main() {
+    let consensus = run_consensus();
+    let restricted = run_restricted();
+    let rows: Vec<Vec<String>> = sample_points()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let in_stall = (STALL_FROM..STALL_TO).contains(t);
+            vec![
+                format!("{:.1}{}", *t as f64 / 1e9, if in_stall { " *" } else { "" }),
+                consensus[i].to_string(),
+                restricted[i].to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "E9 — completed reassignments over time (* = leader-delay window)",
+        &[
+            "t (s)",
+            "consensus-based (leader)",
+            "restricted pairwise (leaderless)",
+        ],
+        &rows,
+    );
+
+    let at = |t: u64| sample_points().iter().position(|&x| x == t).unwrap();
+    let c_in = consensus[at(7 * SECOND)].saturating_sub(consensus[at(3 * SECOND)]);
+    let r_in = restricted[at(7 * SECOND)].saturating_sub(restricted[at(3 * SECOND)]);
+    println!("\nprogress inside the stall window: consensus = {c_in}, restricted = {r_in}");
+    assert_eq!(c_in, 0, "consensus-based should freeze during the stall");
+    assert!(r_in > 0, "restricted pairwise should keep completing");
+    println!(
+        "Shape check: the consensus curve is flat inside the window; the\n\
+         leaderless protocol keeps climbing — the operational content of\n\
+         Theorems 1–2 vs Theorem 5."
+    );
+}

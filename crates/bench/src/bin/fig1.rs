@@ -1,0 +1,94 @@
+//! **E1 / Figure 1 + Example 2** — the paper's worked example, executed on
+//! the real protocol over the simulated asynchronous network.
+//!
+//! Seven servers, `f = 2`, uniform initial weight 1 (floor = 0.7, quorum
+//! threshold 3.5, initial minimal quorum size 4). Servers s4, s5, s6 each
+//! transfer 0.25 to s1, s2, s3, after which the *minority* {s1, s2, s3}
+//! carries a quorum. Two further transfers by s6 and s7 would breach
+//! RP-Integrity and complete null (the red box of Fig. 1).
+
+use awr_bench::print_table;
+use awr_core::{audit_transfers, RpConfig, RpHarness};
+use awr_quorum::{QuorumSystem, WeightedMajorityQuorumSystem};
+use awr_sim::UniformLatency;
+use awr_types::{Ratio, ServerId};
+
+fn main() {
+    let cfg = RpConfig::uniform(7, 2);
+    println!("Figure 1 replay — n = 7, f = 2, uniform initial weight 1");
+    println!(
+        "floor W_S0/(2(n-f)) = {}, quorum threshold W_S0/2 = {}",
+        cfg.floor(),
+        cfg.quorum_threshold()
+    );
+
+    let mut h = RpHarness::build(cfg.clone(), 1, 0xF16, UniformLatency::new(1_000, 80_000));
+    let mut rows = Vec::new();
+
+    let mut record = |h: &RpHarness, label: String, effective: &str| {
+        let w = h.weights_seen_by(ServerId(0));
+        let qs = WeightedMajorityQuorumSystem::with_threshold_total(
+            w.clone(),
+            Ratio::integer(7),
+        );
+        rows.push(vec![
+            label,
+            effective.to_string(),
+            format!("{w}"),
+            qs.min_quorum_size().to_string(),
+        ]);
+    };
+
+    record(&h, "initial".into(), "—");
+
+    // The three effective transfers of Fig. 1.
+    for (from, to) in [(3u32, 0u32), (4, 1), (5, 2)] {
+        let out = h
+            .transfer_and_wait(ServerId(from), ServerId(to), Ratio::dec("0.25"))
+            .expect("transfer");
+        h.settle();
+        record(
+            &h,
+            format!("transfer(s{}, s{}, 0.25)", from + 1, to + 1),
+            if out.is_effective() { "effective" } else { "null" },
+        );
+    }
+
+    // The two RP-Integrity-violating attempts (red box).
+    for (from, to, d) in [(5u32, 0u32, "0.1"), (6, 1, "0.4")] {
+        let out = h
+            .transfer_and_wait(ServerId(from), ServerId(to), Ratio::dec(d))
+            .expect("transfer");
+        h.settle();
+        record(
+            &h,
+            format!("transfer(s{}, s{}, {d})", from + 1, to + 1),
+            if out.is_effective() { "effective" } else { "null (RP-Integrity)" },
+        );
+    }
+
+    print_table(
+        "Fig. 1 — weight trajectory and minimal quorum size",
+        &["step", "outcome", "weights [s1..s7]", "min quorum"],
+        &rows,
+    );
+
+    // Audit the whole execution.
+    let report = audit_transfers(&cfg, &h.all_completed());
+    println!(
+        "\naudit: {} effective, {} null, violations: {}",
+        report.effective,
+        report.null,
+        report.violations.len()
+    );
+    assert!(report.is_clean(), "audit failed: {:?}", report.violations);
+
+    // Check the Fig. 1 claims explicitly.
+    let w = h.weights_seen_by(ServerId(0));
+    let qs = WeightedMajorityQuorumSystem::with_threshold_total(w.clone(), Ratio::integer(7));
+    let minority: std::collections::BTreeSet<ServerId> =
+        [ServerId(0), ServerId(1), ServerId(2)].into();
+    assert!(qs.is_quorum(&minority), "{{s1,s2,s3}} must form a quorum");
+    println!("claim check: {{s1, s2, s3}} is a quorum under the final weights ✓");
+    println!("messages: {}", h.world.metrics().summary());
+}

@@ -1,0 +1,363 @@
+//! Consensus-based weight reassignment — the partially-synchronous baseline
+//! (paper §VIII: [10], [20], [22], [27], [28] all reassign weights through
+//! consensus or similar primitives).
+//!
+//! Every reassignment request is funneled through a fixed-leader sequence
+//! of single-decree Paxos instances. Safe always; live only while the
+//! leader's messages flow — experiment E9 stalls the leader with a
+//! [`awr_sim::TargetedDelay`] adversary and counts completed reassignments
+//! against the consensus-free restricted pairwise protocol.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use awr_sim::{Actor, ActorId, Context, Message};
+use awr_types::{Ratio, ServerId, WeightMap};
+
+use crate::paxos::{Ballot, PaxosMsg};
+
+/// A reassignment command agreed through consensus.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightCmd {
+    /// The donating server.
+    pub from: ServerId,
+    /// The receiving server.
+    pub to: ServerId,
+    /// The amount moved.
+    pub delta: Ratio,
+}
+
+/// Messages of the consensus-based reassignment: slot-tagged Paxos.
+#[derive(Clone, Debug)]
+pub struct SlotMsg {
+    /// The consensus instance this message belongs to.
+    pub slot: u64,
+    /// The inner Paxos message.
+    pub inner: PaxosMsg<WeightCmd>,
+}
+
+impl Message for SlotMsg {
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+}
+
+#[derive(Debug)]
+struct SlotAcceptor {
+    promised: Option<Ballot>,
+    accepted: Option<(Ballot, WeightCmd)>,
+}
+
+#[derive(Debug)]
+struct SlotProposer {
+    ballot: Ballot,
+    value: WeightCmd,
+    promises: usize,
+    prev: Option<(Ballot, WeightCmd)>,
+    accepts: usize,
+    phase2: bool,
+    done: bool,
+}
+
+/// A node of the consensus-based weight reassignment baseline.
+///
+/// Node 0 is the fixed leader (the partial-synchrony assumption); it runs
+/// one Paxos instance per submitted command. All nodes apply decided
+/// commands to their weight map in slot order.
+#[derive(Debug)]
+pub struct CwrNode {
+    n: usize,
+    f: usize,
+    is_leader: bool,
+    next_slot: u64,
+    acceptors: BTreeMap<u64, SlotAcceptor>,
+    proposers: BTreeMap<u64, SlotProposer>,
+    decided: BTreeMap<u64, WeightCmd>,
+    applied_upto: u64,
+    weights: WeightMap,
+    /// Commands applied, in order (completion log for E9).
+    pub applied: Vec<WeightCmd>,
+}
+
+impl CwrNode {
+    /// Creates a node; `leader` marks node 0's role.
+    pub fn new(n: usize, f: usize, initial: WeightMap, is_leader: bool) -> CwrNode {
+        CwrNode {
+            n,
+            f,
+            is_leader,
+            next_slot: 0,
+            acceptors: BTreeMap::new(),
+            proposers: BTreeMap::new(),
+            decided: BTreeMap::new(),
+            applied_upto: 0,
+            weights: initial,
+            applied: Vec::new(),
+        }
+    }
+
+    /// Current weights as applied so far.
+    pub fn weights(&self) -> &WeightMap {
+        &self.weights
+    }
+
+    /// Number of commands applied.
+    pub fn applied_count(&self) -> usize {
+        self.applied.len()
+    }
+
+    /// Leader API: submit a reassignment for consensus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-leader.
+    pub fn submit(&mut self, cmd: WeightCmd, ctx: &mut Context<'_, SlotMsg>) {
+        assert!(self.is_leader, "only the leader submits commands");
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        let ballot = Ballot {
+            round: 1,
+            proposer: ctx.id().index(),
+        };
+        self.proposers.insert(
+            slot,
+            SlotProposer {
+                ballot,
+                value: cmd,
+                promises: 0,
+                prev: None,
+                accepts: 0,
+                phase2: false,
+                done: false,
+            },
+        );
+        for i in 0..self.n {
+            ctx.send(
+                ActorId(i),
+                SlotMsg {
+                    slot,
+                    inner: PaxosMsg::Prepare { ballot },
+                },
+            );
+        }
+    }
+
+    fn majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    fn apply_ready(&mut self) {
+        // Apply decided slots in order; a gap stalls application (total
+        // order is the point of the consensus baseline). Commands that
+        // would break Property 1 are skipped as no-ops (the leader is
+        // assumed to validate, but we stay safe regardless).
+        while let Some(cmd) = self.decided.get(&self.applied_upto).cloned() {
+            let mut hypothetical = self.weights.clone();
+            hypothetical.add(cmd.from, -cmd.delta);
+            hypothetical.add(cmd.to, cmd.delta);
+            if awr_quorum::integrity_holds(&hypothetical, self.f) {
+                self.weights = hypothetical;
+                self.applied.push(cmd);
+            }
+            self.applied_upto += 1;
+        }
+    }
+}
+
+impl Actor for CwrNode {
+    type Msg = SlotMsg;
+
+    fn on_message(&mut self, from: ActorId, msg: SlotMsg, ctx: &mut Context<'_, SlotMsg>) {
+        let slot = msg.slot;
+        let majority = self.majority();
+        let n = self.n;
+        match msg.inner {
+            PaxosMsg::Prepare { ballot } => {
+                let a = self.acceptors.entry(slot).or_insert(SlotAcceptor {
+                    promised: None,
+                    accepted: None,
+                });
+                if a.promised.map(|p| ballot > p).unwrap_or(true) {
+                    a.promised = Some(ballot);
+                    ctx.send(
+                        from,
+                        SlotMsg {
+                            slot,
+                            inner: PaxosMsg::Promise {
+                                ballot,
+                                accepted: a.accepted.clone(),
+                            },
+                        },
+                    );
+                }
+            }
+            PaxosMsg::Promise { ballot, accepted } => {
+                if let Some(p) = self.proposers.get_mut(&slot) {
+                    if p.ballot == ballot && !p.phase2 {
+                        p.promises += 1;
+                        if let Some((b, v)) = accepted {
+                            if p.prev.as_ref().map(|(pb, _)| b > *pb).unwrap_or(true) {
+                                p.prev = Some((b, v));
+                            }
+                        }
+                        if p.promises >= majority {
+                            p.phase2 = true;
+                            let value = p
+                                .prev
+                                .as_ref()
+                                .map(|(_, v)| v.clone())
+                                .unwrap_or_else(|| p.value.clone());
+                            p.value = value.clone();
+                            let ballot = p.ballot;
+                            for i in 0..n {
+                                ctx.send(
+                                    ActorId(i),
+                                    SlotMsg {
+                                        slot,
+                                        inner: PaxosMsg::Accept {
+                                            ballot,
+                                            value: value.clone(),
+                                        },
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            PaxosMsg::Accept { ballot, value } => {
+                let a = self.acceptors.entry(slot).or_insert(SlotAcceptor {
+                    promised: None,
+                    accepted: None,
+                });
+                if a.promised.map(|p| ballot >= p).unwrap_or(true) {
+                    a.promised = Some(ballot);
+                    a.accepted = Some((ballot, value.clone()));
+                    ctx.send(
+                        from,
+                        SlotMsg {
+                            slot,
+                            inner: PaxosMsg::Accepted { ballot, value },
+                        },
+                    );
+                }
+            }
+            PaxosMsg::Accepted { ballot, value } => {
+                let mut decide = false;
+                if let Some(p) = self.proposers.get_mut(&slot) {
+                    if p.ballot == ballot && p.phase2 && !p.done {
+                        p.accepts += 1;
+                        if p.accepts >= majority {
+                            p.done = true;
+                            decide = true;
+                        }
+                    }
+                }
+                if decide {
+                    for i in 0..n {
+                        ctx.send(
+                            ActorId(i),
+                            SlotMsg {
+                                slot,
+                                inner: PaxosMsg::Decide {
+                                    value: value.clone(),
+                                },
+                            },
+                        );
+                    }
+                }
+            }
+            PaxosMsg::Decide { value } => {
+                self.decided.entry(slot).or_insert(value);
+                self.apply_ready();
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awr_sim::{TargetedDelay, Time, UniformLatency, World, SECOND};
+
+    fn build(n: usize, seed: u64) -> World<SlotMsg> {
+        let mut w = World::new(seed, UniformLatency::new(1_000, 50_000));
+        for i in 0..n {
+            w.add_actor(CwrNode::new(
+                n,
+                (n - 1) / 2,
+                WeightMap::uniform(n, Ratio::ONE),
+                i == 0,
+            ));
+        }
+        w
+    }
+
+    fn cmd(from: u32, to: u32, d: &str) -> WeightCmd {
+        WeightCmd {
+            from: ServerId(from),
+            to: ServerId(to),
+            delta: Ratio::dec(d),
+        }
+    }
+
+    #[test]
+    fn commands_apply_in_order_everywhere() {
+        let mut w = build(5, 1);
+        w.with_actor_ctx::<CwrNode, _>(ActorId(0), |n, ctx| {
+            n.submit(cmd(1, 0, "0.2"), ctx);
+            n.submit(cmd(2, 0, "0.1"), ctx);
+        });
+        w.run_to_quiescence();
+        for i in 0..5 {
+            let node = w.actor::<CwrNode>(ActorId(i)).unwrap();
+            assert_eq!(node.applied_count(), 2, "node {i}");
+            assert_eq!(node.weights().weight(ServerId(0)), Ratio::dec("1.3"));
+        }
+    }
+
+    #[test]
+    fn unsafe_commands_skipped() {
+        let mut w = build(5, 2);
+        // Moving 1.2 onto s1 would give it 2.2 of 5 — top-2 = 3.0 ≥ 2.5.
+        w.with_actor_ctx::<CwrNode, _>(ActorId(0), |n, ctx| {
+            n.submit(cmd(1, 0, "0.9"), ctx);
+        });
+        w.run_to_quiescence();
+        let node = w.actor::<CwrNode>(ActorId(0)).unwrap();
+        // top-2 after: 1.9 + 1 = 2.9 ≥ 2.5 → skipped.
+        assert_eq!(node.applied_count(), 0);
+        assert_eq!(node.weights().weight(ServerId(0)), Ratio::ONE);
+    }
+
+    #[test]
+    fn leader_stall_blocks_progress() {
+        // The E9 effect in miniature: delay everything the leader sends
+        // until t = 10 s; no reassignment applies before that.
+        let base = UniformLatency::new(1_000, 50_000);
+        let adversary = TargetedDelay::new(base, |from, _| from == ActorId(0), Time(10 * SECOND));
+        let mut w: World<SlotMsg> = World::new(3, adversary);
+        for i in 0..5 {
+            w.add_actor(CwrNode::new(5, 2, WeightMap::uniform(5, Ratio::ONE), i == 0));
+        }
+        w.with_actor_ctx::<CwrNode, _>(ActorId(0), |n, ctx| {
+            n.submit(cmd(1, 0, "0.2"), ctx);
+        });
+        w.run_for(5 * SECOND);
+        assert_eq!(
+            w.actor::<CwrNode>(ActorId(1)).unwrap().applied_count(),
+            0,
+            "applied during the stall"
+        );
+        // After the adversary releases, the command lands.
+        w.run_to_quiescence();
+        assert_eq!(w.actor::<CwrNode>(ActorId(1)).unwrap().applied_count(), 1);
+    }
+}

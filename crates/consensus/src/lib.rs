@@ -1,0 +1,22 @@
+//! # awr-consensus — Paxos and the consensus-based reassignment baseline
+//!
+//! The paper's related work (§VIII) reassigns weights through consensus in
+//! partially-synchronous systems (WHEAT/AWARE and the dynamic-voting line).
+//! This crate provides that baseline so the experiments can contrast it
+//! with the consensus-free restricted pairwise protocol:
+//!
+//! * [`PaxosNode`] — single-decree Paxos (safe under asynchrony, live under
+//!   partial synchrony);
+//! * [`CwrNode`] — consensus-based weight reassignment: a fixed leader
+//!   sequences [`WeightCmd`]s through per-slot Paxos instances; nodes apply
+//!   them in order. Stalling the leader stalls *all* reassignment — the
+//!   operational content of the paper's impossibility results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cwr;
+mod paxos;
+
+pub use cwr::{CwrNode, SlotMsg, WeightCmd};
+pub use paxos::{Ballot, PaxosMsg, PaxosNode};

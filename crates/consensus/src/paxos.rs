@@ -1,0 +1,309 @@
+//! Single-decree Paxos (synod) over the simulated asynchronous network.
+//!
+//! The baseline substrate for *consensus-based* weight reassignment
+//! ([10], [20], [22] in the paper): safe under full asynchrony, live only
+//! under partial synchrony — which is exactly the contrast experiment E9
+//! stages against the consensus-free restricted pairwise protocol.
+//!
+//! Roles are folded into one actor per server: proposer (only on designated
+//! leaders), acceptor, and learner. No retransmission is needed because the
+//! simulated links are reliable.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use awr_sim::{Actor, ActorId, Context, Message};
+
+/// A Paxos ballot number: `(round, proposer)` ordered lexicographically.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Ballot {
+    /// The round counter.
+    pub round: u64,
+    /// The proposing actor (ties broken by id).
+    pub proposer: usize,
+}
+
+/// Wire messages of single-decree Paxos.
+#[derive(Clone, Debug)]
+pub enum PaxosMsg<V> {
+    /// Phase 1a: leader asks acceptors to promise.
+    Prepare {
+        /// The ballot being prepared.
+        ballot: Ballot,
+    },
+    /// Phase 1b: promise, carrying any previously accepted value.
+    Promise {
+        /// The ballot being promised.
+        ballot: Ballot,
+        /// The highest-ballot value this acceptor accepted, if any.
+        accepted: Option<(Ballot, V)>,
+    },
+    /// Phase 2a: leader asks acceptors to accept a value.
+    Accept {
+        /// The ballot of the proposal.
+        ballot: Ballot,
+        /// The proposed value.
+        value: V,
+    },
+    /// Phase 2b: accepted notification (sent to the leader and learners).
+    Accepted {
+        /// The accepted ballot.
+        ballot: Ballot,
+        /// The accepted value.
+        value: V,
+    },
+    /// Decision dissemination.
+    Decide {
+        /// The chosen value.
+        value: V,
+    },
+}
+
+impl<V: Clone + std::fmt::Debug + Send + 'static> Message for PaxosMsg<V> {
+    fn kind(&self) -> &'static str {
+        match self {
+            PaxosMsg::Prepare { .. } => "1a",
+            PaxosMsg::Promise { .. } => "1b",
+            PaxosMsg::Accept { .. } => "2a",
+            PaxosMsg::Accepted { .. } => "2b",
+            PaxosMsg::Decide { .. } => "D",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ProposerState<V> {
+    ballot: Ballot,
+    value: V,
+    promises: HashMap<usize, Option<(Ballot, V)>>,
+    accepts: usize,
+    phase2: bool,
+}
+
+/// A Paxos node (acceptor + learner + optional proposer).
+#[derive(Debug)]
+pub struct PaxosNode<V> {
+    n: usize,
+    // Acceptor state.
+    promised: Option<Ballot>,
+    accepted: Option<(Ballot, V)>,
+    // Proposer state.
+    proposing: Option<ProposerState<V>>,
+    /// The decided value, once learned.
+    pub decided: Option<V>,
+}
+
+impl<V: Clone + PartialEq + std::fmt::Debug + Send + 'static> PaxosNode<V> {
+    /// Creates a node in an `n`-node system.
+    pub fn new(n: usize) -> PaxosNode<V> {
+        PaxosNode {
+            n,
+            promised: None,
+            accepted: None,
+            proposing: None,
+            decided: None,
+        }
+    }
+
+    fn majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Starts proposing `value` at `round` (the caller is the leader).
+    pub fn propose(&mut self, round: u64, value: V, ctx: &mut Context<'_, PaxosMsg<V>>) {
+        let ballot = Ballot {
+            round,
+            proposer: ctx.id().index(),
+        };
+        self.proposing = Some(ProposerState {
+            ballot,
+            value,
+            promises: HashMap::new(),
+            accepts: 0,
+            phase2: false,
+        });
+        for i in 0..self.n {
+            ctx.send(ActorId(i), PaxosMsg::Prepare { ballot });
+        }
+    }
+
+    fn on_prepare(&mut self, from: ActorId, ballot: Ballot, ctx: &mut Context<'_, PaxosMsg<V>>) {
+        if self.promised.map(|p| ballot > p).unwrap_or(true) {
+            self.promised = Some(ballot);
+            ctx.send(
+                from,
+                PaxosMsg::Promise {
+                    ballot,
+                    accepted: self.accepted.clone(),
+                },
+            );
+        }
+    }
+
+    fn on_promise(
+        &mut self,
+        from: ActorId,
+        ballot: Ballot,
+        accepted: Option<(Ballot, V)>,
+        ctx: &mut Context<'_, PaxosMsg<V>>,
+    ) {
+        let majority = self.majority();
+        let n = self.n;
+        let Some(p) = self.proposing.as_mut() else {
+            return;
+        };
+        if p.ballot != ballot || p.phase2 {
+            return;
+        }
+        p.promises.insert(from.index(), accepted);
+        if p.promises.len() >= majority {
+            // Adopt the highest previously accepted value, if any.
+            if let Some((_, v)) = p
+                .promises
+                .values()
+                .flatten()
+                .max_by_key(|(b, _)| *b)
+                .cloned()
+            {
+                p.value = v;
+            }
+            p.phase2 = true;
+            let (ballot, value) = (p.ballot, p.value.clone());
+            for i in 0..n {
+                ctx.send(
+                    ActorId(i),
+                    PaxosMsg::Accept {
+                        ballot,
+                        value: value.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_accept(
+        &mut self,
+        from: ActorId,
+        ballot: Ballot,
+        value: V,
+        ctx: &mut Context<'_, PaxosMsg<V>>,
+    ) {
+        if self.promised.map(|p| ballot >= p).unwrap_or(true) {
+            self.promised = Some(ballot);
+            self.accepted = Some((ballot, value.clone()));
+            ctx.send(from, PaxosMsg::Accepted { ballot, value });
+        }
+    }
+
+    fn on_accepted(&mut self, ballot: Ballot, value: V, ctx: &mut Context<'_, PaxosMsg<V>>) {
+        let majority = self.majority();
+        let n = self.n;
+        let Some(p) = self.proposing.as_mut() else {
+            return;
+        };
+        if p.ballot != ballot || !p.phase2 {
+            return;
+        }
+        p.accepts += 1;
+        if p.accepts >= majority && self.decided.is_none() {
+            self.decided = Some(value.clone());
+            for i in 0..n {
+                ctx.send(ActorId(i), PaxosMsg::Decide { value: value.clone() });
+            }
+            self.proposing = None;
+        }
+    }
+}
+
+impl<V: Clone + PartialEq + std::fmt::Debug + Send + 'static> Actor for PaxosNode<V> {
+    type Msg = PaxosMsg<V>;
+
+    fn on_message(&mut self, from: ActorId, msg: PaxosMsg<V>, ctx: &mut Context<'_, PaxosMsg<V>>) {
+        match msg {
+            PaxosMsg::Prepare { ballot } => self.on_prepare(from, ballot, ctx),
+            PaxosMsg::Promise { ballot, accepted } => self.on_promise(from, ballot, accepted, ctx),
+            PaxosMsg::Accept { ballot, value } => self.on_accept(from, ballot, value, ctx),
+            PaxosMsg::Accepted { ballot, value } => self.on_accepted(ballot, value, ctx),
+            PaxosMsg::Decide { value } => {
+                if self.decided.is_none() {
+                    self.decided = Some(value);
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awr_sim::{UniformLatency, World};
+
+    fn build(n: usize, seed: u64) -> World<PaxosMsg<u64>> {
+        let mut w = World::new(seed, UniformLatency::new(1_000, 50_000));
+        for _ in 0..n {
+            w.add_actor(PaxosNode::<u64>::new(n));
+        }
+        w
+    }
+
+    fn decided(w: &World<PaxosMsg<u64>>, i: usize) -> Option<u64> {
+        w.actor::<PaxosNode<u64>>(ActorId(i)).unwrap().decided
+    }
+
+    #[test]
+    fn single_proposer_decides() {
+        let mut w = build(5, 1);
+        w.with_actor_ctx::<PaxosNode<u64>, _>(ActorId(0), |n, ctx| n.propose(1, 42, ctx));
+        w.run_to_quiescence();
+        for i in 0..5 {
+            assert_eq!(decided(&w, i), Some(42), "node {i}");
+        }
+    }
+
+    #[test]
+    fn two_proposers_agree() {
+        for seed in 0..20 {
+            let mut w = build(5, seed);
+            w.with_actor_ctx::<PaxosNode<u64>, _>(ActorId(0), |n, ctx| n.propose(1, 10, ctx));
+            w.with_actor_ctx::<PaxosNode<u64>, _>(ActorId(1), |n, ctx| n.propose(2, 20, ctx));
+            w.run_to_quiescence();
+            let winners: Vec<_> = (0..5).filter_map(|i| decided(&w, i)).collect();
+            assert!(!winners.is_empty(), "seed {seed}: nobody decided");
+            assert!(
+                winners.iter().all(|&v| v == winners[0]),
+                "seed {seed}: split decision {winners:?}"
+            );
+            assert!(winners[0] == 10 || winners[0] == 20);
+        }
+    }
+
+    #[test]
+    fn survives_minority_crashes() {
+        let mut w = build(5, 3);
+        w.crash_now(ActorId(3));
+        w.crash_now(ActorId(4));
+        w.with_actor_ctx::<PaxosNode<u64>, _>(ActorId(0), |n, ctx| n.propose(1, 7, ctx));
+        w.run_to_quiescence();
+        for i in 0..3 {
+            assert_eq!(decided(&w, i), Some(7), "node {i}");
+        }
+    }
+
+    #[test]
+    fn stalls_without_majority() {
+        let mut w = build(5, 4);
+        w.crash_now(ActorId(2));
+        w.crash_now(ActorId(3));
+        w.crash_now(ActorId(4));
+        w.with_actor_ctx::<PaxosNode<u64>, _>(ActorId(0), |n, ctx| n.propose(1, 7, ctx));
+        w.run_to_quiescence();
+        assert_eq!(decided(&w, 0), None, "decided without a majority");
+    }
+}

@@ -1,0 +1,260 @@
+//! Execution auditing: executable versions of the paper's safety properties.
+//!
+//! The auditor replays a completion-ordered log of transfer outcomes from
+//! the initial weights and checks, after every completion:
+//!
+//! * **RP-Integrity** (Definition 5): every weight strictly above
+//!   `W_{S,0}/(2(n−f))`;
+//! * **P-Integrity / Property 1**: the `f` heaviest servers stay strictly
+//!   below half the total (implied by RP-Integrity via Lemma 1 — checked
+//!   independently as a cross-validation);
+//! * **conservation**: pairwise transfers never change the total;
+//! * **C1**: the issuer of every transfer is its source server;
+//! * **RP-Validity-I**: effective outcomes carry exact `±Δ` pairs, null
+//!   outcomes carry zero pairs.
+//!
+//! Harnesses feed it [`RpHarness::all_completed`](crate::RpHarness::all_completed);
+//! tests assert [`AuditReport::is_clean`].
+
+use awr_sim::Time;
+use awr_types::{ProcessId, Ratio, WeightMap};
+
+use crate::problem::{RpConfig, TransferOutcome};
+
+/// One detected property violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Completion time of the offending transfer.
+    pub at: Time,
+    /// Which property broke.
+    pub property: &'static str,
+    /// Human-readable details.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {} — {}", self.at, self.property, self.detail)
+    }
+}
+
+/// The result of auditing an execution.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// All violations found (empty = clean).
+    pub violations: Vec<Violation>,
+    /// Weight trajectory: the vector after each effective completion.
+    pub trajectory: Vec<(Time, WeightMap)>,
+    /// Count of effective transfers.
+    pub effective: usize,
+    /// Count of null (aborted) transfers.
+    pub null: usize,
+}
+
+impl AuditReport {
+    /// `true` iff no property was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Audits a completion-ordered transfer log against `cfg`.
+///
+/// # Examples
+///
+/// ```
+/// use awr_core::{audit_transfers, RpConfig};
+///
+/// let cfg = RpConfig::uniform(7, 2);
+/// let report = audit_transfers(&cfg, &[]);
+/// assert!(report.is_clean());
+/// ```
+pub fn audit_transfers(
+    cfg: &RpConfig,
+    completed: &[(TransferOutcome, Time)],
+) -> AuditReport {
+    let mut report = AuditReport::default();
+    let mut weights = cfg.initial_weights.clone();
+    let floor = cfg.floor();
+    let initial_total = cfg.initial_total();
+
+    for (outcome, at) in completed {
+        let at = *at;
+        // C1: only the source server may move its own weight.
+        if outcome.changes.debit.issuer != ProcessId::Server(outcome.from) {
+            report.violations.push(Violation {
+                at,
+                property: "C1",
+                detail: format!(
+                    "transfer of {}'s weight issued by {:?}",
+                    outcome.from, outcome.changes.debit.issuer
+                ),
+            });
+        }
+        // RP-Validity-I: the pair is ±Δ or ±0, consistently.
+        let d = outcome.changes.debit.delta;
+        let c = outcome.changes.credit.delta;
+        if d + c != Ratio::ZERO {
+            report.violations.push(Violation {
+                at,
+                property: "RP-Validity-I",
+                detail: format!("debit {d} and credit {c} do not cancel"),
+            });
+        }
+        if outcome.is_effective() && c != outcome.requested {
+            report.violations.push(Violation {
+                at,
+                property: "RP-Validity-I",
+                detail: format!(
+                    "effective transfer moved {c}, requested {}",
+                    outcome.requested
+                ),
+            });
+        }
+        if outcome.is_effective() {
+            report.effective += 1;
+            weights.add(outcome.from, d);
+            weights.add(outcome.to, c);
+            report.trajectory.push((at, weights.clone()));
+
+            // RP-Integrity after this completion.
+            if !awr_quorum::rp_integrity_holds(&weights, floor) {
+                report.violations.push(Violation {
+                    at,
+                    property: "RP-Integrity",
+                    detail: format!("weights {weights} have a server at/below floor {floor}"),
+                });
+            }
+            // P-Integrity (Property 1) cross-check.
+            if !awr_quorum::integrity_holds(&weights, cfg.f) {
+                report.violations.push(Violation {
+                    at,
+                    property: "P-Integrity",
+                    detail: format!(
+                        "top-{} = {} not < half total {}",
+                        cfg.f,
+                        weights.top_f_sum(cfg.f),
+                        weights.total().half()
+                    ),
+                });
+            }
+            // Conservation.
+            if weights.total() != initial_total {
+                report.violations.push(Violation {
+                    at,
+                    property: "Conservation",
+                    detail: format!("total {} != initial {initial_total}", weights.total()),
+                });
+            }
+        } else {
+            report.null += 1;
+        }
+    }
+    report
+}
+
+/// Checks Validity-II across a pair of `read_changes` results: a later read
+/// of the same server must contain every change an earlier *completed* read
+/// returned. Returns a violation description on failure.
+pub fn check_validity_ii(
+    earlier: &crate::restricted::ReadChangesResult,
+    later: &crate::restricted::ReadChangesResult,
+) -> Option<String> {
+    if earlier.target != later.target {
+        return Some("results target different servers".into());
+    }
+    if earlier.finished > later.started {
+        return Some("reads are concurrent; Validity-II does not order them".into());
+    }
+    if !later.changes.contains_all(&earlier.changes) {
+        let missing: Vec<_> = earlier.changes.difference(&later.changes);
+        return Some(format!(
+            "later read is missing {} change(s): {missing:?}",
+            missing.len()
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awr_types::{Change, ServerId, TransferChanges};
+
+    fn s(i: u32) -> ServerId {
+        ServerId(i)
+    }
+
+    fn outcome(from: u32, to: u32, delta: &str, effective: bool, counter: u64) -> TransferOutcome {
+        let d = Ratio::dec(delta);
+        TransferOutcome {
+            from: s(from),
+            to: s(to),
+            requested: d,
+            changes: TransferChanges::new(s(from), s(to), counter, d, effective),
+            counter,
+        }
+    }
+
+    #[test]
+    fn clean_sequence() {
+        let cfg = RpConfig::uniform(7, 2);
+        let log = vec![
+            (outcome(3, 0, "0.25", true, 2), Time(10)),
+            (outcome(4, 1, "0.25", true, 2), Time(20)),
+            (outcome(5, 2, "0.25", true, 2), Time(30)),
+            (outcome(5, 2, "0.1", false, 3), Time(40)), // aborted
+        ];
+        let r = audit_transfers(&cfg, &log);
+        assert!(r.is_clean(), "{:?}", r.violations);
+        assert_eq!(r.effective, 3);
+        assert_eq!(r.null, 1);
+        assert_eq!(r.trajectory.len(), 3);
+        let last = &r.trajectory.last().unwrap().1;
+        assert_eq!(last.weight(s(0)), Ratio::dec("1.25"));
+        assert_eq!(last.weight(s(5)), Ratio::dec("0.75"));
+    }
+
+    #[test]
+    fn detects_floor_violation() {
+        let cfg = RpConfig::uniform(7, 2);
+        // 0.3 would leave s4 at exactly 0.7 — a violation the protocol
+        // must never produce, but the auditor must catch.
+        let log = vec![(outcome(3, 0, "0.3", true, 2), Time(5))];
+        let r = audit_transfers(&cfg, &log);
+        assert!(!r.is_clean());
+        assert!(r.violations.iter().any(|v| v.property == "RP-Integrity"));
+    }
+
+    #[test]
+    fn detects_c1_violation() {
+        let cfg = RpConfig::uniform(7, 2);
+        let mut o = outcome(3, 0, "0.1", true, 2);
+        // Forge an issuer that is not the source.
+        o.changes.debit = Change::new(s(6), 2, s(3), Ratio::dec("-0.1"));
+        let r = audit_transfers(&cfg, &[(o, Time(1))]);
+        assert!(r.violations.iter().any(|v| v.property == "C1"));
+    }
+
+    #[test]
+    fn detects_non_cancelling_pair() {
+        let cfg = RpConfig::uniform(7, 2);
+        let mut o = outcome(3, 0, "0.1", true, 2);
+        o.changes.credit = Change::new(s(3), 2, s(0), Ratio::dec("0.2"));
+        let r = audit_transfers(&cfg, &[(o, Time(1))]);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.property == "RP-Validity-I" && v.detail.contains("cancel")));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation {
+            at: Time(3),
+            property: "RP-Integrity",
+            detail: "boom".into(),
+        };
+        assert!(v.to_string().contains("RP-Integrity"));
+    }
+}

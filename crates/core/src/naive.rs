@@ -1,0 +1,212 @@
+//! A deliberately *naive* asynchronous implementation of the unrestricted
+//! weight reassignment problem — the operational face of Theorem 1.
+//!
+//! Each server validates a `reassign` against its **local** view only, then
+//! reliable-broadcasts the change. Sequentially this looks correct; under
+//! concurrency two invocations that are each locally safe can jointly
+//! violate Integrity. The paper proves no asynchronous implementation can
+//! avoid this without consensus; this module exhibits the violation on a
+//! real schedule (experiment E4's second half, and the
+//! `naive_violates_integrity` tests).
+
+use std::any::Any;
+
+use awr_rb::{RbEngine, RbEnvelope};
+use awr_sim::{Actor, ActorId, Context, Message};
+use awr_types::{Change, ChangeSet, Ratio, ServerId, WeightMap};
+
+/// Wire message: just the reliable broadcast of a change.
+#[derive(Clone, Debug)]
+pub struct NaiveMsg(pub RbEnvelope<Change>);
+
+impl Message for NaiveMsg {
+    fn kind(&self) -> &'static str {
+        "naive"
+    }
+}
+
+/// A server of the naive protocol.
+#[derive(Debug)]
+pub struct NaiveWrServer {
+    me: ServerId,
+    f: usize,
+    n: usize,
+    lc: u64,
+    changes: ChangeSet,
+    rb: RbEngine<Change>,
+    /// Changes this server has applied, in application order (for audits).
+    pub applied: Vec<Change>,
+    /// Reassignments that the local check rejected.
+    pub rejected: u64,
+}
+
+impl NaiveWrServer {
+    /// Creates a server. Servers occupy world indices `0..n`.
+    pub fn new(me: ServerId, initial: &WeightMap, f: usize) -> NaiveWrServer {
+        let n = initial.len();
+        NaiveWrServer {
+            me,
+            f,
+            n,
+            lc: 2,
+            changes: ChangeSet::from_initial_weights(initial),
+            rb: RbEngine::new(ActorId(me.index()), (0..n).map(ActorId).collect()),
+            applied: Vec::new(),
+            rejected: 0,
+        }
+    }
+
+    /// Local weights as this server currently sees them.
+    pub fn local_weights(&self) -> WeightMap {
+        self.changes.weights(self.n)
+    }
+
+    /// Invokes `reassign(target, Δ)` with *local-only* validation: the fatal
+    /// flaw. Returns `true` if the local check passed and the change was
+    /// broadcast.
+    pub fn reassign(
+        &mut self,
+        target: ServerId,
+        delta: Ratio,
+        ctx: &mut Context<'_, NaiveMsg>,
+    ) -> bool {
+        let counter = self.lc;
+        self.lc += 1;
+        let mut hypothetical = self.local_weights();
+        hypothetical.add(target, delta);
+        if awr_quorum::integrity_holds(&hypothetical, self.f) {
+            let change = Change::new(self.me, counter, target, delta);
+            let delivered = self.rb.broadcast(change, ctx, NaiveMsg);
+            self.apply(delivered);
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    fn apply(&mut self, c: Change) {
+        if self.changes.insert(c) {
+            self.applied.push(c);
+        }
+    }
+}
+
+impl Actor for NaiveWrServer {
+    type Msg = NaiveMsg;
+
+    fn on_message(&mut self, _from: ActorId, msg: NaiveMsg, ctx: &mut Context<'_, NaiveMsg>) {
+        if let Some(change) = self.rb.on_envelope(msg.0, ctx, NaiveMsg) {
+            self.apply(change);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Runs the canonical two-server race from the Theorem 1 construction and
+/// reports whether global Integrity survived. Returns
+/// `(final_weights, integrity_held)`.
+///
+/// With the Algorithm 1 initial weights, concurrent `reassign(s_1, +0.5)`
+/// and `reassign(s_{f+1}, −0.5)` both pass their local checks, both apply
+/// everywhere, and Integrity breaks — for every seed.
+pub fn run_theorem1_race(n: usize, f: usize, seed: u64) -> (WeightMap, bool) {
+    use crate::reduction::reduction_initial_weights;
+    let initial = reduction_initial_weights(n, f);
+    let mut world: awr_sim::World<NaiveMsg> =
+        awr_sim::World::new(seed, awr_sim::UniformLatency::new(1_000, 50_000));
+    for i in 0..n {
+        world.add_actor(NaiveWrServer::new(ServerId(i as u32), &initial, f));
+    }
+    // Concurrent invocations before any broadcast is delivered.
+    world.with_actor_ctx::<NaiveWrServer, _>(ActorId(0), |srv, ctx| {
+        srv.reassign(ServerId(0), Ratio::dec("0.5"), ctx)
+    });
+    world.with_actor_ctx::<NaiveWrServer, _>(ActorId(f), |srv, ctx| {
+        srv.reassign(ServerId(f as u32), Ratio::dec("-0.5"), ctx)
+    });
+    world.run_to_quiescence();
+    // All correct servers converge to the same set; read server 0's view.
+    let weights = world
+        .actor::<NaiveWrServer>(ActorId(0))
+        .expect("server 0")
+        .local_weights();
+    let ok = awr_quorum::integrity_holds(&weights, f);
+    (weights, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_use_is_safe() {
+        // One at a time, the naive protocol behaves: the second request is
+        // locally rejected because the first has already propagated.
+        let initial = crate::reduction::reduction_initial_weights(4, 1);
+        let mut world: awr_sim::World<NaiveMsg> =
+            awr_sim::World::new(7, awr_sim::ConstantLatency(1_000));
+        for i in 0..4 {
+            world.add_actor(NaiveWrServer::new(ServerId(i), &initial, 1));
+        }
+        world.with_actor_ctx::<NaiveWrServer, _>(ActorId(0), |srv, ctx| {
+            assert!(srv.reassign(ServerId(0), Ratio::dec("0.5"), ctx));
+        });
+        world.run_to_quiescence();
+        world.with_actor_ctx::<NaiveWrServer, _>(ActorId(1), |srv, ctx| {
+            // Locally visible now → correctly rejected.
+            assert!(!srv.reassign(ServerId(1), Ratio::dec("-0.5"), ctx));
+        });
+        world.run_to_quiescence();
+        let w = world
+            .actor::<NaiveWrServer>(ActorId(2))
+            .unwrap()
+            .local_weights();
+        assert!(awr_quorum::integrity_holds(&w, 1));
+    }
+
+    #[test]
+    fn concurrent_use_violates_integrity_every_seed() {
+        for seed in 0..25 {
+            let (_, ok) = run_theorem1_race(4, 1, seed);
+            assert!(!ok, "seed {seed}: naive protocol accidentally safe?");
+        }
+        for seed in 0..10 {
+            let (_, ok) = run_theorem1_race(7, 3, seed);
+            assert!(!ok, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_servers_converge_to_same_view() {
+        let initial = crate::reduction::reduction_initial_weights(5, 2);
+        let mut world: awr_sim::World<NaiveMsg> =
+            awr_sim::World::new(3, awr_sim::UniformLatency::new(1, 100_000));
+        for i in 0..5 {
+            world.add_actor(NaiveWrServer::new(ServerId(i), &initial, 2));
+        }
+        for i in 0..5u32 {
+            world.with_actor_ctx::<NaiveWrServer, _>(ActorId(i as usize), |srv, ctx| {
+                srv.reassign(ServerId(i), Ratio::dec("-0.1"), ctx)
+            });
+        }
+        world.run_to_quiescence();
+        let w0 = world
+            .actor::<NaiveWrServer>(ActorId(0))
+            .unwrap()
+            .local_weights();
+        for i in 1..5 {
+            let wi = world
+                .actor::<NaiveWrServer>(ActorId(i))
+                .unwrap()
+                .local_weights();
+            assert_eq!(w0, wi, "server {i} diverged");
+        }
+    }
+}

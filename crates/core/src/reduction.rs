@@ -1,0 +1,526 @@
+//! The consensus reductions (paper Algorithms 1 and 2, Theorems 1 and 2).
+//!
+//! These algorithms prove the *impossibility* of (pairwise) weight
+//! reassignment in asynchronous failure-prone systems by showing that any
+//! solution would solve consensus. We run them against the linearizable
+//! oracles of [`crate::oracle`] — the hypothetical solutions — and verify
+//! that all servers reach Agreement, Validity, and Termination under
+//! arbitrary interleavings:
+//!
+//! * [`run_alg1`] — Algorithm 1, deterministic seeded interleaving;
+//! * [`run_alg2`] — Algorithm 2, deterministic seeded interleaving;
+//! * [`run_alg1_threads`] / [`run_alg2_threads`] — the same algorithms on
+//!   real OS threads (non-deterministic interleavings).
+//!
+//! The initial weights are the constructions from the paper: servers in
+//! `F = {s_1..s_f}` start at `(n−1)/(2f)`, the rest at `(n+1)/(2(n−f))`.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use awr_types::{Ratio, ServerId, WeightMap};
+
+use crate::oracle::{PwOracle, WrOracle};
+use crate::swmr::SwmrArray;
+
+/// The paper's initial weights for the reduction constructions:
+/// `W_{s,0} = (n−1)/(2f)` for `s ∈ F = {s_1..s_f}`, else `(n+1)/(2(n−f))`.
+///
+/// # Panics
+///
+/// Panics unless `0 < f < n`.
+pub fn reduction_initial_weights(n: usize, f: usize) -> WeightMap {
+    assert!(f > 0 && f < n, "need 0 < f < n, got n={n} f={f}");
+    let wf = Ratio::integer((n - 1) as i64) / Ratio::integer(2 * f as i64);
+    let wr = Ratio::integer((n + 1) as i64) / Ratio::integer(2 * (n - f) as i64);
+    WeightMap::from_fn(n, |s| if s.index() < f { wf } else { wr })
+}
+
+/// The result of running a reduction: one decision per server, in id order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsensusRun<V> {
+    /// Decisions, index = server index.
+    pub decisions: Vec<V>,
+    /// The proposals, for validity checking.
+    pub proposals: Vec<V>,
+    /// Total polling iterations spent across servers (termination metric).
+    pub poll_iterations: u64,
+}
+
+impl<V: PartialEq + Clone> ConsensusRun<V> {
+    /// Agreement: all decisions equal.
+    pub fn agreement(&self) -> bool {
+        self.decisions.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Validity (for our crash-free runs): the decision is one of the
+    /// proposals.
+    pub fn validity(&self) -> bool {
+        self.decisions
+            .iter()
+            .all(|d| self.proposals.contains(d))
+    }
+
+    /// The agreed value, if Agreement holds.
+    pub fn decided(&self) -> Option<&V> {
+        if self.agreement() {
+            self.decisions.first()
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1: consensus from the (unrestricted) weight reassignment problem.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Alg1Phase {
+    /// About to write R[i] and invoke reassign.
+    Init,
+    /// Polling `read_changes(s_j)` round-robin.
+    Polling { next_j: usize },
+    /// Decided.
+    Done(usize), // index of the winning server
+}
+
+/// One server of Algorithm 1 as an explicitly-steppable state machine.
+struct Alg1Server {
+    i: usize,
+    phase: Alg1Phase,
+    polls: u64,
+}
+
+impl Alg1Server {
+    /// Advances by one atomic step. Returns `true` if newly decided.
+    fn step<V: Clone + Send + Sync>(
+        &mut self,
+        oracle: &WrOracle,
+        registers: &SwmrArray<V>,
+        proposals: &[V],
+        n: usize,
+        f: usize,
+    ) -> bool {
+        match self.phase {
+            Alg1Phase::Init => {
+                // R[i] ← v_i
+                registers.write(self.i, proposals[self.i].clone());
+                // reassign(s_i, ±0.5): +0.5 for F-members, −0.5 otherwise.
+                let delta = if self.i < f {
+                    Ratio::dec("0.5")
+                } else {
+                    Ratio::dec("-0.5")
+                };
+                let me = ServerId(self.i as u32);
+                let _ = oracle.reassign(me.into(), 2, me, delta);
+                self.phase = Alg1Phase::Polling { next_j: 0 };
+                false
+            }
+            Alg1Phase::Polling { next_j } => {
+                self.polls += 1;
+                let sj = ServerId(next_j as u32);
+                let c = oracle.read_changes(sj);
+                // Look for ⟨s_j, 2, s_j, Δ⟩ with Δ ≠ 0.
+                let won = c.iter().any(|ch| {
+                    ch.issuer == sj.into() && ch.counter == 2 && ch.target == sj && !ch.is_null()
+                });
+                if won {
+                    self.phase = Alg1Phase::Done(next_j);
+                    true
+                } else {
+                    self.phase = Alg1Phase::Polling {
+                        next_j: (next_j + 1) % n,
+                    };
+                    false
+                }
+            }
+            Alg1Phase::Done(_) => false,
+        }
+    }
+}
+
+/// Runs Algorithm 1 with a seeded random interleaving of server steps.
+/// Deterministic per `(proposals, seed)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < f < n` and `proposals.len() == n`.
+///
+/// # Examples
+///
+/// ```
+/// use awr_core::reduction::run_alg1;
+///
+/// let run = run_alg1(4, 1, (0..4).map(|i| format!("v{i}")).collect(), 7);
+/// assert!(run.agreement() && run.validity());
+/// ```
+pub fn run_alg1<V: Clone + PartialEq + Send + Sync>(
+    n: usize,
+    f: usize,
+    proposals: Vec<V>,
+    seed: u64,
+) -> ConsensusRun<V> {
+    assert_eq!(proposals.len(), n, "need one proposal per server");
+    let oracle = WrOracle::new(reduction_initial_weights(n, f), f);
+    let registers: SwmrArray<V> = SwmrArray::new(n);
+    let mut servers: Vec<Alg1Server> = (0..n)
+        .map(|i| Alg1Server {
+            i,
+            phase: Alg1Phase::Init,
+            polls: 0,
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut undecided: Vec<usize> = (0..n).collect();
+    let mut winners: Vec<Option<usize>> = vec![None; n];
+    let mut safety_fuel: u64 = 1_000_000;
+    while !undecided.is_empty() {
+        safety_fuel -= 1;
+        assert!(safety_fuel > 0, "Algorithm 1 failed to terminate");
+        let pick = rng.random_range(0..undecided.len());
+        let idx = undecided[pick];
+        servers[idx].step(&oracle, &registers, &proposals, n, f);
+        if let Alg1Phase::Done(j) = servers[idx].phase {
+            winners[idx] = Some(j);
+            undecided.swap_remove(pick);
+        }
+    }
+    let poll_iterations = servers.iter().map(|s| s.polls).sum();
+    let decisions = winners
+        .into_iter()
+        .map(|j| registers.read(j.expect("decided")).expect("R[j] written"))
+        .collect();
+    ConsensusRun {
+        decisions,
+        proposals,
+        poll_iterations,
+    }
+}
+
+/// Runs Algorithm 1 on real OS threads (true concurrency, OS-scheduled
+/// interleavings). Each server busy-polls with a yield.
+pub fn run_alg1_threads<V: Clone + PartialEq + Send + Sync + 'static>(
+    n: usize,
+    f: usize,
+    proposals: Vec<V>,
+) -> ConsensusRun<V> {
+    assert_eq!(proposals.len(), n);
+    let oracle = Arc::new(WrOracle::new(reduction_initial_weights(n, f), f));
+    let registers: Arc<SwmrArray<V>> = Arc::new(SwmrArray::new(n));
+    let proposals_arc = Arc::new(proposals.clone());
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let oracle = Arc::clone(&oracle);
+            let registers = Arc::clone(&registers);
+            let proposals = Arc::clone(&proposals_arc);
+            std::thread::spawn(move || {
+                let mut server = Alg1Server {
+                    i,
+                    phase: Alg1Phase::Init,
+                    polls: 0,
+                };
+                loop {
+                    server.step(&oracle, &registers, &proposals, n, f);
+                    if let Alg1Phase::Done(j) = server.phase {
+                        return (registers.read(j).expect("R[j] written"), server.polls);
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        })
+        .collect();
+    let mut decisions = Vec::with_capacity(n);
+    let mut poll_iterations = 0;
+    for h in handles {
+        let (d, p) = h.join().expect("server thread panicked");
+        decisions.push(d);
+        poll_iterations += p;
+    }
+    ConsensusRun {
+        decisions,
+        proposals,
+        poll_iterations,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2: consensus from pairwise weight reassignment.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Alg2Phase {
+    Init,
+    Polling { next: usize },
+    Done(usize),
+}
+
+struct Alg2Server {
+    i: usize,
+    phase: Alg2Phase,
+    polls: u64,
+}
+
+impl Alg2Server {
+    fn step<V: Clone + Send + Sync>(
+        &mut self,
+        oracle: &PwOracle,
+        registers: &SwmrArray<V>,
+        proposals: &[V],
+        n: usize,
+        f: usize,
+    ) -> bool {
+        match self.phase {
+            Alg2Phase::Init => {
+                registers.write(self.i, proposals[self.i].clone());
+                let me = ServerId(self.i as u32);
+                if self.i < f {
+                    // transfer(s_i, s_{(i+1) mod f}, 0.1) within F.
+                    // (The paper's `j ← (i+1) mod f` in 1-based indexing is
+                    // exactly `(i+1) mod f` in our 0-based indexing.)
+                    // With f = 1 the ring degenerates to a self-transfer;
+                    // the F-internal transfers only exist to keep W_F
+                    // constant, so the lone F member simply skips its
+                    // transfer (W_F trivially unchanged).
+                    if f > 1 {
+                        let j = ServerId(((self.i + 1) % f) as u32);
+                        let _ = oracle.transfer(me, 2, me, j, Ratio::dec("0.1"));
+                    }
+                } else {
+                    // transfer(s_i, s_1, 0.4) from outside F.
+                    let _ = oracle.transfer(me, 2, me, ServerId(0), Ratio::dec("0.4"));
+                }
+                self.phase = Alg2Phase::Polling { next: f };
+                false
+            }
+            Alg2Phase::Polling { next } => {
+                self.polls += 1;
+                let sj = ServerId(next as u32);
+                // Look for ⟨s_j, 2, s_1, 0.4⟩ ∈ read_changes(s_j)'s *credit
+                // side*: the effective credit targets s_1, so read s_1's
+                // changes. (The paper reads `read_changes(s_j)` and matches
+                // ⟨s_j, 2, s_1, 0.4⟩ — a change *created for* s_1; querying
+                // the target server returns it.)
+                let c = oracle.read_changes(ServerId(0));
+                let won = c.iter().any(|ch| {
+                    ch.issuer == sj.into()
+                        && ch.counter == 2
+                        && ch.target == ServerId(0)
+                        && ch.delta == Ratio::dec("0.4")
+                });
+                if won {
+                    self.phase = Alg2Phase::Done(next);
+                    true
+                } else {
+                    let mut nx = next + 1;
+                    if nx >= n {
+                        nx = f;
+                    }
+                    self.phase = Alg2Phase::Polling { next: nx };
+                    false
+                }
+            }
+            Alg2Phase::Done(_) => false,
+        }
+    }
+}
+
+/// Runs Algorithm 2 with a seeded random interleaving. Deterministic per
+/// `(proposals, seed)`. Requires `f ≥ 1` and `n − f ≥ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use awr_core::reduction::run_alg2;
+///
+/// let run = run_alg2(7, 2, (0..7).collect::<Vec<i32>>(), 3);
+/// assert!(run.agreement());
+/// // The winner is a proposal from outside F = {s1, s2}.
+/// assert!(*run.decided().unwrap() >= 2);
+/// ```
+pub fn run_alg2<V: Clone + PartialEq + Send + Sync>(
+    n: usize,
+    f: usize,
+    proposals: Vec<V>,
+    seed: u64,
+) -> ConsensusRun<V> {
+    assert_eq!(proposals.len(), n, "need one proposal per server");
+    assert!(f >= 1 && n > f, "Algorithm 2 needs 1 ≤ f < n");
+    let oracle = PwOracle::new(reduction_initial_weights(n, f), f);
+    let registers: SwmrArray<V> = SwmrArray::new(n);
+    let mut servers: Vec<Alg2Server> = (0..n)
+        .map(|i| Alg2Server {
+            i,
+            phase: Alg2Phase::Init,
+            polls: 0,
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut undecided: Vec<usize> = (0..n).collect();
+    let mut winners: Vec<Option<usize>> = vec![None; n];
+    let mut safety_fuel: u64 = 1_000_000;
+    while !undecided.is_empty() {
+        safety_fuel -= 1;
+        assert!(safety_fuel > 0, "Algorithm 2 failed to terminate");
+        let pick = rng.random_range(0..undecided.len());
+        let idx = undecided[pick];
+        servers[idx].step(&oracle, &registers, &proposals, n, f);
+        if let Alg2Phase::Done(j) = servers[idx].phase {
+            winners[idx] = Some(j);
+            undecided.swap_remove(pick);
+        }
+    }
+    let poll_iterations = servers.iter().map(|s| s.polls).sum();
+    let decisions = winners
+        .into_iter()
+        .map(|j| registers.read(j.expect("decided")).expect("R[j] written"))
+        .collect();
+    ConsensusRun {
+        decisions,
+        proposals,
+        poll_iterations,
+    }
+}
+
+/// Runs Algorithm 2 on real OS threads.
+pub fn run_alg2_threads<V: Clone + PartialEq + Send + Sync + 'static>(
+    n: usize,
+    f: usize,
+    proposals: Vec<V>,
+) -> ConsensusRun<V> {
+    assert_eq!(proposals.len(), n);
+    let oracle = Arc::new(PwOracle::new(reduction_initial_weights(n, f), f));
+    let registers: Arc<SwmrArray<V>> = Arc::new(SwmrArray::new(n));
+    let proposals_arc = Arc::new(proposals.clone());
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let oracle = Arc::clone(&oracle);
+            let registers = Arc::clone(&registers);
+            let proposals = Arc::clone(&proposals_arc);
+            std::thread::spawn(move || {
+                let mut server = Alg2Server {
+                    i,
+                    phase: Alg2Phase::Init,
+                    polls: 0,
+                };
+                loop {
+                    server.step(&oracle, &registers, &proposals, n, f);
+                    if let Alg2Phase::Done(j) = server.phase {
+                        return (registers.read(j).expect("R[j] written"), server.polls);
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        })
+        .collect();
+    let mut decisions = Vec::with_capacity(n);
+    let mut poll_iterations = 0;
+    for h in handles {
+        let (d, p) = h.join().expect("server thread panicked");
+        decisions.push(d);
+        poll_iterations += p;
+    }
+    ConsensusRun {
+        decisions,
+        proposals,
+        poll_iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alg1_agreement_validity_many_seeds() {
+        for seed in 0..50 {
+            let run = run_alg1(4, 1, vec!["a", "b", "c", "d"], seed);
+            assert!(run.agreement(), "seed {seed}");
+            assert!(run.validity(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn alg1_various_sizes() {
+        for (n, f) in [(3, 1), (5, 2), (7, 3), (10, 4)] {
+            let proposals: Vec<u64> = (0..n as u64).collect();
+            let run = run_alg1(n, f, proposals, 99);
+            assert!(run.agreement(), "n={n} f={f}");
+            assert!(run.validity(), "n={n} f={f}");
+        }
+    }
+
+    #[test]
+    fn alg1_decision_differs_across_seeds() {
+        // Asynchrony means different schedules may elect different winners —
+        // consensus only requires agreement *within* a run.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..40 {
+            let run = run_alg1(5, 2, vec![0, 1, 2, 3, 4], seed);
+            seen.insert(*run.decided().unwrap());
+        }
+        assert!(seen.len() > 1, "scheduler never changed the winner");
+    }
+
+    #[test]
+    fn alg1_threads_agree() {
+        for _ in 0..10 {
+            let run = run_alg1_threads(5, 2, vec![10, 20, 30, 40, 50]);
+            assert!(run.agreement());
+            assert!(run.validity());
+        }
+    }
+
+    #[test]
+    fn alg2_agreement_and_winner_outside_f() {
+        for seed in 0..50 {
+            let run = run_alg2(7, 2, (0..7).collect::<Vec<i32>>(), seed);
+            assert!(run.agreement(), "seed {seed}");
+            assert!(run.validity(), "seed {seed}");
+            // Winner must be proposed by a member of S \ F (indices ≥ f).
+            assert!(*run.decided().unwrap() >= 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn alg2_various_sizes() {
+        for (n, f) in [(4, 1), (7, 2), (9, 3)] {
+            let run = run_alg2(n, f, (0..n as i32).collect(), 7);
+            assert!(run.agreement(), "n={n} f={f}");
+        }
+    }
+
+    #[test]
+    fn alg2_threads_agree() {
+        for _ in 0..10 {
+            let run = run_alg2_threads(6, 2, (0..6).collect::<Vec<i32>>());
+            assert!(run.agreement());
+            assert!(*run.decided().unwrap() >= 2);
+        }
+    }
+
+    #[test]
+    fn initial_weights_sum_to_n() {
+        for (n, f) in [(4, 1), (7, 2), (7, 3), (10, 4)] {
+            let w = reduction_initial_weights(n, f);
+            assert_eq!(w.total(), Ratio::integer(n as i64));
+            assert!(awr_quorum::integrity_holds(&w, f));
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let a = run_alg1(6, 2, (0..6).collect::<Vec<u32>>(), 1234);
+        let b = run_alg1(6, 2, (0..6).collect::<Vec<u32>>(), 1234);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.poll_iterations, b.poll_iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "one proposal per server")]
+    fn wrong_proposal_count_panics() {
+        let _ = run_alg1(4, 1, vec![1, 2], 0);
+    }
+}

@@ -1,0 +1,558 @@
+//! The embeddable protocol engines: [`TransferCore`] (Algorithm 4) and
+//! [`ReadChangesClient`] (Algorithm 3, requester side).
+//!
+//! Both are plain state machines that host actors embed. The pure
+//! weight-reassignment server ([`crate::restricted::RpServer`]) applies
+//! learned changes immediately; the dynamic-weighted storage server defers
+//! application behind a register refresh (Algorithm 4 lines 8–9) — which is
+//! why "apply these changes" is surfaced to the host as an
+//! [`ApplyRequest`] instead of happening internally.
+
+use std::collections::HashSet;
+
+use awr_rb::RbEngine;
+use awr_sim::{ActorId, Context, Message, Time};
+use awr_types::{Change, ChangeSet, Ratio, ServerId, TransferChanges};
+
+use crate::problem::{RpConfig, TransferError, TransferOutcome};
+use crate::restricted::messages::WrMsg;
+
+/// Maps a server id to its actor id given the base offset at which servers
+/// were added to the world (servers occupy `base .. base + n`).
+pub fn server_actor(base: usize, s: ServerId) -> ActorId {
+    ActorId(base + s.index())
+}
+
+/// Inverse of [`server_actor`] for actors known to be servers.
+pub fn actor_server(base: usize, a: ActorId) -> ServerId {
+    ServerId((a.index() - base) as u32)
+}
+
+/// Changes that a host must apply (possibly after a register refresh),
+/// together with the write-back acknowledgment owed once applied.
+#[derive(Clone, Debug)]
+pub struct ApplyRequest {
+    /// Changes not yet in the local set `C`.
+    pub new_changes: Vec<Change>,
+    /// If the changes came from a `⟨WC, C⟩` write-back: who to ack and with
+    /// which op number, once applied.
+    pub wc_ack: Option<(ActorId, u64)>,
+}
+
+impl ApplyRequest {
+    /// Whether any new change (with non-zero delta) targets `me` — the
+    /// Algorithm 4 line 8 condition triggering a register refresh.
+    pub fn affects(&self, me: ServerId) -> bool {
+        self.new_changes
+            .iter()
+            .any(|c| c.target == me && !c.is_null())
+    }
+}
+
+/// Events surfaced to the host by [`TransferCore::handle`].
+#[derive(Clone, Debug)]
+pub enum CoreEvent {
+    /// New changes to apply; call [`TransferCore::apply`] (immediately, or
+    /// after a register refresh in storage mode).
+    NeedApply(ApplyRequest),
+    /// This server's own outstanding transfer completed.
+    Completed(TransferOutcome),
+}
+
+/// The immediate disposition of a [`TransferCore::transfer`] invocation.
+#[derive(Clone, Debug)]
+pub enum TransferStart {
+    /// The local C2 check failed: the transfer completed *null* right away
+    /// (Algorithm 4 lines 17–18); the outcome records zero-weight changes.
+    Null(TransferOutcome),
+    /// The transfer is effective and in flight (waiting for `n − f − 1`
+    /// acknowledgments); completion surfaces later as
+    /// [`CoreEvent::Completed`].
+    Effective,
+}
+
+#[derive(Debug)]
+struct PendingTransfer {
+    outcome: TransferOutcome,
+    acks: HashSet<ActorId>,
+    needed: usize,
+}
+
+/// Per-server engine for Algorithm 4 (`transfer`) plus the server side of
+/// Algorithm 3 (`RC`/`WC` handling).
+#[derive(Debug)]
+pub struct TransferCore {
+    cfg: RpConfig,
+    me: ServerId,
+    actor_base: usize,
+    /// Local counter `lc`. Starts at 2: counter 1 is reserved for the
+    /// conventional initial-weight changes (Algorithm 4 line 2 pairs
+    /// `lc ← 1` with `⟨s, 1, s, 1⟩`; starting real transfers at 2 keeps
+    /// operation keys collision-free and matches the `⟨s_j, 2, …⟩` lookups
+    /// of Algorithms 1–2).
+    lc: u64,
+    changes: ChangeSet,
+    rb: RbEngine<TransferChanges>,
+    pending: Option<PendingTransfer>,
+    /// Transfers (issuer, counter) we already acknowledged — the
+    /// "if not already sent" of Algorithm 4 line 11.
+    acked: HashSet<(ServerId, u64)>,
+    /// Completed own transfers with completion times (for the auditor).
+    completed: Vec<(TransferOutcome, Time)>,
+}
+
+impl TransferCore {
+    /// Creates the engine for server `me`. `actor_base` is the world index
+    /// of server 0 (servers must occupy contiguous actor ids).
+    pub fn new(cfg: RpConfig, me: ServerId, actor_base: usize) -> TransferCore {
+        let members = (0..cfg.n).map(|i| ActorId(actor_base + i)).collect();
+        TransferCore {
+            changes: ChangeSet::from_initial_weights(&cfg.initial_weights),
+            rb: RbEngine::new(server_actor(actor_base, me), members),
+            cfg,
+            me,
+            actor_base,
+            lc: 2,
+            pending: None,
+            acked: HashSet::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// The configuration this server runs under.
+    pub fn config(&self) -> &RpConfig {
+        &self.cfg
+    }
+
+    /// This server's id.
+    pub fn server_id(&self) -> ServerId {
+        self.me
+    }
+
+    /// The local set of changes `C`.
+    pub fn changes(&self) -> &ChangeSet {
+        &self.changes
+    }
+
+    /// `weight()` of Algorithm 4 lines 4–5: this server's weight computed
+    /// from its local changes.
+    pub fn weight(&self) -> Ratio {
+        self.changes.server_weight(self.me)
+    }
+
+    /// `get_changes(s)` of Algorithm 4 line 6.
+    pub fn get_changes(&self, s: ServerId) -> ChangeSet {
+        self.changes.restricted_to(s)
+    }
+
+    /// Completed own transfers with completion times.
+    pub fn completed(&self) -> &[(TransferOutcome, Time)] {
+        &self.completed
+    }
+
+    /// Whether a transfer is currently in flight.
+    pub fn is_busy(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Invokes `transfer(me, to, Δ)` (Algorithm 4 lines 12–20).
+    ///
+    /// Under C1, only this server can move its own weight, which the
+    /// signature enforces structurally: there is no way to name another
+    /// source.
+    ///
+    /// # Errors
+    ///
+    /// [`TransferError::Busy`] if the previous transfer has not completed
+    /// (processes are sequential, §II); [`TransferError::InvalidArguments`]
+    /// for `Δ ≤ 0`, unknown `to`, or `to == me`.
+    pub fn transfer<M: Message>(
+        &mut self,
+        to: ServerId,
+        delta: Ratio,
+        ctx: &mut Context<'_, M>,
+        wrap: impl Fn(WrMsg) -> M + Copy,
+    ) -> Result<TransferStart, TransferError> {
+        if self.pending.is_some() {
+            return Err(TransferError::Busy);
+        }
+        if !delta.is_positive() {
+            return Err(TransferError::InvalidArguments {
+                reason: format!("delta must be positive, got {delta}"),
+            });
+        }
+        if to == self.me {
+            return Err(TransferError::InvalidArguments {
+                reason: "cannot transfer to self".into(),
+            });
+        }
+        if to.index() >= self.cfg.n {
+            return Err(TransferError::InvalidArguments {
+                reason: format!("unknown destination {to}"),
+            });
+        }
+        let counter = self.lc;
+        self.lc += 1;
+        // Line 12: the local C2 check — weight() > Δ + W_{S,0}/(2(n−f)).
+        if self.weight() > delta + self.cfg.floor() {
+            let pair = TransferChanges::new(self.me, to, counter, delta, true);
+            // Line 13: add both changes to the local set now.
+            self.changes.insert(pair.debit);
+            self.changes.insert(pair.credit);
+            // Never ack our own transfer (we wait for *other* servers).
+            self.acked.insert((self.me, counter));
+            let outcome = TransferOutcome {
+                from: self.me,
+                to,
+                requested: delta,
+                changes: pair,
+                counter,
+            };
+            self.pending = Some(PendingTransfer {
+                outcome,
+                acks: HashSet::new(),
+                needed: self.cfg.n - self.cfg.f - 1,
+            });
+            // Line 14: RB-broadcast ⟨T, c, c′⟩.
+            self.rb.broadcast(pair, ctx, move |env| wrap(WrMsg::Rb(env)));
+            // Degenerate configs (n − f − 1 == 0) complete instantly.
+            if let Some(o) = self.check_pending_complete(ctx.now()) {
+                self.completed.push((o, ctx.now()));
+            }
+            Ok(TransferStart::Effective)
+        } else {
+            // Lines 17–18: null completion, no broadcast, no stored change
+            // (zero-weight changes don't affect weights, per the paper's
+            // Theorem 4 proof remark).
+            let pair = TransferChanges::new(self.me, to, counter, delta, false);
+            let outcome = TransferOutcome {
+                from: self.me,
+                to,
+                requested: delta,
+                changes: pair,
+                counter,
+            };
+            self.completed.push((outcome.clone(), ctx.now()));
+            Ok(TransferStart::Null(outcome))
+        }
+    }
+
+    fn check_pending_complete(&mut self, _now: Time) -> Option<TransferOutcome> {
+        let done = self
+            .pending
+            .as_ref()
+            .map(|p| p.acks.len() >= p.needed)
+            .unwrap_or(false);
+        if done {
+            let p = self.pending.take().expect("checked above");
+            Some(p.outcome)
+        } else {
+            None
+        }
+    }
+
+    /// Handles a protocol message addressed to this server. Returns events
+    /// the host must act on (change application, completion).
+    pub fn handle<M: Message>(
+        &mut self,
+        from: ActorId,
+        msg: WrMsg,
+        ctx: &mut Context<'_, M>,
+        wrap: impl Fn(WrMsg) -> M + Copy,
+    ) -> Vec<CoreEvent> {
+        match msg {
+            WrMsg::Rb(env) => {
+                let delivered = self
+                    .rb
+                    .on_envelope(env, ctx, move |e| wrap(WrMsg::Rb(e)));
+                match delivered {
+                    Some(pair) => {
+                        let req = self.stage_changes(pair.both().to_vec(), None);
+                        match req {
+                            Some(r) => vec![CoreEvent::NeedApply(r)],
+                            None => Vec::new(),
+                        }
+                    }
+                    None => Vec::new(),
+                }
+            }
+            WrMsg::TAck { counter } => {
+                let mut events = Vec::new();
+                let matches = self
+                    .pending
+                    .as_ref()
+                    .map(|p| p.outcome.counter == counter)
+                    .unwrap_or(false);
+                if matches {
+                    self.pending
+                        .as_mut()
+                        .expect("matched above")
+                        .acks
+                        .insert(from);
+                    if let Some(outcome) = self.check_pending_complete(ctx.now()) {
+                        self.completed.push((outcome.clone(), ctx.now()));
+                        events.push(CoreEvent::Completed(outcome));
+                    }
+                }
+                events
+            }
+            WrMsg::Rc { op, target } => {
+                // Algorithm 3 lines 12–13.
+                ctx.send(
+                    from,
+                    wrap(WrMsg::RcAck {
+                        op,
+                        changes: self.get_changes(target),
+                    }),
+                );
+                Vec::new()
+            }
+            WrMsg::Wc { op, changes } => {
+                // Algorithm 3 lines 14–15 → write_changes + WC_Ack.
+                let new: Vec<Change> = changes
+                    .iter()
+                    .filter(|c| !self.changes.contains(c))
+                    .copied()
+                    .collect();
+                if new.is_empty() {
+                    ctx.send(from, wrap(WrMsg::WcAck { op }));
+                    Vec::new()
+                } else {
+                    let req = self
+                        .stage_changes(new, Some((from, op)))
+                        .expect("non-empty set stages");
+                    vec![CoreEvent::NeedApply(req)]
+                }
+            }
+            WrMsg::RcAck { .. } | WrMsg::WcAck { .. } | WrMsg::Invoke { .. } => {
+                // Client-side / management messages; the host handles
+                // `Invoke` before calling into the core.
+                Vec::new()
+            }
+        }
+    }
+
+    /// Filters already-known changes and packages the rest for the host.
+    fn stage_changes(
+        &self,
+        candidate: Vec<Change>,
+        wc_ack: Option<(ActorId, u64)>,
+    ) -> Option<ApplyRequest> {
+        let new_changes: Vec<Change> = candidate
+            .into_iter()
+            .filter(|c| !self.changes.contains(c))
+            .collect();
+        if new_changes.is_empty() && wc_ack.is_none() {
+            None
+        } else {
+            Some(ApplyRequest {
+                new_changes,
+                wc_ack,
+            })
+        }
+    }
+
+    /// `write_changes` (Algorithm 4 lines 7–11): inserts the staged changes,
+    /// acknowledges the originating transfer(s), and sends any owed WC ack.
+    /// Hosts call this directly (pure mode) or after their register refresh
+    /// (storage mode).
+    pub fn apply<M: Message>(
+        &mut self,
+        req: ApplyRequest,
+        ctx: &mut Context<'_, M>,
+        wrap: impl Fn(WrMsg) -> M + Copy,
+    ) {
+        for c in &req.new_changes {
+            self.changes.insert(*c);
+            // Line 11: T_Ack to the issuer, once per (issuer, counter).
+            if let Some(issuer) = c.issuer.as_server() {
+                if issuer != self.me && self.acked.insert((issuer, c.counter)) {
+                    ctx.send(
+                        server_actor(self.actor_base, issuer),
+                        wrap(WrMsg::TAck { counter: c.counter }),
+                    );
+                }
+            }
+        }
+        if let Some((to, op)) = req.wc_ack {
+            ctx.send(to, wrap(WrMsg::WcAck { op }));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3, requester side.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct RcPending {
+    op: u64,
+    target: ServerId,
+    acc: ChangeSet,
+    responders: HashSet<ActorId>,
+    wrote_back: bool,
+    wc_acks: HashSet<ActorId>,
+    started: Time,
+}
+
+/// A completed `read_changes` invocation.
+#[derive(Clone, Debug)]
+pub struct ReadChangesResult {
+    /// The server whose changes were read.
+    pub target: ServerId,
+    /// The returned set (a superset of `C_{s,t}` at invocation time —
+    /// Validity-II).
+    pub changes: ChangeSet,
+    /// Invocation time.
+    pub started: Time,
+    /// Completion time.
+    pub finished: Time,
+}
+
+impl ReadChangesResult {
+    /// The target's weight under the returned set.
+    pub fn weight(&self) -> Ratio {
+        self.changes.server_weight(self.target)
+    }
+}
+
+/// Requester-side engine for `read_changes` (Algorithm 3 lines 1–9): any
+/// process — client or server — embeds one to read a server's changes.
+#[derive(Debug)]
+pub struct ReadChangesClient {
+    cfg: RpConfig,
+    actor_base: usize,
+    next_op: u64,
+    pending: Option<RcPending>,
+    /// Completed invocations, in completion order.
+    pub results: Vec<ReadChangesResult>,
+}
+
+impl ReadChangesClient {
+    /// Creates an engine. `actor_base` is the world index of server 0.
+    pub fn new(cfg: RpConfig, actor_base: usize) -> ReadChangesClient {
+        ReadChangesClient {
+            cfg,
+            actor_base,
+            next_op: 0,
+            pending: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Whether an invocation is in flight.
+    pub fn is_busy(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Invokes `read_changes(target)`: broadcasts `⟨RC, target⟩` to all
+    /// servers (Algorithm 3 line 2).
+    ///
+    /// # Errors
+    ///
+    /// [`TransferError::Busy`] if an invocation is already in flight
+    /// (processes are sequential).
+    pub fn start<M: Message>(
+        &mut self,
+        target: ServerId,
+        ctx: &mut Context<'_, M>,
+        wrap: impl Fn(WrMsg) -> M + Copy,
+    ) -> Result<(), TransferError> {
+        if self.pending.is_some() {
+            return Err(TransferError::Busy);
+        }
+        let op = self.next_op;
+        self.next_op += 1;
+        self.pending = Some(RcPending {
+            op,
+            target,
+            acc: ChangeSet::new(),
+            responders: HashSet::new(),
+            wrote_back: false,
+            wc_acks: HashSet::new(),
+            started: ctx.now(),
+        });
+        for i in 0..self.cfg.n {
+            ctx.send(ActorId(self.actor_base + i), wrap(WrMsg::Rc { op, target }));
+        }
+        Ok(())
+    }
+
+    /// Feeds a client-side message (`RC_Ack` / `WC_Ack`). Returns the result
+    /// when the invocation completes.
+    pub fn on_message<M: Message>(
+        &mut self,
+        from: ActorId,
+        msg: &WrMsg,
+        ctx: &mut Context<'_, M>,
+        wrap: impl Fn(WrMsg) -> M + Copy,
+    ) -> Option<ReadChangesResult> {
+        let p = self.pending.as_mut()?;
+        match msg {
+            WrMsg::RcAck { op, changes } if *op == p.op && !p.wrote_back => {
+                p.acc.merge(changes);
+                p.responders.insert(from);
+                // Line 6: until more than f responses.
+                if p.responders.len() > self.cfg.f {
+                    p.wrote_back = true;
+                    // Line 7: broadcast ⟨WC, C⟩.
+                    for i in 0..self.cfg.n {
+                        ctx.send(
+                            ActorId(self.actor_base + i),
+                            wrap(WrMsg::Wc {
+                                op: p.op,
+                                changes: p.acc.clone(),
+                            }),
+                        );
+                    }
+                }
+                None
+            }
+            WrMsg::WcAck { op } if *op == p.op && p.wrote_back => {
+                p.wc_acks.insert(from);
+                // Line 8: wait for n − f acknowledgments.
+                if p.wc_acks.len() >= self.cfg.n - self.cfg.f {
+                    let p = self.pending.take().expect("pending checked");
+                    let result = ReadChangesResult {
+                        target: p.target,
+                        changes: p.acc.restricted_to(p.target),
+                        started: p.started,
+                        finished: ctx.now(),
+                    };
+                    self.results.push(result.clone());
+                    Some(result)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actor_mapping_roundtrip() {
+        let s = ServerId(3);
+        assert_eq!(server_actor(5, s), ActorId(8));
+        assert_eq!(actor_server(5, ActorId(8)), s);
+    }
+
+    #[test]
+    fn apply_request_affects() {
+        let req = ApplyRequest {
+            new_changes: vec![Change::new(ServerId(0), 2, ServerId(1), Ratio::dec("0.2"))],
+            wc_ack: None,
+        };
+        assert!(req.affects(ServerId(1)));
+        assert!(!req.affects(ServerId(0)));
+        let null = ApplyRequest {
+            new_changes: vec![Change::new(ServerId(0), 2, ServerId(1), Ratio::ZERO)],
+            wc_ack: None,
+        };
+        assert!(!null.affects(ServerId(1)));
+    }
+}

@@ -1,0 +1,92 @@
+//! Wire messages of the restricted pairwise weight reassignment protocol
+//! (Algorithms 3 and 4).
+
+use awr_rb::RbEnvelope;
+use awr_sim::Message;
+use awr_types::{ChangeSet, ServerId, TransferChanges};
+
+/// Protocol messages. Names follow the paper's:
+///
+/// * `⟨T, c, c′⟩` — reliable-broadcast transfer announcement (Algorithm 4
+///   line 14), carried inside an RB envelope;
+/// * `⟨T_Ack, lc⟩` — per-transfer acknowledgment (line 11/15);
+/// * `⟨RC, s⟩` / `⟨RC_Ack, C_s⟩` — read_changes collect phase (Algorithm 3);
+/// * `⟨WC, C⟩` / `⟨WC_Ack⟩` — read_changes write-back phase.
+#[derive(Clone, Debug)]
+pub enum WrMsg {
+    /// Reliable-broadcast leg carrying the transfer's change pair.
+    Rb(RbEnvelope<TransferChanges>),
+    /// Acknowledgment that the sender stored the changes of the transfer
+    /// identified by the origin's local counter.
+    TAck {
+        /// The origin's local counter of the acknowledged transfer.
+        counter: u64,
+    },
+    /// `read_changes` collect request for `target`'s changes.
+    Rc {
+        /// Requester-local operation number (matches replies to requests).
+        op: u64,
+        /// The server whose changes are being read.
+        target: ServerId,
+    },
+    /// Reply to [`WrMsg::Rc`] with the changes the replier has stored.
+    RcAck {
+        /// Echo of the request's `op`.
+        op: u64,
+        /// The changes stored for the requested server.
+        changes: ChangeSet,
+    },
+    /// Write-back of the collected set (Algorithm 3 line 7).
+    Wc {
+        /// Echo of the request's `op`.
+        op: u64,
+        /// The union the reader collected.
+        changes: ChangeSet,
+    },
+    /// Acknowledgment of a write-back.
+    WcAck {
+        /// Echo of the request's `op`.
+        op: u64,
+    },
+    /// Management RPC: ask the receiving server to invoke
+    /// `transfer(self, to, delta)`. Not part of the paper's wire protocol —
+    /// it stands in for the monitoring system's "please reassign" signal
+    /// and lets harnesses (including the threaded runtime, which has no
+    /// `with_actor_ctx`) drive transfers through ordinary messages.
+    Invoke {
+        /// The destination server.
+        to: ServerId,
+        /// The amount to transfer.
+        delta: awr_types::Ratio,
+    },
+}
+
+impl Message for WrMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            WrMsg::Rb(_) => "T",
+            WrMsg::TAck { .. } => "T_Ack",
+            WrMsg::Rc { .. } => "RC",
+            WrMsg::RcAck { .. } => "RC_Ack",
+            WrMsg::Wc { .. } => "WC",
+            WrMsg::WcAck { .. } => "WC_Ack",
+            WrMsg::Invoke { .. } => "Invoke",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_paper_names() {
+        let rc = WrMsg::Rc {
+            op: 0,
+            target: ServerId(0),
+        };
+        assert_eq!(rc.kind(), "RC");
+        assert_eq!(WrMsg::TAck { counter: 2 }.kind(), "T_Ack");
+        assert_eq!(WrMsg::WcAck { op: 1 }.kind(), "WC_Ack");
+    }
+}

@@ -1,0 +1,112 @@
+//! The same protocol actors on real OS threads: the [`awr_sim::ThreadedSystem`]
+//! runtime delivers messages over crossbeam channels with OS scheduling —
+//! no virtual time, true parallelism. Transfers are driven through the
+//! `Invoke` management RPC.
+
+use awr_sim::{downcast_actor, ActorId, ThreadedSystem};
+use awr_types::{Ratio, ServerId};
+
+use crate::audit::audit_transfers;
+use crate::problem::RpConfig;
+use crate::restricted::messages::WrMsg;
+use crate::restricted::server::RpServer;
+
+#[test]
+fn transfers_complete_on_real_threads() {
+    let cfg = RpConfig::uniform(7, 2);
+    let servers: Vec<RpServer> = cfg
+        .servers()
+        .map(|s| RpServer::new(cfg.clone(), s, 0))
+        .collect();
+    let sys = ThreadedSystem::spawn(servers, 0xBEEF);
+
+    // Drive three concurrent transfers through the management RPC.
+    for (from, to) in [(3usize, 0u32), (4, 1), (5, 2)] {
+        sys.inject(
+            ActorId(from),
+            ActorId(from),
+            WrMsg::Invoke {
+                to: ServerId(to),
+                delta: Ratio::dec("0.25"),
+            },
+        );
+    }
+
+    // Threads run asynchronously; messages settle in microseconds, but
+    // give the OS scheduler ample slack before stopping and auditing.
+    std::thread::sleep(std::time::Duration::from_millis(500));
+    let actors = sys.shutdown();
+
+    let mut all_completed = Vec::new();
+    for a in &actors {
+        let srv = downcast_actor::<RpServer, WrMsg>(a.as_ref()).expect("server");
+        all_completed.extend(srv.completed().iter().cloned());
+    }
+    all_completed.sort_by_key(|(o, t)| (*t, o.from, o.counter));
+    assert_eq!(all_completed.len(), 3, "all transfers must complete");
+    assert!(all_completed.iter().all(|(o, _)| o.is_effective()));
+
+    let report = audit_transfers(&cfg, &all_completed);
+    assert!(report.is_clean(), "{:?}", report.violations);
+
+    // Every server converged to the same weights.
+    let w0 = downcast_actor::<RpServer, WrMsg>(actors[0].as_ref())
+        .unwrap()
+        .changes()
+        .weights(7);
+    assert_eq!(w0.weight(ServerId(0)), Ratio::dec("1.25"));
+    assert_eq!(w0.total(), Ratio::integer(7));
+    for a in &actors[1..] {
+        let w = downcast_actor::<RpServer, WrMsg>(a.as_ref())
+            .unwrap()
+            .changes()
+            .weights(7);
+        assert_eq!(w, w0, "server views diverged");
+    }
+}
+
+#[test]
+fn floor_respected_on_real_threads() {
+    // Hammer one donor with repeated Invokes; C2 must hold on every thread
+    // interleaving: the donor can never fall to 0.7 or below.
+    let cfg = RpConfig::uniform(7, 2);
+    let servers: Vec<RpServer> = cfg
+        .servers()
+        .map(|s| RpServer::new(cfg.clone(), s, 0))
+        .collect();
+    let sys = ThreadedSystem::spawn(servers, 0xF00);
+    for i in 0..20u32 {
+        sys.inject(
+            ActorId(3),
+            ActorId(3),
+            WrMsg::Invoke {
+                to: ServerId(i % 3),
+                delta: Ratio::dec("0.1"),
+            },
+        );
+        // Brief pause so some transfers complete and free the donor
+        // (busy invokes are dropped by design).
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let actors = sys.shutdown();
+    let donor = downcast_actor::<RpServer, WrMsg>(actors[3].as_ref()).unwrap();
+    assert!(donor.weight() > Ratio::dec("0.7"), "floor breached: {}", donor.weight());
+    let report = audit_transfers(
+        &cfg,
+        &{
+            let mut v: Vec<_> = actors
+                .iter()
+                .flat_map(|a| {
+                    downcast_actor::<RpServer, WrMsg>(a.as_ref())
+                        .unwrap()
+                        .completed()
+                        .to_vec()
+                })
+                .collect();
+            v.sort_by_key(|(o, t)| (*t, o.from, o.counter));
+            v
+        },
+    );
+    assert!(report.is_clean(), "{:?}", report.violations);
+}

@@ -1,0 +1,427 @@
+//! # awr-monitor — synthetic monitoring and weight planning
+//!
+//! The paper assumes "servers invoke `transfer` based on the information
+//! provided by a monitoring system" (§VI, citing AWARE \[10\] and \[11\]) and
+//! deliberately leaves that system out of scope. This crate supplies the
+//! missing piece so the examples and experiments can exercise the
+//! reassignment code path end-to-end:
+//!
+//! * [`LatencyMonitor`] — exponentially-weighted moving averages of observed
+//!   per-server latencies;
+//! * [`WeightPolicy`] — turns latency estimates into *target weights* that
+//!   respect the RP-Integrity floor and Property 1;
+//! * [`plan_transfers`] — decomposes a current→target weight move into
+//!   pairwise transfers that honour C1 (only a server moves its own weight)
+//!   and C2 (donors stay above the floor), ready to feed to
+//!   `TransferCore::transfer`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use awr_core::RpConfig;
+use awr_types::{Ratio, ServerId, WeightMap};
+
+/// Exponentially-weighted moving average latency estimator, one lane per
+/// server.
+///
+/// # Examples
+///
+/// ```
+/// use awr_monitor::LatencyMonitor;
+/// use awr_types::ServerId;
+///
+/// let mut m = LatencyMonitor::new(3, 0.2);
+/// for _ in 0..50 { m.observe(ServerId(0), 10.0); m.observe(ServerId(1), 100.0); }
+/// assert!(m.estimate(ServerId(0)).unwrap() < m.estimate(ServerId(1)).unwrap());
+/// ```
+#[derive(Clone, Debug)]
+pub struct LatencyMonitor {
+    alpha: f64,
+    ewma: Vec<Option<f64>>,
+    samples: Vec<u64>,
+}
+
+impl LatencyMonitor {
+    /// Creates a monitor for `n` servers with smoothing factor `alpha`
+    /// (0 < alpha ≤ 1; higher reacts faster).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(n: usize, alpha: f64) -> LatencyMonitor {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        LatencyMonitor {
+            alpha,
+            ewma: vec![None; n],
+            samples: vec![0; n],
+        }
+    }
+
+    /// Feeds one latency sample (any consistent unit) for `s`.
+    pub fn observe(&mut self, s: ServerId, latency: f64) {
+        let lane = &mut self.ewma[s.index()];
+        *lane = Some(match *lane {
+            None => latency,
+            Some(prev) => prev + self.alpha * (latency - prev),
+        });
+        self.samples[s.index()] += 1;
+    }
+
+    /// Current estimate for `s` (`None` until the first sample).
+    pub fn estimate(&self, s: ServerId) -> Option<f64> {
+        self.ewma[s.index()]
+    }
+
+    /// Number of samples seen for `s`.
+    pub fn sample_count(&self, s: ServerId) -> u64 {
+        self.samples[s.index()]
+    }
+
+    /// All estimates, substituting `default` where no sample exists.
+    pub fn estimates_or(&self, default: f64) -> Vec<f64> {
+        self.ewma.iter().map(|e| e.unwrap_or(default)).collect()
+    }
+}
+
+/// Computes target weights from latency estimates.
+///
+/// Faster servers get more weight, inversely proportional to latency, then
+/// the vector is clamped so that every server stays strictly above the
+/// RP-Integrity floor and renormalized to preserve the total (C2-compatible
+/// targets). The result always satisfies Property 1.
+#[derive(Clone, Debug)]
+pub struct WeightPolicy {
+    /// Safety margin above the floor, as a fraction of the floor (e.g. 0.05
+    /// keeps every target ≥ 1.05 × floor).
+    pub margin: f64,
+}
+
+impl Default for WeightPolicy {
+    fn default() -> WeightPolicy {
+        WeightPolicy { margin: 0.1 }
+    }
+}
+
+impl WeightPolicy {
+    /// Computes a target weight vector for `cfg` given latency estimates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latencies.len() != cfg.n` or any latency is non-positive.
+    pub fn targets(&self, cfg: &RpConfig, latencies: &[f64]) -> WeightMap {
+        assert_eq!(latencies.len(), cfg.n, "one latency per server");
+        assert!(
+            latencies.iter().all(|&l| l > 0.0),
+            "latencies must be positive"
+        );
+        let total = cfg.initial_total().to_f64();
+        let floor = cfg.floor().to_f64();
+        let min_w = floor * (1.0 + self.margin);
+
+        // Inverse-latency shares.
+        let inv: Vec<f64> = latencies.iter().map(|l| 1.0 / l).collect();
+        let inv_sum: f64 = inv.iter().sum();
+        let mut w: Vec<f64> = inv.iter().map(|i| total * i / inv_sum).collect();
+
+        // Clamp to the floor+margin and redistribute the deficit from the
+        // richest lanes (iterate to a fixed point; n is small).
+        for _ in 0..cfg.n {
+            let mut deficit = 0.0;
+            for x in w.iter_mut() {
+                if *x < min_w {
+                    deficit += min_w - *x;
+                    *x = min_w;
+                }
+            }
+            if deficit <= 1e-12 {
+                break;
+            }
+            let headroom: f64 = w.iter().map(|x| (x - min_w).max(0.0)).sum();
+            if headroom <= deficit {
+                // Degenerate: fall back to uniform.
+                let u = total / cfg.n as f64;
+                for x in w.iter_mut() {
+                    *x = u;
+                }
+                break;
+            }
+            for x in w.iter_mut() {
+                let h = (*x - min_w).max(0.0);
+                *x -= deficit * h / headroom;
+            }
+        }
+
+        // Quantize to exact rationals (1/1000 grid) preserving the total.
+        let scale = 1000i128;
+        let mut q: Vec<i128> = w
+            .iter()
+            .map(|x| (x * scale as f64).round() as i128)
+            .collect();
+        let target_total = (total * scale as f64).round() as i128;
+        let drift: i128 = target_total - q.iter().sum::<i128>();
+        // Dump the rounding drift on the largest entry (it has headroom).
+        if let Some(max_idx) = (0..q.len()).max_by_key(|&i| q[i]) {
+            q[max_idx] += drift;
+        }
+        WeightMap::from_vec(q.into_iter().map(|n| Ratio::new(n, scale)).collect())
+    }
+}
+
+/// One planned pairwise transfer: `from` donates `delta` to `to`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlannedTransfer {
+    /// The donating server (must invoke the transfer itself — C1).
+    pub from: ServerId,
+    /// The receiving server.
+    pub to: ServerId,
+    /// The amount to move.
+    pub delta: Ratio,
+}
+
+/// Decomposes `current → target` into pairwise transfers.
+///
+/// Donors are servers whose current weight exceeds their target; receivers
+/// the opposite. A greedy matching pairs the largest donor surplus with the
+/// largest receiver deficit, so the plan has at most `n − 1` transfers.
+///
+/// Returns an empty plan when the vectors already match.
+///
+/// # Panics
+///
+/// Panics if the totals differ (pairwise reassignment cannot change the
+/// total) or the vectors have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use awr_core::RpConfig;
+/// use awr_monitor::plan_transfers;
+/// use awr_types::{Ratio, WeightMap};
+///
+/// let cfg = RpConfig::uniform(4, 1);
+/// let target = WeightMap::dec(&["1.2", "1", "1", "0.8"]);
+/// let plan = plan_transfers(&cfg.initial_weights, &target);
+/// assert_eq!(plan.len(), 1);
+/// assert_eq!(plan[0].delta, Ratio::dec("0.2"));
+/// ```
+pub fn plan_transfers(current: &WeightMap, target: &WeightMap) -> Vec<PlannedTransfer> {
+    assert_eq!(current.len(), target.len(), "vector lengths differ");
+    assert_eq!(
+        current.total(),
+        target.total(),
+        "pairwise transfers preserve the total; totals differ"
+    );
+    let mut surplus: Vec<(ServerId, Ratio)> = Vec::new();
+    let mut deficit: Vec<(ServerId, Ratio)> = Vec::new();
+    for (s, cur) in current.iter() {
+        let t = target.weight(s);
+        if cur > t {
+            surplus.push((s, cur - t));
+        } else if t > cur {
+            deficit.push((s, t - cur));
+        }
+    }
+    // Largest first for a short plan.
+    surplus.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    deficit.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut plan = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < surplus.len() && j < deficit.len() {
+        let d = surplus[i].1.min(deficit[j].1);
+        plan.push(PlannedTransfer {
+            from: surplus[i].0,
+            to: deficit[j].0,
+            delta: d,
+        });
+        surplus[i].1 -= d;
+        deficit[j].1 -= d;
+        if surplus[i].1.is_zero() {
+            i += 1;
+        }
+        if deficit[j].1.is_zero() {
+            j += 1;
+        }
+    }
+    plan
+}
+
+/// Validates that a plan is executable under C2: simulating the transfers
+/// in order, every donor stays strictly above the floor. Returns the index
+/// of the first infeasible step, or `None` if the plan is clean.
+pub fn first_infeasible_step(
+    cfg: &RpConfig,
+    current: &WeightMap,
+    plan: &[PlannedTransfer],
+) -> Option<usize> {
+    let floor = cfg.floor();
+    let mut w = current.clone();
+    for (i, t) in plan.iter().enumerate() {
+        if w.weight(t.from) <= t.delta + floor {
+            return Some(i);
+        }
+        w.add(t.from, -t.delta);
+        w.add(t.to, t.delta);
+    }
+    None
+}
+
+/// A synthetic latency regime for experiments: per-server base latency with
+/// a step change ("regime shift") at a given sample index.
+#[derive(Clone, Debug)]
+pub struct RegimeShift {
+    /// Base latency per server before the shift.
+    pub before: Vec<f64>,
+    /// Base latency per server after the shift.
+    pub after: Vec<f64>,
+    /// The sample index at which the shift happens.
+    pub at_sample: u64,
+}
+
+impl RegimeShift {
+    /// The latency of server `s` at sample `k`.
+    pub fn latency(&self, s: ServerId, k: u64) -> f64 {
+        if k < self.at_sample {
+            self.before[s.index()]
+        } else {
+            self.after[s.index()]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> ServerId {
+        ServerId(i)
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut m = LatencyMonitor::new(2, 0.5);
+        assert_eq!(m.estimate(s(0)), None);
+        for _ in 0..30 {
+            m.observe(s(0), 10.0);
+        }
+        assert!((m.estimate(s(0)).unwrap() - 10.0).abs() < 1e-6);
+        assert_eq!(m.sample_count(s(0)), 30);
+        assert_eq!(m.estimates_or(99.0)[1], 99.0);
+    }
+
+    #[test]
+    fn ewma_tracks_shift() {
+        let mut m = LatencyMonitor::new(1, 0.3);
+        for _ in 0..20 {
+            m.observe(s(0), 10.0);
+        }
+        for _ in 0..20 {
+            m.observe(s(0), 100.0);
+        }
+        assert!(m.estimate(s(0)).unwrap() > 90.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        let _ = LatencyMonitor::new(1, 0.0);
+    }
+
+    #[test]
+    fn policy_targets_respect_floor_and_total() {
+        let cfg = RpConfig::uniform(7, 2);
+        let policy = WeightPolicy::default();
+        // Server 7 is 20× slower than the rest.
+        let lat = [10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 200.0];
+        let t = policy.targets(&cfg, &lat);
+        assert_eq!(t.total(), cfg.initial_total());
+        assert!(awr_quorum::rp_integrity_holds(&t, cfg.floor()), "{t}");
+        assert!(awr_quorum::integrity_holds(&t, cfg.f));
+        // The slow server ends up lightest.
+        assert_eq!(t.weight(s(6)), t.min_weight());
+    }
+
+    #[test]
+    fn policy_uniform_latencies_give_uniform_weights() {
+        let cfg = RpConfig::uniform(5, 1);
+        let t = WeightPolicy::default().targets(&cfg, &[20.0; 5]);
+        for (_, w) in t.iter() {
+            assert_eq!(w, Ratio::ONE);
+        }
+    }
+
+    #[test]
+    fn plan_roundtrip_reaches_target() {
+        let cfg = RpConfig::uniform(7, 2);
+        let target = WeightMap::dec(&["1.25", "1.25", "1.25", "0.75", "0.75", "0.75", "1"]);
+        let plan = plan_transfers(&cfg.initial_weights, &target);
+        assert!(!plan.is_empty());
+        assert!(first_infeasible_step(&cfg, &cfg.initial_weights, &plan).is_none());
+        // Apply and verify.
+        let mut w = cfg.initial_weights.clone();
+        for t in &plan {
+            w.add(t.from, -t.delta);
+            w.add(t.to, t.delta);
+        }
+        assert_eq!(w, target);
+        assert!(plan.iter().all(|t| t.from != t.to));
+    }
+
+    #[test]
+    fn plan_empty_when_already_at_target() {
+        let cfg = RpConfig::uniform(4, 1);
+        assert!(plan_transfers(&cfg.initial_weights, &cfg.initial_weights).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "totals differ")]
+    fn plan_rejects_total_mismatch() {
+        let a = WeightMap::dec(&["1", "1"]);
+        let b = WeightMap::dec(&["1", "2"]);
+        let _ = plan_transfers(&a, &b);
+    }
+
+    #[test]
+    fn infeasible_step_detected() {
+        let cfg = RpConfig::uniform(4, 1); // floor = 4/6 = 2/3
+        let plan = vec![PlannedTransfer {
+            from: s(0),
+            to: s(1),
+            delta: Ratio::dec("0.4"), // 1 > 0.4 + 2/3 is false
+        }];
+        assert_eq!(
+            first_infeasible_step(&cfg, &cfg.initial_weights, &plan),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn regime_shift_steps() {
+        let r = RegimeShift {
+            before: vec![10.0, 10.0],
+            after: vec![10.0, 500.0],
+            at_sample: 5,
+        };
+        assert_eq!(r.latency(s(1), 4), 10.0);
+        assert_eq!(r.latency(s(1), 5), 500.0);
+        assert_eq!(r.latency(s(0), 9), 10.0);
+    }
+
+    #[test]
+    fn policy_then_plan_end_to_end() {
+        // Monitoring → targets → plan → all feasible.
+        let cfg = RpConfig::uniform(7, 2);
+        let mut mon = LatencyMonitor::new(7, 0.3);
+        for k in 0..40u64 {
+            for i in 0..7 {
+                let base = if i >= 4 { 150.0 } else { 15.0 };
+                mon.observe(s(i), base + (k % 3) as f64);
+            }
+        }
+        let targets = WeightPolicy::default().targets(&cfg, &mon.estimates_or(50.0));
+        let plan = plan_transfers(&cfg.initial_weights, &targets);
+        assert!(first_infeasible_step(&cfg, &cfg.initial_weights, &plan).is_none());
+        // Fast servers gained weight.
+        assert!(targets.weight(s(0)) > targets.weight(s(5)));
+    }
+}

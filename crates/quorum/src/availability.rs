@@ -1,0 +1,316 @@
+//! Availability of weighted quorum systems (paper Property 1) and the
+//! integrity conditions derived from it.
+//!
+//! * **Property 1**: a WMQS is available iff the sum of the `f` greatest
+//!   weights is less than half the total weight — otherwise crashing `f`
+//!   heavy servers can leave the survivors below the quorum threshold.
+//! * **Integrity** (Definition 3): `∀t, ∀F ⊂ S, |F| = f: W_{F,t} < W_{S,t}/2`
+//!   — Property 1 maintained at all times.
+//! * **RP-Integrity** (Definition 5): `∀t, ∀s: W_{s,t} > W_{S,0}/(2(n−f))`
+//!   — a per-server floor that *implies* Integrity when the total is
+//!   constant (Lemma 1).
+
+use awr_types::{Ratio, ServerId, WeightMap};
+
+/// Checks **Property 1 / Integrity** for a weight vector: the `f` heaviest
+/// servers hold strictly less than half the total.
+///
+/// It is sufficient to check the heaviest `f`-subset: every other `F` with
+/// `|F| = f` weighs no more.
+///
+/// # Examples
+///
+/// ```
+/// use awr_quorum::integrity_holds;
+/// use awr_types::WeightMap;
+///
+/// let w = WeightMap::dec(&["1", "1", "1", "1"]);
+/// assert!(integrity_holds(&w, 1)); // 1 < 2
+/// // Give s1 half the total: 2 ≮ 2 → violated.
+/// let w = WeightMap::dec(&["2", "2/3", "2/3", "2/3"]);
+/// assert!(!integrity_holds(&w, 1));
+/// ```
+pub fn integrity_holds(weights: &WeightMap, f: usize) -> bool {
+    weights.top_f_sum(f) < weights.total().half()
+}
+
+/// Checks Integrity against an explicit total (used when the property must
+/// be judged against `W_{S,t}` while a hypothetical change is applied).
+pub fn integrity_holds_with_total(weights: &WeightMap, f: usize, total: Ratio) -> bool {
+    weights.top_f_sum(f) < total.half()
+}
+
+/// The **RP-Integrity floor** `W_{S,0} / (2(n − f))` (Definition 5).
+///
+/// # Panics
+///
+/// Panics if `f ≥ n`.
+pub fn rp_floor(initial_total: Ratio, n: usize, f: usize) -> Ratio {
+    assert!(f < n, "fault threshold f={f} must be < n={n}");
+    initial_total / Ratio::integer(2 * (n - f) as i64)
+}
+
+/// Checks **RP-Integrity**: every server's weight strictly exceeds the floor.
+///
+/// # Examples
+///
+/// ```
+/// use awr_quorum::{rp_floor, rp_integrity_holds};
+/// use awr_types::{Ratio, WeightMap};
+///
+/// // Example 2: n = 7, f = 2 → floor = 7/10 = 0.7.
+/// let floor = rp_floor(Ratio::integer(7), 7, 2);
+/// assert_eq!(floor, Ratio::dec("0.7"));
+/// let w = WeightMap::dec(&["1.25", "1.25", "1.25", "0.75", "0.75", "0.75", "1"]);
+/// assert!(rp_integrity_holds(&w, floor));
+/// // A server exactly at the floor violates it (strict inequality).
+/// let w2 = WeightMap::dec(&["1.3", "1.25", "1.25", "0.7", "0.75", "0.75", "1"]);
+/// assert!(!rp_integrity_holds(&w2, floor));
+/// ```
+pub fn rp_integrity_holds(weights: &WeightMap, floor: Ratio) -> bool {
+    weights.iter().all(|(_, w)| w > floor)
+}
+
+/// Lemma 1, executable: if every server is strictly above the RP floor and
+/// the total equals the initial total, then (P-)Integrity holds. Returns the
+/// pair `(rp_holds, integrity_holds)` so tests can assert the implication.
+pub fn lemma1_check(weights: &WeightMap, initial_total: Ratio, n: usize, f: usize) -> (bool, bool) {
+    let rp = rp_integrity_holds(weights, rp_floor(initial_total, n, f));
+    let integ = integrity_holds(weights, f);
+    (rp, integ)
+}
+
+/// The largest fault threshold `f` for which the weight vector satisfies
+/// Property 1, i.e. the actual resilience of the configuration.
+pub fn max_tolerable_faults(weights: &WeightMap) -> usize {
+    let n = weights.len();
+    let mut best = 0;
+    for f in 0..=n {
+        if integrity_holds(weights, f) {
+            best = f;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// The transfer-feasibility bound of Algorithm 4 line 12: server `s` may
+/// transfer `Δ` iff `W_s > Δ + floor`. Returns the largest `Δ` the server
+/// could transfer while preserving RP-Integrity (exclusive bound).
+pub fn max_transferable(weight: Ratio, floor: Ratio) -> Ratio {
+    (weight - floor).max(Ratio::ZERO)
+}
+
+/// Validates an initial configuration for the restricted pairwise problem:
+/// all weights strictly above the floor (so RP-Integrity holds at `t = 0`)
+/// and Property 1 satisfied.
+///
+/// Returns a list of violations (empty = valid).
+pub fn validate_initial_config(weights: &WeightMap, f: usize) -> Vec<ConfigViolation> {
+    let mut v = Vec::new();
+    let n = weights.len();
+    if f >= n {
+        v.push(ConfigViolation::FaultThresholdTooLarge { n, f });
+        return v;
+    }
+    if !integrity_holds(weights, f) {
+        v.push(ConfigViolation::Property1 {
+            top_f: weights.top_f_sum(f),
+            half_total: weights.total().half(),
+        });
+    }
+    let floor = rp_floor(weights.total(), n, f);
+    for (s, w) in weights.iter() {
+        if w <= floor {
+            v.push(ConfigViolation::BelowRpFloor {
+                server: s,
+                weight: w,
+                floor,
+            });
+        }
+    }
+    v
+}
+
+/// A reason an initial configuration is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigViolation {
+    /// `f ≥ n` leaves no live quorum.
+    FaultThresholdTooLarge {
+        /// Number of servers.
+        n: usize,
+        /// Requested fault threshold.
+        f: usize,
+    },
+    /// Property 1 fails: the `f` heaviest servers reach half the total.
+    Property1 {
+        /// Sum of the `f` greatest weights.
+        top_f: Ratio,
+        /// Half of the total weight.
+        half_total: Ratio,
+    },
+    /// A server starts at or below the RP-Integrity floor.
+    BelowRpFloor {
+        /// The offending server.
+        server: ServerId,
+        /// Its weight.
+        weight: Ratio,
+        /// The floor it must strictly exceed.
+        floor: Ratio,
+    },
+}
+
+impl std::fmt::Display for ConfigViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigViolation::FaultThresholdTooLarge { n, f: ft } => {
+                write!(f, "fault threshold {ft} too large for {n} servers")
+            }
+            ConfigViolation::Property1 { top_f, half_total } => write!(
+                f,
+                "property 1 violated: top-f weight {top_f} >= half total {half_total}"
+            ),
+            ConfigViolation::BelowRpFloor {
+                server,
+                weight,
+                floor,
+            } => write!(
+                f,
+                "server {server} weight {weight} at or below RP floor {floor}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn property1_uniform() {
+        // n = 2f + 1 uniform: f < (2f+1)/2 ⟺ always true.
+        for f in 1..5usize {
+            let n = 2 * f + 1;
+            let w = WeightMap::uniform(n, Ratio::ONE);
+            assert!(integrity_holds(&w, f), "n={n} f={f}");
+            assert!(!integrity_holds(&w, f + 1), "n={n} f={f}");
+        }
+    }
+
+    #[test]
+    fn algorithm1_initial_weights_satisfy_integrity() {
+        // W_F = (n-1)/2 < n/2 with the paper's Algorithm 1 initial weights.
+        for (n, f) in [(4usize, 1usize), (7, 3), (10, 4)] {
+            let wf = Ratio::integer((n - 1) as i64) / Ratio::integer(2 * f as i64);
+            let wr = Ratio::integer((n + 1) as i64) / Ratio::integer(2 * (n - f) as i64);
+            let w = WeightMap::from_fn(n, |s| if s.index() < f { wf } else { wr });
+            assert_eq!(w.total(), Ratio::integer(n as i64));
+            assert!(integrity_holds(&w, f), "n={n} f={f}");
+        }
+    }
+
+    #[test]
+    fn algorithm1_one_bump_lands_exactly_on_half() {
+        // After one +0.5 to a member of F the Integrity check must sit at
+        // exactly W_S/2 for the *next* bump — the knife-edge the reduction
+        // exploits. With n=4, f=1: W_F = 1.5 + 0.5 = 2.0; new total 4.5;
+        // 2.0 < 2.25 still fine. A second change (−0.5 elsewhere) makes
+        // total 4.0 and 2.0 ≮ 2.0.
+        let n = 4;
+        let f = 1;
+        let wf = Ratio::dec("1.5");
+        let wr = Ratio::new(5, 6);
+        let mut w = WeightMap::from_fn(n, |s| if s.index() < f { wf } else { wr });
+        w.add(ServerId(0), Ratio::dec("0.5"));
+        assert!(integrity_holds(&w, f));
+        w.add(ServerId(1), Ratio::dec("-0.5"));
+        assert!(!integrity_holds(&w, f));
+    }
+
+    #[test]
+    fn rp_floor_example2() {
+        assert_eq!(rp_floor(Ratio::integer(7), 7, 2), Ratio::dec("0.7"));
+        assert_eq!(rp_floor(Ratio::integer(4), 4, 1), Ratio::new(4, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be < n")]
+    fn rp_floor_bad_f_panics() {
+        let _ = rp_floor(Ratio::integer(3), 3, 3);
+    }
+
+    #[test]
+    fn lemma1_implication_samples() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut checked = 0;
+        for _ in 0..500 {
+            let f = rng.random_range(1..4usize);
+            let n = rng.random_range(2 * f + 1..2 * f + 6);
+            let total = Ratio::integer(n as i64);
+            let floor = rp_floor(total, n, f);
+            // Random weights near 1, rescaled so the total is exactly n.
+            let raw: Vec<Ratio> = (0..n)
+                .map(|_| Ratio::new(rng.random_range(7..=13), 10))
+                .collect();
+            let raw_sum: Ratio = raw.iter().sum();
+            let w = WeightMap::from_vec(
+                raw.into_iter().map(|r| r * total / raw_sum).collect(),
+            );
+            assert_eq!(w.total(), total);
+            let rp = rp_integrity_holds(&w, floor);
+            if rp {
+                checked += 1;
+                assert!(
+                    integrity_holds(&w, f),
+                    "Lemma 1 violated: {w:?} f={f} floor={floor}"
+                );
+            }
+        }
+        assert!(checked > 0, "sampler never produced an RP-valid vector");
+    }
+
+    #[test]
+    fn max_tolerable() {
+        let w = WeightMap::uniform(7, Ratio::ONE);
+        assert_eq!(max_tolerable_faults(&w), 3);
+        let skew = WeightMap::dec(&["3", "1", "1", "1", "1"]);
+        // top-1 = 3 < 3.5 → f=1 ok; top-2 = 4 ≥ 3.5 → f=2 fails.
+        assert_eq!(max_tolerable_faults(&skew), 1);
+    }
+
+    #[test]
+    fn max_transferable_bound() {
+        let floor = Ratio::dec("0.7");
+        assert_eq!(max_transferable(Ratio::ONE, floor), Ratio::dec("0.3"));
+        assert_eq!(max_transferable(Ratio::dec("0.5"), floor), Ratio::ZERO);
+    }
+
+    #[test]
+    fn validate_config_reports_all_violations() {
+        // f too large.
+        let w = WeightMap::uniform(3, Ratio::ONE);
+        assert_eq!(
+            validate_initial_config(&w, 3),
+            vec![ConfigViolation::FaultThresholdTooLarge { n: 3, f: 3 }]
+        );
+        // Healthy config.
+        assert!(validate_initial_config(&WeightMap::uniform(7, Ratio::ONE), 2).is_empty());
+        // Floor violation (w=0.5 ≤ 0.7) and possibly property-1.
+        let bad = WeightMap::dec(&["1.5", "1", "1", "1", "1", "1", "0.5"]);
+        let viol = validate_initial_config(&bad, 2);
+        assert!(viol
+            .iter()
+            .any(|v| matches!(v, ConfigViolation::BelowRpFloor { server, .. } if *server == ServerId(6))));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = ConfigViolation::Property1 {
+            top_f: Ratio::integer(4),
+            half_total: Ratio::dec("3.5"),
+        };
+        assert!(v.to_string().contains("property 1"));
+    }
+}

@@ -1,0 +1,146 @@
+//! The grid quorum system (Naor & Wool [2]; cited in the paper's §I as an
+//! alternative to majority systems).
+//!
+//! Servers are arranged in an `r × c` grid; a quorum is one full row plus
+//! one element from every row (here: the classic "row + column cover"
+//! formulation — a full row and a full column). Quorums have size
+//! `r + c − 1 = O(√n)`, much smaller than majorities, at the price of lower
+//! fault tolerance.
+
+use std::collections::BTreeSet;
+
+use awr_types::ServerId;
+
+use crate::QuorumSystem;
+
+/// A grid quorum system over `rows × cols` servers: a set is a quorum iff
+/// it contains every element of some row **and** every element of some
+/// column.
+///
+/// Server `ServerId(i)` sits at `(i / cols, i % cols)`.
+///
+/// # Examples
+///
+/// ```
+/// use awr_quorum::{GridQuorumSystem, QuorumSystem};
+/// use awr_types::ServerId;
+///
+/// let g = GridQuorumSystem::new(3, 3);
+/// // Row 0 = {0,1,2} plus column 0 = {0,3,6}: a quorum of 5 = 3 + 3 − 1.
+/// let q: Vec<ServerId> = [0u32, 1, 2, 3, 6].iter().map(|&i| ServerId(i)).collect();
+/// assert!(g.is_quorum_slice(&q));
+/// assert_eq!(g.min_quorum_size(), 5);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GridQuorumSystem {
+    rows: usize,
+    cols: usize,
+}
+
+impl GridQuorumSystem {
+    /// Creates an `rows × cols` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> GridQuorumSystem {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        GridQuorumSystem { rows, cols }
+    }
+
+    /// Grid position of a server.
+    pub fn position(&self, s: ServerId) -> (usize, usize) {
+        (s.index() / self.cols, s.index() % self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+impl QuorumSystem for GridQuorumSystem {
+    fn universe_size(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn is_quorum(&self, servers: &BTreeSet<ServerId>) -> bool {
+        let mut row_counts = vec![0usize; self.rows];
+        let mut col_counts = vec![0usize; self.cols];
+        for s in servers {
+            if s.index() >= self.universe_size() {
+                continue;
+            }
+            let (r, c) = self.position(*s);
+            row_counts[r] += 1;
+            col_counts[c] += 1;
+        }
+        let full_row = row_counts.contains(&self.cols);
+        let full_col = col_counts.contains(&self.rows);
+        full_row && full_col
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        self.rows + self.cols - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::verify_intersection;
+
+    fn ids(v: &[u32]) -> BTreeSet<ServerId> {
+        v.iter().map(|&i| ServerId(i)).collect()
+    }
+
+    #[test]
+    fn row_plus_column_is_quorum() {
+        let g = GridQuorumSystem::new(3, 3);
+        assert!(g.is_quorum(&ids(&[0, 1, 2, 3, 6]))); // row 0 + col 0
+        assert!(g.is_quorum(&ids(&[3, 4, 5, 1, 7]))); // row 1 + col 1
+        // A row alone is not a quorum.
+        assert!(!g.is_quorum(&ids(&[0, 1, 2])));
+        // A column alone is not a quorum.
+        assert!(!g.is_quorum(&ids(&[0, 3, 6])));
+    }
+
+    #[test]
+    fn quorum_size_is_sqrt_scale() {
+        assert_eq!(GridQuorumSystem::new(3, 3).min_quorum_size(), 5);
+        assert_eq!(GridQuorumSystem::new(4, 4).min_quorum_size(), 7);
+        assert_eq!(GridQuorumSystem::new(5, 5).min_quorum_size(), 9);
+        // vs majority of 25: 13.
+        assert!(GridQuorumSystem::new(5, 5).min_quorum_size() < 13);
+    }
+
+    #[test]
+    fn grids_intersect() {
+        for (r, c) in [(2usize, 2usize), (2, 3), (3, 3)] {
+            assert!(
+                verify_intersection(&GridQuorumSystem::new(r, c)),
+                "{r}x{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_square_grid() {
+        let g = GridQuorumSystem::new(2, 4);
+        assert_eq!(g.universe_size(), 8);
+        assert_eq!(g.min_quorum_size(), 5);
+        assert_eq!(g.position(ServerId(5)), (1, 1));
+        assert!(g.is_quorum(&ids(&[0, 1, 2, 3, 7]))); // row 0 + col 3
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        let _ = GridQuorumSystem::new(0, 3);
+    }
+}

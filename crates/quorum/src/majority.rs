@@ -1,0 +1,121 @@
+//! The regular majority quorum system (MQS).
+//!
+//! Every quorum is a strict majority of servers. Simple, optimally
+//! fault-tolerant (`f < n/2`), and the baseline the paper's weighted systems
+//! improve upon (§I).
+
+use std::collections::BTreeSet;
+
+use awr_types::ServerId;
+
+use crate::QuorumSystem;
+
+/// The majority quorum system over `n` servers: a set is a quorum iff it
+/// contains more than `n / 2` distinct servers.
+///
+/// # Examples
+///
+/// ```
+/// use awr_quorum::{MajorityQuorumSystem, QuorumSystem};
+/// use awr_types::ServerId;
+///
+/// let mqs = MajorityQuorumSystem::new(5);
+/// assert_eq!(mqs.min_quorum_size(), 3);
+/// assert!(mqs.is_quorum_slice(&[ServerId(0), ServerId(2), ServerId(4)]));
+/// assert!(!mqs.is_quorum_slice(&[ServerId(0), ServerId(2)]));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MajorityQuorumSystem {
+    n: usize,
+}
+
+impl MajorityQuorumSystem {
+    /// Creates the majority system over `n` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> MajorityQuorumSystem {
+        assert!(n > 0, "majority quorum system needs at least one server");
+        MajorityQuorumSystem { n }
+    }
+
+    /// The maximum number of crash faults the system tolerates while staying
+    /// available: `⌈n/2⌉ − 1`, i.e. `f < n/2`.
+    pub fn max_faults(&self) -> usize {
+        self.n.div_ceil(2) - 1
+    }
+
+    /// Quorum cardinality threshold: `⌊n/2⌋ + 1`.
+    pub fn threshold(&self) -> usize {
+        self.n / 2 + 1
+    }
+}
+
+impl QuorumSystem for MajorityQuorumSystem {
+    fn universe_size(&self) -> usize {
+        self.n
+    }
+
+    fn is_quorum(&self, servers: &BTreeSet<ServerId>) -> bool {
+        let in_range = servers.iter().filter(|s| s.index() < self.n).count();
+        in_range >= self.threshold()
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        self.threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::verify_intersection;
+
+    #[test]
+    fn thresholds() {
+        assert_eq!(MajorityQuorumSystem::new(1).threshold(), 1);
+        assert_eq!(MajorityQuorumSystem::new(4).threshold(), 3);
+        assert_eq!(MajorityQuorumSystem::new(5).threshold(), 3);
+        assert_eq!(MajorityQuorumSystem::new(7).threshold(), 4);
+    }
+
+    #[test]
+    fn fault_tolerance_is_optimal() {
+        assert_eq!(MajorityQuorumSystem::new(3).max_faults(), 1);
+        assert_eq!(MajorityQuorumSystem::new(4).max_faults(), 1);
+        assert_eq!(MajorityQuorumSystem::new(5).max_faults(), 2);
+        assert_eq!(MajorityQuorumSystem::new(7).max_faults(), 3);
+    }
+
+    #[test]
+    fn survivors_form_quorum_after_max_faults() {
+        for n in 1..=9 {
+            let q = MajorityQuorumSystem::new(n);
+            let f = q.max_faults();
+            let survivors: BTreeSet<ServerId> =
+                (f..n).map(|i| ServerId(i as u32)).collect();
+            assert!(q.is_quorum(&survivors), "n={n} f={f}");
+        }
+    }
+
+    #[test]
+    fn intersection_exhaustive_small_n() {
+        for n in 1..=8 {
+            assert!(verify_intersection(&MajorityQuorumSystem::new(n)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_servers_ignored() {
+        let q = MajorityQuorumSystem::new(3);
+        let set: BTreeSet<ServerId> = [ServerId(7), ServerId(8), ServerId(9)].into();
+        assert!(!q.is_quorum(&set));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _ = MajorityQuorumSystem::new(0);
+    }
+}

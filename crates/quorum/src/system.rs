@@ -1,0 +1,184 @@
+//! The quorum-system abstraction.
+//!
+//! A quorum system over a set of servers is a collection of subsets
+//! (*quorums*) such that every two quorums intersect (paper §I). Protocols
+//! in this workspace never enumerate quorums online; they ask the predicate
+//! "is this set of responders a quorum?" — which is how both Algorithm 3
+//! (`|C| > f`, `n − f` acks) and Algorithm 5 (`is_quorum(Q)`) consume
+//! quorum systems.
+
+use std::collections::BTreeSet;
+
+use awr_types::ServerId;
+
+/// A predicate-style quorum system over servers `0..n`.
+///
+/// Implementations must guarantee **intersection**: for any two sets `A`,
+/// `B` with `is_quorum(A) && is_quorum(B)`, `A ∩ B ≠ ∅`. The property-based
+/// tests in this crate check intersection exhaustively for small `n` for
+/// every implementation shipped here.
+pub trait QuorumSystem {
+    /// Number of servers in the universe.
+    fn universe_size(&self) -> usize;
+
+    /// Returns `true` if `servers` contains a quorum.
+    fn is_quorum(&self, servers: &BTreeSet<ServerId>) -> bool;
+
+    /// Returns `true` if `servers` (given as a slice, possibly unsorted,
+    /// duplicates allowed) contains a quorum. Convenience wrapper.
+    fn is_quorum_slice(&self, servers: &[ServerId]) -> bool {
+        let set: BTreeSet<ServerId> = servers.iter().copied().collect();
+        self.is_quorum(&set)
+    }
+
+    /// The size of the smallest quorum, computed by brute force unless the
+    /// implementation can do better. Intended for analysis, not hot paths.
+    fn min_quorum_size(&self) -> usize {
+        let n = self.universe_size();
+        for k in 0..=n {
+            if any_subset_of_size_is_quorum(self, k) {
+                return k;
+            }
+        }
+        n + 1 // no quorum exists at all (unavailable system)
+    }
+}
+
+/// Returns `true` if some subset of exactly `k` servers is a quorum.
+fn any_subset_of_size_is_quorum<Q: QuorumSystem + ?Sized>(q: &Q, k: usize) -> bool {
+    let n = q.universe_size();
+    if k > n {
+        return false;
+    }
+    // Iterate k-combinations via the revolving-door order on indices.
+    let mut combo: Vec<usize> = (0..k).collect();
+    loop {
+        let set: BTreeSet<ServerId> = combo.iter().map(|&i| ServerId(i as u32)).collect();
+        if q.is_quorum(&set) {
+            return true;
+        }
+        // next combination
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return false;
+            }
+            i -= 1;
+            if combo[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return false;
+            }
+        }
+        if combo[i] == i + n - k {
+            return false;
+        }
+        combo[i] += 1;
+        for j in i + 1..k {
+            combo[j] = combo[j - 1] + 1;
+        }
+    }
+}
+
+/// Enumerates all *minimal* quorums of a system (no proper subset is a
+/// quorum). Exponential in `n`; for analysis of small systems only.
+///
+/// # Panics
+///
+/// Panics if `universe_size() > 20` to avoid accidental blow-ups.
+pub fn minimal_quorums<Q: QuorumSystem + ?Sized>(q: &Q) -> Vec<BTreeSet<ServerId>> {
+    let n = q.universe_size();
+    assert!(n <= 20, "minimal_quorums is exponential; n = {n} > 20");
+    let mut minimal: Vec<BTreeSet<ServerId>> = Vec::new();
+    for mask in 1u32..(1 << n) {
+        let set: BTreeSet<ServerId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| ServerId(i as u32))
+            .collect();
+        if !q.is_quorum(&set) {
+            continue;
+        }
+        // minimal iff removing any element breaks quorum-ness
+        let is_min = set.iter().all(|s| {
+            let mut smaller = set.clone();
+            smaller.remove(s);
+            !q.is_quorum(&smaller)
+        });
+        if is_min {
+            minimal.push(set);
+        }
+    }
+    minimal
+}
+
+/// Checks the intersection property exhaustively for `n ≤ 16`:
+/// every pair of quorums (it suffices to check minimal ones) intersects.
+pub fn verify_intersection<Q: QuorumSystem + ?Sized>(q: &Q) -> bool {
+    let mins = minimal_quorums(q);
+    for (i, a) in mins.iter().enumerate() {
+        for b in mins.iter().skip(i + 1) {
+            if a.intersection(b).next().is_none() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trivial threshold system for testing the helpers.
+    struct AtLeast {
+        n: usize,
+        k: usize,
+    }
+
+    impl QuorumSystem for AtLeast {
+        fn universe_size(&self) -> usize {
+            self.n
+        }
+        fn is_quorum(&self, servers: &BTreeSet<ServerId>) -> bool {
+            servers.iter().filter(|s| s.index() < self.n).count() >= self.k
+        }
+    }
+
+    #[test]
+    fn min_quorum_size_threshold() {
+        let q = AtLeast { n: 5, k: 3 };
+        assert_eq!(q.min_quorum_size(), 3);
+        let all = AtLeast { n: 4, k: 4 };
+        assert_eq!(all.min_quorum_size(), 4);
+    }
+
+    #[test]
+    fn min_quorum_size_unavailable() {
+        let q = AtLeast { n: 3, k: 7 };
+        assert_eq!(q.min_quorum_size(), 4); // n + 1 sentinel
+    }
+
+    #[test]
+    fn minimal_quorums_threshold() {
+        let q = AtLeast { n: 4, k: 3 };
+        let mins = minimal_quorums(&q);
+        assert_eq!(mins.len(), 4); // C(4,3)
+        assert!(mins.iter().all(|m| m.len() == 3));
+    }
+
+    #[test]
+    fn intersection_majority_holds() {
+        assert!(verify_intersection(&AtLeast { n: 5, k: 3 }));
+        // k = 2 of 5 does NOT intersect
+        assert!(!verify_intersection(&AtLeast { n: 5, k: 2 }));
+    }
+
+    #[test]
+    fn is_quorum_slice_dedups() {
+        let q = AtLeast { n: 3, k: 2 };
+        let s = ServerId(0);
+        assert!(!q.is_quorum_slice(&[s, s, s]));
+        assert!(q.is_quorum_slice(&[s, ServerId(1)]));
+    }
+}

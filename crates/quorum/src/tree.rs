@@ -1,0 +1,167 @@
+//! The tree quorum protocol (Agrawal & El Abbadi [3]; cited in the paper's
+//! §I).
+//!
+//! Servers form a complete binary tree; a quorum is obtained by the
+//! recursive *majority-of-paths* rule: a quorum of a tree rooted at `v` is
+//! either `v` together with a quorum of one of its subtrees, or quorums of
+//! **both** subtrees (allowing the root to be skipped). In the classic
+//! formulation quorums can be as small as `⌈log n⌉`-ish root-to-leaf paths
+//! when the root is alive, degrading gracefully as nodes fail.
+
+use std::collections::BTreeSet;
+
+use awr_types::ServerId;
+
+use crate::QuorumSystem;
+
+/// A tree quorum system over a complete binary tree of `n` nodes stored in
+/// heap order (node `i`'s children are `2i + 1` and `2i + 2`).
+///
+/// # Examples
+///
+/// ```
+/// use awr_quorum::{QuorumSystem, TreeQuorumSystem};
+/// use awr_types::ServerId;
+///
+/// // 7 nodes: root 0, children 1,2, leaves 3..6.
+/// let t = TreeQuorumSystem::new(7);
+/// // A root-to-leaf path is a quorum: {0, 1, 3}.
+/// assert!(t.is_quorum_slice(&[ServerId(0), ServerId(1), ServerId(3)]));
+/// // If the root failed: need paths through both children.
+/// assert!(t.is_quorum_slice(&[
+///     ServerId(1), ServerId(3), ServerId(2), ServerId(5),
+/// ]));
+/// assert_eq!(t.min_quorum_size(), 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeQuorumSystem {
+    n: usize,
+}
+
+impl TreeQuorumSystem {
+    /// Creates a tree system over `n` heap-ordered servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> TreeQuorumSystem {
+        assert!(n > 0, "tree needs at least one node");
+        TreeQuorumSystem { n }
+    }
+
+    /// Recursive quorum test for the subtree rooted at `root`.
+    fn covers(&self, servers: &BTreeSet<ServerId>, root: usize) -> bool {
+        if root >= self.n {
+            // An empty subtree is vacuously covered only when reached
+            // through "both children" of a leaf — treat as covered so
+            // leaves behave correctly.
+            return true;
+        }
+        let left = 2 * root + 1;
+        let right = 2 * root + 2;
+        let here = servers.contains(&ServerId(root as u32));
+        if left >= self.n {
+            // Leaf: must be present itself.
+            return here;
+        }
+        if here {
+            // Root + a quorum of either subtree.
+            self.covers(servers, left) || self.covers(servers, right)
+        } else {
+            // Skip the root: need quorums of both subtrees.
+            self.covers(servers, left) && self.covers(servers, right)
+        }
+    }
+
+    fn min_size(&self, root: usize) -> usize {
+        if root >= self.n {
+            return 0;
+        }
+        let left = 2 * root + 1;
+        let right = 2 * root + 2;
+        if left >= self.n {
+            return 1;
+        }
+        let with_root = 1 + self.min_size(left).min(self.min_size(right));
+        let without_root = self.min_size(left) + self.min_size(right);
+        with_root.min(without_root)
+    }
+}
+
+impl QuorumSystem for TreeQuorumSystem {
+    fn universe_size(&self) -> usize {
+        self.n
+    }
+
+    fn is_quorum(&self, servers: &BTreeSet<ServerId>) -> bool {
+        self.covers(servers, 0)
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        self.min_size(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::verify_intersection;
+
+    fn ids(v: &[u32]) -> BTreeSet<ServerId> {
+        v.iter().map(|&i| ServerId(i)).collect()
+    }
+
+    #[test]
+    fn path_is_quorum() {
+        let t = TreeQuorumSystem::new(7);
+        assert!(t.is_quorum(&ids(&[0, 1, 3])));
+        assert!(t.is_quorum(&ids(&[0, 2, 6])));
+        // Root alone is not (its subtrees are non-empty).
+        assert!(!t.is_quorum(&ids(&[0])));
+        // Two leaves alone are not.
+        assert!(!t.is_quorum(&ids(&[3, 5])));
+    }
+
+    #[test]
+    fn root_failure_needs_both_subtrees() {
+        let t = TreeQuorumSystem::new(7);
+        assert!(t.is_quorum(&ids(&[1, 3, 2, 5])));
+        assert!(!t.is_quorum(&ids(&[1, 3])));
+        // One subtree fully + nothing from the other: not a quorum.
+        assert!(!t.is_quorum(&ids(&[1, 3, 4])));
+    }
+
+    #[test]
+    fn min_quorum_is_logarithmic() {
+        assert_eq!(TreeQuorumSystem::new(1).min_quorum_size(), 1);
+        assert_eq!(TreeQuorumSystem::new(3).min_quorum_size(), 2);
+        assert_eq!(TreeQuorumSystem::new(7).min_quorum_size(), 3);
+        assert_eq!(TreeQuorumSystem::new(15).min_quorum_size(), 4);
+        // vs majority of 15: 8.
+        assert!(TreeQuorumSystem::new(15).min_quorum_size() < 8);
+    }
+
+    #[test]
+    fn trees_intersect() {
+        for n in [1usize, 3, 7, 15] {
+            assert!(verify_intersection(&TreeQuorumSystem::new(n)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn brute_force_min_matches_recursive() {
+        for n in [1usize, 3, 7] {
+            let t = TreeQuorumSystem::new(n);
+            struct Wrap<'a>(&'a TreeQuorumSystem);
+            impl QuorumSystem for Wrap<'_> {
+                fn universe_size(&self) -> usize {
+                    self.0.universe_size()
+                }
+                fn is_quorum(&self, s: &BTreeSet<ServerId>) -> bool {
+                    self.0.is_quorum(s)
+                }
+            }
+            assert_eq!(t.min_quorum_size(), Wrap(&t).min_quorum_size(), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The actor abstraction: event-driven processes over an asynchronous
+//! network.
+//!
+//! Protocols are written as explicit state machines: an [`Actor`] reacts to
+//! `on_start`, `on_message`, and `on_timer` callbacks, and interacts with the
+//! world exclusively through [`Context`] effects (sends, timers, crash).
+//! This style is deliberately faithful to the asynchronous model of the
+//! paper (§II): there is no way for an actor to block, read the clock, or
+//! peek at another actor's state.
+
+use std::any::Any;
+use std::fmt;
+
+use rand::rngs::StdRng;
+
+use crate::time::{Nanos, Time};
+
+/// Identifier of an actor inside a [`crate::World`] (dense `0..n_actors`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub usize);
+
+impl ActorId {
+    /// The underlying index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifier of a pending timer, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u64);
+
+/// Messages exchanged by actors.
+///
+/// The `kind` is a coarse label used by the metrics to break message counts
+/// down per protocol phase (`"RC"`, `"T"`, `"W"`, …).
+pub trait Message: Clone + fmt::Debug + Send + 'static {
+    /// A short label for metrics; defaults to `"msg"`.
+    fn kind(&self) -> &'static str {
+        "msg"
+    }
+}
+
+/// An event-driven process.
+///
+/// Implementors must provide [`Actor::as_any`]/[`Actor::as_any_mut`]
+/// (two lines of boilerplate) so harnesses can inspect final state through
+/// [`crate::World::actor`].
+pub trait Actor: 'static {
+    /// The message type of the protocol this actor speaks.
+    type Msg: Message;
+
+    /// Called once at time zero, before any delivery.
+    fn on_start(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
+
+    /// Called on every message delivery.
+    fn on_message(&mut self, from: ActorId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _tag: u64, _ctx: &mut Context<'_, Self::Msg>) {}
+
+    /// Upcast for harness inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for harness inspection.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// An effect requested by an actor during a callback; applied by the world
+/// after the callback returns (keeping callbacks pure with respect to the
+/// event queue).
+#[derive(Debug)]
+pub(crate) enum Effect<M> {
+    Send { to: ActorId, msg: M },
+    SetTimer { id: TimerId, after: Nanos, tag: u64 },
+    CancelTimer { id: TimerId },
+    CrashSelf,
+}
+
+/// The actor's handle onto the world during a callback.
+///
+/// All interaction is buffered: sends and timers take effect when the
+/// callback returns. The RNG is the world's seeded RNG, so randomized actors
+/// stay deterministic per seed.
+pub struct Context<'a, M> {
+    pub(crate) now: Time,
+    pub(crate) self_id: ActorId,
+    pub(crate) n_actors: usize,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) effects: &'a mut Vec<Effect<M>>,
+    pub(crate) next_timer: &'a mut u64,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Current virtual time. For harness bookkeeping (operation latency
+    /// stamps), *not* for protocol decisions.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// This actor's id.
+    pub fn id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Total number of actors in the world.
+    pub fn n_actors(&self) -> usize {
+        self.n_actors
+    }
+
+    /// The world's deterministic RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to` over the asynchronous network.
+    pub fn send(&mut self, to: ActorId, msg: M)
+    where
+        M: Clone,
+    {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Sends `msg` to every actor in `targets`.
+    pub fn send_to_all(&mut self, targets: impl IntoIterator<Item = ActorId>, msg: M)
+    where
+        M: Clone,
+    {
+        for t in targets {
+            self.effects.push(Effect::Send {
+                to: t,
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    /// Schedules `on_timer(tag)` to fire `after` nanoseconds from now.
+    pub fn set_timer(&mut self, after: Nanos, tag: u64) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.effects.push(Effect::SetTimer { id, after, tag });
+        id
+    }
+
+    /// Cancels a pending timer (no-op if already fired).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer { id });
+    }
+
+    /// Crashes this actor at the end of the callback: no further callbacks
+    /// will run and pending deliveries to it are dropped.
+    pub fn crash_self(&mut self) {
+        self.effects.push(Effect::CrashSelf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Ping;
+    impl Message for Ping {}
+
+    #[test]
+    fn default_message_kind() {
+        assert_eq!(Ping.kind(), "msg");
+    }
+
+    #[test]
+    fn actor_id_display() {
+        assert_eq!(ActorId(3).to_string(), "a3");
+        assert_eq!(ActorId(3).index(), 3);
+    }
+}

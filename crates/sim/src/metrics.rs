@@ -1,0 +1,68 @@
+//! Simulation metrics: message and event accounting.
+
+use std::collections::BTreeMap;
+
+use crate::time::Time;
+
+/// Counters accumulated by a [`crate::World`] run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Total events processed (deliveries + timers + crashes).
+    pub events_processed: u64,
+    /// Messages handed to the network.
+    pub messages_sent: u64,
+    /// Messages delivered to a live actor.
+    pub messages_delivered: u64,
+    /// Messages dropped because the destination had crashed.
+    pub messages_dropped_crashed: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+    /// Per message-kind send counts.
+    pub sent_by_kind: BTreeMap<&'static str, u64>,
+    /// Latest virtual time reached.
+    pub last_time: Time,
+}
+
+impl Metrics {
+    /// Records a send of a message with the given kind label.
+    pub(crate) fn record_send(&mut self, kind: &'static str) {
+        self.messages_sent += 1;
+        *self.sent_by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Messages sent with a specific kind label.
+    pub fn sent_of_kind(&self, kind: &str) -> u64 {
+        self.sent_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "events={} sent={} delivered={} dropped={} timers={} t_end={}",
+            self.events_processed,
+            self.messages_sent,
+            self.messages_delivered,
+            self.messages_dropped_crashed,
+            self.timers_fired,
+            self.last_time,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut m = Metrics::default();
+        m.record_send("RC");
+        m.record_send("RC");
+        m.record_send("T");
+        assert_eq!(m.messages_sent, 3);
+        assert_eq!(m.sent_of_kind("RC"), 2);
+        assert_eq!(m.sent_of_kind("T"), 1);
+        assert_eq!(m.sent_of_kind("nope"), 0);
+        assert!(m.summary().contains("sent=3"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Network latency models and adversarial delivery strategies.
+//!
+//! The system model (§II) assumes reliable links in an asynchronous system:
+//! every sent message is eventually delivered, after an arbitrary finite
+//! delay. A [`LatencyModel`] decides that delay per message. Composable
+//! decorators turn a base model into an adversary: reordering bursts,
+//! targeted slow-downs, or temporary partitions that heal (preserving
+//! reliability).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::actor::ActorId;
+use crate::time::{Nanos, Time, MILLI};
+
+/// Decides the delivery delay of each message. Stateful and seeded: given
+/// the same seed and send sequence, delays are reproducible.
+pub trait LatencyModel: Send {
+    /// Delay for a message from `from` to `to` sent at `now`.
+    fn sample(&mut self, from: ActorId, to: ActorId, now: Time, rng: &mut StdRng) -> Nanos;
+}
+
+/// A fixed delay for every message — synchronous-looking, useful for
+/// deterministic protocol unit tests.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstantLatency(pub Nanos);
+
+impl LatencyModel for ConstantLatency {
+    fn sample(&mut self, _: ActorId, _: ActorId, _: Time, _: &mut StdRng) -> Nanos {
+        self.0
+    }
+}
+
+/// Uniformly random delay in `[lo, hi]` — the canonical "asynchronous"
+/// network where messages overtake each other freely.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformLatency {
+    /// Minimum delay (inclusive).
+    pub lo: Nanos,
+    /// Maximum delay (inclusive).
+    pub hi: Nanos,
+}
+
+impl UniformLatency {
+    /// A uniform delay between `lo` and `hi` nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: Nanos, hi: Nanos) -> UniformLatency {
+        assert!(lo <= hi, "uniform latency needs lo <= hi");
+        UniformLatency { lo, hi }
+    }
+}
+
+impl LatencyModel for UniformLatency {
+    fn sample(&mut self, _: ActorId, _: ActorId, _: Time, rng: &mut StdRng) -> Nanos {
+        rng.random_range(self.lo..=self.hi)
+    }
+}
+
+/// A wide-area latency matrix: one-way base delay per (from, to) region pair
+/// plus multiplicative jitter. Actors are mapped to regions by
+/// `region_of[actor index]`.
+pub struct WanMatrix {
+    /// `base[i][j]` = one-way delay from region `i` to region `j`.
+    base: Vec<Vec<Nanos>>,
+    /// Region of each actor (index = actor index).
+    region_of: Vec<usize>,
+    /// Jitter as a fraction of the base delay (e.g. 0.2 → ±20 %).
+    jitter: f64,
+    /// Local (same-actor or same-region) floor delay.
+    floor: Nanos,
+}
+
+impl WanMatrix {
+    /// Builds a WAN model from a region RTT/2 matrix and an actor→region map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square, a region index is out of range,
+    /// or `jitter` is negative.
+    pub fn new(base: Vec<Vec<Nanos>>, region_of: Vec<usize>, jitter: f64) -> WanMatrix {
+        let r = base.len();
+        assert!(base.iter().all(|row| row.len() == r), "matrix must be square");
+        assert!(
+            region_of.iter().all(|&x| x < r),
+            "region index out of range"
+        );
+        assert!(jitter >= 0.0, "jitter must be non-negative");
+        WanMatrix {
+            base,
+            region_of,
+            jitter,
+            floor: MILLI / 2,
+        }
+    }
+
+    /// Region of an actor.
+    pub fn region(&self, a: ActorId) -> usize {
+        self.region_of[a.index()]
+    }
+
+    /// Re-maps an actor to a different region (used by regime-shift
+    /// experiments where a replica "moves" / degrades).
+    pub fn set_region(&mut self, a: ActorId, region: usize) {
+        assert!(region < self.base.len());
+        self.region_of[a.index()] = region;
+    }
+
+    /// The base one-way delay between two actors.
+    pub fn base_delay(&self, from: ActorId, to: ActorId) -> Nanos {
+        if from == to {
+            return self.floor;
+        }
+        self.base[self.region(from)][self.region(to)].max(self.floor)
+    }
+}
+
+impl LatencyModel for WanMatrix {
+    fn sample(&mut self, from: ActorId, to: ActorId, _: Time, rng: &mut StdRng) -> Nanos {
+        let base = self.base_delay(from, to) as f64;
+        let j = if self.jitter > 0.0 {
+            rng.random_range(-self.jitter..=self.jitter)
+        } else {
+            0.0
+        };
+        (base * (1.0 + j)).max(1.0) as Nanos
+    }
+}
+
+/// A shared, mutable handle to a latency model: clone one side into the
+/// world, keep the other to mutate the model mid-run (regime shifts).
+///
+/// # Examples
+///
+/// ```
+/// use awr_sim::{shared_latency, ConstantLatency};
+///
+/// let (handle, model) = shared_latency(ConstantLatency(10));
+/// // give `model` to World::new(..); later:
+/// handle.lock().0 = 500; // the network just got 50× slower
+/// # drop(model);
+/// ```
+pub type SharedLatency<L> = std::sync::Arc<parking_lot::Mutex<L>>;
+
+/// Creates a shared latency model; both values refer to the same state.
+pub fn shared_latency<L: LatencyModel>(inner: L) -> (SharedLatency<L>, SharedLatency<L>) {
+    let a = std::sync::Arc::new(parking_lot::Mutex::new(inner));
+    (a.clone(), a)
+}
+
+impl<L: LatencyModel> LatencyModel for SharedLatency<L> {
+    fn sample(&mut self, from: ActorId, to: ActorId, now: Time, rng: &mut StdRng) -> Nanos {
+        self.lock().sample(from, to, now, rng)
+    }
+}
+
+/// Decorator that multiplies delays touching a set of "slow" actors —
+/// models degraded replicas for the E7/E9 experiments.
+pub struct SlowActors<L> {
+    inner: L,
+    slow: Vec<ActorId>,
+    factor: u64,
+}
+
+impl<L: LatencyModel> SlowActors<L> {
+    /// Wraps `inner`, multiplying delays from/to any actor in `slow` by
+    /// `factor`.
+    pub fn new(inner: L, slow: Vec<ActorId>, factor: u64) -> SlowActors<L> {
+        SlowActors {
+            inner,
+            slow,
+            factor,
+        }
+    }
+
+    /// Replaces the slow set (regime shift mid-run).
+    pub fn set_slow(&mut self, slow: Vec<ActorId>) {
+        self.slow = slow;
+    }
+}
+
+impl<L: LatencyModel> LatencyModel for SlowActors<L> {
+    fn sample(&mut self, from: ActorId, to: ActorId, now: Time, rng: &mut StdRng) -> Nanos {
+        let base = self.inner.sample(from, to, now, rng);
+        if self.slow.contains(&from) || self.slow.contains(&to) {
+            base.saturating_mul(self.factor)
+        } else {
+            base
+        }
+    }
+}
+
+/// Decorator that delays every message matching a predicate until at least
+/// a release time — an *adversary* in the formal sense: it controls
+/// scheduling but must keep links reliable (messages are delayed, never
+/// dropped). Used to stall a Paxos leader (E9) or force stale reads.
+pub struct TargetedDelay<L> {
+    inner: L,
+    /// `(from, to) -> should delay`.
+    pred: Box<dyn Fn(ActorId, ActorId) -> bool + Send>,
+    /// Messages matching the predicate are held until this virtual time.
+    release_at: Time,
+}
+
+impl<L: LatencyModel> TargetedDelay<L> {
+    /// Wraps `inner`; messages with `pred(from, to)` are delivered no
+    /// earlier than `release_at`.
+    pub fn new(
+        inner: L,
+        pred: impl Fn(ActorId, ActorId) -> bool + Send + 'static,
+        release_at: Time,
+    ) -> TargetedDelay<L> {
+        TargetedDelay {
+            inner,
+            pred: Box::new(pred),
+            release_at,
+        }
+    }
+}
+
+impl<L: LatencyModel> LatencyModel for TargetedDelay<L> {
+    fn sample(&mut self, from: ActorId, to: ActorId, now: Time, rng: &mut StdRng) -> Nanos {
+        let base = self.inner.sample(from, to, now, rng);
+        if (self.pred)(from, to) {
+            let held = self.release_at - now; // saturating
+            base.max(held)
+        } else {
+            base
+        }
+    }
+}
+
+/// Decorator implementing a temporary partition between two groups: until
+/// `heal_at`, cross-group messages are held back; after healing everything
+/// flows normally. Reliability is preserved (the model never drops).
+pub struct HealingPartition<L> {
+    inner: L,
+    group_a: Vec<ActorId>,
+    heal_at: Time,
+}
+
+impl<L: LatencyModel> HealingPartition<L> {
+    /// Partitions `group_a` from everyone else until `heal_at`.
+    pub fn new(inner: L, group_a: Vec<ActorId>, heal_at: Time) -> HealingPartition<L> {
+        HealingPartition {
+            inner,
+            group_a,
+            heal_at,
+        }
+    }
+}
+
+impl<L: LatencyModel> LatencyModel for HealingPartition<L> {
+    fn sample(&mut self, from: ActorId, to: ActorId, now: Time, rng: &mut StdRng) -> Nanos {
+        let base = self.inner.sample(from, to, now, rng);
+        let crosses = self.group_a.contains(&from) != self.group_a.contains(&to);
+        if crosses && now < self.heal_at {
+            base.max(self.heal_at - now)
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn a(i: usize) -> ActorId {
+        ActorId(i)
+    }
+
+    #[test]
+    fn constant_latency() {
+        let mut m = ConstantLatency(5);
+        assert_eq!(m.sample(a(0), a(1), Time::ZERO, &mut rng()), 5);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut m = UniformLatency::new(10, 20);
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = m.sample(a(0), a(1), Time::ZERO, &mut r);
+            assert!((10..=20).contains(&d));
+        }
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let mut m1 = UniformLatency::new(0, 1000);
+        let mut m2 = UniformLatency::new(0, 1000);
+        let (mut r1, mut r2) = (rng(), rng());
+        for _ in 0..50 {
+            assert_eq!(
+                m1.sample(a(0), a(1), Time::ZERO, &mut r1),
+                m2.sample(a(0), a(1), Time::ZERO, &mut r2)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn uniform_bad_bounds() {
+        let _ = UniformLatency::new(5, 1);
+    }
+
+    #[test]
+    fn wan_matrix_regions() {
+        // Two regions, 40 ms apart; actors 0,1 in region 0, actor 2 in 1.
+        let m = vec![vec![0, 40 * MILLI], vec![40 * MILLI, 0]];
+        let mut wan = WanMatrix::new(m, vec![0, 0, 1], 0.0);
+        let mut r = rng();
+        let cross = wan.sample(a(0), a(2), Time::ZERO, &mut r);
+        let local = wan.sample(a(0), a(1), Time::ZERO, &mut r);
+        assert_eq!(cross, 40 * MILLI);
+        assert!(local < cross);
+        wan.set_region(a(2), 0);
+        let now_local = wan.sample(a(0), a(2), Time::ZERO, &mut r);
+        assert!(now_local < cross);
+    }
+
+    #[test]
+    fn slow_actors_multiply() {
+        let mut m = SlowActors::new(ConstantLatency(10), vec![a(1)], 10);
+        let mut r = rng();
+        assert_eq!(m.sample(a(0), a(1), Time::ZERO, &mut r), 100);
+        assert_eq!(m.sample(a(1), a(0), Time::ZERO, &mut r), 100);
+        assert_eq!(m.sample(a(0), a(2), Time::ZERO, &mut r), 10);
+        m.set_slow(vec![]);
+        assert_eq!(m.sample(a(0), a(1), Time::ZERO, &mut r), 10);
+    }
+
+    #[test]
+    fn targeted_delay_holds_until_release() {
+        let release = Time(1000);
+        let mut m = TargetedDelay::new(ConstantLatency(10), |f, _| f == ActorId(0), release);
+        let mut r = rng();
+        // At t=0, messages from a0 are held ~1000ns.
+        assert_eq!(m.sample(a(0), a(1), Time::ZERO, &mut r), 1000);
+        // Other senders unaffected.
+        assert_eq!(m.sample(a(1), a(0), Time::ZERO, &mut r), 10);
+        // After release, no extra delay.
+        assert_eq!(m.sample(a(0), a(1), Time(2000), &mut r), 10);
+    }
+
+    #[test]
+    fn partition_heals() {
+        let mut m = HealingPartition::new(ConstantLatency(10), vec![a(0)], Time(500));
+        let mut r = rng();
+        assert_eq!(m.sample(a(0), a(1), Time::ZERO, &mut r), 500);
+        assert_eq!(m.sample(a(1), a(2), Time::ZERO, &mut r), 10); // same side
+        assert_eq!(m.sample(a(0), a(1), Time(600), &mut r), 10); // healed
+    }
+}
+
+/// Decorator that makes every link FIFO: per (from, to) pair, deliveries
+/// never overtake. The base model still decides raw delays; this clamps
+/// each arrival to be no earlier than the previous arrival on the link.
+/// The paper's model (§II) does not assume FIFO links, so the default
+/// everywhere is non-FIFO; this exists to measure how much protocol
+/// behaviour depends on reordering (none, for safety — that is the point).
+pub struct FifoLinks<L> {
+    inner: L,
+    last_arrival: std::collections::HashMap<(ActorId, ActorId), Time>,
+}
+
+impl<L: LatencyModel> FifoLinks<L> {
+    /// Wraps `inner` with per-link FIFO enforcement.
+    pub fn new(inner: L) -> FifoLinks<L> {
+        FifoLinks {
+            inner,
+            last_arrival: std::collections::HashMap::new(),
+        }
+    }
+}
+
+impl<L: LatencyModel> LatencyModel for FifoLinks<L> {
+    fn sample(&mut self, from: ActorId, to: ActorId, now: Time, rng: &mut StdRng) -> Nanos {
+        let raw = self.inner.sample(from, to, now, rng);
+        let arrival = now + raw;
+        let entry = self.last_arrival.entry((from, to)).or_insert(Time::ZERO);
+        let fifo_arrival = if arrival > *entry { arrival } else { *entry + 1 };
+        *entry = fifo_arrival;
+        fifo_arrival - now
+    }
+}
+
+#[cfg(test)]
+mod fifo_tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrivals_never_overtake() {
+        let mut m = FifoLinks::new(UniformLatency::new(1, 1_000_000));
+        let mut rng = StdRng::seed_from_u64(1);
+        let (a, b) = (ActorId(0), ActorId(1));
+        let mut last = 0u64;
+        for k in 0..200u64 {
+            let now = Time(k); // sends 1 ns apart
+            let d = m.sample(a, b, now, &mut rng);
+            let arrival = now.nanos() + d;
+            assert!(arrival > last, "message overtook at k={k}");
+            last = arrival;
+        }
+        // Other links are independent.
+        let d = m.sample(b, a, Time(0), &mut rng);
+        assert!(d >= 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! A real-threads runtime for the same [`Actor`] trait.
+//!
+//! The discrete-event [`crate::World`] is the reference environment (it is
+//! deterministic and supports adversaries), but wall-clock benchmarks want
+//! actual parallelism. [`ThreadedSystem`] runs each actor on its own thread
+//! connected by crossbeam channels. Message delivery is FIFO per link and
+//! as fast as the OS allows; there is no virtual time and timers are not
+//! supported (none of the paper's protocols need them).
+
+use std::any::Any;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::actor::{Actor, ActorId, Context, Effect, Message};
+
+enum Envelope<M> {
+    Msg { from: ActorId, msg: M },
+    Stop,
+}
+
+type Channel<M> = (Sender<Envelope<M>>, Receiver<Envelope<M>>);
+type Callback<'cb, M> = dyn FnMut(&mut dyn Actor<Msg = M>, &mut Context<'_, M>) + 'cb;
+
+/// A running threaded actor system.
+///
+/// # Examples
+///
+/// ```
+/// use awr_sim::{Actor, ActorId, Context, Message, ThreadedSystem};
+///
+/// #[derive(Clone, Debug)]
+/// struct Inc(u64);
+/// impl Message for Inc {}
+///
+/// struct Counter { total: u64 }
+/// impl Actor for Counter {
+///     type Msg = Inc;
+///     fn on_message(&mut self, _f: ActorId, m: Inc, _c: &mut Context<'_, Inc>) {
+///         self.total += m.0;
+///     }
+///     fn as_any(&self) -> &dyn std::any::Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+/// }
+///
+/// let sys = ThreadedSystem::spawn(vec![Counter { total: 0 }], 1);
+/// for _ in 0..100 { sys.inject(ActorId(0), ActorId(0), Inc(1)); }
+/// let actors = sys.shutdown();
+/// assert_eq!(actors[0].as_any().downcast_ref::<Counter>().unwrap().total, 100);
+/// ```
+pub struct ThreadedSystem<M: Message> {
+    senders: Vec<Sender<Envelope<M>>>,
+    handles: Vec<JoinHandle<Box<dyn Actor<Msg = M> + Send>>>,
+}
+
+impl<M: Message + Send> ThreadedSystem<M> {
+    /// Spawns one thread per actor. `on_start` runs on each thread before
+    /// any delivery.
+    pub fn spawn<A>(actors: Vec<A>, seed: u64) -> ThreadedSystem<M>
+    where
+        A: Actor<Msg = M> + Send,
+    {
+        let boxed: Vec<Box<dyn Actor<Msg = M> + Send>> = actors
+            .into_iter()
+            .map(|a| Box::new(a) as Box<dyn Actor<Msg = M> + Send>)
+            .collect();
+        Self::spawn_boxed(boxed, seed)
+    }
+
+    /// Spawns heterogeneous actors (e.g. servers and clients).
+    pub fn spawn_boxed(
+        actors: Vec<Box<dyn Actor<Msg = M> + Send>>,
+        seed: u64,
+    ) -> ThreadedSystem<M> {
+        let n = actors.len();
+        let channels: Vec<Channel<M>> = (0..n).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Envelope<M>>> = channels.iter().map(|(s, _)| s.clone()).collect();
+
+        let mut handles = Vec::with_capacity(n);
+        for (i, (mut actor, (_, rx))) in actors.into_iter().zip(channels).enumerate() {
+            let peer_senders = senders.clone();
+            let handle = std::thread::spawn(move || {
+                let self_id = ActorId(i);
+                let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E3779B9));
+                let mut next_timer = 0u64;
+                let mut run_cb = |actor: &mut Box<dyn Actor<Msg = M> + Send>,
+                                  cb: &mut Callback<'_, M>| {
+                    let mut effects: Vec<Effect<M>> = Vec::new();
+                    {
+                        let mut ctx = Context {
+                            now: crate::time::Time::ZERO,
+                            self_id,
+                            n_actors: n,
+                            rng: &mut rng,
+                            effects: &mut effects,
+                            next_timer: &mut next_timer,
+                        };
+                        cb(actor.as_mut(), &mut ctx);
+                    }
+                    let mut crash = false;
+                    for e in effects {
+                        match e {
+                            Effect::Send { to, msg } => {
+                                // A send to a stopped peer is a dropped
+                                // message, matching the crash model.
+                                let _ = peer_senders[to.index()]
+                                    .send(Envelope::Msg { from: self_id, msg });
+                            }
+                            Effect::SetTimer { .. } | Effect::CancelTimer { .. } => {
+                                // Timers are a DES-only facility.
+                            }
+                            Effect::CrashSelf => crash = true,
+                        }
+                    }
+                    crash
+                };
+
+                let mut crashed = run_cb(&mut actor, &mut |a, ctx| a.on_start(ctx));
+                while !crashed {
+                    match rx.recv() {
+                        Ok(Envelope::Msg { from, msg }) => {
+                            crashed = run_cb(&mut actor, &mut |a, ctx| {
+                                a.on_message(from, msg.clone(), ctx)
+                            });
+                        }
+                        Ok(Envelope::Stop) | Err(_) => break,
+                    }
+                }
+                // Drain silently after crash/stop until Stop arrives so
+                // senders never block (channels are unbounded anyway).
+                actor
+            });
+            handles.push(handle);
+        }
+
+        ThreadedSystem { senders, handles }
+    }
+
+    /// Number of actors.
+    pub fn n_actors(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Injects a message as if sent by `from`.
+    pub fn inject(&self, from: ActorId, to: ActorId, msg: M) {
+        let _ = self.senders[to.index()].send(Envelope::Msg { from, msg });
+    }
+
+    /// Stops all actors after their queued messages *before the stop marker*
+    /// are processed, then joins and returns them for inspection.
+    pub fn shutdown(self) -> Vec<Box<dyn Actor<Msg = M> + Send>> {
+        for s in &self.senders {
+            let _ = s.send(Envelope::Stop);
+        }
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("actor thread panicked"))
+            .collect()
+    }
+}
+
+/// Convenience: downcasts a boxed actor returned by
+/// [`ThreadedSystem::shutdown`].
+pub fn downcast_actor<T: 'static, M: Message>(b: &dyn Actor<Msg = M>) -> Option<&T> {
+    let any: &dyn Any = b.as_any();
+    any.downcast_ref::<T>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::Context;
+
+    #[derive(Clone, Debug)]
+    enum M2 {
+        Hit,
+        Report,
+        Count(u64),
+    }
+    impl Message for M2 {}
+
+    struct CounterActor {
+        hits: u64,
+        reported: Option<u64>,
+    }
+
+    impl Actor for CounterActor {
+        type Msg = M2;
+        fn on_message(&mut self, from: ActorId, msg: M2, ctx: &mut Context<'_, M2>) {
+            match msg {
+                M2::Hit => self.hits += 1,
+                M2::Report => ctx.send(from, M2::Count(self.hits)),
+                M2::Count(c) => self.reported = Some(c),
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn threaded_messages_flow() {
+        let sys = ThreadedSystem::spawn(
+            vec![
+                CounterActor {
+                    hits: 0,
+                    reported: None,
+                },
+                CounterActor {
+                    hits: 0,
+                    reported: None,
+                },
+            ],
+            9,
+        );
+        for _ in 0..1000 {
+            sys.inject(ActorId(1), ActorId(0), M2::Hit);
+        }
+        // Ask actor 0 to report back to actor 1 (FIFO per channel ensures
+        // the report question arrives after all hits).
+        sys.inject(ActorId(1), ActorId(0), M2::Report);
+        // Give the report time to land.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let actors = sys.shutdown();
+        let a0 = downcast_actor::<CounterActor, M2>(actors[0].as_ref()).unwrap();
+        assert_eq!(a0.hits, 1000);
+        let a1 = downcast_actor::<CounterActor, M2>(actors[1].as_ref()).unwrap();
+        assert_eq!(a1.reported, Some(1000));
+    }
+
+    #[test]
+    fn shutdown_without_traffic() {
+        let sys = ThreadedSystem::spawn(
+            vec![CounterActor {
+                hits: 0,
+                reported: None,
+            }],
+            1,
+        );
+        let actors = sys.shutdown();
+        assert_eq!(actors.len(), 1);
+    }
+}

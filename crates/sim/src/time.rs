@@ -1,0 +1,98 @@
+//! Virtual time.
+//!
+//! The simulator's clock is a `u64` nanosecond counter starting at zero. The
+//! paper's model assumes a global clock not accessible to processes (§II);
+//! accordingly, actors never read [`Time`] to make protocol decisions — it
+//! exists for the harness, the metrics, and the auditors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time (nanoseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of virtual time in nanoseconds.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICRO: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MILLI: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SECOND: Nanos = 1_000_000_000;
+
+impl Time {
+    /// The origin of virtual time.
+    pub const ZERO: Time = Time(0);
+
+    /// Nanoseconds since simulation start.
+    pub fn nanos(&self) -> Nanos {
+        self.0
+    }
+
+    /// Fractional milliseconds, for reporting.
+    pub fn as_millis_f64(&self) -> f64 {
+        self.0 as f64 / MILLI as f64
+    }
+}
+
+impl Add<Nanos> for Time {
+    type Output = Time;
+    fn add(self, d: Nanos) -> Time {
+        Time(self.0.saturating_add(d))
+    }
+}
+
+impl AddAssign<Nanos> for Time {
+    fn add_assign(&mut self, d: Nanos) {
+        self.0 = self.0.saturating_add(d);
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Nanos;
+    /// Elapsed nanoseconds; saturates at zero if `rhs` is later.
+    fn sub(self, rhs: Time) -> Nanos {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::ZERO + 5 * MILLI;
+        assert_eq!(t.nanos(), 5_000_000);
+        assert_eq!(t - Time::ZERO, 5 * MILLI);
+        assert_eq!(Time::ZERO - t, 0); // saturating
+        let mut u = t;
+        u += MILLI;
+        assert_eq!(u.as_millis_f64(), 6.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time(1) < Time(2));
+        assert_eq!(Time::default(), Time::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Time(1_500_000)), "t=1.500ms");
+    }
+}

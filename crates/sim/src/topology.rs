@@ -1,0 +1,139 @@
+//! Wide-area topology presets.
+//!
+//! The paper motivates weighted quorums with geo-replication (WHEAT [20],
+//! AWARE [10]): replicas in different regions see very different quorum
+//! latencies. These presets encode a five-region planet-scale matrix with
+//! one-way delays in the ballpark of public-cloud inter-region RTTs, which
+//! is all the experiments need — only the *shape* (heterogeneity) matters.
+
+use crate::network::WanMatrix;
+use crate::time::{Nanos, MILLI};
+
+/// A named region of the five-region preset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// North America (east).
+    Virginia,
+    /// Europe (west).
+    Ireland,
+    /// South America (east).
+    SaoPaulo,
+    /// Asia-Pacific (north-east).
+    Tokyo,
+    /// Asia-Pacific (south-east).
+    Sydney,
+}
+
+impl Region {
+    /// All regions, index-aligned with [`five_region_matrix`].
+    pub const ALL: [Region; 5] = [
+        Region::Virginia,
+        Region::Ireland,
+        Region::SaoPaulo,
+        Region::Tokyo,
+        Region::Sydney,
+    ];
+
+    /// The row/column index of this region in [`five_region_matrix`].
+    pub fn index(&self) -> usize {
+        Region::ALL.iter().position(|r| r == self).unwrap()
+    }
+}
+
+/// One-way delay matrix (nanoseconds) between the five preset regions.
+/// Derived from typical public-cloud RTT/2 figures; symmetric.
+pub fn five_region_matrix() -> Vec<Vec<Nanos>> {
+    // ms one-way:         VA    IE    SP    TK    SY
+    let ms: [[u64; 5]; 5] = [
+        [1, 38, 60, 73, 98],   // Virginia
+        [38, 1, 92, 106, 132], // Ireland
+        [60, 92, 1, 128, 160], // São Paulo
+        [73, 106, 128, 1, 52], // Tokyo
+        [98, 132, 160, 52, 1], // Sydney
+    ];
+    ms.iter()
+        .map(|row| row.iter().map(|&m| m * MILLI).collect())
+        .collect()
+}
+
+/// A WAN model placing `n` actors round-robin across the five regions with
+/// the given jitter fraction. Actor `i` goes to region `i % 5`.
+pub fn five_region_wan(n: usize, jitter: f64) -> WanMatrix {
+    let region_of = (0..n).map(|i| i % 5).collect();
+    WanMatrix::new(five_region_matrix(), region_of, jitter)
+}
+
+/// A WAN model with an explicit actor→region placement.
+pub fn five_region_wan_with_placement(placement: &[Region], jitter: f64) -> WanMatrix {
+    let region_of = placement.iter().map(|r| r.index()).collect();
+    WanMatrix::new(five_region_matrix(), region_of, jitter)
+}
+
+/// Per-actor mean one-way delay to every other actor — the "how slow does
+/// this replica look" score a monitoring system would estimate.
+pub fn mean_delay_profile(wan: &WanMatrix, n: usize) -> Vec<f64> {
+    use crate::actor::ActorId;
+    (0..n)
+        .map(|i| {
+            let me = ActorId(i);
+            let total: u128 = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| wan.base_delay(me, ActorId(j)) as u128)
+                .sum();
+            total as f64 / (n - 1).max(1) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::ActorId;
+
+    #[test]
+    fn matrix_is_square_and_symmetric() {
+        let m = five_region_matrix();
+        assert_eq!(m.len(), 5);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row.len(), 5);
+            for (j, &cell) in row.iter().enumerate() {
+                assert_eq!(cell, m[j][i], "asymmetric at {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn region_indices() {
+        for (i, r) in Region::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn round_robin_placement() {
+        let wan = five_region_wan(7, 0.0);
+        // Actors 0 and 5 share region Virginia → near-local delay.
+        assert!(wan.base_delay(ActorId(0), ActorId(5)) < 5 * MILLI);
+        // Actor 0 (VA) to actor 4 (Sydney) is the long haul.
+        assert_eq!(wan.base_delay(ActorId(0), ActorId(4)), 98 * MILLI);
+    }
+
+    #[test]
+    fn explicit_placement() {
+        let wan = five_region_wan_with_placement(&[Region::Tokyo, Region::Sydney], 0.0);
+        assert_eq!(wan.base_delay(ActorId(0), ActorId(1)), 52 * MILLI);
+    }
+
+    #[test]
+    fn delay_profile_orders_regions() {
+        // With one actor per region, São Paulo and Sydney are the loneliest.
+        let wan = five_region_wan(5, 0.0);
+        let prof = mean_delay_profile(&wan, 5);
+        assert_eq!(prof.len(), 5);
+        let va = prof[0];
+        let sp = prof[2];
+        let sy = prof[4];
+        assert!(va < sp, "Virginia should be better connected than São Paulo");
+        assert!(va < sy);
+    }
+}

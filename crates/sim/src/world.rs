@@ -1,0 +1,566 @@
+//! The deterministic discrete-event world.
+//!
+//! [`World`] owns the actors, the event queue, the network model, and a
+//! seeded RNG. Every run with the same seed, actors, and latency model
+//! replays the exact same schedule — the property all experiment harnesses
+//! and failure-injection tests rely on.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::actor::{Actor, ActorId, Context, Effect, Message, TimerId};
+use crate::metrics::Metrics;
+use crate::network::LatencyModel;
+use crate::time::{Nanos, Time};
+use crate::trace::{Trace, TraceKind};
+
+/// A scheduled occurrence.
+#[derive(Debug)]
+enum EventKind<M> {
+    Start(ActorId),
+    Deliver { from: ActorId, to: ActorId, msg: M },
+    Timer { actor: ActorId, id: TimerId, tag: u64 },
+    Crash(ActorId),
+}
+
+struct QueuedEvent<M> {
+    at: Time,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Time first, then insertion sequence: a deterministic total order.
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation of an asynchronous
+/// message-passing system.
+///
+/// # Examples
+///
+/// ```
+/// use awr_sim::{Actor, ActorId, ConstantLatency, Context, Message, World};
+///
+/// #[derive(Clone, Debug)]
+/// struct Ping(u32);
+/// impl Message for Ping {}
+///
+/// /// Forwards a counter around the ring until it reaches 10.
+/// struct Node { last: u32 }
+/// impl Actor for Node {
+///     type Msg = Ping;
+///     fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+///         if ctx.id() == ActorId(0) {
+///             ctx.send(ActorId(1), Ping(1));
+///         }
+///     }
+///     fn on_message(&mut self, _from: ActorId, msg: Ping, ctx: &mut Context<'_, Ping>) {
+///         self.last = msg.0;
+///         if msg.0 < 10 {
+///             let next = ActorId((ctx.id().index() + 1) % ctx.n_actors());
+///             ctx.send(next, Ping(msg.0 + 1));
+///         }
+///     }
+///     fn as_any(&self) -> &dyn std::any::Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+/// }
+///
+/// let mut world = World::new(7, ConstantLatency(1_000));
+/// world.add_actor(Node { last: 0 });
+/// world.add_actor(Node { last: 0 });
+/// world.run_to_quiescence();
+/// let max = (0..2).map(|i| world.actor::<Node>(ActorId(i)).unwrap().last).max();
+/// assert_eq!(max, Some(10));
+/// ```
+pub struct World<M: Message> {
+    time: Time,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QueuedEvent<M>>>,
+    actors: Vec<Box<dyn Actor<Msg = M>>>,
+    crashed: Vec<bool>,
+    started: bool,
+    network: Box<dyn LatencyModel>,
+    rng: StdRng,
+    next_timer: u64,
+    cancelled_timers: HashSet<TimerId>,
+    metrics: Metrics,
+    trace: Option<Trace>,
+    /// Hard cap on processed events, a runaway-protocol guard.
+    event_limit: u64,
+}
+
+impl<M: Message> World<M> {
+    /// Creates a world with the given RNG seed and network model.
+    pub fn new(seed: u64, network: impl LatencyModel + 'static) -> World<M> {
+        World {
+            time: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            actors: Vec::new(),
+            crashed: Vec::new(),
+            started: false,
+            network: Box::new(network),
+            rng: StdRng::seed_from_u64(seed),
+            next_timer: 0,
+            cancelled_timers: HashSet::new(),
+            metrics: Metrics::default(),
+            trace: None,
+            event_limit: 50_000_000,
+        }
+    }
+
+    /// Enables execution tracing with the given ring-buffer capacity.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Adds an actor, returning its id. Must be called before the first
+    /// [`World::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world has already started running.
+    pub fn add_actor(&mut self, actor: impl Actor<Msg = M>) -> ActorId {
+        assert!(!self.started, "cannot add actors after the world started");
+        let id = ActorId(self.actors.len());
+        self.actors.push(Box::new(actor));
+        self.crashed.push(false);
+        self.push_event(Time::ZERO, EventKind::Start(id));
+        id
+    }
+
+    /// Number of actors.
+    pub fn n_actors(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.time
+    }
+
+    /// Run metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Overrides the runaway-event guard (default 50 M events).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Schedules actor `a` to crash at virtual time `at`. Crashed actors
+    /// receive no further callbacks; in-flight messages to them are dropped
+    /// on delivery (equivalent, in the crash model, to never processing
+    /// them).
+    pub fn schedule_crash(&mut self, a: ActorId, at: Time) {
+        self.push_event(at, EventKind::Crash(a));
+    }
+
+    /// Crashes actor `a` immediately.
+    pub fn crash_now(&mut self, a: ActorId) {
+        self.crashed[a.index()] = true;
+    }
+
+    /// Returns `true` if `a` has crashed.
+    pub fn is_crashed(&self, a: ActorId) -> bool {
+        self.crashed[a.index()]
+    }
+
+    /// Injects a message from `from` to `to` as if `from` had sent it now.
+    /// Useful for harness-driven stimuli.
+    pub fn inject(&mut self, from: ActorId, to: ActorId, msg: M) {
+        let delay = self.network.sample(from, to, self.time, &mut self.rng);
+        self.metrics.record_send(msg.kind());
+        self.push_event(self.time + delay, EventKind::Deliver { from, to, msg });
+    }
+
+    /// Immutable typed access to an actor's state (post-run inspection).
+    pub fn actor<T: Actor<Msg = M>>(&self, id: ActorId) -> Option<&T> {
+        self.actors.get(id.index())?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable typed access to an actor's state.
+    pub fn actor_mut<T: Actor<Msg = M>>(&mut self, id: ActorId) -> Option<&mut T> {
+        self.actors
+            .get_mut(id.index())?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Calls `f` with a [`Context`] on behalf of actor `id` — the harness
+    /// hook to start client operations mid-run (e.g. "invoke a read now").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn with_actor_ctx<T: Actor<Msg = M>, R>(
+        &mut self,
+        id: ActorId,
+        f: impl FnOnce(&mut T, &mut Context<'_, M>) -> R,
+    ) -> R {
+        let n_actors = self.actors.len();
+        let mut effects = Vec::new();
+        let mut ctx = Context {
+            now: self.time,
+            self_id: id,
+            n_actors,
+            rng: &mut self.rng,
+            effects: &mut effects,
+            next_timer: &mut self.next_timer,
+        };
+        let actor = self.actors[id.index()]
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("actor type mismatch in with_actor_ctx");
+        let r = f(actor, &mut ctx);
+        self.apply_effects(id, effects);
+        r
+    }
+
+    fn push_event(&mut self, at: Time, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+    }
+
+    fn apply_effects(&mut self, from: ActorId, effects: Vec<Effect<M>>) {
+        for e in effects {
+            match e {
+                Effect::Send { to, msg } => {
+                    let delay = self.network.sample(from, to, self.time, &mut self.rng);
+                    self.metrics.record_send(msg.kind());
+                    self.push_event(self.time + delay, EventKind::Deliver { from, to, msg });
+                }
+                Effect::SetTimer { id, after, tag } => {
+                    self.push_event(
+                        self.time + after,
+                        EventKind::Timer {
+                            actor: from,
+                            id,
+                            tag,
+                        },
+                    );
+                }
+                Effect::CancelTimer { id } => {
+                    self.cancelled_timers.insert(id);
+                }
+                Effect::CrashSelf => {
+                    self.crashed[from.index()] = true;
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, to: ActorId, cb: impl FnOnce(&mut dyn Actor<Msg = M>, &mut Context<'_, M>)) {
+        if self.crashed[to.index()] {
+            return;
+        }
+        let n_actors = self.actors.len();
+        let mut effects = Vec::new();
+        {
+            let mut ctx = Context {
+                now: self.time,
+                self_id: to,
+                n_actors,
+                rng: &mut self.rng,
+                effects: &mut effects,
+                next_timer: &mut self.next_timer,
+            };
+            cb(self.actors[to.index()].as_mut(), &mut ctx);
+        }
+        self.apply_effects(to, effects);
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event limit is exceeded (runaway protocol).
+    pub fn step(&mut self) -> bool {
+        self.started = true;
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        assert!(
+            self.metrics.events_processed < self.event_limit,
+            "event limit exceeded ({}) — runaway protocol?",
+            self.event_limit
+        );
+        self.metrics.events_processed += 1;
+        debug_assert!(ev.at >= self.time, "time went backwards");
+        self.time = ev.at;
+        self.metrics.last_time = self.time;
+        match ev.kind {
+            EventKind::Start(a) => {
+                self.dispatch(a, |actor, ctx| actor.on_start(ctx));
+            }
+            EventKind::Deliver { from, to, msg } => {
+                if self.crashed[to.index()] {
+                    self.metrics.messages_dropped_crashed += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record(
+                            self.time,
+                            TraceKind::DropCrashed {
+                                from,
+                                to,
+                                kind: msg.kind(),
+                            },
+                        );
+                    }
+                } else {
+                    self.metrics.messages_delivered += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record(
+                            self.time,
+                            TraceKind::Deliver {
+                                from,
+                                to,
+                                kind: msg.kind(),
+                            },
+                        );
+                    }
+                    self.dispatch(to, |actor, ctx| actor.on_message(from, msg, ctx));
+                }
+            }
+            EventKind::Timer { actor, id, tag } => {
+                if self.cancelled_timers.remove(&id) {
+                    // cancelled; skip
+                } else if !self.crashed[actor.index()] {
+                    self.metrics.timers_fired += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record(self.time, TraceKind::Timer { actor, tag });
+                    }
+                    self.dispatch(actor, |a, ctx| a.on_timer(tag, ctx));
+                }
+            }
+            EventKind::Crash(a) => {
+                self.crashed[a.index()] = true;
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(self.time, TraceKind::Crash { actor: a });
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until the event queue drains. Returns the metrics summary.
+    pub fn run_to_quiescence(&mut self) -> &Metrics {
+        while self.step() {}
+        self.metrics()
+    }
+
+    /// Runs until `pred(self)` is true or the queue drains. Returns `true`
+    /// if the predicate was satisfied.
+    pub fn run_until(&mut self, mut pred: impl FnMut(&World<M>) -> bool) -> bool {
+        loop {
+            if pred(self) {
+                return true;
+            }
+            if !self.step() {
+                return pred(self);
+            }
+        }
+    }
+
+    /// Runs until virtual time reaches `deadline` or the queue drains.
+    pub fn run_for(&mut self, duration: Nanos) {
+        let deadline = self.time + duration;
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.at <= deadline => {
+                    self.step();
+                }
+                _ => {
+                    self.time = deadline;
+                    self.metrics.last_time = deadline;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{ConstantLatency, UniformLatency};
+    use std::any::Any;
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Ping(u64),
+        Pong(u64),
+    }
+    impl Message for Msg {
+        fn kind(&self) -> &'static str {
+            match self {
+                Msg::Ping(_) => "ping",
+                Msg::Pong(_) => "pong",
+            }
+        }
+    }
+
+    /// Sends a ping to everyone on start; replies pong to pings.
+    struct Echo {
+        pongs: Vec<u64>,
+        fired_tags: Vec<u64>,
+    }
+
+    impl Echo {
+        fn new() -> Echo {
+            Echo {
+                pongs: Vec::new(),
+                fired_tags: Vec::new(),
+            }
+        }
+    }
+
+    impl Actor for Echo {
+        type Msg = Msg;
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if ctx.id() == ActorId(0) {
+                let n = ctx.n_actors();
+                let targets: Vec<ActorId> = (0..n).map(ActorId).collect();
+                ctx.send_to_all(targets, Msg::Ping(7));
+            }
+        }
+        fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            match msg {
+                Msg::Ping(x) => ctx.send(from, Msg::Pong(x)),
+                Msg::Pong(x) => self.pongs.push(x),
+            }
+        }
+        fn on_timer(&mut self, tag: u64, _ctx: &mut Context<'_, Msg>) {
+            self.fired_tags.push(tag);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn world_with(n: usize, seed: u64) -> World<Msg> {
+        let mut w = World::new(seed, UniformLatency::new(1, 1000));
+        for _ in 0..n {
+            w.add_actor(Echo::new());
+        }
+        w
+    }
+
+    #[test]
+    fn ping_pong_all() {
+        let mut w = world_with(5, 1);
+        w.run_to_quiescence();
+        let a0 = w.actor::<Echo>(ActorId(0)).unwrap();
+        assert_eq!(a0.pongs.len(), 5); // includes self
+        assert_eq!(w.metrics().sent_of_kind("ping"), 5);
+        assert_eq!(w.metrics().sent_of_kind("pong"), 5);
+        assert_eq!(w.metrics().messages_delivered, 10);
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let run = |seed| {
+            let mut w = world_with(6, seed);
+            w.run_to_quiescence();
+            (w.now(), w.metrics().messages_delivered)
+        };
+        assert_eq!(run(42), run(42));
+        // Different seeds virtually always give different final times.
+        assert_ne!(run(42).0, run(43).0);
+    }
+
+    #[test]
+    fn crashed_actor_receives_nothing() {
+        let mut w = world_with(4, 2);
+        w.schedule_crash(ActorId(3), Time::ZERO);
+        w.run_to_quiescence();
+        let crashed = w.actor::<Echo>(ActorId(3)).unwrap();
+        assert!(crashed.pongs.is_empty());
+        assert!(w.is_crashed(ActorId(3)));
+        assert!(w.metrics().messages_dropped_crashed > 0);
+        // a0 gets pongs only from the 3 live actors.
+        let a0 = w.actor::<Echo>(ActorId(0)).unwrap();
+        assert_eq!(a0.pongs.len(), 3);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel() {
+        let mut w: World<Msg> = World::new(3, ConstantLatency(10));
+        w.add_actor(Echo::new());
+        let cancel_me = w.with_actor_ctx::<Echo, _>(ActorId(0), |_, ctx| {
+            ctx.set_timer(50, 1);
+            let id = ctx.set_timer(100, 2);
+            ctx.set_timer(150, 3);
+            id
+        });
+        w.with_actor_ctx::<Echo, _>(ActorId(0), |_, ctx| ctx.cancel_timer(cancel_me));
+        w.run_to_quiescence();
+        let a = w.actor::<Echo>(ActorId(0)).unwrap();
+        assert_eq!(a.fired_tags, vec![1, 3]);
+        assert_eq!(w.metrics().timers_fired, 2);
+    }
+
+    #[test]
+    fn run_for_respects_deadline() {
+        let mut w = world_with(5, 3);
+        w.run_for(1); // at most the start events at t=0 and nothing later
+        assert!(w.now() <= Time(1));
+        w.run_for(10_000_000);
+        assert_eq!(w.now(), Time(1 + 10_000_000));
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let mut w = world_with(5, 4);
+        let got = w.run_until(|w| {
+            w.actor::<Echo>(ActorId(0))
+                .map(|a| a.pongs.len() >= 2)
+                .unwrap_or(false)
+        });
+        assert!(got);
+        assert!(w.actor::<Echo>(ActorId(0)).unwrap().pongs.len() >= 2);
+    }
+
+    #[test]
+    fn inject_external_message() {
+        let mut w = world_with(2, 5);
+        w.run_to_quiescence();
+        w.inject(ActorId(1), ActorId(0), Msg::Pong(99));
+        w.run_to_quiescence();
+        assert!(w.actor::<Echo>(ActorId(0)).unwrap().pongs.contains(&99));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot add actors")]
+    fn adding_actor_after_start_panics() {
+        let mut w = world_with(2, 6);
+        w.step();
+        w.add_actor(Echo::new());
+    }
+}

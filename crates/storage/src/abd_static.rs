@@ -1,0 +1,448 @@
+//! Classic multi-writer ABD atomic storage over a *static* quorum rule —
+//! the MQS and static-WMQS baselines the dynamic-weighted storage is
+//! compared against (experiment E7).
+//!
+//! The client runs the two-phase protocol of Algorithm 5 minus the change
+//! sets; the server is Algorithm 6 minus the change sets.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use awr_sim::{Actor, ActorId, Context, Message, Time};
+use awr_types::{ProcessId, ServerId, Tag, TaggedValue};
+
+use crate::history::{HistOp, OpKind};
+use crate::quorum_rule::QuorumRule;
+
+/// Values stored in registers.
+pub trait Value: Clone + Eq + std::hash::Hash + fmt::Debug + Send + 'static {}
+impl<T: Clone + Eq + std::hash::Hash + fmt::Debug + Send + 'static> Value for T {}
+
+/// Wire messages of static ABD.
+#[derive(Clone, Debug)]
+pub enum AbdMsg<V> {
+    /// Phase-1 request (`⟨R, opCnt⟩`).
+    R {
+        /// Client-local operation counter.
+        op: u64,
+    },
+    /// Phase-1 reply (`⟨R_A, reg, opCnt⟩`).
+    RAck {
+        /// Echo of the request counter.
+        op: u64,
+        /// The server's register content.
+        reg: TaggedValue<V>,
+    },
+    /// Phase-2 request (`⟨W, ⟨tag, val⟩, opCnt⟩`).
+    W {
+        /// Client-local operation counter.
+        op: u64,
+        /// The tagged value to store.
+        reg: TaggedValue<V>,
+    },
+    /// Phase-2 reply (`⟨W_A, opCnt⟩`).
+    WAck {
+        /// Echo of the request counter.
+        op: u64,
+    },
+}
+
+impl<V: Value> Message for AbdMsg<V> {
+    fn kind(&self) -> &'static str {
+        match self {
+            AbdMsg::R { .. } => "R",
+            AbdMsg::RAck { .. } => "R_A",
+            AbdMsg::W { .. } => "W",
+            AbdMsg::WAck { .. } => "W_A",
+        }
+    }
+}
+
+/// A static-ABD server: stores one tagged register.
+#[derive(Debug)]
+pub struct AbdServer<V> {
+    register: TaggedValue<V>,
+}
+
+impl<V: Value> AbdServer<V> {
+    /// Creates an empty server.
+    pub fn new() -> AbdServer<V> {
+        AbdServer {
+            register: TaggedValue::bottom(),
+        }
+    }
+
+    /// Current register content (inspection).
+    pub fn register(&self) -> &TaggedValue<V> {
+        &self.register
+    }
+}
+
+impl<V: Value> Default for AbdServer<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Value> Actor for AbdServer<V> {
+    type Msg = AbdMsg<V>;
+
+    fn on_message(&mut self, from: ActorId, msg: AbdMsg<V>, ctx: &mut Context<'_, AbdMsg<V>>) {
+        match msg {
+            AbdMsg::R { op } => {
+                ctx.send(
+                    from,
+                    AbdMsg::RAck {
+                        op,
+                        reg: self.register.clone(),
+                    },
+                );
+            }
+            AbdMsg::W { op, reg } => {
+                self.register.adopt_if_newer(&reg);
+                ctx.send(from, AbdMsg::WAck { op });
+            }
+            AbdMsg::RAck { .. } | AbdMsg::WAck { .. } => { /* client messages; ignore */ }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// What a completed client operation looked like (for histories/metrics).
+#[derive(Clone, Debug)]
+pub struct CompletedOp<V> {
+    /// Read result (`None` = register unwritten) or the written value.
+    pub kind: OpKind<V>,
+    /// Invocation time.
+    pub invoke: Time,
+    /// Response time.
+    pub response: Time,
+}
+
+#[derive(Debug)]
+enum Phase<V> {
+    Idle,
+    One {
+        op: u64,
+        write_value: Option<V>, // None = read
+        invoke: Time,
+        replies: BTreeMap<ServerId, TaggedValue<V>>,
+    },
+    Two {
+        op: u64,
+        write_value: Option<V>,
+        invoke: Time,
+        chosen: TaggedValue<V>,
+        acks: std::collections::BTreeSet<ServerId>,
+    },
+}
+
+/// A static-ABD client (reader/writer).
+#[derive(Debug)]
+pub struct AbdClient<V> {
+    id: ProcessId,
+    n_servers: usize,
+    rule: QuorumRule,
+    op_cnt: u64,
+    phase: Phase<V>,
+    /// Completed operations, oldest first.
+    pub completed: Vec<CompletedOp<V>>,
+}
+
+impl<V: Value> AbdClient<V> {
+    /// Creates a client. Servers must occupy world indices `0..n_servers`.
+    pub fn new(id: ProcessId, n_servers: usize, rule: QuorumRule) -> AbdClient<V> {
+        AbdClient {
+            id,
+            n_servers,
+            rule,
+            op_cnt: 0,
+            phase: Phase::Idle,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Whether an operation is in flight.
+    pub fn is_busy(&self) -> bool {
+        !matches!(self.phase, Phase::Idle)
+    }
+
+    /// Begins a read (`read() ≡ read_write(⊥)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight (processes are
+    /// sequential).
+    pub fn begin_read(&mut self, ctx: &mut Context<'_, AbdMsg<V>>) {
+        self.begin(None, ctx);
+    }
+
+    /// Begins a write of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight.
+    pub fn begin_write(&mut self, value: V, ctx: &mut Context<'_, AbdMsg<V>>) {
+        self.begin(Some(value), ctx);
+    }
+
+    fn begin(&mut self, write_value: Option<V>, ctx: &mut Context<'_, AbdMsg<V>>) {
+        assert!(!self.is_busy(), "client already has an operation in flight");
+        self.op_cnt += 1;
+        let op = self.op_cnt;
+        self.phase = Phase::One {
+            op,
+            write_value,
+            invoke: ctx.now(),
+            replies: BTreeMap::new(),
+        };
+        for i in 0..self.n_servers {
+            ctx.send(ActorId(i), AbdMsg::R { op });
+        }
+    }
+
+    fn server_of(&self, a: ActorId) -> ServerId {
+        ServerId(a.index() as u32)
+    }
+
+    fn handle(&mut self, from: ActorId, msg: AbdMsg<V>, ctx: &mut Context<'_, AbdMsg<V>>) {
+        let sid = self.server_of(from);
+        match (&mut self.phase, msg) {
+            (
+                Phase::One {
+                    op,
+                    write_value,
+                    invoke,
+                    replies,
+                },
+                AbdMsg::RAck { op: mop, reg },
+            ) if mop == *op => {
+                replies.insert(sid, reg);
+                let responders: std::collections::BTreeSet<ServerId> =
+                    replies.keys().copied().collect();
+                if self.rule.is_quorum(&responders) {
+                    // Select the highest tag.
+                    let maxreg = replies
+                        .values()
+                        .max_by_key(|r| r.tag)
+                        .expect("nonempty replies")
+                        .clone();
+                    let (chosen, wv) = match write_value.take() {
+                        None => (maxreg, None), // read: write back as-is
+                        Some(v) => {
+                            let tag = Tag::new(maxreg.tag.ts + 1, self.id);
+                            (TaggedValue::new(tag, v.clone()), Some(v))
+                        }
+                    };
+                    let op = *op;
+                    let invoke = *invoke;
+                    self.phase = Phase::Two {
+                        op,
+                        write_value: wv,
+                        invoke,
+                        chosen: chosen.clone(),
+                        acks: Default::default(),
+                    };
+                    for i in 0..self.n_servers {
+                        ctx.send(
+                            ActorId(i),
+                            AbdMsg::W {
+                                op,
+                                reg: chosen.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+            (
+                Phase::Two {
+                    op,
+                    write_value,
+                    invoke,
+                    chosen,
+                    acks,
+                },
+                AbdMsg::WAck { op: mop },
+            ) if mop == *op => {
+                acks.insert(sid);
+                if self.rule.is_quorum(acks) {
+                    let kind = match write_value.take() {
+                        None => OpKind::Read(chosen.value.clone()),
+                        Some(v) => OpKind::Write(v),
+                    };
+                    self.completed.push(CompletedOp {
+                        kind,
+                        invoke: *invoke,
+                        response: ctx.now(),
+                    });
+                    self.phase = Phase::Idle;
+                }
+            }
+            _ => { /* stale or mismatched reply */ }
+        }
+    }
+
+    /// Converts completed ops into history entries for client index `ci`.
+    pub fn history_ops(&self, ci: usize) -> Vec<HistOp<V>> {
+        self.completed
+            .iter()
+            .map(|c| HistOp {
+                client: ci,
+                kind: c.kind.clone(),
+                invoke: c.invoke,
+                response: c.response,
+            })
+            .collect()
+    }
+}
+
+impl<V: Value> Actor for AbdClient<V> {
+    type Msg = AbdMsg<V>;
+
+    fn on_message(&mut self, from: ActorId, msg: AbdMsg<V>, ctx: &mut Context<'_, AbdMsg<V>>) {
+        self.handle(from, msg, ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::History;
+    use crate::lin::check_linearizable;
+    use awr_sim::{UniformLatency, World};
+    use awr_types::ClientId;
+
+    fn build(
+        n: usize,
+        clients: usize,
+        rule: QuorumRule,
+        seed: u64,
+    ) -> (World<AbdMsg<u64>>, Vec<ActorId>) {
+        let mut w = World::new(seed, UniformLatency::new(1_000, 60_000));
+        for _ in 0..n {
+            w.add_actor(AbdServer::<u64>::new());
+        }
+        let mut ids = Vec::new();
+        for c in 0..clients {
+            ids.push(w.add_actor(AbdClient::<u64>::new(
+                ProcessId::Client(ClientId(c as u32)),
+                n,
+                rule.clone(),
+            )));
+        }
+        (w, ids)
+    }
+
+    fn run_op(
+        w: &mut World<AbdMsg<u64>>,
+        client: ActorId,
+        value: Option<u64>,
+    ) -> CompletedOp<u64> {
+        let before = w
+            .actor::<AbdClient<u64>>(client)
+            .unwrap()
+            .completed
+            .len();
+        w.with_actor_ctx::<AbdClient<u64>, _>(client, |c, ctx| match value {
+            Some(v) => c.begin_write(v, ctx),
+            None => c.begin_read(ctx),
+        });
+        assert!(w.run_until(|w| {
+            w.actor::<AbdClient<u64>>(client).unwrap().completed.len() > before
+        }));
+        w.actor::<AbdClient<u64>>(client).unwrap().completed[before].clone()
+    }
+
+    #[test]
+    fn write_then_read_majority() {
+        let (mut w, ids) = build(5, 2, QuorumRule::majority(5), 1);
+        run_op(&mut w, ids[0], Some(42));
+        let r = run_op(&mut w, ids[1], None);
+        assert_eq!(r.kind, OpKind::Read(Some(42)));
+    }
+
+    #[test]
+    fn read_before_any_write_returns_none() {
+        let (mut w, ids) = build(5, 1, QuorumRule::majority(5), 2);
+        let r = run_op(&mut w, ids[0], None);
+        assert_eq!(r.kind, OpKind::Read(None));
+    }
+
+    #[test]
+    fn survives_f_crashes() {
+        let (mut w, ids) = build(5, 2, QuorumRule::majority(5), 3);
+        w.crash_now(ActorId(0));
+        w.crash_now(ActorId(1));
+        run_op(&mut w, ids[0], Some(7));
+        let r = run_op(&mut w, ids[1], None);
+        assert_eq!(r.kind, OpKind::Read(Some(7)));
+    }
+
+    #[test]
+    fn weighted_rule_uses_fast_heavy_servers() {
+        // Heavy servers 0,1 form a quorum alone.
+        let rule = QuorumRule::weighted(awr_types::WeightMap::dec(&["2", "2", "1", "1", "1"]));
+        let (mut w, ids) = build(5, 1, rule, 4);
+        // Crash all three light servers: the heavy pair still serves.
+        w.crash_now(ActorId(2));
+        w.crash_now(ActorId(3));
+        w.crash_now(ActorId(4));
+        run_op(&mut w, ids[0], Some(9));
+        let r = run_op(&mut w, ids[0], None);
+        assert_eq!(r.kind, OpKind::Read(Some(9)));
+    }
+
+    #[test]
+    fn random_workload_is_linearizable() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        for seed in 0..5 {
+            let (mut w, ids) = build(5, 3, QuorumRule::majority(5), seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Issue 60 random ops round-robin; run to completion each time
+            // on a random subset to create overlap.
+            let mut next_val = 100;
+            for _ in 0..20 {
+                // Start an op on every idle client with 70% probability.
+                for &cid in &ids {
+                    let idle = !w.actor::<AbdClient<u64>>(cid).unwrap().is_busy();
+                    if idle && rng.random_range(0..10) < 7 {
+                        let write = rng.random_range(0..2) == 0;
+                        w.with_actor_ctx::<AbdClient<u64>, _>(cid, |c, ctx| {
+                            if write {
+                                c.begin_write(next_val, ctx);
+                            } else {
+                                c.begin_read(ctx);
+                            }
+                        });
+                        next_val += 1;
+                    }
+                }
+                // Let the world advance a bit (ops interleave).
+                w.run_for(120_000);
+            }
+            w.run_to_quiescence();
+            let mut h = History::new();
+            for (ci, &cid) in ids.iter().enumerate() {
+                for op in w.actor::<AbdClient<u64>>(cid).unwrap().history_ops(ci) {
+                    h.record(op);
+                }
+            }
+            assert!(h.len() > 10, "seed {seed}: too few completed ops");
+            check_linearizable(&h).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,856 @@
+//! Dynamic-weighted atomic storage (paper §VII, Algorithms 5 and 6).
+//!
+//! Multi-writer ABD where quorums are judged by *weight* under the most
+//! up-to-date set of completed changes `C`, and weights move via the
+//! restricted pairwise weight reassignment protocol (Algorithm 4, embedded
+//! through [`TransferCore`]):
+//!
+//! * every `R`/`W` message carries the client's `C`; servers **reject**
+//!   operations whose `C` differs from theirs and reply with their own set;
+//!   the client merges and restarts the operation (§VII, first requirement);
+//! * `is_quorum(Q)` holds iff `Σ_{s∈Q} W_s > W_{S,0}/2` with weights taken
+//!   from the client's current `C` (Algorithm 5 lines 5–8);
+//! * when a server gains weight it refreshes its register *before*
+//!   applying the change (Algorithm 4 lines 8–9) so that newly possible
+//!   quorums always contain the latest value (Lemma 4). The refresh is a
+//!   count-based `n − f` read answered unconditionally — safe because an
+//!   `n − f` count set intersects every weighted quorum under every
+//!   Property-1 map, and live where a weight-judged read provably
+//!   deadlocks with f + 1 concurrent gainers (DESIGN.md §5.6);
+//! * two ablation knobs — [`DynOptions::restart_on_stale`] and
+//!   [`DynOptions::refresh_on_gain`] — let experiment E10 demonstrate that
+//!   both mechanisms are load-bearing.
+
+use std::any::Any;
+use std::collections::{BTreeSet, VecDeque};
+
+use awr_core::restricted::{ApplyRequest, CoreEvent, TransferCore, TransferStart, WrMsg};
+use awr_core::{RpConfig, TransferError, TransferOutcome};
+use awr_sim::{Actor, ActorId, Context, Message, Time};
+use awr_types::{ChangeSet, ProcessId, Ratio, ServerId, Tag, TaggedValue};
+
+use crate::abd_static::Value;
+use crate::history::{HistOp, OpKind};
+
+/// Wire messages of the dynamic-weighted storage: the weight-reassignment
+/// sub-protocol plus change-set-carrying ABD phases.
+#[derive(Clone, Debug)]
+pub enum DynMsg<V> {
+    /// Weight-reassignment traffic (Algorithms 3–4).
+    Wr(WrMsg),
+    /// Phase-1 request carrying the client's `C`.
+    R {
+        /// Client-local operation counter.
+        op: u64,
+        /// The client's current set of completed changes.
+        changes: ChangeSet,
+    },
+    /// Phase-1 reply; `accepted == false` means the server rejected the
+    /// operation because the change sets differ (its own set is attached).
+    RAck {
+        /// Echo of the request counter.
+        op: u64,
+        /// The server's register content.
+        reg: TaggedValue<V>,
+        /// The server's current change set.
+        changes: ChangeSet,
+        /// Whether the server accepted the operation.
+        accepted: bool,
+    },
+    /// Phase-2 request carrying the client's `C`.
+    W {
+        /// Client-local operation counter.
+        op: u64,
+        /// The tagged value to store.
+        reg: TaggedValue<V>,
+        /// The client's current change set.
+        changes: ChangeSet,
+    },
+    /// Phase-2 reply.
+    WAck {
+        /// Echo of the request counter.
+        op: u64,
+        /// The server's current change set.
+        changes: ChangeSet,
+        /// Whether the server accepted (and possibly applied) the write.
+        accepted: bool,
+    },
+    /// Register-refresh read request (Algorithm 4 lines 8–9). Answered
+    /// unconditionally — by *count*, not weight — so it can never deadlock:
+    /// an `n − f` count set intersects every weighted quorum under every
+    /// Property-1 map (its complement is `f` servers, holding < half).
+    RefreshR {
+        /// Refresher-local operation number.
+        op: u64,
+    },
+    /// Reply to [`DynMsg::RefreshR`] with the server's register.
+    RefreshAck {
+        /// Echo of the request number.
+        op: u64,
+        /// The server's register content.
+        reg: TaggedValue<V>,
+    },
+}
+
+impl<V: Value> Message for DynMsg<V> {
+    fn kind(&self) -> &'static str {
+        match self {
+            DynMsg::Wr(m) => m.kind(),
+            DynMsg::R { .. } => "R",
+            DynMsg::RAck { .. } => "R_A",
+            DynMsg::W { .. } => "W",
+            DynMsg::WAck { .. } => "W_A",
+            DynMsg::RefreshR { .. } => "RefR",
+            DynMsg::RefreshAck { .. } => "RefA",
+        }
+    }
+}
+
+/// Behaviour knobs, defaulting to the paper's protocol. Turning either off
+/// reproduces the E10 ablations (and breaks atomicity, as the checker
+/// shows).
+#[derive(Clone, Copy, Debug)]
+pub struct DynOptions {
+    /// Restart operations when a server's change set differs (paper: on).
+    pub restart_on_stale: bool,
+    /// Refresh the register with a full read before applying a weight gain
+    /// (Algorithm 4 lines 8–9; paper: on).
+    pub refresh_on_gain: bool,
+}
+
+impl Default for DynOptions {
+    fn default() -> DynOptions {
+        DynOptions {
+            restart_on_stale: true,
+            refresh_on_gain: true,
+        }
+    }
+}
+
+/// A completed read/write (client-side record).
+#[derive(Clone, Debug)]
+pub struct DynCompletedOp<V> {
+    /// What happened.
+    pub kind: OpKind<V>,
+    /// Invocation time.
+    pub invoke: Time,
+    /// Response time.
+    pub response: Time,
+    /// How many times the operation restarted due to stale change sets.
+    pub restarts: u64,
+}
+
+#[derive(Debug)]
+enum DynPhase<V> {
+    Idle,
+    One {
+        op: u64,
+        write_value: Option<V>,
+        invoke: Time,
+        restarts: u64,
+        replies: std::collections::BTreeMap<ServerId, TaggedValue<V>>,
+    },
+    Two {
+        op: u64,
+        write_value: Option<V>,
+        invoke: Time,
+        restarts: u64,
+        chosen: TaggedValue<V>,
+        acks: BTreeSet<ServerId>,
+    },
+}
+
+/// The reader/writer engine of Algorithm 5 — embeddable by any process
+/// that wants to read or write the register.
+#[derive(Debug)]
+pub struct DynOpDriver<V> {
+    id: ProcessId,
+    cfg: RpConfig,
+    actor_base: usize,
+    options: DynOptions,
+    /// The process's current set of completed changes `C`.
+    pub changes: ChangeSet,
+    op_cnt: u64,
+    phase: DynPhase<V>,
+    /// Completed operations, oldest first.
+    pub completed: Vec<DynCompletedOp<V>>,
+}
+
+impl<V: Value> DynOpDriver<V> {
+    /// Creates a driver whose initial `C` is the conventional initial set.
+    pub fn new(id: ProcessId, cfg: RpConfig, actor_base: usize, options: DynOptions) -> Self {
+        DynOpDriver {
+            changes: ChangeSet::from_initial_weights(&cfg.initial_weights),
+            id,
+            cfg,
+            actor_base,
+            options,
+            op_cnt: 0,
+            phase: DynPhase::Idle,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Whether an operation is in flight.
+    pub fn is_busy(&self) -> bool {
+        !matches!(self.phase, DynPhase::Idle)
+    }
+
+    /// Begins `read()` (write value `None`) or `write(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight.
+    pub fn begin<M: Message>(
+        &mut self,
+        write_value: Option<V>,
+        ctx: &mut Context<'_, M>,
+        wrap: impl Fn(DynMsg<V>) -> M + Copy,
+    ) {
+        assert!(!self.is_busy(), "operation already in flight");
+        self.op_cnt += 1;
+        self.phase = DynPhase::One {
+            op: self.op_cnt,
+            write_value,
+            invoke: ctx.now(),
+            restarts: 0,
+            replies: Default::default(),
+        };
+        self.send_phase1(ctx, wrap);
+    }
+
+    fn send_phase1<M: Message>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        wrap: impl Fn(DynMsg<V>) -> M + Copy,
+    ) {
+        let (op, changes) = match &self.phase {
+            DynPhase::One { op, .. } => (*op, self.changes.clone()),
+            _ => unreachable!("send_phase1 outside phase 1"),
+        };
+        for i in 0..self.cfg.n {
+            ctx.send(
+                ActorId(self.actor_base + i),
+                wrap(DynMsg::R {
+                    op,
+                    changes: changes.clone(),
+                }),
+            );
+        }
+    }
+
+    /// Merges a newer change set and restarts the whole operation
+    /// (Algorithm 5 lines 14–16 / 30–32).
+    fn restart<M: Message>(
+        &mut self,
+        newer: &ChangeSet,
+        ctx: &mut Context<'_, M>,
+        wrap: impl Fn(DynMsg<V>) -> M + Copy,
+    ) {
+        self.changes.merge(newer);
+        self.op_cnt += 1;
+        let (write_value, invoke, restarts) = match std::mem::replace(&mut self.phase, DynPhase::Idle)
+        {
+            DynPhase::One {
+                write_value,
+                invoke,
+                restarts,
+                ..
+            } => (write_value, invoke, restarts),
+            DynPhase::Two {
+                write_value,
+                invoke,
+                restarts,
+                chosen,
+                ..
+            } => {
+                // A write restarted from phase 2 re-runs phase 1 with its
+                // original value; a read re-runs phase 1 discarding the
+                // previously chosen register.
+                let _ = chosen;
+                (write_value, invoke, restarts)
+            }
+            DynPhase::Idle => unreachable!("restart on idle driver"),
+        };
+        self.phase = DynPhase::One {
+            op: self.op_cnt,
+            write_value,
+            invoke,
+            restarts: restarts + 1,
+            replies: Default::default(),
+        };
+        self.send_phase1(ctx, wrap);
+    }
+
+    /// Feeds a client-side message. Returns the completed operation when the
+    /// invocation finishes.
+    pub fn on_message<M: Message>(
+        &mut self,
+        from: ActorId,
+        msg: &DynMsg<V>,
+        ctx: &mut Context<'_, M>,
+        wrap: impl Fn(DynMsg<V>) -> M + Copy,
+    ) -> Option<DynCompletedOp<V>> {
+        let sid = ServerId((from.index() - self.actor_base) as u32);
+        match msg {
+            DynMsg::RAck {
+                op,
+                reg,
+                changes,
+                accepted,
+            } => {
+                let cur_op = match &self.phase {
+                    DynPhase::One { op, .. } => *op,
+                    _ => return None,
+                };
+                if *op != cur_op {
+                    return None;
+                }
+                if !accepted && self.options.restart_on_stale {
+                    // Two kinds of mismatch. If the server knows changes we
+                    // don't, merge and restart the operation (Algorithm 5
+                    // lines 14–16). If instead the server is *behind* us
+                    // (e.g. frozen mid-refresh), restarting teaches us
+                    // nothing and livelocks; re-poll just that server — it
+                    // will catch up through the reliable broadcast.
+                    if !self.changes.contains_all(changes) {
+                        self.restart(changes, ctx, wrap);
+                    } else {
+                        ctx.send(
+                            from,
+                            wrap(DynMsg::R {
+                                op: cur_op,
+                                changes: self.changes.clone(),
+                            }),
+                        );
+                    }
+                    return None;
+                }
+                let DynPhase::One {
+                    write_value,
+                    invoke,
+                    restarts,
+                    replies,
+                    ..
+                } = &mut self.phase
+                else {
+                    return None;
+                };
+                replies.insert(sid, reg.clone());
+                let responders: BTreeSet<ServerId> = replies.keys().copied().collect();
+                let quorum = {
+                    let w: Ratio = responders
+                        .iter()
+                        .map(|s| self.changes.server_weight(*s))
+                        .sum();
+                    w > self.cfg.quorum_threshold()
+                };
+                if quorum {
+                    let maxreg = replies
+                        .values()
+                        .max_by_key(|r| r.tag)
+                        .expect("nonempty")
+                        .clone();
+                    let (chosen, wv) = match write_value.take() {
+                        None => (maxreg, None),
+                        Some(v) => (
+                            TaggedValue::new(Tag::new(maxreg.tag.ts + 1, self.id), v.clone()),
+                            Some(v),
+                        ),
+                    };
+                    let (op, invoke, restarts) = (cur_op, *invoke, *restarts);
+                    self.phase = DynPhase::Two {
+                        op,
+                        write_value: wv,
+                        invoke,
+                        restarts,
+                        chosen: chosen.clone(),
+                        acks: Default::default(),
+                    };
+                    for i in 0..self.cfg.n {
+                        ctx.send(
+                            ActorId(self.actor_base + i),
+                            wrap(DynMsg::W {
+                                op,
+                                reg: chosen.clone(),
+                                changes: self.changes.clone(),
+                            }),
+                        );
+                    }
+                }
+                None
+            }
+            DynMsg::WAck {
+                op,
+                changes,
+                accepted,
+            } => {
+                let cur_op = match &self.phase {
+                    DynPhase::Two { op, .. } => *op,
+                    _ => return None,
+                };
+                if *op != cur_op {
+                    return None;
+                }
+                if !accepted && self.options.restart_on_stale {
+                    if !self.changes.contains_all(changes) {
+                        self.restart(changes, ctx, wrap);
+                    } else if let DynPhase::Two { chosen, .. } = &self.phase {
+                        // Re-poll the behind server with the same write.
+                        let reg = chosen.clone();
+                        ctx.send(
+                            from,
+                            wrap(DynMsg::W {
+                                op: cur_op,
+                                reg,
+                                changes: self.changes.clone(),
+                            }),
+                        );
+                    }
+                    return None;
+                }
+                let DynPhase::Two {
+                    write_value,
+                    invoke,
+                    restarts,
+                    chosen,
+                    acks,
+                    ..
+                } = &mut self.phase
+                else {
+                    return None;
+                };
+                acks.insert(sid);
+                let quorum = {
+                    let w: Ratio = acks.iter().map(|s| self.changes.server_weight(*s)).sum();
+                    w > self.cfg.quorum_threshold()
+                };
+                if quorum {
+                    let done = DynCompletedOp {
+                        kind: match write_value.take() {
+                            None => OpKind::Read(chosen.value.clone()),
+                            Some(v) => OpKind::Write(v),
+                        },
+                        invoke: *invoke,
+                        response: ctx.now(),
+                        restarts: *restarts,
+                    };
+                    self.phase = DynPhase::Idle;
+                    self.completed.push(done.clone());
+                    return Some(done);
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A dynamic-weighted storage server: Algorithm 6 plus the embedded
+/// Algorithm 4 engine and the register-refresh rule.
+#[derive(Debug)]
+pub struct DynServer<V> {
+    core: TransferCore,
+    register: TaggedValue<V>,
+    options: DynOptions,
+    /// Queue of change applications awaiting their turn (each may require a
+    /// register refresh first).
+    pending_applies: VecDeque<ApplyRequest>,
+    /// The in-flight refresh read, if any.
+    refresh: Option<RefreshRead<V>>,
+    refresh_ops: u64,
+    /// Completed own transfers (`⟨Complete, c⟩` log).
+    pub transfer_log: Vec<TransferOutcome>,
+    /// Number of register refreshes performed (metric for E10c).
+    pub refreshes: u64,
+}
+
+impl<V: Value> DynServer<V> {
+    /// Creates the server for `me` under `cfg`. Servers must occupy world
+    /// indices `0..n`.
+    pub fn new(cfg: RpConfig, me: ServerId, options: DynOptions) -> DynServer<V> {
+        DynServer {
+            core: TransferCore::new(cfg, me, 0),
+            register: TaggedValue::bottom(),
+            options,
+            pending_applies: VecDeque::new(),
+            refresh: None,
+            refresh_ops: 0,
+            transfer_log: Vec::new(),
+            refreshes: 0,
+        }
+    }
+
+    /// This server's id.
+    pub fn server_id(&self) -> ServerId {
+        self.core.server_id()
+    }
+
+    /// The local change set.
+    pub fn changes(&self) -> &ChangeSet {
+        self.core.changes()
+    }
+
+    /// This server's current weight.
+    pub fn weight(&self) -> Ratio {
+        self.core.weight()
+    }
+
+    /// The register content (inspection).
+    pub fn register(&self) -> &TaggedValue<V> {
+        &self.register
+    }
+
+    /// Completed own transfers with completion times.
+    pub fn completed_transfers(&self) -> &[(TransferOutcome, Time)] {
+        self.core.completed()
+    }
+
+    /// Invokes `transfer(me, to, Δ)` (weights move while reads/writes run).
+    ///
+    /// # Errors
+    ///
+    /// See [`TransferCore::transfer`].
+    pub fn begin_transfer(
+        &mut self,
+        to: ServerId,
+        delta: Ratio,
+        ctx: &mut Context<'_, DynMsg<V>>,
+    ) -> Result<TransferStart, TransferError> {
+        let r = self.core.transfer(to, delta, ctx, DynMsg::Wr)?;
+        if let TransferStart::Null(o) = &r {
+            self.transfer_log.push(o.clone());
+        }
+        Ok(r)
+    }
+
+    /// Processes the apply queue: applies head requests, pausing to refresh
+    /// the register when a request changes this server's own weight.
+    fn drain_applies(&mut self, ctx: &mut Context<'_, DynMsg<V>>) {
+        while self.refresh.is_none() {
+            let Some(req) = self.pending_applies.front() else {
+                return;
+            };
+            let needs_refresh =
+                self.options.refresh_on_gain && req.affects(self.core.server_id());
+            if needs_refresh {
+                // Algorithm 4 lines 8–9: register ← read(), then apply.
+                // Implemented as an n − f *count* read answered
+                // unconditionally: such a set intersects every weighted
+                // quorum under every Property-1 weight map, so the refresh
+                // observes every completed write and can never deadlock —
+                // even when f + 1 gainers refresh simultaneously (where a
+                // weight-judged read provably stalls; see DESIGN.md §5).
+                self.refreshes += 1;
+                self.refresh_ops += 1;
+                let op = self.refresh_ops;
+                self.refresh = Some(RefreshRead {
+                    op,
+                    acks: 0,
+                    best: TaggedValue::bottom(),
+                });
+                let n = self.core.config().n;
+                for i in 0..n {
+                    ctx.send(ActorId(i), DynMsg::RefreshR { op });
+                }
+                return; // resume in on_message when the read completes
+            }
+            let req = self.pending_applies.pop_front().expect("peeked");
+            self.core.apply(req, ctx, DynMsg::Wr);
+        }
+    }
+
+    fn on_refresh_complete(&mut self, best: TaggedValue<V>, ctx: &mut Context<'_, DynMsg<V>>) {
+        // Adopt the freshest value observed: this server's register is now
+        // at least as new as any write completed before the refresh began
+        // (Lemma 4's requirement), so quorums that become possible once the
+        // weight gain applies cannot serve stale data through us.
+        self.register.adopt_if_newer(&best);
+        // The head request triggered this refresh: apply it now.
+        if let Some(req) = self.pending_applies.pop_front() {
+            self.core.apply(req, ctx, DynMsg::Wr);
+        }
+        self.drain_applies(ctx);
+    }
+}
+
+/// An in-flight count-based register refresh.
+#[derive(Debug)]
+struct RefreshRead<V> {
+    op: u64,
+    acks: usize,
+    best: TaggedValue<V>,
+}
+
+impl<V: Value> Actor for DynServer<V> {
+    type Msg = DynMsg<V>;
+
+    fn on_message(&mut self, from: ActorId, msg: DynMsg<V>, ctx: &mut Context<'_, DynMsg<V>>) {
+        match msg {
+            DynMsg::Wr(WrMsg::Invoke { to, delta }) => {
+                // Management RPC: start a transfer if idle (see RpServer).
+                let _ = self.begin_transfer(to, delta, ctx);
+            }
+            DynMsg::Wr(wr) => {
+                // Feed the refresh driver first: its R_A/W_A arrive as
+                // DynMsg, not WrMsg, so only core traffic lands here.
+                for ev in self.core.handle(from, wr, ctx, DynMsg::Wr) {
+                    match ev {
+                        CoreEvent::NeedApply(req) => {
+                            self.pending_applies.push_back(req);
+                        }
+                        CoreEvent::Completed(o) => self.transfer_log.push(o),
+                    }
+                }
+                self.drain_applies(ctx);
+            }
+            DynMsg::R { op, changes } => {
+                let accepted = changes == *self.core.changes();
+                ctx.send(
+                    from,
+                    DynMsg::RAck {
+                        op,
+                        reg: self.register.clone(),
+                        changes: self.core.changes().clone(),
+                        accepted,
+                    },
+                );
+            }
+            DynMsg::W { op, reg, changes } => {
+                let accepted = changes == *self.core.changes();
+                if accepted {
+                    self.register.adopt_if_newer(&reg);
+                }
+                ctx.send(
+                    from,
+                    DynMsg::WAck {
+                        op,
+                        changes: self.core.changes().clone(),
+                        accepted,
+                    },
+                );
+            }
+            DynMsg::RefreshR { op } => {
+                // Answered unconditionally — no C matching (see above).
+                ctx.send(
+                    from,
+                    DynMsg::RefreshAck {
+                        op,
+                        reg: self.register.clone(),
+                    },
+                );
+            }
+            DynMsg::RefreshAck { op, reg } => {
+                let cfg_needed = self.core.config().n - self.core.config().f;
+                let done = match self.refresh.as_mut() {
+                    Some(r) if r.op == op => {
+                        r.acks += 1;
+                        if reg.tag > r.best.tag {
+                            r.best = reg;
+                        }
+                        r.acks >= cfg_needed
+                    }
+                    _ => false,
+                };
+                if done {
+                    let best = self.refresh.take().expect("checked").best;
+                    self.on_refresh_complete(best, ctx);
+                }
+            }
+            DynMsg::RAck { .. } | DynMsg::WAck { .. } => {
+                // Client-side replies; a server has no client driver.
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A dynamic-weighted storage client.
+#[derive(Debug)]
+pub struct DynClient<V> {
+    /// The embedded Algorithm 5 engine.
+    pub driver: DynOpDriver<V>,
+}
+
+impl<V: Value> DynClient<V> {
+    /// Creates a client.
+    pub fn new(id: ProcessId, cfg: RpConfig, options: DynOptions) -> DynClient<V> {
+        DynClient {
+            driver: DynOpDriver::new(id, cfg, 0, options),
+        }
+    }
+
+    /// Begins a read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is in flight.
+    pub fn begin_read(&mut self, ctx: &mut Context<'_, DynMsg<V>>) {
+        self.driver.begin(None, ctx, |m| m);
+    }
+
+    /// Begins a write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is in flight.
+    pub fn begin_write(&mut self, v: V, ctx: &mut Context<'_, DynMsg<V>>) {
+        self.driver.begin(Some(v), ctx, |m| m);
+    }
+
+    /// Converts completed ops into history entries for client index `ci`.
+    pub fn history_ops(&self, ci: usize) -> Vec<HistOp<V>> {
+        self.driver
+            .completed
+            .iter()
+            .map(|c| HistOp {
+                client: ci,
+                kind: c.kind.clone(),
+                invoke: c.invoke,
+                response: c.response,
+            })
+            .collect()
+    }
+}
+
+impl<V: Value> Actor for DynClient<V> {
+    type Msg = DynMsg<V>;
+
+    fn on_message(&mut self, from: ActorId, msg: DynMsg<V>, ctx: &mut Context<'_, DynMsg<V>>) {
+        let _ = self.driver.on_message(from, &msg, ctx, |m| m);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod driver_tests {
+    use super::*;
+    use crate::harness::StorageHarness;
+    use awr_core::RpConfig;
+    use awr_sim::UniformLatency;
+    use awr_types::ClientId;
+
+    fn s(i: u32) -> ServerId {
+        ServerId(i)
+    }
+
+    #[test]
+    fn writer_value_survives_restarts() {
+        // A writer whose phase 1 collides with a weight change restarts but
+        // must still write its original value.
+        let mut h: StorageHarness<u64> = StorageHarness::build(
+            RpConfig::uniform(7, 2),
+            2,
+            21,
+            UniformLatency::new(1_000, 40_000),
+            DynOptions::default(),
+        );
+        // Make client 0's view stale: complete a transfer it never hears of.
+        h.transfer_and_wait(s(3), s(0), Ratio::dec("0.2")).unwrap();
+        h.settle();
+        let done = h.write(0, 777).unwrap();
+        assert!(done.restarts > 0, "stale writer should restart");
+        let (v, _) = h.read(1).unwrap();
+        assert_eq!(v, Some(777), "value lost across restart");
+    }
+
+    #[test]
+    fn stale_op_replies_are_ignored() {
+        // Drive a driver manually: replies tagged with an old op number
+        // must not advance the current operation.
+        let cfg = RpConfig::uniform(3, 1);
+        let mut h: StorageHarness<u64> = StorageHarness::build(
+            cfg.clone(),
+            1,
+            22,
+            UniformLatency::new(1_000, 2_000),
+            DynOptions::default(),
+        );
+        h.write(0, 1).unwrap();
+        let c0 = h.client_actor(0);
+        // Feed a forged RAck for a long-gone op id through the world.
+        let forged = DynMsg::RAck {
+            op: 9999,
+            reg: TaggedValue::new(
+                Tag::new(
+                    99,
+                    ProcessId::Client(ClientId(7)),
+                ),
+                424242u64,
+            ),
+            changes: ChangeSet::from_initial_weights(&cfg.initial_weights),
+            accepted: true,
+        };
+        h.world.inject(h.server_actor(s(0)), c0, forged);
+        h.settle();
+        // The forged high tag must not have leaked into any result.
+        let (v, _) = h.read(0).unwrap();
+        assert_eq!(v, Some(1));
+    }
+
+    #[test]
+    fn refresh_metrics_zero_without_gains() {
+        let mut h: StorageHarness<u64> = StorageHarness::build(
+            RpConfig::uniform(5, 1),
+            1,
+            23,
+            UniformLatency::new(1_000, 10_000),
+            DynOptions::default(),
+        );
+        h.write(0, 1).unwrap();
+        h.read(0).unwrap();
+        h.settle();
+        for i in 0..5 {
+            let srv = h
+                .world
+                .actor::<DynServer<u64>>(h.server_actor(s(i)))
+                .unwrap();
+            assert_eq!(srv.refreshes, 0, "no transfer → no refresh");
+        }
+    }
+
+    #[test]
+    fn null_transfers_do_not_touch_registers_or_weights() {
+        let mut h: StorageHarness<u64> = StorageHarness::build(
+            RpConfig::uniform(5, 1),
+            1,
+            24,
+            UniformLatency::new(1_000, 10_000),
+            DynOptions::default(),
+        );
+        h.write(0, 9).unwrap();
+        // floor = 5/8; Δ = 0.4 needs 1 > 1.025 → null.
+        let out = h.transfer_and_wait(s(1), s(0), Ratio::dec("0.4")).unwrap();
+        assert!(!out.is_effective());
+        h.settle();
+        for i in 0..5 {
+            let srv = h
+                .world
+                .actor::<DynServer<u64>>(h.server_actor(s(i)))
+                .unwrap();
+            assert_eq!(srv.weight(), Ratio::ONE);
+            assert_eq!(srv.refreshes, 0);
+        }
+        let (v, _) = h.read(0).unwrap();
+        assert_eq!(v, Some(9));
+    }
+
+    #[test]
+    fn options_default_matches_paper() {
+        let o = DynOptions::default();
+        assert!(o.restart_on_stale);
+        assert!(o.refresh_on_gain);
+    }
+}

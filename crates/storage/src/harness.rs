@@ -1,0 +1,266 @@
+//! A wired world for the dynamic-weighted storage: `n` servers at indices
+//! `0..n`, clients after them.
+
+use awr_core::{RpConfig, TransferError, TransferOutcome};
+use awr_sim::{ActorId, LatencyModel, Time, World};
+use awr_types::{ClientId, ProcessId, Ratio, ServerId};
+
+use crate::abd_static::Value;
+use crate::dynamic::{DynClient, DynCompletedOp, DynMsg, DynOptions, DynServer};
+use crate::history::History;
+
+/// A ready-to-run dynamic-weighted atomic storage system.
+///
+/// # Examples
+///
+/// ```
+/// use awr_core::RpConfig;
+/// use awr_sim::UniformLatency;
+/// use awr_storage::{DynOptions, StorageHarness};
+/// use awr_types::{Ratio, ServerId};
+///
+/// let cfg = RpConfig::uniform(7, 2);
+/// let mut h: StorageHarness<u64> =
+///     StorageHarness::build(cfg, 2, 7, UniformLatency::new(1_000, 50_000), DynOptions::default());
+///
+/// h.write(0, 42).unwrap();
+/// // Weights move while the register keeps serving.
+/// h.transfer_and_wait(ServerId(3), ServerId(0), Ratio::dec("0.25")).unwrap();
+/// assert_eq!(h.read(1).unwrap().0, Some(42));
+/// ```
+pub struct StorageHarness<V: Value> {
+    /// The simulated world (exposed for metrics and custom driving).
+    pub world: World<DynMsg<V>>,
+    cfg: RpConfig,
+    n_clients: usize,
+}
+
+impl<V: Value> StorageHarness<V> {
+    /// Builds the system.
+    pub fn build(
+        cfg: RpConfig,
+        n_clients: usize,
+        seed: u64,
+        latency: impl LatencyModel + 'static,
+        options: DynOptions,
+    ) -> StorageHarness<V> {
+        let mut world = World::new(seed, latency);
+        for s in cfg.servers() {
+            world.add_actor(DynServer::<V>::new(cfg.clone(), s, options));
+        }
+        for c in 0..n_clients {
+            world.add_actor(DynClient::<V>::new(
+                ProcessId::Client(ClientId(c as u32)),
+                cfg.clone(),
+                options,
+            ));
+        }
+        StorageHarness {
+            world,
+            cfg,
+            n_clients,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RpConfig {
+        &self.cfg
+    }
+
+    /// Actor id of server `s`.
+    pub fn server_actor(&self, s: ServerId) -> ActorId {
+        ActorId(s.index())
+    }
+
+    /// Actor id of client `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k ≥ n_clients`.
+    pub fn client_actor(&self, k: usize) -> ActorId {
+        assert!(k < self.n_clients, "client {k} out of range");
+        ActorId(self.cfg.n + k)
+    }
+
+    /// Crashes server `s` immediately.
+    pub fn crash_server(&mut self, s: ServerId) {
+        self.world.crash_now(self.server_actor(s));
+    }
+
+    fn run_client_op(
+        &mut self,
+        k: usize,
+        start: impl FnOnce(&mut DynClient<V>, &mut awr_sim::Context<'_, DynMsg<V>>),
+    ) -> Result<DynCompletedOp<V>, TransferError> {
+        let actor = self.client_actor(k);
+        let before = self
+            .world
+            .actor::<DynClient<V>>(actor)
+            .expect("client")
+            .driver
+            .completed
+            .len();
+        self.world.with_actor_ctx::<DynClient<V>, _>(actor, start);
+        let done = self.world.run_until(|w| {
+            w.actor::<DynClient<V>>(actor)
+                .map(|c| c.driver.completed.len() > before)
+                .unwrap_or(false)
+        });
+        if !done {
+            return Err(TransferError::InvalidArguments {
+                reason: "world quiesced before the operation completed".into(),
+            });
+        }
+        // Nudge virtual time forward so an operation invoked right after
+        // this one strictly follows it in real-time order (the harness is
+        // the "global clock" of §II; checker precedence is strict).
+        self.world.run_for(1);
+        Ok(self
+            .world
+            .actor::<DynClient<V>>(actor)
+            .expect("client")
+            .driver
+            .completed[before]
+            .clone())
+    }
+
+    /// Client `k` writes `v`, running the world until completion.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the world quiesces first (too many crashes).
+    pub fn write(&mut self, k: usize, v: V) -> Result<DynCompletedOp<V>, TransferError> {
+        self.run_client_op(k, |c, ctx| c.begin_write(v, ctx))
+    }
+
+    /// Client `k` reads, returning `(value, op record)`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the world quiesces first.
+    pub fn read(&mut self, k: usize) -> Result<(Option<V>, DynCompletedOp<V>), TransferError> {
+        let op = self.run_client_op(k, |c, ctx| c.begin_read(ctx))?;
+        let v = match &op.kind {
+            crate::history::OpKind::Read(v) => v.clone(),
+            crate::history::OpKind::Write(_) => unreachable!("read returned a write record"),
+        };
+        Ok((v, op))
+    }
+
+    /// Starts a client op without waiting (for concurrency experiments).
+    pub fn begin_async(&mut self, k: usize, value: Option<V>) {
+        let actor = self.client_actor(k);
+        self.world
+            .with_actor_ctx::<DynClient<V>, _>(actor, |c, ctx| match value {
+                Some(v) => c.begin_write(v, ctx),
+                None => c.begin_read(ctx),
+            });
+    }
+
+    /// Whether client `k` has an operation in flight.
+    pub fn client_busy(&self, k: usize) -> bool {
+        self.world
+            .actor::<DynClient<V>>(self.client_actor(k))
+            .map(|c| c.driver.is_busy())
+            .unwrap_or(false)
+    }
+
+    /// Server `from` transfers `Δ` to `to`; runs until the invocation
+    /// completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invocation errors; errors if the world quiesces first.
+    pub fn transfer_and_wait(
+        &mut self,
+        from: ServerId,
+        to: ServerId,
+        delta: Ratio,
+    ) -> Result<TransferOutcome, TransferError> {
+        let actor = self.server_actor(from);
+        let before = self
+            .world
+            .actor::<DynServer<V>>(actor)
+            .expect("server")
+            .completed_transfers()
+            .len();
+        self.world
+            .with_actor_ctx::<DynServer<V>, Result<_, TransferError>>(actor, |srv, ctx| {
+                srv.begin_transfer(to, delta, ctx).map(|_| ())
+            })?;
+        let done = self.world.run_until(|w| {
+            w.actor::<DynServer<V>>(actor)
+                .map(|s| s.completed_transfers().len() > before)
+                .unwrap_or(false)
+        });
+        if !done {
+            return Err(TransferError::InvalidArguments {
+                reason: "world quiesced before the transfer completed".into(),
+            });
+        }
+        Ok(self
+            .world
+            .actor::<DynServer<V>>(actor)
+            .expect("server")
+            .completed_transfers()[before]
+            .0
+            .clone())
+    }
+
+    /// Starts a transfer without waiting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invocation errors.
+    pub fn transfer_async(
+        &mut self,
+        from: ServerId,
+        to: ServerId,
+        delta: Ratio,
+    ) -> Result<(), TransferError> {
+        let actor = self.server_actor(from);
+        self.world
+            .with_actor_ctx::<DynServer<V>, Result<_, TransferError>>(actor, |srv, ctx| {
+                srv.begin_transfer(to, delta, ctx).map(|_| ())
+            })
+    }
+
+    /// Runs the world to quiescence.
+    pub fn settle(&mut self) {
+        self.world.run_to_quiescence();
+    }
+
+    /// Collects the full operation history across clients.
+    pub fn history(&self) -> History<V> {
+        let mut h = History::new();
+        for k in 0..self.n_clients {
+            if let Some(c) = self.world.actor::<DynClient<V>>(self.client_actor(k)) {
+                for op in c.history_ops(k) {
+                    h.record(op);
+                }
+            }
+        }
+        h
+    }
+
+    /// All completed transfers across servers, sorted by completion time
+    /// (the auditor's input).
+    pub fn all_completed_transfers(&self) -> Vec<(TransferOutcome, Time)> {
+        let mut all = Vec::new();
+        for s in self.cfg.servers() {
+            if let Some(srv) = self.world.actor::<DynServer<V>>(self.server_actor(s)) {
+                all.extend(srv.completed_transfers().iter().cloned());
+            }
+        }
+        all.sort_by_key(|(o, t)| (*t, o.from, o.counter));
+        all
+    }
+
+    /// Total restarts across all clients (staleness metric).
+    pub fn total_restarts(&self) -> u64 {
+        (0..self.n_clients)
+            .filter_map(|k| self.world.actor::<DynClient<V>>(self.client_actor(k)))
+            .flat_map(|c| c.driver.completed.iter().map(|o| o.restarts))
+            .sum()
+    }
+}

@@ -1,0 +1,322 @@
+//! Linearizability checking for register histories (the executable side of
+//! Theorem 6 / Definition 6).
+//!
+//! A Wing&Gong-style search specialized to read/write registers, with two
+//! scalability devices:
+//!
+//! * **quiescent partitioning** — the history is cut wherever every earlier
+//!   operation has responded before every later one begins; windows are
+//!   checked independently, threading the set of *possible register states*
+//!   across the cut;
+//! * **memoization** — within a window, visited `(linearized-set, state)`
+//!   pairs are pruned (the classic bitmask DP, windows capped at 64 ops).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use crate::history::{HistOp, History, OpKind};
+
+/// Why a history failed the atomicity check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinError {
+    /// Index range (into the sorted history) of the offending window.
+    pub window: (usize, usize),
+    /// Human-readable diagnosis.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "history not linearizable in ops [{}, {}): {}",
+            self.window.0, self.window.1, self.detail
+        )
+    }
+}
+
+impl std::error::Error for LinError {}
+
+/// Checks that `history` is linearizable as a single read/write register
+/// initialized to `None`.
+///
+/// # Errors
+///
+/// Returns [`LinError`] when no linearization exists, identifying the
+/// smallest window in which the search failed.
+///
+/// # Panics
+///
+/// Panics if any window contains more than 64 mutually-entangled
+/// operations (beyond the checker's bitmask capacity).
+///
+/// # Examples
+///
+/// ```
+/// use awr_sim::Time;
+/// use awr_storage::{check_linearizable, HistOp, History, OpKind};
+///
+/// let mut h = History::new();
+/// h.record(HistOp { client: 0, kind: OpKind::Write(7), invoke: Time(0), response: Time(10) });
+/// h.record(HistOp { client: 1, kind: OpKind::Read(Some(7)), invoke: Time(11), response: Time(20) });
+/// assert!(check_linearizable(&h).is_ok());
+///
+/// // A read of a never-written value cannot linearize.
+/// h.record(HistOp { client: 1, kind: OpKind::Read(Some(9)), invoke: Time(21), response: Time(30) });
+/// assert!(check_linearizable(&h).is_err());
+/// ```
+pub fn check_linearizable<V: Clone + Eq + Hash>(history: &History<V>) -> Result<(), LinError> {
+    let mut ops: Vec<&HistOp<V>> = history.ops.iter().collect();
+    ops.sort_by_key(|o| (o.invoke, o.response));
+
+    // Possible register states entering the current window.
+    let mut states: HashSet<Option<V>> = HashSet::new();
+    states.insert(None);
+
+    let mut start = 0;
+    while start < ops.len() {
+        // Grow the window until a quiescent cut: every op in it responds
+        // before the next op's invocation.
+        let mut end = start + 1;
+        let mut max_resp = ops[start].response;
+        while end < ops.len() && ops[end].invoke <= max_resp {
+            max_resp = max_resp.max(ops[end].response);
+            end += 1;
+        }
+        let window = &ops[start..end];
+        assert!(
+            window.len() <= 64,
+            "linearizability window of {} ops exceeds checker capacity",
+            window.len()
+        );
+        states = check_window(window, &states).map_err(|detail| LinError {
+            window: (start, end),
+            detail,
+        })?;
+        start = end;
+    }
+    Ok(())
+}
+
+/// Explores all linearizations of one window from each possible entry
+/// state; returns the set of possible exit states.
+fn check_window<V: Clone + Eq + Hash>(
+    window: &[&HistOp<V>],
+    entry_states: &HashSet<Option<V>>,
+) -> Result<HashSet<Option<V>>, String> {
+    let n = window.len();
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut exit_states: HashSet<Option<V>> = HashSet::new();
+    let mut visited: HashSet<(u64, Option<V>)> = HashSet::new();
+
+    // Iterative DFS over (mask, state).
+    let mut stack: Vec<(u64, Option<V>)> = entry_states
+        .iter()
+        .map(|s| (0u64, s.clone()))
+        .collect();
+    while let Some((mask, state)) = stack.pop() {
+        if !visited.insert((mask, state.clone())) {
+            continue;
+        }
+        if mask == full {
+            exit_states.insert(state);
+            continue;
+        }
+        for (i, op) in window.iter().enumerate() {
+            let bit = 1u64 << i;
+            if mask & bit != 0 {
+                continue;
+            }
+            // op can linearize next only if no other pending op fully
+            // precedes it.
+            let blocked = window.iter().enumerate().any(|(j, other)| {
+                j != i && mask & (1 << j) == 0 && other.response < op.invoke
+            });
+            if blocked {
+                continue;
+            }
+            match &op.kind {
+                OpKind::Write(v) => {
+                    stack.push((mask | bit, Some(v.clone())));
+                }
+                OpKind::Read(v) => {
+                    if *v == state {
+                        stack.push((mask | bit, state.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    if exit_states.is_empty() {
+        // Build a small diagnosis: find a read value with no matching write.
+        let mut detail = String::from("no valid linearization order exists");
+        for op in window {
+            if let OpKind::Read(Some(v)) = &op.kind {
+                let written = window
+                    .iter()
+                    .any(|o| matches!(&o.kind, OpKind::Write(w) if w == v));
+                let carried = entry_states.contains(&Some(v.clone()));
+                if !written && !carried {
+                    detail = "a read returned a value never written".into();
+                    break;
+                }
+            }
+        }
+        Err(detail)
+    } else {
+        Ok(exit_states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awr_sim::Time;
+
+    fn w(client: usize, v: u64, i: u64, r: u64) -> HistOp<u64> {
+        HistOp {
+            client,
+            kind: OpKind::Write(v),
+            invoke: Time(i),
+            response: Time(r),
+        }
+    }
+
+    fn rd(client: usize, v: Option<u64>, i: u64, r: u64) -> HistOp<u64> {
+        HistOp {
+            client,
+            kind: OpKind::Read(v),
+            invoke: Time(i),
+            response: Time(r),
+        }
+    }
+
+    fn hist(ops: Vec<HistOp<u64>>) -> History<u64> {
+        History { ops }
+    }
+
+    #[test]
+    fn empty_history_ok() {
+        assert!(check_linearizable::<u64>(&History::new()).is_ok());
+    }
+
+    #[test]
+    fn sequential_ok() {
+        let h = hist(vec![
+            w(0, 1, 0, 10),
+            rd(1, Some(1), 20, 30),
+            w(0, 2, 40, 50),
+            rd(1, Some(2), 60, 70),
+        ]);
+        assert!(check_linearizable(&h).is_ok());
+    }
+
+    #[test]
+    fn initial_read_none_ok() {
+        let h = hist(vec![rd(0, None, 0, 5), w(1, 1, 10, 20)]);
+        assert!(check_linearizable(&h).is_ok());
+    }
+
+    #[test]
+    fn stale_read_after_write_fails() {
+        // Read strictly after write(2) returns the older 1.
+        let h = hist(vec![
+            w(0, 1, 0, 10),
+            w(0, 2, 20, 30),
+            rd(1, Some(1), 40, 50),
+        ]);
+        assert!(check_linearizable(&h).is_err());
+    }
+
+    #[test]
+    fn concurrent_write_either_order_ok() {
+        // Two concurrent writes; readers may see either order, but
+        // consistently.
+        let h = hist(vec![
+            w(0, 1, 0, 100),
+            w(1, 2, 0, 100),
+            rd(2, Some(1), 150, 160),
+        ]);
+        assert!(check_linearizable(&h).is_ok());
+        let h2 = hist(vec![
+            w(0, 1, 0, 100),
+            w(1, 2, 0, 100),
+            rd(2, Some(2), 150, 160),
+        ]);
+        assert!(check_linearizable(&h2).is_ok());
+    }
+
+    #[test]
+    fn new_old_inversion_fails() {
+        // Definition 6's forbidden pattern: r1 before r2, r1 sees the newer
+        // value, r2 the older one.
+        let h = hist(vec![
+            w(0, 1, 0, 10),
+            w(0, 2, 20, 30),
+            rd(1, Some(2), 40, 50),
+            rd(2, Some(1), 60, 70),
+        ]);
+        assert!(check_linearizable(&h).is_err());
+    }
+
+    #[test]
+    fn read_concurrent_with_write_sees_either() {
+        let h = hist(vec![w(0, 1, 0, 10), w(0, 2, 20, 60), rd(1, Some(1), 30, 40)]);
+        assert!(check_linearizable(&h).is_ok());
+        let h2 = hist(vec![w(0, 1, 0, 10), w(0, 2, 20, 60), rd(1, Some(2), 30, 40)]);
+        assert!(check_linearizable(&h2).is_ok());
+    }
+
+    #[test]
+    fn value_never_written_fails_with_diagnosis() {
+        let h = hist(vec![w(0, 1, 0, 10), rd(1, Some(9), 20, 30)]);
+        let err = check_linearizable(&h).unwrap_err();
+        assert!(err.detail.contains("never written"), "{err}");
+    }
+
+    #[test]
+    fn state_threads_across_quiescent_cut() {
+        // Window 1 ends with ambiguous state {1, 2}; window 2's read of 2
+        // must still be accepted, and a subsequent read of 1 rejected.
+        let h = hist(vec![
+            w(0, 1, 0, 100),
+            w(1, 2, 0, 100),
+            rd(2, Some(2), 200, 210),
+            rd(2, Some(1), 220, 230),
+        ]);
+        assert!(check_linearizable(&h).is_err());
+        let ok = hist(vec![
+            w(0, 1, 0, 100),
+            w(1, 2, 0, 100),
+            rd(2, Some(2), 200, 210),
+            rd(2, Some(2), 220, 230),
+        ]);
+        assert!(check_linearizable(&ok).is_ok());
+    }
+
+    #[test]
+    fn long_sequential_history_is_fast() {
+        // 2000 strictly sequential ops: partitioning keeps this linear.
+        let mut ops = Vec::new();
+        for i in 0..1000u64 {
+            ops.push(w(0, i, i * 20, i * 20 + 5));
+            ops.push(rd(1, Some(i), i * 20 + 10, i * 20 + 15));
+        }
+        assert!(check_linearizable(&hist(ops)).is_ok());
+    }
+
+    #[test]
+    fn overlapping_reads_with_concurrent_writes() {
+        // A torture window: 3 writers, 3 readers all overlapping.
+        let h = hist(vec![
+            w(0, 1, 0, 50),
+            w(1, 2, 10, 60),
+            w(2, 3, 20, 70),
+            rd(3, Some(1), 5, 55),
+            rd(4, Some(3), 30, 80),
+            rd(5, Some(3), 90, 95),
+        ]);
+        assert!(check_linearizable(&h).is_ok());
+    }
+}

@@ -1,0 +1,90 @@
+//! Quorum predicates used by the ABD variants.
+
+use std::collections::BTreeSet;
+
+use awr_types::{Ratio, ServerId, WeightMap};
+
+/// How a client decides that a set of responders forms a quorum.
+#[derive(Clone, Debug)]
+pub enum QuorumRule {
+    /// Plain majority: at least `threshold` distinct servers
+    /// (`⌊n/2⌋ + 1` for classic ABD).
+    Count {
+        /// Minimum number of distinct responders.
+        threshold: usize,
+    },
+    /// Weighted majority with *static* weights: responders' total weight
+    /// must strictly exceed `threshold_total / 2`.
+    Weighted {
+        /// The fixed weight vector.
+        weights: WeightMap,
+        /// The total against which quorums are judged.
+        threshold_total: Ratio,
+    },
+}
+
+impl QuorumRule {
+    /// The classic majority rule for `n` servers.
+    pub fn majority(n: usize) -> QuorumRule {
+        QuorumRule::Count {
+            threshold: n / 2 + 1,
+        }
+    }
+
+    /// A static weighted-majority rule.
+    pub fn weighted(weights: WeightMap) -> QuorumRule {
+        let total = weights.total();
+        QuorumRule::Weighted {
+            weights,
+            threshold_total: total,
+        }
+    }
+
+    /// Evaluates the predicate.
+    pub fn is_quorum(&self, responders: &BTreeSet<ServerId>) -> bool {
+        match self {
+            QuorumRule::Count { threshold } => responders.len() >= *threshold,
+            QuorumRule::Weighted {
+                weights,
+                threshold_total,
+            } => {
+                let sum: Ratio = responders
+                    .iter()
+                    .filter(|s| s.index() < weights.len())
+                    .map(|s| weights.weight(*s))
+                    .sum();
+                sum > threshold_total.half()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> BTreeSet<ServerId> {
+        ids.iter().map(|&i| ServerId(i)).collect()
+    }
+
+    #[test]
+    fn majority_rule() {
+        let q = QuorumRule::majority(5);
+        assert!(!q.is_quorum(&set(&[0, 1])));
+        assert!(q.is_quorum(&set(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn weighted_rule() {
+        let q = QuorumRule::weighted(WeightMap::dec(&["2", "2", "1", "1", "1"]));
+        assert!(q.is_quorum(&set(&[0, 1]))); // 4 > 3.5
+        assert!(!q.is_quorum(&set(&[2, 3, 4]))); // 3 < 3.5
+    }
+
+    #[test]
+    fn weighted_strictness() {
+        let q = QuorumRule::weighted(WeightMap::dec(&["1", "1"]));
+        assert!(!q.is_quorum(&set(&[0]))); // 1 == 2/2, not strict
+        assert!(q.is_quorum(&set(&[0, 1])));
+    }
+}

@@ -1,0 +1,147 @@
+//! Random workload generation for storage experiments.
+//!
+//! Drives a [`crate::StorageHarness`] (or the static ABD world) with a
+//! closed-loop mix of reads, writes, and transfers, then hands back the
+//! recorded history for checking.
+
+use awr_types::{Ratio, ServerId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::harness::StorageHarness;
+
+/// Parameters of a random mixed workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Scheduling rounds.
+    pub rounds: usize,
+    /// Virtual nanoseconds the world advances between rounds.
+    pub round_ns: u64,
+    /// Probability (0..100) that an idle client starts an op each round.
+    pub op_percent: u32,
+    /// Probability (0..100) that an op is a write (else read).
+    pub write_percent: u32,
+    /// Probability (0..100) that a random transfer is attempted each round.
+    pub transfer_percent: u32,
+    /// The Δ used for random transfers.
+    pub transfer_delta: Ratio,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> WorkloadSpec {
+        WorkloadSpec {
+            rounds: 20,
+            round_ns: 150_000,
+            op_percent: 60,
+            write_percent: 50,
+            transfer_percent: 30,
+            transfer_delta: Ratio::new(1, 20),
+        }
+    }
+}
+
+/// Statistics of a completed workload run.
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadStats {
+    /// Completed reads.
+    pub reads: usize,
+    /// Completed writes.
+    pub writes: usize,
+    /// Transfers attempted (accepted invocations).
+    pub transfers_attempted: usize,
+    /// Mean operation latency (virtual ms).
+    pub mean_latency_ms: f64,
+    /// Total stale-set restarts across completed ops.
+    pub restarts: u64,
+}
+
+/// Runs `spec` against the harness with `n_clients` closed-loop clients,
+/// writing distinct `u64` values. Returns run statistics; the history stays
+/// in the harness for checking.
+pub fn run_mixed_workload(
+    h: &mut StorageHarness<u64>,
+    n_clients: usize,
+    spec: &WorkloadSpec,
+    seed: u64,
+) -> WorkloadStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = h.config().n;
+    let mut next_val = 1u64;
+    let mut stats = WorkloadStats::default();
+    for _ in 0..spec.rounds {
+        for k in 0..n_clients {
+            if !h.client_busy(k) && rng.random_range(0..100) < spec.op_percent {
+                if rng.random_range(0..100) < spec.write_percent {
+                    h.begin_async(k, Some(next_val));
+                    next_val += 1;
+                } else {
+                    h.begin_async(k, None);
+                }
+            }
+        }
+        if rng.random_range(0..100) < spec.transfer_percent {
+            let from = ServerId(rng.random_range(0..n as u32));
+            let to = ServerId(rng.random_range(0..n as u32));
+            if from != to && h.transfer_async(from, to, spec.transfer_delta).is_ok() {
+                stats.transfers_attempted += 1;
+            }
+        }
+        h.world.run_for(spec.round_ns);
+    }
+    h.settle();
+    let hist = h.history();
+    let mut total_ms = 0.0;
+    for op in &hist.ops {
+        match op.kind {
+            crate::history::OpKind::Read(_) => stats.reads += 1,
+            crate::history::OpKind::Write(_) => stats.writes += 1,
+        }
+        total_ms += (op.response - op.invoke) as f64 / 1e6;
+    }
+    if !hist.is_empty() {
+        stats.mean_latency_ms = total_ms / hist.len() as f64;
+    }
+    stats.restarts = h.total_restarts();
+    stats
+}
+
+/// Unique-value generator helper for open-coded workloads.
+pub fn distinct_values(start: u64) -> impl FnMut() -> u64 {
+    let mut next = start;
+    move || {
+        let v = next;
+        next += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::DynOptions;
+    use crate::lin::check_linearizable;
+    use awr_core::RpConfig;
+    use awr_sim::UniformLatency;
+
+    #[test]
+    fn mixed_workload_completes_and_checks() {
+        let mut h: StorageHarness<u64> = StorageHarness::build(
+            RpConfig::uniform(5, 1),
+            3,
+            11,
+            UniformLatency::new(1_000, 40_000),
+            DynOptions::default(),
+        );
+        let stats = run_mixed_workload(&mut h, 3, &WorkloadSpec::default(), 11);
+        assert!(stats.reads + stats.writes > 5);
+        assert!(stats.mean_latency_ms > 0.0);
+        check_linearizable(&h.history()).unwrap();
+    }
+
+    #[test]
+    fn distinct_values_distinct() {
+        let mut g = distinct_values(5);
+        assert_eq!(g(), 5);
+        assert_eq!(g(), 6);
+    }
+}

@@ -1,0 +1,303 @@
+//! Sets of changes and the weights they induce (paper §III).
+//!
+//! `C_{s,t}` — the set of changes created for server `s` by operations
+//! completed at time `t` — only ever grows, and the weight of `s` is the sum
+//! of the deltas in it. [`ChangeSet`] is the canonical grow-only
+//! (union-semilattice) representation used by every protocol in this
+//! repository: servers union what they learn, clients union what they read,
+//! and two sets are comparable exactly when one contains the other.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Change, Ratio, ServerId, WeightMap};
+
+/// A grow-only set of [`Change`]s with weight accounting.
+///
+/// # Examples
+///
+/// ```
+/// use awr_types::{Change, ChangeSet, Ratio, ServerId};
+///
+/// let mut c = ChangeSet::uniform_initial(3, Ratio::ONE);
+/// assert_eq!(c.server_weight(ServerId(0)), Ratio::ONE);
+/// assert_eq!(c.total_weight(3), Ratio::integer(3));
+///
+/// c.insert(Change::new(ServerId(1), 2, ServerId(0), Ratio::dec("0.5")));
+/// assert_eq!(c.server_weight(ServerId(0)), Ratio::dec("1.5"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChangeSet {
+    changes: BTreeSet<Change>,
+}
+
+impl ChangeSet {
+    /// Creates an empty change set.
+    pub fn new() -> ChangeSet {
+        ChangeSet::default()
+    }
+
+    /// The conventional initial set `{⟨s, 1, s, w⟩ | s ∈ S}` with uniform
+    /// weight `w` (Algorithm 4 line 2 uses `w = 1`).
+    pub fn uniform_initial(n: usize, w: Ratio) -> ChangeSet {
+        ServerId::all(n).map(|s| Change::initial(s, w)).collect()
+    }
+
+    /// Initial set from per-server weights.
+    pub fn from_initial_weights(weights: &WeightMap) -> ChangeSet {
+        weights
+            .iter()
+            .map(|(s, w)| Change::initial(s, w))
+            .collect()
+    }
+
+    /// Inserts a change; returns `true` if it was new.
+    pub fn insert(&mut self, c: Change) -> bool {
+        self.changes.insert(c)
+    }
+
+    /// Unions another set into this one (the lattice join).
+    pub fn merge(&mut self, other: &ChangeSet) {
+        for c in &other.changes {
+            self.changes.insert(*c);
+        }
+    }
+
+    /// Returns the union of the two sets without mutating either.
+    pub fn union(&self, other: &ChangeSet) -> ChangeSet {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Changes in `self` but not `other`.
+    pub fn difference(&self, other: &ChangeSet) -> Vec<Change> {
+        self.changes.difference(&other.changes).copied().collect()
+    }
+
+    /// Returns `true` if `self` contains every change in `other`.
+    pub fn contains_all(&self, other: &ChangeSet) -> bool {
+        other.changes.is_subset(&self.changes)
+    }
+
+    /// Returns `true` if the specific change is present.
+    pub fn contains(&self, c: &Change) -> bool {
+        self.changes.contains(c)
+    }
+
+    /// Number of changes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Returns `true` if no changes are present.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Iterates over all changes in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Change> {
+        self.changes.iter()
+    }
+
+    /// All changes created for server `s` (the `get_changes(s)` of
+    /// Algorithm 4 line 6).
+    pub fn changes_for(&self, s: ServerId) -> impl Iterator<Item = &Change> {
+        self.changes.iter().filter(move |c| c.target == s)
+    }
+
+    /// The subset of changes created for `s`, as an owned set.
+    pub fn restricted_to(&self, s: ServerId) -> ChangeSet {
+        self.changes_for(s).copied().collect()
+    }
+
+    /// The weight of server `s` induced by this set:
+    /// `W_s = Σ_{⟨*,*,s,Δ⟩ ∈ C} Δ`.
+    pub fn server_weight(&self, s: ServerId) -> Ratio {
+        self.changes_for(s).map(|c| c.delta).sum()
+    }
+
+    /// The weight of a set of servers `A`: `W_A = Σ_{s ∈ A} W_s`.
+    pub fn group_weight<'a>(&self, servers: impl IntoIterator<Item = &'a ServerId>) -> Ratio {
+        servers
+            .into_iter()
+            .map(|s| self.server_weight(*s))
+            .sum()
+    }
+
+    /// Total weight of an `n`-server system under this set.
+    pub fn total_weight(&self, n: usize) -> Ratio {
+        ServerId::all(n).map(|s| self.server_weight(s)).sum()
+    }
+
+    /// Materializes the full weight map of an `n`-server system.
+    pub fn weights(&self, n: usize) -> WeightMap {
+        WeightMap::from_fn(n, |s| self.server_weight(s))
+    }
+
+    /// Returns `true` if a change issued by `(issuer, counter)` targeting `s`
+    /// is present — the completion test of Definition 2.
+    pub fn has_op_for(&self, issuer: crate::ProcessId, counter: u64, target: ServerId) -> bool {
+        self.changes
+            .iter()
+            .any(|c| c.issuer == issuer && c.counter == counter && c.target == target)
+    }
+
+    /// A compact content digest for cheap comparison in message headers.
+    ///
+    /// Equal sets have equal digests; unequal sets collide with negligible
+    /// probability. Protocol code must still fall back to full comparison on
+    /// digest equality when correctness depends on it.
+    pub fn digest(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        for c in &self.changes {
+            c.hash(&mut h);
+        }
+        self.changes.len().hash(&mut h);
+        h.finish()
+    }
+}
+
+impl fmt::Debug for ChangeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.changes.iter()).finish()
+    }
+}
+
+impl FromIterator<Change> for ChangeSet {
+    fn from_iter<I: IntoIterator<Item = Change>>(iter: I) -> ChangeSet {
+        ChangeSet {
+            changes: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Change> for ChangeSet {
+    fn extend<I: IntoIterator<Item = Change>>(&mut self, iter: I) {
+        self.changes.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a ChangeSet {
+    type Item = &'a Change;
+    type IntoIter = std::collections::btree_set::Iter<'a, Change>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.changes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProcessId;
+
+    fn s(i: u32) -> ServerId {
+        ServerId(i)
+    }
+
+    #[test]
+    fn uniform_initial_weights() {
+        let c = ChangeSet::uniform_initial(4, Ratio::ONE);
+        assert_eq!(c.len(), 4);
+        for i in 0..4 {
+            assert_eq!(c.server_weight(s(i)), Ratio::ONE);
+        }
+        assert_eq!(c.total_weight(4), Ratio::integer(4));
+    }
+
+    #[test]
+    fn weight_accumulates() {
+        let mut c = ChangeSet::uniform_initial(2, Ratio::ONE);
+        c.insert(Change::new(s(0), 2, s(0), Ratio::dec("-0.25")));
+        c.insert(Change::new(s(0), 2, s(1), Ratio::dec("0.25")));
+        assert_eq!(c.server_weight(s(0)), Ratio::dec("0.75"));
+        assert_eq!(c.server_weight(s(1)), Ratio::dec("1.25"));
+        // Pairwise transfers preserve the total.
+        assert_eq!(c.total_weight(2), Ratio::integer(2));
+    }
+
+    #[test]
+    fn null_changes_do_not_affect_weight() {
+        let mut c = ChangeSet::uniform_initial(2, Ratio::ONE);
+        c.insert(Change::new(s(1), 2, s(0), Ratio::ZERO));
+        assert_eq!(c.server_weight(s(0)), Ratio::ONE);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = ChangeSet::uniform_initial(2, Ratio::ONE);
+        let mut b = a.clone();
+        a.insert(Change::new(s(0), 2, s(0), Ratio::dec("0.5")));
+        b.insert(Change::new(s(1), 2, s(1), Ratio::dec("0.5")));
+        let u = a.union(&b);
+        assert_eq!(u.len(), 4);
+        assert!(u.contains_all(&a) && u.contains_all(&b));
+        a.merge(&b);
+        assert_eq!(a, u);
+    }
+
+    #[test]
+    fn merge_is_idempotent_commutative_associative() {
+        let base = ChangeSet::uniform_initial(3, Ratio::ONE);
+        let mut x = base.clone();
+        x.insert(Change::new(s(0), 2, s(1), Ratio::dec("0.1")));
+        let mut y = base.clone();
+        y.insert(Change::new(s(2), 2, s(0), Ratio::dec("-0.1")));
+
+        assert_eq!(x.union(&x), x); // idempotent
+        assert_eq!(x.union(&y), y.union(&x)); // commutative
+        let z = base.clone();
+        assert_eq!(x.union(&y).union(&z), x.union(&y.union(&z))); // associative
+    }
+
+    #[test]
+    fn duplicate_insert_ignored() {
+        let mut c = ChangeSet::new();
+        let ch = Change::new(s(0), 1, s(0), Ratio::ONE);
+        assert!(c.insert(ch));
+        assert!(!c.insert(ch));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.server_weight(s(0)), Ratio::ONE);
+    }
+
+    #[test]
+    fn restricted_to_single_server() {
+        let mut c = ChangeSet::uniform_initial(3, Ratio::ONE);
+        c.insert(Change::new(s(1), 2, s(0), Ratio::dec("0.5")));
+        let r = c.restricted_to(s(0));
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|ch| ch.target == s(0)));
+        assert_eq!(r.server_weight(s(0)), Ratio::dec("1.5"));
+    }
+
+    #[test]
+    fn completion_test() {
+        let mut c = ChangeSet::uniform_initial(2, Ratio::ONE);
+        let issuer = ProcessId::Server(s(1));
+        assert!(!c.has_op_for(issuer, 2, s(0)));
+        c.insert(Change::new(s(1), 2, s(0), Ratio::ZERO));
+        assert!(c.has_op_for(issuer, 2, s(0)));
+    }
+
+    #[test]
+    fn digest_distinguishes_and_matches() {
+        let a = ChangeSet::uniform_initial(3, Ratio::ONE);
+        let b = ChangeSet::uniform_initial(3, Ratio::ONE);
+        assert_eq!(a.digest(), b.digest());
+        let mut c = a.clone();
+        c.insert(Change::new(s(0), 2, s(0), Ratio::dec("0.5")));
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn group_weight() {
+        let c = ChangeSet::uniform_initial(5, Ratio::ONE);
+        let group = [s(0), s(1), s(2)];
+        assert_eq!(c.group_weight(&group), Ratio::integer(3));
+    }
+}

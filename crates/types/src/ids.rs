@@ -1,0 +1,162 @@
+//! Process identifiers.
+//!
+//! The system model (paper §II) has two non-overlapping sets of processes: a
+//! finite set of `n` servers and an unbounded set of clients. Newtypes keep
+//! the two spaces statically distinct while [`ProcessId`] unifies them where
+//! the paper does (the issuer field of a change may be either).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a server, dense in `0..n`.
+///
+/// The paper indexes servers `s_1..s_n`; we use zero-based indices and render
+/// them one-based in `Display` to match the paper's notation.
+///
+/// # Examples
+///
+/// ```
+/// use awr_types::ServerId;
+/// let s = ServerId(0);
+/// assert_eq!(s.to_string(), "s1");
+/// assert_eq!(s.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServerId(pub u32);
+
+impl ServerId {
+    /// Zero-based index of this server.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over all server ids of an `n`-server system.
+    pub fn all(n: usize) -> impl Iterator<Item = ServerId> {
+        (0..n as u32).map(ServerId)
+    }
+}
+
+impl fmt::Debug for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0 + 1)
+    }
+}
+
+/// Identifier of a client.
+///
+/// # Examples
+///
+/// ```
+/// use awr_types::ClientId;
+/// assert_eq!(ClientId(1).to_string(), "c2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0 + 1)
+    }
+}
+
+/// Either a server or a client — the issuer of a reassignment request.
+///
+/// Ordering places all servers before all clients, which gives changes a
+/// deterministic total order (useful for canonical set representations).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ProcessId {
+    /// A replica holding weight.
+    Server(ServerId),
+    /// An external reader/writer.
+    Client(ClientId),
+}
+
+impl ProcessId {
+    /// Returns the server id if this process is a server.
+    pub fn as_server(&self) -> Option<ServerId> {
+        match self {
+            ProcessId::Server(s) => Some(*s),
+            ProcessId::Client(_) => None,
+        }
+    }
+
+    /// Returns `true` if this process is a server.
+    pub fn is_server(&self) -> bool {
+        matches!(self, ProcessId::Server(_))
+    }
+}
+
+impl From<ServerId> for ProcessId {
+    fn from(s: ServerId) -> ProcessId {
+        ProcessId::Server(s)
+    }
+}
+
+impl From<ClientId> for ProcessId {
+    fn from(c: ClientId) -> ProcessId {
+        ProcessId::Client(c)
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessId::Server(s) => write!(f, "{s}"),
+            ProcessId::Client(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_one_based() {
+        assert_eq!(ServerId(0).to_string(), "s1");
+        assert_eq!(ServerId(6).to_string(), "s7");
+        assert_eq!(ClientId(0).to_string(), "c1");
+        assert_eq!(ProcessId::from(ServerId(2)).to_string(), "s3");
+    }
+
+    #[test]
+    fn all_servers() {
+        let ids: Vec<_> = ServerId::all(3).collect();
+        assert_eq!(ids, vec![ServerId(0), ServerId(1), ServerId(2)]);
+    }
+
+    #[test]
+    fn ordering_servers_before_clients() {
+        assert!(ProcessId::from(ServerId(99)) < ProcessId::from(ClientId(0)));
+    }
+
+    #[test]
+    fn as_server() {
+        assert_eq!(
+            ProcessId::from(ServerId(1)).as_server(),
+            Some(ServerId(1))
+        );
+        assert_eq!(ProcessId::from(ClientId(1)).as_server(), None);
+        assert!(ProcessId::from(ServerId(0)).is_server());
+        assert!(!ProcessId::from(ClientId(0)).is_server());
+    }
+}

@@ -1,0 +1,80 @@
+//! The full adaptive loop the paper points at (§VI, citing AWARE): monitor
+//! replica latencies, derive target weights, plan C1/C2-compatible pairwise
+//! transfers, and execute them on the live system — then watch the loop
+//! react to a regime shift.
+//!
+//! Run with: `cargo run --example adaptive_weights`
+
+use awr::core::{audit_transfers, RpConfig, RpHarness};
+use awr::monitor::{plan_transfers, LatencyMonitor, RegimeShift, WeightPolicy};
+use awr::sim::UniformLatency;
+use awr::types::ServerId;
+
+fn main() {
+    let cfg = RpConfig::uniform(7, 2);
+    let mut system = RpHarness::build(cfg.clone(), 1, 7, UniformLatency::new(1_000, 60_000));
+
+    // A synthetic latency regime: servers 5–7 degrade at sample 50.
+    let regime = RegimeShift {
+        before: vec![15.0, 15.0, 15.0, 18.0, 18.0, 20.0, 20.0],
+        after: vec![15.0, 15.0, 15.0, 18.0, 18.0, 200.0, 220.0],
+        at_sample: 50,
+    };
+
+    let mut monitor = LatencyMonitor::new(7, 0.2);
+    let policy = WeightPolicy::default();
+
+    for epoch in 0..2 {
+        // Observe 50 samples per epoch (before/after the shift).
+        for k in 0..50u64 {
+            let sample = epoch * 50 + k;
+            for s in cfg.servers() {
+                monitor.observe(s, regime.latency(s, sample));
+            }
+        }
+
+        // Derive targets and a transfer plan from the *current* weights.
+        let current = system.weights_seen_by(ServerId(0));
+        let targets = policy.targets(&cfg, &monitor.estimates_or(50.0));
+        let plan = plan_transfers(&current, &targets);
+        println!(
+            "epoch {epoch}: estimates = {:?}",
+            monitor
+                .estimates_or(0.0)
+                .iter()
+                .map(|x| format!("{x:.0}"))
+                .collect::<Vec<_>>()
+        );
+        println!("  current weights: {current}");
+        println!("  target  weights: {targets}");
+        println!("  plan: {} transfer(s)", plan.len());
+
+        // Execute: every donor drives its own transfer (C1); the protocol's
+        // local check (C2) guards the floor even if the plan raced.
+        for t in &plan {
+            let out = system
+                .transfer_and_wait(t.from, t.to, t.delta)
+                .expect("transfer completes");
+            println!(
+                "    {}→{} {}: {}",
+                t.from,
+                t.to,
+                t.delta,
+                if out.is_effective() { "effective" } else { "null" }
+            );
+        }
+        system.settle();
+    }
+
+    let final_weights = system.weights_seen_by(ServerId(0));
+    println!("final weights: {final_weights}");
+    // The degraded servers shed weight; the healthy ones picked it up.
+    assert!(final_weights.weight(ServerId(5)) < final_weights.weight(ServerId(0)));
+
+    let report = audit_transfers(&cfg, &system.all_completed());
+    assert!(report.is_clean());
+    println!(
+        "audit clean across the whole adaptive run ({} effective transfers)",
+        report.effective
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: spin up a restricted pairwise weight reassignment system,
+//! move some voting power around, and read it back — the 60-second tour.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use awr::core::{audit_transfers, RpConfig, RpHarness};
+use awr::quorum::{QuorumSystem, WeightedMajorityQuorumSystem};
+use awr::sim::UniformLatency;
+use awr::types::{Ratio, ServerId};
+
+fn main() {
+    // Seven servers, up to two may crash, everyone starts with weight 1.
+    // The RP-Integrity floor is W_S0 / (2(n−f)) = 7/10: no server may ever
+    // drop to 0.7 or below, which keeps a weighted quorum alive through any
+    // two crashes (Property 1, forever).
+    let cfg = RpConfig::uniform(7, 2);
+    println!("floor = {}, quorum threshold = {}", cfg.floor(), cfg.quorum_threshold());
+
+    // A simulated asynchronous network: per-message random delays.
+    let mut system = RpHarness::build(cfg.clone(), 1, 42, UniformLatency::new(1_000, 80_000));
+
+    // s4 transfers 0.25 of its voting power to s1. Only s4 can move s4's
+    // weight (condition C1), and the local check `weight > Δ + floor`
+    // (condition C2) makes the transfer effective without any consensus.
+    let outcome = system
+        .transfer_and_wait(ServerId(3), ServerId(0), Ratio::dec("0.25"))
+        .expect("transfer should complete");
+    println!(
+        "transfer s4→s1 completed: effective = {}, change = {}",
+        outcome.is_effective(),
+        outcome.complete_change()
+    );
+
+    // Anyone can read a server's changes (Algorithm 3) and compute weights.
+    let result = system.read_changes(0, ServerId(0)).expect("read_changes");
+    println!("s1's weight is now {}", result.weight());
+    assert_eq!(result.weight(), Ratio::dec("1.25"));
+
+    // A transfer that would breach the floor completes *null* — the paper's
+    // Validity-I abort semantics.
+    let outcome = system
+        .transfer_and_wait(ServerId(3), ServerId(1), Ratio::dec("0.5"))
+        .expect("transfer should complete (as null)");
+    assert!(!outcome.is_effective());
+    println!("over-draining transfer aborted: {}", outcome.complete_change());
+
+    // The audit replays every completed transfer and certifies the paper's
+    // safety properties (RP-Integrity, P-Integrity, C1, conservation).
+    system.settle();
+    let report = audit_transfers(&cfg, &system.all_completed());
+    assert!(report.is_clean());
+    println!(
+        "audit clean: {} effective, {} null transfers",
+        report.effective, report.null
+    );
+
+    // Weighted quorums shrink where weight concentrates.
+    let weights = system.weights_seen_by(ServerId(0));
+    let qs = WeightedMajorityQuorumSystem::with_threshold_total(weights, cfg.initial_total());
+    println!("smallest quorum now has {} servers", qs.min_quorum_size());
+}

@@ -1,0 +1,125 @@
+//! RP-Liveness (Definition 5) under failure injection: every invocation by
+//! a correct process completes with up to `f` crashes, arbitrary crash
+//! timing, and adversarial message delays.
+
+use awr::core::{audit_transfers, RpConfig, RpHarness};
+use awr::sim::{Time, UniformLatency, MILLI};
+use awr::types::{Ratio, ServerId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn s(i: u32) -> ServerId {
+    ServerId(i)
+}
+
+#[test]
+fn transfers_complete_with_f_crashes_at_random_times() {
+    for seed in 0..12 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = RpConfig::uniform(7, 2);
+        let mut h = RpHarness::build(cfg.clone(), 1, seed, UniformLatency::new(1_000, 70_000));
+        // Crash two random distinct servers at random virtual times, but
+        // never the two we will use as transfer endpoints.
+        let mut victims: Vec<u32> = (2..7).collect();
+        for _ in 0..2 {
+            let k = rng.random_range(0..victims.len());
+            let v = victims.swap_remove(k);
+            let at = Time(rng.random_range(0..200) * MILLI);
+            h.world.schedule_crash(h.server_actor(s(v)), at);
+        }
+        // The surviving donor/receiver pair keeps completing transfers.
+        for round in 0..5 {
+            let out = h
+                .transfer_and_wait(s(0), s(1), Ratio::dec("0.02"))
+                .unwrap_or_else(|e| panic!("seed {seed} round {round}: {e}"));
+            assert!(out.is_effective());
+        }
+        let report = audit_transfers(&cfg, &h.all_completed());
+        assert!(report.is_clean(), "seed {seed}");
+    }
+}
+
+#[test]
+fn read_changes_completes_with_f_crashes() {
+    for seed in 0..12 {
+        let cfg = RpConfig::uniform(7, 2);
+        let mut h = RpHarness::build(cfg, 1, 50 + seed, UniformLatency::new(1_000, 70_000));
+        h.crash_server(s(5));
+        h.crash_server(s(6));
+        h.transfer_and_wait(s(0), s(1), Ratio::dec("0.1")).unwrap();
+        let rc = h.read_changes(0, s(1)).expect("read_changes liveness");
+        assert_eq!(rc.weight(), Ratio::dec("1.1"), "seed {seed}");
+    }
+}
+
+#[test]
+fn f_plus_one_crashes_do_break_liveness() {
+    // Sanity-check the boundary: with f + 1 crashes the protocol *should*
+    // stall (the model's assumption is at most f crash faults).
+    let cfg = RpConfig::uniform(7, 2);
+    let mut h = RpHarness::build(cfg, 1, 99, UniformLatency::new(1_000, 70_000));
+    h.crash_server(s(4));
+    h.crash_server(s(5));
+    h.crash_server(s(6));
+    // n − f − 1 = 4 acks needed, only 3 other live servers remain.
+    let result = h.transfer_and_wait(s(0), s(1), Ratio::dec("0.1"));
+    assert!(result.is_err(), "transfer should not complete with f+1 crashes");
+}
+
+#[test]
+fn concurrent_transfers_all_complete_under_heavy_reordering() {
+    for seed in 0..10 {
+        let cfg = RpConfig::uniform(7, 2);
+        // Huge delay spread = heavy reordering.
+        let mut h = RpHarness::build(cfg.clone(), 1, seed, UniformLatency::new(1, 500 * MILLI));
+        for from in 0..7u32 {
+            let to = (from + 1) % 7;
+            h.transfer_async(s(from), s(to), Ratio::dec("0.1")).unwrap();
+        }
+        h.settle();
+        let completed = h.all_completed();
+        assert_eq!(completed.len(), 7, "seed {seed}: all invocations complete");
+        let report = audit_transfers(&cfg, &completed);
+        assert!(report.is_clean(), "seed {seed}: {:?}", report.violations);
+        // A full ring of 0.1-transfers returns everyone to weight 1.
+        for i in 0..7 {
+            assert_eq!(h.weights_seen_by(s(i)).weight(s(i)), Ratio::ONE);
+        }
+    }
+}
+
+#[test]
+fn protocol_outcome_identical_fifo_vs_reordering() {
+    // Safety is schedule-independent: the same transfer workload lands on
+    // the same final weights whether links are FIFO or wildly reordering.
+    use awr::sim::{FifoLinks, UniformLatency};
+    let run = |fifo: bool, seed: u64| {
+        let cfg = RpConfig::uniform(7, 2);
+        let mut h = if fifo {
+            RpHarness::build(
+                cfg.clone(),
+                1,
+                seed,
+                FifoLinks::new(UniformLatency::new(1, 200 * MILLI)),
+            )
+        } else {
+            RpHarness::build(cfg.clone(), 1, seed, UniformLatency::new(1, 200 * MILLI))
+        };
+        for i in 0..7u32 {
+            h.transfer_async(s(i), s((i + 2) % 7), Ratio::dec("0.1"))
+                .unwrap();
+        }
+        h.settle();
+        let report = audit_transfers(&cfg, &h.all_completed());
+        assert!(report.is_clean());
+        (h.weights_seen_by(s(0)), h.all_completed().len())
+    };
+    for seed in 0..5 {
+        let (w_fifo, n_fifo) = run(true, seed);
+        let (w_wild, n_wild) = run(false, seed);
+        assert_eq!(n_fifo, n_wild, "seed {seed}");
+        // All transfers in this ring are effective under both schedules, so
+        // the final weights agree (everyone back to 1).
+        assert_eq!(w_fifo, w_wild, "seed {seed}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Integration tests for the impossibility reductions (Theorems 1–2) and
+//! the naive-implementation counterexample, across sizes, seeds, and real
+//! threads.
+
+use awr::core::naive::run_theorem1_race;
+use awr::core::reduction::{
+    reduction_initial_weights, run_alg1, run_alg1_threads, run_alg2, run_alg2_threads,
+};
+use awr::quorum::integrity_holds;
+
+#[test]
+fn theorem1_consensus_across_sizes_and_seeds() {
+    for &(n, f) in &[(3usize, 1usize), (4, 1), (5, 2), (7, 3), (10, 4), (13, 6)] {
+        for seed in 0..30 {
+            let run = run_alg1(n, f, (0..n as u64).collect(), seed);
+            assert!(run.agreement(), "n={n} f={f} seed={seed}");
+            assert!(run.validity(), "n={n} f={f} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn theorem2_consensus_and_winner_in_s_minus_f() {
+    for &(n, f) in &[(4usize, 1usize), (7, 2), (9, 3), (11, 4)] {
+        for seed in 0..30 {
+            let run = run_alg2(n, f, (0..n as u64).collect(), seed);
+            assert!(run.agreement(), "n={n} f={f} seed={seed}");
+            assert!(run.validity(), "n={n} f={f} seed={seed}");
+            // Algorithm 2's decided value is proposed by a member of S \ F.
+            assert!(
+                *run.decided().unwrap() >= f as u64,
+                "n={n} f={f} seed={seed}: winner inside F"
+            );
+        }
+    }
+}
+
+#[test]
+fn reductions_agree_on_real_threads() {
+    for _ in 0..5 {
+        let r1 = run_alg1_threads(5, 2, vec!["a", "b", "c", "d", "e"]);
+        assert!(r1.agreement() && r1.validity());
+        let r2 = run_alg2_threads(7, 2, (0..7).collect::<Vec<u32>>());
+        assert!(r2.agreement() && r2.validity());
+        assert!(*r2.decided().unwrap() >= 2);
+    }
+}
+
+#[test]
+fn schedules_change_winners_but_never_agreement() {
+    let mut winners = std::collections::BTreeSet::new();
+    for seed in 0..60 {
+        let run = run_alg1(6, 2, (0..6).collect::<Vec<u32>>(), seed);
+        assert!(run.agreement());
+        winners.insert(*run.decided().unwrap());
+    }
+    assert!(
+        winners.len() > 1,
+        "the adversarial scheduler should be able to elect different winners"
+    );
+}
+
+#[test]
+fn reduction_weights_are_the_papers_construction() {
+    // W_F = (n−1)/2 and W_{S\F} = (n+1)/2, summing to n, with Integrity.
+    for &(n, f) in &[(4usize, 1usize), (7, 2), (10, 4)] {
+        let w = reduction_initial_weights(n, f);
+        let wf: awr::types::Ratio = (0..f).map(|i| w.weight(awr::types::ServerId(i as u32))).sum();
+        assert_eq!(wf, awr::types::Ratio::new(n as i128 - 1, 2));
+        assert_eq!(w.total(), awr::types::Ratio::integer(n as i64));
+        assert!(integrity_holds(&w, f));
+    }
+}
+
+#[test]
+fn naive_async_implementation_violates_integrity() {
+    // Corollary 1, operationally: every concurrent schedule of the naive
+    // protocol ends with the f heaviest servers at ≥ half the total.
+    for &(n, f) in &[(4usize, 1usize), (7, 3)] {
+        for seed in 0..15 {
+            let (weights, ok) = run_theorem1_race(n, f, seed);
+            assert!(!ok, "n={n} f={f} seed={seed}: unexpectedly safe");
+            assert!(!integrity_holds(&weights, f));
+        }
+    }
+}
