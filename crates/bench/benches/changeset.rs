@@ -1,7 +1,13 @@
 //! Criterion: change-set operations (the hot path of every message).
+//!
+//! Each operation is measured twice: against the incrementally-accounted
+//! [`ChangeSet`] and against [`NaiveChangeSet`], the seed's scan-based
+//! representation, so the speedup of the cached implementation is visible
+//! directly in the output (`changeset/...` vs `changeset/naive_...`).
 
 use std::hint::black_box;
 
+use awr_bench::naive_changeset::NaiveChangeSet;
 use awr_types::{Change, ChangeSet, Ratio, ServerId};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -16,17 +22,54 @@ fn set_with(n: usize, extra: usize) -> ChangeSet {
     c
 }
 
+fn naive(c: &ChangeSet) -> NaiveChangeSet {
+    c.iter().copied().collect()
+}
+
 fn bench_changeset(c: &mut Criterion) {
     let mut g = c.benchmark_group("changeset");
     for &extra in &[10usize, 100, 1000] {
         let a = set_with(7, extra);
+        let na = naive(&a);
         let mut b2 = a.clone();
-        b2.insert(Change::new(ServerId(0), 9999, ServerId(1), Ratio::new(1, 10)));
+        b2.insert(Change::new(
+            ServerId(0),
+            9999,
+            ServerId(1),
+            Ratio::new(1, 10),
+        ));
+        let nb2 = naive(&b2);
         g.bench_with_input(BenchmarkId::new("server_weight", extra), &extra, |b, _| {
             b.iter(|| black_box(&a).server_weight(ServerId(0)))
         });
+        g.bench_with_input(
+            BenchmarkId::new("naive_server_weight", extra),
+            &extra,
+            |b, _| b.iter(|| black_box(&na).server_weight(ServerId(0))),
+        );
         g.bench_with_input(BenchmarkId::new("union", extra), &extra, |b, _| {
             b.iter(|| black_box(&a).union(black_box(&b2)))
+        });
+        g.bench_with_input(BenchmarkId::new("naive_union", extra), &extra, |b, _| {
+            b.iter(|| black_box(&na).union(black_box(&nb2)))
+        });
+        // Idempotent union: re-receiving an equal set (distinct storage) —
+        // the steady-state quorum-round case the digest fast path targets.
+        let equal_copy: ChangeSet = a.iter().copied().collect();
+        let nequal_copy: NaiveChangeSet = a.iter().copied().collect();
+        g.bench_with_input(
+            BenchmarkId::new("union_idempotent", extra),
+            &extra,
+            |b, _| b.iter(|| black_box(&a).union(black_box(&equal_copy))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("naive_union_idempotent", extra),
+            &extra,
+            |b, _| b.iter(|| black_box(&na).union(black_box(&nequal_copy))),
+        );
+        // Superset ∪ subset: absorbing an older set (one subset scan).
+        g.bench_with_input(BenchmarkId::new("union_superset", extra), &extra, |b, _| {
+            b.iter(|| black_box(&b2).union(black_box(&a)))
         });
         g.bench_with_input(BenchmarkId::new("contains_all", extra), &extra, |b, _| {
             b.iter(|| black_box(&b2).contains_all(black_box(&a)))
@@ -34,7 +77,97 @@ fn bench_changeset(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("digest", extra), &extra, |b, _| {
             b.iter(|| black_box(&a).digest())
         });
+        g.bench_with_input(BenchmarkId::new("naive_digest", extra), &extra, |b, _| {
+            b.iter(|| black_box(&na).digest())
+        });
+        g.bench_with_input(BenchmarkId::new("total_weight", extra), &extra, |b, _| {
+            b.iter(|| black_box(&a).total_weight(7))
+        });
+        g.bench_with_input(BenchmarkId::new("weights", extra), &extra, |b, _| {
+            b.iter(|| black_box(&a).weights(7))
+        });
     }
+    g.finish();
+
+    // Merge at protocol scale: 10k-change sets, the size where the seed's
+    // element-by-element merge dominated profiles.
+    let mut g = c.benchmark_group("changeset_merge_10k");
+    g.sample_size(10);
+    let base = set_with(7, 10_000);
+    let nbase = naive(&base);
+    // Fresh merge: disjoint tails force real insertion work on both sides.
+    let mut ahead = base.clone();
+    for i in 0..64 {
+        ahead.insert(Change::new(
+            ServerId(3),
+            50_000 + i,
+            ServerId(4),
+            Ratio::new(1, 100),
+        ));
+    }
+    let nahead = naive(&ahead);
+    // Distinct-storage equal copy: exercises the digest fast path rather
+    // than pointer equality.
+    let equal_copy: ChangeSet = base.iter().copied().collect();
+    let nequal_copy = naive(&base);
+    g.bench_with_input(BenchmarkId::new("merge_fresh", 10_000), &(), |b, _| {
+        b.iter(|| {
+            let mut m = base.clone();
+            m.merge(black_box(&ahead));
+            m
+        })
+    });
+    g.bench_with_input(
+        BenchmarkId::new("naive_merge_fresh", 10_000),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                let mut m = nbase.clone();
+                m.merge(black_box(&nahead));
+                m
+            })
+        },
+    );
+    g.bench_with_input(BenchmarkId::new("merge_idempotent", 10_000), &(), |b, _| {
+        b.iter(|| {
+            let mut m = ahead.clone();
+            m.merge(black_box(&base));
+            m
+        })
+    });
+    g.bench_with_input(
+        BenchmarkId::new("naive_merge_idempotent", 10_000),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                let mut m = nahead.clone();
+                m.merge(black_box(&nbase));
+                m
+            })
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("merge_equal_digest", 10_000),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                let mut m = base.clone();
+                m.merge(black_box(&equal_copy));
+                m
+            })
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("naive_merge_equal", 10_000),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                let mut m = nbase.clone();
+                m.merge(black_box(&nequal_copy));
+                m
+            })
+        },
+    );
     g.finish();
 }
 

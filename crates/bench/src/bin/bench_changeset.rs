@@ -1,0 +1,172 @@
+//! Standalone change-set benchmark runner: measures the hot-path
+//! operations of [`ChangeSet`] against the seed's naive scan baseline and
+//! emits `BENCH_changeset.json` (pass a path argument to override), so the
+//! benchmark trajectory can be tracked without `cargo bench`.
+//!
+//! Run with: `cargo run --release --bin bench_changeset`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use awr_bench::naive_changeset::NaiveChangeSet;
+use awr_types::{Change, ChangeSet, Ratio, ServerId};
+
+/// Median ns/iter over `samples` batches, each batch auto-calibrated to a
+/// minimum duration so timer resolution never dominates.
+fn time_ns<O>(mut f: impl FnMut() -> O) -> f64 {
+    const MIN_BATCH_NS: u128 = 2_000_000;
+    const SAMPLES: usize = 9;
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let el = t.elapsed().as_nanos();
+        if el >= MIN_BATCH_NS || iters >= 1 << 28 {
+            break;
+        }
+        let scale = (MIN_BATCH_NS as f64 / el.max(1) as f64).ceil() as u64;
+        iters = iters.saturating_mul(scale.clamp(2, 1024)).min(1 << 28);
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn set_with(n: usize, extra: usize) -> ChangeSet {
+    let mut c = ChangeSet::uniform_initial(n, Ratio::ONE);
+    for i in 0..extra {
+        let s = ServerId((i % n) as u32);
+        let t = ServerId(((i + 1) % n) as u32);
+        c.insert(Change::new(s, 2 + i as u64, s, Ratio::new(-1, 100)));
+        c.insert(Change::new(s, 2 + i as u64, t, Ratio::new(1, 100)));
+    }
+    c
+}
+
+struct Row {
+    name: String,
+    cached_ns: f64,
+    naive_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        if self.cached_ns > 0.0 {
+            self.naive_ns / self.cached_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_changeset.json".to_string());
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &extra in &[100usize, 1_000, 10_000] {
+        let a = set_with(7, extra);
+        let na: NaiveChangeSet = a.iter().copied().collect();
+        let mut ahead = a.clone();
+        ahead.insert(Change::new(
+            ServerId(0),
+            999_999,
+            ServerId(1),
+            Ratio::new(1, 10),
+        ));
+        let nahead: NaiveChangeSet = ahead.iter().copied().collect();
+
+        rows.push(Row {
+            name: format!("server_weight/{extra}"),
+            cached_ns: time_ns(|| black_box(&a).server_weight(ServerId(0))),
+            naive_ns: time_ns(|| black_box(&na).server_weight(ServerId(0))),
+        });
+        rows.push(Row {
+            name: format!("total_weight/{extra}"),
+            cached_ns: time_ns(|| black_box(&a).total_weight(7)),
+            naive_ns: time_ns(|| black_box(&na).total_weight(7)),
+        });
+        rows.push(Row {
+            name: format!("digest/{extra}"),
+            cached_ns: time_ns(|| black_box(&a).digest()),
+            naive_ns: time_ns(|| black_box(&na).digest()),
+        });
+        // Idempotent union — re-receiving a set equal to your own, the
+        // quorum-round steady state. Distinct storage, so this measures the
+        // digest fast path (not pointer equality).
+        let equal_copy: ChangeSet = a.iter().copied().collect();
+        let nequal_copy: NaiveChangeSet = a.iter().copied().collect();
+        rows.push(Row {
+            name: format!("union_idempotent/{extra}"),
+            cached_ns: time_ns(|| black_box(&a).union(black_box(&equal_copy))),
+            naive_ns: time_ns(|| black_box(&na).union(black_box(&nequal_copy))),
+        });
+        // Shared-storage idempotent union (clone lineage): pointer equality.
+        let shared = a.clone();
+        rows.push(Row {
+            name: format!("union_shared/{extra}"),
+            cached_ns: time_ns(|| black_box(&a).union(black_box(&shared))),
+            naive_ns: time_ns(|| black_box(&na).union(black_box(&nequal_copy))),
+        });
+        // Superset ∪ subset: absorbing an older set needs one subset scan.
+        rows.push(Row {
+            name: format!("union_superset/{extra}"),
+            cached_ns: time_ns(|| black_box(&ahead).union(black_box(&a))),
+            naive_ns: time_ns(|| black_box(&nahead).union(black_box(&na))),
+        });
+        // Fresh union (ahead brings one new change).
+        rows.push(Row {
+            name: format!("union_fresh/{extra}"),
+            cached_ns: time_ns(|| black_box(&a).union(black_box(&ahead))),
+            naive_ns: time_ns(|| black_box(&na).union(black_box(&nahead))),
+        });
+        // Clone-onto-message (refcount bump vs deep copy).
+        rows.push(Row {
+            name: format!("clone/{extra}"),
+            cached_ns: time_ns(|| black_box(&a).clone()),
+            naive_ns: time_ns(|| black_box(&na).clone()),
+        });
+    }
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"changeset\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cached_ns\": {:.1}, \"naive_ns\": {:.1}, \"speedup\": {:.1}}}{}\n",
+            r.name,
+            r.cached_ns,
+            r.naive_ns,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+
+    println!(
+        "{:<28} {:>12} {:>12} {:>9}",
+        "operation", "cached", "naive", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<28} {:>9.1} ns {:>9.1} ns {:>8.1}x",
+            r.name,
+            r.cached_ns,
+            r.naive_ns,
+            r.speedup()
+        );
+    }
+    println!("\nwrote {out_path}");
+}

@@ -3,8 +3,8 @@
 
 use awr_bench::{f2, print_table};
 use awr_quorum::{
-    approximate_load, fastest_quorum_latency, skew_sweep, GridQuorumSystem,
-    MajorityQuorumSystem, QuorumSystem, TreeQuorumSystem, WeightedMajorityQuorumSystem,
+    approximate_load, fastest_quorum_latency, skew_sweep, GridQuorumSystem, MajorityQuorumSystem,
+    QuorumSystem, TreeQuorumSystem, WeightedMajorityQuorumSystem,
 };
 use awr_types::{Ratio, WeightMap};
 
@@ -20,7 +20,12 @@ fn main() {
             vec![
                 r.heavy_weight.to_string(),
                 r.min_quorum.to_string(),
-                if r.available { "yes" } else { "NO (Property 1)" }.to_string(),
+                if r.available {
+                    "yes"
+                } else {
+                    "NO (Property 1)"
+                }
+                .to_string(),
             ]
         })
         .collect();

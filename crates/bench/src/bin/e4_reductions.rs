@@ -54,7 +54,10 @@ fn main() {
         }
         let st = Stats::of(&polls);
         rows.push(vec![
-            format!("Alg 2  n={n} f={f}{}", if outside_f { " (S\\F)" } else { " (!)" }),
+            format!(
+                "Alg 2  n={n} f={f}{}",
+                if outside_f { " (S\\F)" } else { " (!)" }
+            ),
             format!("{ok}/{seeds}"),
             winners.len().to_string(),
             f2(st.mean),
@@ -85,10 +88,7 @@ fn main() {
                 violated += 1;
             }
         }
-        rows.push(vec![
-            format!("n={n} f={f}"),
-            format!("{violated}/{trials}"),
-        ]);
+        rows.push(vec![format!("n={n} f={f}"), format!("{violated}/{trials}")]);
     }
     print_table(
         "E4b — naive asynchronous reassignment: Integrity violations",

@@ -159,7 +159,10 @@ fn main() {
             ],
         ],
     );
-    println!("\ninitial weights: {} → post-shift plan: {plan}", initial_weights());
+    println!(
+        "\ninitial weights: {} → post-shift plan: {plan}",
+        initial_weights()
+    );
     println!(
         "\nShape check: static-WMQS < MQS in phase A (two-server quorums near\n\
          the clients); after the shift the dynamic system re-weights São\n\

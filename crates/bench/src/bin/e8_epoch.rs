@@ -14,7 +14,7 @@ use awr_epoch::{EpochEngine, EpochRequest};
 use awr_sim::{five_region_wan, Time, MILLI, SECOND};
 use awr_types::{Ratio, ServerId, WeightMap};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 const N: usize = 7;
 const F: usize = 2;
@@ -105,7 +105,11 @@ fn main() {
 
     print_table(
         "E8 — reassignment application delay and total-weight conservation",
-        &["protocol", "mean request→effect delay (ms)", "final total weight"],
+        &[
+            "protocol",
+            "mean request→effect delay (ms)",
+            "final total weight",
+        ],
         &rows,
     );
     println!(

@@ -98,7 +98,12 @@ fn run_consensus() -> Vec<usize> {
     let (handle, model) = shared_latency(SlowActors::new(base, vec![], 1_000));
     let mut w: World<SlotMsg> = World::new(0xE9, model);
     for i in 0..N {
-        w.add_actor(CwrNode::new(N, F, WeightMap::uniform(N, Ratio::ONE), i == 0));
+        w.add_actor(CwrNode::new(
+            N,
+            F,
+            WeightMap::uniform(N, Ratio::ONE),
+            i == 0,
+        ));
     }
     let w = std::cell::RefCell::new(w);
     drive(

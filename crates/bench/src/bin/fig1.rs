@@ -27,10 +27,7 @@ fn main() {
 
     let mut record = |h: &RpHarness, label: String, effective: &str| {
         let w = h.weights_seen_by(ServerId(0));
-        let qs = WeightedMajorityQuorumSystem::with_threshold_total(
-            w.clone(),
-            Ratio::integer(7),
-        );
+        let qs = WeightedMajorityQuorumSystem::with_threshold_total(w.clone(), Ratio::integer(7));
         rows.push(vec![
             label,
             effective.to_string(),
@@ -50,7 +47,11 @@ fn main() {
         record(
             &h,
             format!("transfer(s{}, s{}, 0.25)", from + 1, to + 1),
-            if out.is_effective() { "effective" } else { "null" },
+            if out.is_effective() {
+                "effective"
+            } else {
+                "null"
+            },
         );
     }
 
@@ -63,7 +64,11 @@ fn main() {
         record(
             &h,
             format!("transfer(s{}, s{}, {d})", from + 1, to + 1),
-            if out.is_effective() { "effective" } else { "null (RP-Integrity)" },
+            if out.is_effective() {
+                "effective"
+            } else {
+                "null (RP-Integrity)"
+            },
         );
     }
 

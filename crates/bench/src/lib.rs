@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod naive_changeset;
+
 /// Prints a fixed-width table: a header row, then rows of cells.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
@@ -107,10 +109,6 @@ mod tests {
 
     #[test]
     fn table_prints() {
-        print_table(
-            "demo",
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()]],
-        );
+        print_table("demo", &["a", "b"], &[vec!["1".into(), "2".into()]]);
     }
 }

@@ -345,7 +345,12 @@ mod tests {
         let adversary = TargetedDelay::new(base, |from, _| from == ActorId(0), Time(10 * SECOND));
         let mut w: World<SlotMsg> = World::new(3, adversary);
         for i in 0..5 {
-            w.add_actor(CwrNode::new(5, 2, WeightMap::uniform(5, Ratio::ONE), i == 0));
+            w.add_actor(CwrNode::new(
+                5,
+                2,
+                WeightMap::uniform(5, Ratio::ONE),
+                i == 0,
+            ));
         }
         w.with_actor_ctx::<CwrNode, _>(ActorId(0), |n, ctx| {
             n.submit(cmd(1, 0, "0.2"), ctx);

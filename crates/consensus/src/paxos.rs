@@ -208,7 +208,12 @@ impl<V: Clone + PartialEq + std::fmt::Debug + Send + 'static> PaxosNode<V> {
         if p.accepts >= majority && self.decided.is_none() {
             self.decided = Some(value.clone());
             for i in 0..n {
-                ctx.send(ActorId(i), PaxosMsg::Decide { value: value.clone() });
+                ctx.send(
+                    ActorId(i),
+                    PaxosMsg::Decide {
+                        value: value.clone(),
+                    },
+                );
             }
             self.proposing = None;
         }

@@ -69,10 +69,7 @@ impl AuditReport {
 /// let report = audit_transfers(&cfg, &[]);
 /// assert!(report.is_clean());
 /// ```
-pub fn audit_transfers(
-    cfg: &RpConfig,
-    completed: &[(TransferOutcome, Time)],
-) -> AuditReport {
+pub fn audit_transfers(cfg: &RpConfig, completed: &[(TransferOutcome, Time)]) -> AuditReport {
     let mut report = AuditReport::default();
     let mut weights = cfg.initial_weights.clone();
     let floor = cfg.floor();

@@ -87,9 +87,7 @@ mod protocol_tests {
     #[test]
     fn effective_transfer_reaches_all_servers() {
         let mut h = harness(7, 2, 1);
-        let out = h
-            .transfer_and_wait(s(3), s(0), Ratio::dec("0.25"))
-            .unwrap();
+        let out = h.transfer_and_wait(s(3), s(0), Ratio::dec("0.25")).unwrap();
         assert!(out.is_effective());
         h.settle();
         for i in 0..7 {
@@ -120,9 +118,7 @@ mod protocol_tests {
         let out = h.transfer_and_wait(s(3), s(0), Ratio::dec("0.3")).unwrap();
         assert!(!out.is_effective());
         // Δ = 0.29 passes.
-        let out = h
-            .transfer_and_wait(s(3), s(0), Ratio::dec("0.29"))
-            .unwrap();
+        let out = h.transfer_and_wait(s(3), s(0), Ratio::dec("0.29")).unwrap();
         assert!(out.is_effective());
     }
 
@@ -156,7 +152,7 @@ mod protocol_tests {
 
     #[test]
     fn audit_clean_over_random_workload() {
-        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
         for seed in 0..10 {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut h = harness(7, 2, seed);

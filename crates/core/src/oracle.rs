@@ -227,7 +227,7 @@ mod tests {
 
     #[test]
     fn integrity_never_violated_by_oracle() {
-        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(5);
         let oracle = WrOracle::new(WeightMap::uniform(7, Ratio::ONE), 3);
         for i in 0..200u64 {
@@ -247,7 +247,7 @@ mod tests {
 
     #[test]
     fn pairwise_total_constant() {
-        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(6);
         let oracle = PwOracle::new(WeightMap::uniform(7, Ratio::ONE), 2);
         for i in 0..200u64 {

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use awr_types::{Ratio, ServerId, WeightMap};
 
@@ -58,9 +58,7 @@ impl<V: PartialEq + Clone> ConsensusRun<V> {
     /// Validity (for our crash-free runs): the decision is one of the
     /// proposals.
     pub fn validity(&self) -> bool {
-        self.decisions
-            .iter()
-            .all(|d| self.proposals.contains(d))
+        self.decisions.iter().all(|d| self.proposals.contains(d))
     }
 
     /// The agreed value, if Agreement holds.

@@ -214,7 +214,8 @@ impl TransferCore {
                 needed: self.cfg.n - self.cfg.f - 1,
             });
             // Line 14: RB-broadcast ⟨T, c, c′⟩.
-            self.rb.broadcast(pair, ctx, move |env| wrap(WrMsg::Rb(env)));
+            self.rb
+                .broadcast(pair, ctx, move |env| wrap(WrMsg::Rb(env)));
             // Degenerate configs (n − f − 1 == 0) complete instantly.
             if let Some(o) = self.check_pending_complete(ctx.now()) {
                 self.completed.push((o, ctx.now()));
@@ -262,9 +263,7 @@ impl TransferCore {
     ) -> Vec<CoreEvent> {
         match msg {
             WrMsg::Rb(env) => {
-                let delivered = self
-                    .rb
-                    .on_envelope(env, ctx, move |e| wrap(WrMsg::Rb(e)));
+                let delivered = self.rb.on_envelope(env, ctx, move |e| wrap(WrMsg::Rb(e)));
                 match delivered {
                     Some(pair) => {
                         let req = self.stage_changes(pair.both().to_vec(), None);
@@ -309,20 +308,24 @@ impl TransferCore {
             }
             WrMsg::Wc { op, changes } => {
                 // Algorithm 3 lines 14–15 → write_changes + WC_Ack.
+                // `contains_all` decides the no-op write-back — the common
+                // steady-state case — in O(1) via the digest/cardinality
+                // fast paths before falling back to a subset scan.
+                if self.changes.contains_all(&changes) {
+                    ctx.send(from, wrap(WrMsg::WcAck { op }));
+                    return Vec::new();
+                }
+                // contains_all returned false, so at least one change is
+                // genuinely new.
                 let new: Vec<Change> = changes
                     .iter()
                     .filter(|c| !self.changes.contains(c))
                     .copied()
                     .collect();
-                if new.is_empty() {
-                    ctx.send(from, wrap(WrMsg::WcAck { op }));
-                    Vec::new()
-                } else {
-                    let req = self
-                        .stage_changes(new, Some((from, op)))
-                        .expect("non-empty set stages");
-                    vec![CoreEvent::NeedApply(req)]
-                }
+                let req = self
+                    .stage_changes(new, Some((from, op)))
+                    .expect("non-empty set stages");
+                vec![CoreEvent::NeedApply(req)]
             }
             WrMsg::RcAck { .. } | WrMsg::WcAck { .. } | WrMsg::Invoke { .. } => {
                 // Client-side / management messages; the host handles

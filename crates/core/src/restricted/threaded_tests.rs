@@ -91,22 +91,23 @@ fn floor_respected_on_real_threads() {
     std::thread::sleep(std::time::Duration::from_millis(200));
     let actors = sys.shutdown();
     let donor = downcast_actor::<RpServer, WrMsg>(actors[3].as_ref()).unwrap();
-    assert!(donor.weight() > Ratio::dec("0.7"), "floor breached: {}", donor.weight());
-    let report = audit_transfers(
-        &cfg,
-        &{
-            let mut v: Vec<_> = actors
-                .iter()
-                .flat_map(|a| {
-                    downcast_actor::<RpServer, WrMsg>(a.as_ref())
-                        .unwrap()
-                        .completed()
-                        .to_vec()
-                })
-                .collect();
-            v.sort_by_key(|(o, t)| (*t, o.from, o.counter));
-            v
-        },
+    assert!(
+        donor.weight() > Ratio::dec("0.7"),
+        "floor breached: {}",
+        donor.weight()
     );
+    let report = audit_transfers(&cfg, &{
+        let mut v: Vec<_> = actors
+            .iter()
+            .flat_map(|a| {
+                downcast_actor::<RpServer, WrMsg>(a.as_ref())
+                    .unwrap()
+                    .completed()
+                    .to_vec()
+            })
+            .collect();
+        v.sort_by_key(|(o, t)| (*t, o.from, o.counter));
+        v
+    });
     assert!(report.is_clean(), "{:?}", report.violations);
 }

@@ -140,7 +140,9 @@ impl EpochEngine {
                 }
                 // Clip so the server stays strictly above the floor — use
                 // the largest grid step below headroom.
-                let take = if decrease < headroom { decrease } else {
+                let take = if decrease < headroom {
+                    decrease
+                } else {
                     // leave a hair above the floor
                     headroom - headroom.min(Ratio::new(1, 100))
                 };
@@ -299,7 +301,10 @@ mod tests {
         });
         e.end_epoch(Time(100));
         assert!(e.weights().weight(s(0)) > Ratio::dec("0.7"));
-        assert!(awr_quorum::rp_integrity_holds(e.weights(), Ratio::dec("0.7")));
+        assert!(awr_quorum::rp_integrity_holds(
+            e.weights(),
+            Ratio::dec("0.7")
+        ));
     }
 
     #[test]
@@ -316,14 +321,18 @@ mod tests {
 
     #[test]
     fn property1_never_violated_across_epochs() {
-        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(3);
         let mut e = engine();
         for epoch in 0..50u64 {
             for _ in 0..4 {
                 let server = s(rng.random_range(0..7));
                 let mag = Ratio::new(rng.random_range(1..=3i128), 10);
-                let delta = if rng.random_range(0..2) == 0 { mag } else { -mag };
+                let delta = if rng.random_range(0..2) == 0 {
+                    mag
+                } else {
+                    -mag
+                };
                 e.submit(EpochRequest {
                     server,
                     delta,

@@ -58,10 +58,7 @@ pub fn smallest_quorum_avoiding(
 /// latency ascending and take the shortest prefix that is a quorum; the
 /// answer is that prefix's last latency. (Any quorum's max latency is at
 /// least the latency of its slowest member, and prefixes dominate.)
-pub fn fastest_quorum_latency(
-    q: &WeightedMajorityQuorumSystem,
-    latencies: &[f64],
-) -> Option<f64> {
+pub fn fastest_quorum_latency(q: &WeightedMajorityQuorumSystem, latencies: &[f64]) -> Option<f64> {
     assert_eq!(
         latencies.len(),
         q.universe_size(),
@@ -100,8 +97,7 @@ pub fn skew_sweep(n: usize, f: usize, k: usize, steps: &[Ratio]) -> Vec<SkewRow>
     steps
         .iter()
         .map(|&heavy| {
-            let rest = (total - heavy * Ratio::integer(k as i64))
-                / Ratio::integer((n - k) as i64);
+            let rest = (total - heavy * Ratio::integer(k as i64)) / Ratio::integer((n - k) as i64);
             let w = WeightMap::from_fn(n, |s| if s.index() < k { heavy } else { rest });
             let qs = WeightedMajorityQuorumSystem::new(w.clone());
             SkewRow {

@@ -242,7 +242,7 @@ mod tests {
 
     #[test]
     fn lemma1_implication_samples() {
-        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(11);
         let mut checked = 0;
         for _ in 0..500 {
@@ -255,9 +255,7 @@ mod tests {
                 .map(|_| Ratio::new(rng.random_range(7..=13), 10))
                 .collect();
             let raw_sum: Ratio = raw.iter().sum();
-            let w = WeightMap::from_vec(
-                raw.into_iter().map(|r| r * total / raw_sum).collect(),
-            );
+            let w = WeightMap::from_vec(raw.into_iter().map(|r| r * total / raw_sum).collect());
             assert_eq!(w.total(), total);
             let rp = rp_integrity_holds(&w, floor);
             if rp {
@@ -300,9 +298,9 @@ mod tests {
         // Floor violation (w=0.5 ≤ 0.7) and possibly property-1.
         let bad = WeightMap::dec(&["1.5", "1", "1", "1", "1", "1", "0.5"]);
         let viol = validate_initial_config(&bad, 2);
-        assert!(viol
-            .iter()
-            .any(|v| matches!(v, ConfigViolation::BelowRpFloor { server, .. } if *server == ServerId(6))));
+        assert!(viol.iter().any(
+            |v| matches!(v, ConfigViolation::BelowRpFloor { server, .. } if *server == ServerId(6))
+        ));
     }
 
     #[test]

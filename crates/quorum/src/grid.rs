@@ -104,7 +104,7 @@ mod tests {
         let g = GridQuorumSystem::new(3, 3);
         assert!(g.is_quorum(&ids(&[0, 1, 2, 3, 6]))); // row 0 + col 0
         assert!(g.is_quorum(&ids(&[3, 4, 5, 1, 7]))); // row 1 + col 1
-        // A row alone is not a quorum.
+                                                      // A row alone is not a quorum.
         assert!(!g.is_quorum(&ids(&[0, 1, 2])));
         // A column alone is not a quorum.
         assert!(!g.is_quorum(&ids(&[0, 3, 6])));
@@ -122,10 +122,7 @@ mod tests {
     #[test]
     fn grids_intersect() {
         for (r, c) in [(2usize, 2usize), (2, 3), (3, 3)] {
-            assert!(
-                verify_intersection(&GridQuorumSystem::new(r, c)),
-                "{r}x{c}"
-            );
+            assert!(verify_intersection(&GridQuorumSystem::new(r, c)), "{r}x{c}");
         }
     }
 

@@ -93,8 +93,7 @@ mod tests {
         for n in 1..=9 {
             let q = MajorityQuorumSystem::new(n);
             let f = q.max_faults();
-            let survivors: BTreeSet<ServerId> =
-                (f..n).map(|i| ServerId(i as u32)).collect();
+            let survivors: BTreeSet<ServerId> = (f..n).map(|i| ServerId(i as u32)).collect();
             assert!(q.is_quorum(&survivors), "n={n} f={f}");
         }
     }

@@ -173,7 +173,7 @@ mod tests {
 
     #[test]
     fn intersection_exhaustive_random_weights() {
-        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..30 {
             let n = rng.random_range(1..=7);

@@ -246,8 +246,7 @@ mod tests {
         for seed in 0..20 {
             let mut w = build(6, seed);
             for i in 0..3 {
-                w.actor_mut::<Node>(ActorId(i)).unwrap().broadcast_on_start =
-                    Some(format!("m{i}"));
+                w.actor_mut::<Node>(ActorId(i)).unwrap().broadcast_on_start = Some(format!("m{i}"));
             }
             w.run_to_quiescence();
             for i in 0..6 {

@@ -68,8 +68,7 @@ pub use network::{
 pub use threaded::{downcast_actor, ThreadedSystem};
 pub use time::{Nanos, Time, MICRO, MILLI, SECOND};
 pub use topology::{
-    five_region_matrix, five_region_wan, five_region_wan_with_placement, mean_delay_profile,
-    Region,
+    five_region_matrix, five_region_wan, five_region_wan_with_placement, mean_delay_profile, Region,
 };
 pub use trace::{Trace, TraceKind, TraceRecord};
 pub use world::World;

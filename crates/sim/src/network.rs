@@ -8,7 +8,7 @@
 //! reliability).
 
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 
 use crate::actor::ActorId;
 use crate::time::{Nanos, Time, MILLI};
@@ -82,7 +82,10 @@ impl WanMatrix {
     /// or `jitter` is negative.
     pub fn new(base: Vec<Vec<Nanos>>, region_of: Vec<usize>, jitter: f64) -> WanMatrix {
         let r = base.len();
-        assert!(base.iter().all(|row| row.len() == r), "matrix must be square");
+        assert!(
+            base.iter().all(|row| row.len() == r),
+            "matrix must be square"
+        );
         assert!(
             region_of.iter().all(|&x| x < r),
             "region index out of range"
@@ -387,7 +390,11 @@ impl<L: LatencyModel> LatencyModel for FifoLinks<L> {
         let raw = self.inner.sample(from, to, now, rng);
         let arrival = now + raw;
         let entry = self.last_arrival.entry((from, to)).or_insert(Time::ZERO);
-        let fifo_arrival = if arrival > *entry { arrival } else { *entry + 1 };
+        let fifo_arrival = if arrival > *entry {
+            arrival
+        } else {
+            *entry + 1
+        };
         *entry = fifo_arrival;
         fifo_arrival - now
     }

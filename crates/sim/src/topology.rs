@@ -133,7 +133,10 @@ mod tests {
         let va = prof[0];
         let sp = prof[2];
         let sy = prof[4];
-        assert!(va < sp, "Virginia should be better connected than São Paulo");
+        assert!(
+            va < sp,
+            "Virginia should be better connected than São Paulo"
+        );
         assert!(va < sy);
     }
 }

@@ -21,8 +21,16 @@ use crate::trace::{Trace, TraceKind};
 #[derive(Debug)]
 enum EventKind<M> {
     Start(ActorId),
-    Deliver { from: ActorId, to: ActorId, msg: M },
-    Timer { actor: ActorId, id: TimerId, tag: u64 },
+    Deliver {
+        from: ActorId,
+        to: ActorId,
+        msg: M,
+    },
+    Timer {
+        actor: ActorId,
+        id: TimerId,
+        tag: u64,
+    },
     Crash(ActorId),
 }
 
@@ -274,7 +282,11 @@ impl<M: Message> World<M> {
         }
     }
 
-    fn dispatch(&mut self, to: ActorId, cb: impl FnOnce(&mut dyn Actor<Msg = M>, &mut Context<'_, M>)) {
+    fn dispatch(
+        &mut self,
+        to: ActorId,
+        cb: impl FnOnce(&mut dyn Actor<Msg = M>, &mut Context<'_, M>),
+    ) {
         if self.crashed[to.index()] {
             return;
         }

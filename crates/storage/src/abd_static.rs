@@ -347,16 +347,8 @@ mod tests {
         (w, ids)
     }
 
-    fn run_op(
-        w: &mut World<AbdMsg<u64>>,
-        client: ActorId,
-        value: Option<u64>,
-    ) -> CompletedOp<u64> {
-        let before = w
-            .actor::<AbdClient<u64>>(client)
-            .unwrap()
-            .completed
-            .len();
+    fn run_op(w: &mut World<AbdMsg<u64>>, client: ActorId, value: Option<u64>) -> CompletedOp<u64> {
+        let before = w.actor::<AbdClient<u64>>(client).unwrap().completed.len();
         w.with_actor_ctx::<AbdClient<u64>, _>(client, |c, ctx| match value {
             Some(v) => c.begin_write(v, ctx),
             None => c.begin_read(ctx),
@@ -408,7 +400,7 @@ mod tests {
 
     #[test]
     fn random_workload_is_linearizable() {
-        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
         for seed in 0..5 {
             let (mut w, ids) = build(5, 3, QuorumRule::majority(5), seed);
             let mut rng = StdRng::seed_from_u64(seed);

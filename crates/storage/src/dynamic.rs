@@ -149,6 +149,11 @@ enum DynPhase<V> {
         invoke: Time,
         restarts: u64,
         replies: std::collections::BTreeMap<ServerId, TaggedValue<V>>,
+        /// Running quorum weight of `replies` under the client's `C`:
+        /// maintained incrementally so each ack is O(1) instead of
+        /// re-summing every responder. Sound because `C` is frozen for the
+        /// lifetime of the phase (any change to `C` restarts the phase).
+        weight: Ratio,
     },
     Two {
         op: u64,
@@ -157,6 +162,8 @@ enum DynPhase<V> {
         restarts: u64,
         chosen: TaggedValue<V>,
         acks: BTreeSet<ServerId>,
+        /// Running quorum weight of `acks` (same discipline as phase 1).
+        weight: Ratio,
     },
 }
 
@@ -215,6 +222,7 @@ impl<V: Value> DynOpDriver<V> {
             invoke: ctx.now(),
             restarts: 0,
             replies: Default::default(),
+            weight: Ratio::ZERO,
         };
         self.send_phase1(ctx, wrap);
     }
@@ -224,16 +232,18 @@ impl<V: Value> DynOpDriver<V> {
         ctx: &mut Context<'_, M>,
         wrap: impl Fn(DynMsg<V>) -> M + Copy,
     ) {
-        let (op, changes) = match &self.phase {
-            DynPhase::One { op, .. } => (*op, self.changes.clone()),
+        let op = match &self.phase {
+            DynPhase::One { op, .. } => *op,
             _ => unreachable!("send_phase1 outside phase 1"),
         };
         for i in 0..self.cfg.n {
+            // Attaching `C` to every request is a reference-count bump: the
+            // n messages of a round share one copy-on-write storage.
             ctx.send(
                 ActorId(self.actor_base + i),
                 wrap(DynMsg::R {
                     op,
-                    changes: changes.clone(),
+                    changes: self.changes.clone(),
                 }),
             );
         }
@@ -249,35 +259,36 @@ impl<V: Value> DynOpDriver<V> {
     ) {
         self.changes.merge(newer);
         self.op_cnt += 1;
-        let (write_value, invoke, restarts) = match std::mem::replace(&mut self.phase, DynPhase::Idle)
-        {
-            DynPhase::One {
-                write_value,
-                invoke,
-                restarts,
-                ..
-            } => (write_value, invoke, restarts),
-            DynPhase::Two {
-                write_value,
-                invoke,
-                restarts,
-                chosen,
-                ..
-            } => {
-                // A write restarted from phase 2 re-runs phase 1 with its
-                // original value; a read re-runs phase 1 discarding the
-                // previously chosen register.
-                let _ = chosen;
-                (write_value, invoke, restarts)
-            }
-            DynPhase::Idle => unreachable!("restart on idle driver"),
-        };
+        let (write_value, invoke, restarts) =
+            match std::mem::replace(&mut self.phase, DynPhase::Idle) {
+                DynPhase::One {
+                    write_value,
+                    invoke,
+                    restarts,
+                    ..
+                } => (write_value, invoke, restarts),
+                DynPhase::Two {
+                    write_value,
+                    invoke,
+                    restarts,
+                    chosen,
+                    ..
+                } => {
+                    // A write restarted from phase 2 re-runs phase 1 with its
+                    // original value; a read re-runs phase 1 discarding the
+                    // previously chosen register.
+                    let _ = chosen;
+                    (write_value, invoke, restarts)
+                }
+                DynPhase::Idle => unreachable!("restart on idle driver"),
+            };
         self.phase = DynPhase::One {
             op: self.op_cnt,
             write_value,
             invoke,
             restarts: restarts + 1,
             replies: Default::default(),
+            weight: Ratio::ZERO,
         };
         self.send_phase1(ctx, wrap);
     }
@@ -326,25 +337,25 @@ impl<V: Value> DynOpDriver<V> {
                     }
                     return None;
                 }
+                let sid_weight = self.changes.server_weight(sid);
                 let DynPhase::One {
                     write_value,
                     invoke,
                     restarts,
                     replies,
+                    weight,
                     ..
                 } = &mut self.phase
                 else {
                     return None;
                 };
-                replies.insert(sid, reg.clone());
-                let responders: BTreeSet<ServerId> = replies.keys().copied().collect();
-                let quorum = {
-                    let w: Ratio = responders
-                        .iter()
-                        .map(|s| self.changes.server_weight(*s))
-                        .sum();
-                    w > self.cfg.quorum_threshold()
-                };
+                if replies.insert(sid, reg.clone()).is_none() {
+                    // First reply from this server: O(1) accumulator update
+                    // (re-polled servers replace their register but count
+                    // their weight once).
+                    *weight += sid_weight;
+                }
+                let quorum = *weight > self.cfg.quorum_threshold();
                 if quorum {
                     let maxreg = replies
                         .values()
@@ -366,6 +377,7 @@ impl<V: Value> DynOpDriver<V> {
                         restarts,
                         chosen: chosen.clone(),
                         acks: Default::default(),
+                        weight: Ratio::ZERO,
                     };
                     for i in 0..self.cfg.n {
                         ctx.send(
@@ -409,22 +421,23 @@ impl<V: Value> DynOpDriver<V> {
                     }
                     return None;
                 }
+                let sid_weight = self.changes.server_weight(sid);
                 let DynPhase::Two {
                     write_value,
                     invoke,
                     restarts,
                     chosen,
                     acks,
+                    weight,
                     ..
                 } = &mut self.phase
                 else {
                     return None;
                 };
-                acks.insert(sid);
-                let quorum = {
-                    let w: Ratio = acks.iter().map(|s| self.changes.server_weight(*s)).sum();
-                    w > self.cfg.quorum_threshold()
-                };
+                if acks.insert(sid) {
+                    *weight += sid_weight;
+                }
+                let quorum = *weight > self.cfg.quorum_threshold();
                 if quorum {
                     let done = DynCompletedOp {
                         kind: match write_value.take() {
@@ -531,8 +544,7 @@ impl<V: Value> DynServer<V> {
             let Some(req) = self.pending_applies.front() else {
                 return;
             };
-            let needs_refresh =
-                self.options.refresh_on_gain && req.affects(self.core.server_id());
+            let needs_refresh = self.options.refresh_on_gain && req.affects(self.core.server_id());
             if needs_refresh {
                 // Algorithm 4 lines 8–9: register ← read(), then apply.
                 // Implemented as an n − f *count* read answered
@@ -783,13 +795,7 @@ mod driver_tests {
         // Feed a forged RAck for a long-gone op id through the world.
         let forged = DynMsg::RAck {
             op: 9999,
-            reg: TaggedValue::new(
-                Tag::new(
-                    99,
-                    ProcessId::Client(ClientId(7)),
-                ),
-                424242u64,
-            ),
+            reg: TaggedValue::new(Tag::new(99, ProcessId::Client(ClientId(7))), 424242u64),
             changes: ChangeSet::from_initial_weights(&cfg.initial_weights),
             accepted: true,
         };

@@ -103,7 +103,7 @@ mod dynamic_tests {
 
     #[test]
     fn interleaved_ops_and_transfers_linearizable() {
-        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
         for seed in 0..5 {
             let mut h = harness(100 + seed);
             let mut rng = StdRng::seed_from_u64(seed);

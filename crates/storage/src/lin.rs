@@ -110,10 +110,7 @@ fn check_window<V: Clone + Eq + Hash>(
     let mut visited: HashSet<(u64, Option<V>)> = HashSet::new();
 
     // Iterative DFS over (mask, state).
-    let mut stack: Vec<(u64, Option<V>)> = entry_states
-        .iter()
-        .map(|s| (0u64, s.clone()))
-        .collect();
+    let mut stack: Vec<(u64, Option<V>)> = entry_states.iter().map(|s| (0u64, s.clone())).collect();
     while let Some((mask, state)) = stack.pop() {
         if !visited.insert((mask, state.clone())) {
             continue;
@@ -129,9 +126,10 @@ fn check_window<V: Clone + Eq + Hash>(
             }
             // op can linearize next only if no other pending op fully
             // precedes it.
-            let blocked = window.iter().enumerate().any(|(j, other)| {
-                j != i && mask & (1 << j) == 0 && other.response < op.invoke
-            });
+            let blocked = window
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && mask & (1 << j) == 0 && other.response < op.invoke);
             if blocked {
                 continue;
             }
@@ -262,9 +260,17 @@ mod tests {
 
     #[test]
     fn read_concurrent_with_write_sees_either() {
-        let h = hist(vec![w(0, 1, 0, 10), w(0, 2, 20, 60), rd(1, Some(1), 30, 40)]);
+        let h = hist(vec![
+            w(0, 1, 0, 10),
+            w(0, 2, 20, 60),
+            rd(1, Some(1), 30, 40),
+        ]);
         assert!(check_linearizable(&h).is_ok());
-        let h2 = hist(vec![w(0, 1, 0, 10), w(0, 2, 20, 60), rd(1, Some(2), 30, 40)]);
+        let h2 = hist(vec![
+            w(0, 1, 0, 10),
+            w(0, 2, 20, 60),
+            rd(1, Some(2), 30, 40),
+        ]);
         assert!(check_linearizable(&h2).is_ok());
     }
 

@@ -6,7 +6,7 @@
 
 use awr_types::{Ratio, ServerId};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::harness::StorageHarness;
 

@@ -6,15 +6,106 @@
 //! (union-semilattice) representation used by every protocol in this
 //! repository: servers union what they learn, clients union what they read,
 //! and two sets are comparable exactly when one contains the other.
+//!
+//! # Performance model
+//!
+//! Change sets ride on every protocol message (clients attach their `C` to
+//! every `R`/`W`, servers echo theirs on rejection), and every quorum check
+//! re-reads weights — so this type is the hottest data structure in the
+//! repository. It is engineered around two ideas:
+//!
+//! 1. **Incremental accounting.** The per-server weight sums, the total
+//!    weight, and a content digest are maintained on every mutation, so
+//!    [`ChangeSet::server_weight`] and [`ChangeSet::total_weight`] are O(1)
+//!    and [`ChangeSet::weights`] is O(n), instead of the O(|C|) scans a raw
+//!    set would need.
+//! 2. **Copy-on-write sharing.** The storage lives behind an
+//!    [`Arc`]: `clone()` — the clone-onto-every-message pattern of
+//!    Algorithms 3–6 — is a reference-count bump, and mutation goes through
+//!    [`Arc::make_mut`], deep-copying only when the storage is actually
+//!    shared. Clones that are never mutated (the overwhelming steady-state
+//!    case in quorum rounds) never copy.
+//!
+//! # Cached invariants
+//!
+//! For every reachable `ChangeSet` the following hold (checked exhaustively
+//! by the `cached_accounting_matches_rescan` differential property test):
+//!
+//! * `weights[s] == Σ {c.delta | c ∈ changes, c.target == s}` for every
+//!   server `s < weights.len()`, and `weights.len()` is exactly
+//!   `1 + max(c.target)` (zero when empty);
+//! * `total == Σ {c.delta | c ∈ changes}`;
+//! * `digest == Σ {mix(c) | c ∈ changes}` (wrapping), a commutative
+//!   combination of per-change SipHash values, so it is order-insensitive
+//!   and updatable in O(1) per insert.
+//!
+//! Equal sets therefore always have equal digests; *unequal* sets collide
+//! with probability ≈ 2⁻⁶⁴. Fast paths that conclude *inequality* from a
+//! digest mismatch (with equal cardinalities) are exact; the one place a
+//! digest match short-circuits work ([`ChangeSet::merge`] of
+//! equal-cardinality sets) is guarded by a debug assertion and documented
+//! below.
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::{Change, Ratio, ServerId, WeightMap};
 
-/// A grow-only set of [`Change`]s with weight accounting.
+/// The owned storage behind a [`ChangeSet`], shared copy-on-write.
+#[derive(Clone, Default)]
+struct Inner {
+    changes: BTreeSet<Change>,
+    /// Cached per-server weight sums; index = server index, length =
+    /// 1 + highest server index targeted by any change.
+    weights: Vec<Ratio>,
+    /// Cached sum of every delta in the set.
+    total: Ratio,
+    /// Commutative content digest (wrapping sum of per-change hashes).
+    digest: u64,
+}
+
+/// One change's contribution to the digest: a well-mixed 64-bit hash,
+/// combined by wrapping addition so the digest is order-independent.
+fn change_mix(c: &Change) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    c.hash(&mut h);
+    h.finish() | 1 // never zero, so inserting a change always moves the digest
+}
+
+impl Inner {
+    /// Applies one *new* change's bookkeeping (the change must already be
+    /// known to be absent from `changes` or just inserted).
+    fn account(&mut self, c: &Change) {
+        let idx = c.target.index();
+        if idx >= self.weights.len() {
+            self.weights.resize(idx + 1, Ratio::ZERO);
+        }
+        self.weights[idx] += c.delta;
+        self.total += c.delta;
+        self.digest = self.digest.wrapping_add(change_mix(c));
+    }
+
+    fn from_changes(changes: BTreeSet<Change>) -> Inner {
+        let mut inner = Inner {
+            changes: BTreeSet::new(),
+            weights: Vec::new(),
+            total: Ratio::ZERO,
+            digest: 0,
+        };
+        for c in &changes {
+            inner.account(c);
+        }
+        inner.changes = changes;
+        inner
+    }
+}
+
+/// A grow-only set of [`Change`]s with incremental weight accounting and
+/// copy-on-write sharing (see the module docs for the performance model).
 ///
 /// # Examples
 ///
@@ -27,10 +118,14 @@ use crate::{Change, Ratio, ServerId, WeightMap};
 ///
 /// c.insert(Change::new(ServerId(1), 2, ServerId(0), Ratio::dec("0.5")));
 /// assert_eq!(c.server_weight(ServerId(0)), Ratio::dec("1.5"));
+///
+/// // Cloning is a reference-count bump; the clone reads the same cache.
+/// let snapshot = c.clone();
+/// assert_eq!(snapshot.server_weight(ServerId(0)), Ratio::dec("1.5"));
 /// ```
-#[derive(Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Clone, Default)]
 pub struct ChangeSet {
-    changes: BTreeSet<Change>,
+    inner: Arc<Inner>,
 }
 
 impl ChangeSet {
@@ -47,21 +142,65 @@ impl ChangeSet {
 
     /// Initial set from per-server weights.
     pub fn from_initial_weights(weights: &WeightMap) -> ChangeSet {
-        weights
-            .iter()
-            .map(|(s, w)| Change::initial(s, w))
-            .collect()
+        weights.iter().map(|(s, w)| Change::initial(s, w)).collect()
     }
 
-    /// Inserts a change; returns `true` if it was new.
+    /// Inserts a change; returns `true` if it was new. O(log |C|), plus a
+    /// one-off deep copy if the storage is currently shared.
     pub fn insert(&mut self, c: Change) -> bool {
-        self.changes.insert(c)
+        if self.inner.changes.contains(&c) {
+            return false;
+        }
+        let inner = Arc::make_mut(&mut self.inner);
+        inner.changes.insert(c);
+        inner.account(&c);
+        true
     }
 
     /// Unions another set into this one (the lattice join).
+    ///
+    /// Fast paths, in order:
+    /// * same storage (`Arc::ptr_eq`) or empty `other` — O(1) no-op;
+    /// * empty `self`, or `self ⊂ other` — adopt `other`'s storage
+    ///   (reference-count bump), re-establishing sharing;
+    /// * equal cardinality and equal digest — O(1) no-op. This is the one
+    ///   probabilistic fast path (collision ≈ 2⁻⁶⁴); a debug assertion
+    ///   validates it in test builds;
+    /// * `other ⊆ self` — subset-scan no-op: no copy, no allocation. This
+    ///   is the idempotent-merge steady state of quorum rounds.
+    ///
+    /// Only when `other` genuinely contains changes `self` lacks does the
+    /// merge mutate (copy-on-write), inserting the difference.
     pub fn merge(&mut self, other: &ChangeSet) {
-        for c in &other.changes {
-            self.changes.insert(*c);
+        if Arc::ptr_eq(&self.inner, &other.inner) || other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            self.inner = Arc::clone(&other.inner);
+            return;
+        }
+        let (sl, ol) = (self.len(), other.len());
+        if sl == ol && self.inner.digest == other.inner.digest {
+            debug_assert_eq!(
+                self.inner.changes, other.inner.changes,
+                "digest collision between unequal change sets"
+            );
+            return;
+        }
+        if sl <= ol && other.contains_all(self) {
+            // self ⊆ other: adopting other's storage makes this — and every
+            // later — merge against it O(1) via pointer equality.
+            self.inner = Arc::clone(&other.inner);
+            return;
+        }
+        if ol < sl && self.contains_all(other) {
+            return;
+        }
+        let inner = Arc::make_mut(&mut self.inner);
+        for c in &other.inner.changes {
+            if inner.changes.insert(*c) {
+                inner.account(c);
+            }
         }
     }
 
@@ -74,38 +213,62 @@ impl ChangeSet {
 
     /// Changes in `self` but not `other`.
     pub fn difference(&self, other: &ChangeSet) -> Vec<Change> {
-        self.changes.difference(&other.changes).copied().collect()
+        self.inner
+            .changes
+            .difference(&other.inner.changes)
+            .copied()
+            .collect()
     }
 
     /// Returns `true` if `self` contains every change in `other`.
+    ///
+    /// O(1) when the sets share storage, when `other` is larger (certain
+    /// `false`), or when the cardinalities match but the digests differ
+    /// (subset ⟺ equality there, so a digest mismatch is a certain `false`).
+    /// Every remaining case — including equal cardinality with matching
+    /// digests — pays a subset scan, keeping the positive answer exact.
     pub fn contains_all(&self, other: &ChangeSet) -> bool {
-        other.changes.is_subset(&self.changes)
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return true;
+        }
+        let (sl, ol) = (self.len(), other.len());
+        if ol > sl {
+            return false;
+        }
+        if ol == sl {
+            // Same cardinality: containment is equality, and equal sets
+            // always have equal digests, so a mismatch is a certain "no".
+            if self.inner.digest != other.inner.digest {
+                return false;
+            }
+        }
+        other.inner.changes.is_subset(&self.inner.changes)
     }
 
     /// Returns `true` if the specific change is present.
     pub fn contains(&self, c: &Change) -> bool {
-        self.changes.contains(c)
+        self.inner.changes.contains(c)
     }
 
     /// Number of changes.
     pub fn len(&self) -> usize {
-        self.changes.len()
+        self.inner.changes.len()
     }
 
     /// Returns `true` if no changes are present.
     pub fn is_empty(&self) -> bool {
-        self.changes.is_empty()
+        self.inner.changes.is_empty()
     }
 
     /// Iterates over all changes in deterministic order.
     pub fn iter(&self) -> impl Iterator<Item = &Change> {
-        self.changes.iter()
+        self.inner.changes.iter()
     }
 
     /// All changes created for server `s` (the `get_changes(s)` of
     /// Algorithm 4 line 6).
     pub fn changes_for(&self, s: ServerId) -> impl Iterator<Item = &Change> {
-        self.changes.iter().filter(move |c| c.target == s)
+        self.inner.changes.iter().filter(move |c| c.target == s)
     }
 
     /// The subset of changes created for `s`, as an owned set.
@@ -114,25 +277,32 @@ impl ChangeSet {
     }
 
     /// The weight of server `s` induced by this set:
-    /// `W_s = Σ_{⟨*,*,s,Δ⟩ ∈ C} Δ`.
+    /// `W_s = Σ_{⟨*,*,s,Δ⟩ ∈ C} Δ`. O(1) — reads the cache.
     pub fn server_weight(&self, s: ServerId) -> Ratio {
-        self.changes_for(s).map(|c| c.delta).sum()
+        self.inner
+            .weights
+            .get(s.index())
+            .copied()
+            .unwrap_or(Ratio::ZERO)
     }
 
-    /// The weight of a set of servers `A`: `W_A = Σ_{s ∈ A} W_s`.
+    /// The weight of a set of servers `A`: `W_A = Σ_{s ∈ A} W_s`. O(|A|).
     pub fn group_weight<'a>(&self, servers: impl IntoIterator<Item = &'a ServerId>) -> Ratio {
-        servers
-            .into_iter()
-            .map(|s| self.server_weight(*s))
-            .sum()
+        servers.into_iter().map(|s| self.server_weight(*s)).sum()
     }
 
-    /// Total weight of an `n`-server system under this set.
+    /// Total weight of an `n`-server system under this set. O(1) when every
+    /// change targets a server `< n` (the cached grand total applies),
+    /// O(n) otherwise.
     pub fn total_weight(&self, n: usize) -> Ratio {
-        ServerId::all(n).map(|s| self.server_weight(s)).sum()
+        if self.inner.weights.len() <= n {
+            self.inner.total
+        } else {
+            self.inner.weights[..n].iter().sum()
+        }
     }
 
-    /// Materializes the full weight map of an `n`-server system.
+    /// Materializes the full weight map of an `n`-server system. O(n).
     pub fn weights(&self, n: usize) -> WeightMap {
         WeightMap::from_fn(n, |s| self.server_weight(s))
     }
@@ -140,45 +310,64 @@ impl ChangeSet {
     /// Returns `true` if a change issued by `(issuer, counter)` targeting `s`
     /// is present — the completion test of Definition 2.
     pub fn has_op_for(&self, issuer: crate::ProcessId, counter: u64, target: ServerId) -> bool {
-        self.changes
+        self.inner
+            .changes
             .iter()
             .any(|c| c.issuer == issuer && c.counter == counter && c.target == target)
     }
 
-    /// A compact content digest for cheap comparison in message headers.
+    /// A compact content digest for cheap comparison in message headers,
+    /// maintained incrementally (O(1) to read).
     ///
     /// Equal sets have equal digests; unequal sets collide with negligible
     /// probability. Protocol code must still fall back to full comparison on
     /// digest equality when correctness depends on it.
     pub fn digest(&self) -> u64 {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
-        let mut h = DefaultHasher::new();
-        for c in &self.changes {
-            c.hash(&mut h);
-        }
-        self.changes.len().hash(&mut h);
-        h.finish()
+        self.inner.digest
+    }
+
+    /// Returns `true` if the two handles share the same storage — the O(1)
+    /// witness that the sets are equal without any comparison.
+    pub fn shares_storage_with(&self, other: &ChangeSet) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
 
+impl PartialEq for ChangeSet {
+    fn eq(&self, other: &ChangeSet) -> bool {
+        // Shared storage and digest/cardinality mismatches decide in O(1);
+        // only equal-digest distinct-storage pairs pay for the full walk.
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return true;
+        }
+        if self.len() != other.len() || self.inner.digest != other.inner.digest {
+            return false;
+        }
+        self.inner.changes == other.inner.changes
+    }
+}
+
+impl Eq for ChangeSet {}
+
 impl fmt::Debug for ChangeSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.changes.iter()).finish()
+        f.debug_set().entries(self.inner.changes.iter()).finish()
     }
 }
 
 impl FromIterator<Change> for ChangeSet {
     fn from_iter<I: IntoIterator<Item = Change>>(iter: I) -> ChangeSet {
         ChangeSet {
-            changes: iter.into_iter().collect(),
+            inner: Arc::new(Inner::from_changes(iter.into_iter().collect())),
         }
     }
 }
 
 impl Extend<Change> for ChangeSet {
     fn extend<I: IntoIterator<Item = Change>>(&mut self, iter: I) {
-        self.changes.extend(iter);
+        for c in iter {
+            self.insert(c);
+        }
     }
 }
 
@@ -186,7 +375,27 @@ impl<'a> IntoIterator for &'a ChangeSet {
     type Item = &'a Change;
     type IntoIter = std::collections::btree_set::Iter<'a, Change>;
     fn into_iter(self) -> Self::IntoIter {
-        self.changes.iter()
+        self.inner.changes.iter()
+    }
+}
+
+// Serialized as `{"changes": [...]}` — the same shape the seed's derived
+// implementation produced — with the caches rebuilt on deserialization.
+impl Serialize for ChangeSet {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![("changes".to_string(), self.inner.changes.to_value())])
+    }
+}
+
+impl<'de> Deserialize<'de> for ChangeSet {
+    fn from_value(v: &serde::Value) -> Result<ChangeSet, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for ChangeSet"))?;
+        let changes = BTreeSet::<Change>::from_value(serde::map_get(m, "changes")?)?;
+        Ok(ChangeSet {
+            inner: Arc::new(Inner::from_changes(changes)),
+        })
     }
 }
 
@@ -199,6 +408,28 @@ mod tests {
         ServerId(i)
     }
 
+    /// From-scratch recomputation of every cached quantity.
+    fn rescan(set: &ChangeSet) -> (Vec<Ratio>, Ratio, u64) {
+        let max = set.iter().map(|c| c.target.index()).max();
+        let len = max.map(|m| m + 1).unwrap_or(0);
+        let mut weights = vec![Ratio::ZERO; len];
+        let mut total = Ratio::ZERO;
+        let mut digest = 0u64;
+        for c in set.iter() {
+            weights[c.target.index()] += c.delta;
+            total += c.delta;
+            digest = digest.wrapping_add(change_mix(c));
+        }
+        (weights, total, digest)
+    }
+
+    fn assert_caches_exact(set: &ChangeSet) {
+        let (weights, total, digest) = rescan(set);
+        assert_eq!(set.inner.weights, weights, "per-server cache drifted");
+        assert_eq!(set.inner.total, total, "total cache drifted");
+        assert_eq!(set.inner.digest, digest, "digest cache drifted");
+    }
+
     #[test]
     fn uniform_initial_weights() {
         let c = ChangeSet::uniform_initial(4, Ratio::ONE);
@@ -207,6 +438,7 @@ mod tests {
             assert_eq!(c.server_weight(s(i)), Ratio::ONE);
         }
         assert_eq!(c.total_weight(4), Ratio::integer(4));
+        assert_caches_exact(&c);
     }
 
     #[test]
@@ -218,6 +450,7 @@ mod tests {
         assert_eq!(c.server_weight(s(1)), Ratio::dec("1.25"));
         // Pairwise transfers preserve the total.
         assert_eq!(c.total_weight(2), Ratio::integer(2));
+        assert_caches_exact(&c);
     }
 
     #[test]
@@ -226,6 +459,7 @@ mod tests {
         c.insert(Change::new(s(1), 2, s(0), Ratio::ZERO));
         assert_eq!(c.server_weight(s(0)), Ratio::ONE);
         assert_eq!(c.len(), 3);
+        assert_caches_exact(&c);
     }
 
     #[test]
@@ -239,6 +473,8 @@ mod tests {
         assert!(u.contains_all(&a) && u.contains_all(&b));
         a.merge(&b);
         assert_eq!(a, u);
+        assert_caches_exact(&a);
+        assert_caches_exact(&u);
     }
 
     #[test]
@@ -263,6 +499,7 @@ mod tests {
         assert!(!c.insert(ch));
         assert_eq!(c.len(), 1);
         assert_eq!(c.server_weight(s(0)), Ratio::ONE);
+        assert_caches_exact(&c);
     }
 
     #[test]
@@ -273,6 +510,7 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert!(r.iter().all(|ch| ch.target == s(0)));
         assert_eq!(r.server_weight(s(0)), Ratio::dec("1.5"));
+        assert_caches_exact(&r);
     }
 
     #[test]
@@ -299,5 +537,187 @@ mod tests {
         let c = ChangeSet::uniform_initial(5, Ratio::ONE);
         let group = [s(0), s(1), s(2)];
         assert_eq!(c.group_weight(&group), Ratio::integer(3));
+    }
+
+    #[test]
+    fn clone_shares_storage_until_mutation() {
+        let mut a = ChangeSet::uniform_initial(3, Ratio::ONE);
+        let b = a.clone();
+        assert!(a.shares_storage_with(&b));
+        // Redundant insert does not break sharing.
+        assert!(!a.insert(Change::initial(s(0), Ratio::ONE)));
+        assert!(a.shares_storage_with(&b));
+        // A real mutation copies; the clone is unaffected.
+        a.insert(Change::new(s(0), 2, s(1), Ratio::dec("0.5")));
+        assert!(!a.shares_storage_with(&b));
+        assert_eq!(b.server_weight(s(1)), Ratio::ONE);
+        assert_eq!(a.server_weight(s(1)), Ratio::dec("1.5"));
+        assert_caches_exact(&a);
+        assert_caches_exact(&b);
+    }
+
+    #[test]
+    fn merge_adopts_superset_storage() {
+        let base = ChangeSet::uniform_initial(3, Ratio::ONE);
+        let mut bigger = base.clone();
+        bigger.insert(Change::new(s(0), 2, s(1), Ratio::dec("0.2")));
+        let mut lagging = base.clone();
+        lagging.merge(&bigger);
+        assert_eq!(lagging, bigger);
+        assert!(lagging.shares_storage_with(&bigger));
+        // Idempotent re-merge is a pointer-equality no-op.
+        lagging.merge(&bigger);
+        assert!(lagging.shares_storage_with(&bigger));
+        assert_caches_exact(&lagging);
+    }
+
+    #[test]
+    fn merge_subset_into_superset_is_noop() {
+        let mut big = ChangeSet::uniform_initial(4, Ratio::ONE);
+        big.insert(Change::new(s(0), 2, s(2), Ratio::dec("0.3")));
+        let small = ChangeSet::uniform_initial(2, Ratio::ONE);
+        let before = big.clone();
+        big.merge(&small);
+        assert_eq!(big, before);
+        assert!(
+            big.shares_storage_with(&before),
+            "no-op merge must not copy"
+        );
+    }
+
+    #[test]
+    fn merge_overlapping_sets_accounts_difference_only_once() {
+        let mut a = ChangeSet::uniform_initial(3, Ratio::ONE);
+        a.insert(Change::new(s(0), 2, s(1), Ratio::dec("0.1")));
+        let mut b = ChangeSet::uniform_initial(3, Ratio::ONE);
+        b.insert(Change::new(s(2), 2, s(1), Ratio::dec("0.2")));
+        a.merge(&b);
+        assert_eq!(a.server_weight(s(1)), Ratio::dec("1.3"));
+        assert_eq!(a.len(), 5);
+        assert_caches_exact(&a);
+    }
+
+    #[test]
+    fn total_weight_ignores_out_of_range_targets() {
+        let mut c = ChangeSet::uniform_initial(2, Ratio::ONE);
+        c.insert(Change::new(s(0), 2, s(5), Ratio::dec("0.5")));
+        // Only servers 0..2 count toward a 2-server system's total.
+        assert_eq!(c.total_weight(2), Ratio::integer(2));
+        assert_eq!(c.total_weight(6), Ratio::dec("2.5"));
+        assert_eq!(c.server_weight(s(5)), Ratio::dec("0.5"));
+        assert_eq!(c.server_weight(s(4)), Ratio::ZERO);
+        assert_caches_exact(&c);
+    }
+
+    /// Differential oracle for the incremental accounting: random
+    /// interleavings of `insert` / `merge` / `union` / `restricted_to`
+    /// over a pool of sets, each step checked against (a) a plain
+    /// `BTreeSet` model — catching any fast path that drops or invents
+    /// changes — and (b) a from-scratch recomputation of the weight,
+    /// total, and digest caches.
+    mod differential {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn op_strategy() -> impl Strategy<Value = (u8, usize, usize, Change, u32)> {
+            (
+                0u8..4,
+                0usize..3,
+                0usize..3,
+                (0u32..6, 1u64..5, 0u32..6, -30i128..30).prop_map(|(i, lc, t, d)| {
+                    Change::new(ServerId(i), lc, ServerId(t), Ratio::new(d, 10))
+                }),
+                0u32..6,
+            )
+        }
+
+        proptest! {
+            #[test]
+            fn cached_accounting_matches_rescan(
+                ops in proptest::collection::vec(op_strategy(), 1..60),
+            ) {
+                let mut sets: Vec<ChangeSet> =
+                    vec![ChangeSet::new(), ChangeSet::uniform_initial(3, Ratio::ONE), ChangeSet::new()];
+                let mut models: Vec<BTreeSet<Change>> =
+                    sets.iter().map(|s| s.iter().copied().collect()).collect();
+                for (op, i, j, change, server) in ops {
+                    match op {
+                        0 => {
+                            let was_new = sets[i].insert(change);
+                            prop_assert_eq!(was_new, models[i].insert(change));
+                        }
+                        1 => {
+                            let other = sets[j].clone();
+                            sets[i].merge(&other);
+                            let other_model = models[j].clone();
+                            models[i].extend(other_model);
+                        }
+                        2 => {
+                            let u = sets[i].union(&sets[j]);
+                            let model: BTreeSet<Change> =
+                                models[i].union(&models[j]).copied().collect();
+                            sets[i] = u;
+                            models[i] = model;
+                        }
+                        _ => {
+                            let s = ServerId(server);
+                            sets[i] = sets[i].restricted_to(s);
+                            models[i] = models[i]
+                                .iter()
+                                .filter(|c| c.target == s)
+                                .copied()
+                                .collect();
+                        }
+                    }
+                    // (a) The set's content matches the model exactly.
+                    let got: BTreeSet<Change> = sets[i].iter().copied().collect();
+                    prop_assert_eq!(&got, &models[i]);
+                    prop_assert_eq!(sets[i].len(), models[i].len());
+                    // (b) Every cached quantity matches a from-scratch scan.
+                    let (weights, total, digest) = super::rescan(&sets[i]);
+                    prop_assert_eq!(&sets[i].inner.weights, &weights);
+                    prop_assert_eq!(sets[i].inner.total, total);
+                    prop_assert_eq!(sets[i].inner.digest, digest);
+                    // (c) Public accessors agree with naive recomputation.
+                    for srv in 0..6u32 {
+                        let naive: Ratio = models[i]
+                            .iter()
+                            .filter(|c| c.target == ServerId(srv))
+                            .map(|c| c.delta)
+                            .sum();
+                        prop_assert_eq!(sets[i].server_weight(ServerId(srv)), naive);
+                    }
+                    let naive_total: Ratio = models[i].iter().map(|c| c.delta).sum();
+                    prop_assert_eq!(sets[i].total_weight(6), naive_total);
+                    prop_assert_eq!(sets[i].weights(6).total(), naive_total);
+                }
+                // Cross-set equality semantics agree with the models.
+                for a in 0..3 {
+                    for b in 0..3 {
+                        prop_assert_eq!(sets[a] == sets[b], models[a] == models[b]);
+                        prop_assert_eq!(
+                            sets[a].contains_all(&sets[b]),
+                            models[b].is_subset(&models[a])
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contains_all_equal_cardinality_uses_digest() {
+        let mut a = ChangeSet::uniform_initial(3, Ratio::ONE);
+        let mut b = ChangeSet::uniform_initial(3, Ratio::ONE);
+        a.insert(Change::new(s(0), 2, s(0), Ratio::dec("0.1")));
+        b.insert(Change::new(s(1), 2, s(1), Ratio::dec("0.1")));
+        // Same cardinality, different content: certain false.
+        assert!(!a.contains_all(&b));
+        assert!(!b.contains_all(&a));
+        // Equal content without shared storage: true.
+        let c: ChangeSet = a.iter().copied().collect();
+        assert!(!a.shares_storage_with(&c));
+        assert!(a.contains_all(&c) && c.contains_all(&a));
+        assert_eq!(a, c);
     }
 }

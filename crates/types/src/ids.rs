@@ -151,10 +151,7 @@ mod tests {
 
     #[test]
     fn as_server() {
-        assert_eq!(
-            ProcessId::from(ServerId(1)).as_server(),
-            Some(ServerId(1))
-        );
+        assert_eq!(ProcessId::from(ServerId(1)).as_server(), Some(ServerId(1)));
         assert_eq!(ProcessId::from(ClientId(1)).as_server(), None);
         assert!(ProcessId::from(ServerId(0)).is_server());
         assert!(!ProcessId::from(ClientId(0)).is_server());

@@ -115,9 +115,8 @@ mod proptests {
     }
 
     fn change_strategy() -> impl Strategy<Value = Change> {
-        (0u32..8, 1u64..5, 0u32..8, -40i128..40).prop_map(|(i, lc, t, d)| {
-            Change::new(ServerId(i), lc, ServerId(t), Ratio::new(d, 10))
-        })
+        (0u32..8, 1u64..5, 0u32..8, -40i128..40)
+            .prop_map(|(i, lc, t, d)| Change::new(ServerId(i), lc, ServerId(t), Ratio::new(d, 10)))
     }
 
     proptest! {
@@ -171,7 +170,6 @@ mod proptests {
     }
 }
 
-
 #[cfg(test)]
 mod serde_tests {
     use super::*;
@@ -192,7 +190,12 @@ mod serde_tests {
         roundtrip(&ServerId(3));
         roundtrip(&ClientId(0));
         roundtrip(&ProcessId::Server(ServerId(1)));
-        roundtrip(&Change::new(ServerId(0), 2, ServerId(1), Ratio::dec("0.25")));
+        roundtrip(&Change::new(
+            ServerId(0),
+            2,
+            ServerId(1),
+            Ratio::dec("0.25"),
+        ));
         roundtrip(&ChangeSet::uniform_initial(4, Ratio::ONE));
         roundtrip(&WeightMap::dec(&["1.6", "1.4", "0.8"]));
         roundtrip(&Tag::new(3, ProcessId::Client(ClientId(1))));

@@ -293,11 +293,12 @@ impl FromStr for Ratio {
             let frac: i128 = frac_part.parse().map_err(|e| ParseRatioError {
                 message: format!("bad fractional part {frac_part:?}: {e}"),
             })?;
-            let scale = 10i128
-                .checked_pow(frac_part.len() as u32)
-                .ok_or_else(|| ParseRatioError {
-                    message: "too many fractional digits".into(),
-                })?;
+            let scale =
+                10i128
+                    .checked_pow(frac_part.len() as u32)
+                    .ok_or_else(|| ParseRatioError {
+                        message: "too many fractional digits".into(),
+                    })?;
             let mag = Ratio::new(int * scale + frac, scale);
             return Ok(if negative { -mag } else { mag });
         }
@@ -316,15 +317,52 @@ impl PartialOrd for Ratio {
 
 impl Ord for Ratio {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Same denominator (always the case for integers, and the common
+        // case on the weight hot path): compare numerators directly.
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
         // den > 0 always, so cross-multiplication preserves order.
         (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl Ratio {
+    /// Shared fast-path addition: when the denominators already match, skip
+    /// the cross-multiplications and renormalize against the single shared
+    /// denominator (for integers this skips the gcd entirely). Weight sums
+    /// add long runs of same-denominator deltas, so this is the common case
+    /// on the quorum-check hot path.
+    #[inline]
+    fn add_impl(self, rhs: Ratio) -> Ratio {
+        if self.num == 0 {
+            return rhs;
+        }
+        if rhs.num == 0 {
+            return self;
+        }
+        if self.den == rhs.den {
+            let num = self.num + rhs.num;
+            if self.den == 1 {
+                return Ratio { num, den: 1 };
+            }
+            if num == 0 {
+                return Ratio::ZERO;
+            }
+            let g = gcd(num.unsigned_abs() as i128, self.den);
+            return Ratio {
+                num: num / g,
+                den: self.den / g,
+            };
+        }
+        Ratio::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
     }
 }
 
 impl Add for Ratio {
     type Output = Ratio;
     fn add(self, rhs: Ratio) -> Ratio {
-        Ratio::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+        self.add_impl(rhs)
     }
 }
 
@@ -337,7 +375,7 @@ impl AddAssign for Ratio {
 impl Sub for Ratio {
     type Output = Ratio;
     fn sub(self, rhs: Ratio) -> Ratio {
-        Ratio::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+        self.add_impl(-rhs)
     }
 }
 

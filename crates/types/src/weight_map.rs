@@ -104,10 +104,20 @@ impl WeightMap {
     }
 
     /// Sum of the `f` greatest weights — the left-hand side of Property 1.
+    ///
+    /// O(n) expected via quickselect partitioning rather than a full
+    /// O(n log n) sort; `integrity_holds` calls this on every reassignment
+    /// step, so the constant matters.
     pub fn top_f_sum(&self, f: usize) -> Ratio {
-        let mut sorted = self.weights.clone();
-        sorted.sort_unstable_by(|a, b| b.cmp(a));
-        sorted.iter().take(f).sum()
+        if f == 0 {
+            return Ratio::ZERO;
+        }
+        if f >= self.weights.len() {
+            return self.total();
+        }
+        let mut scratch = self.weights.clone();
+        let (top, fth, _) = scratch.select_nth_unstable_by(f - 1, |a, b| b.cmp(a));
+        top.iter().sum::<Ratio>() + *fth
     }
 
     /// The servers holding the `f` greatest weights (ties broken by lower
@@ -115,7 +125,10 @@ impl WeightMap {
     pub fn top_f_servers(&self, f: usize) -> Vec<ServerId> {
         let mut idx: Vec<usize> = (0..self.weights.len()).collect();
         idx.sort_by(|&a, &b| self.weights[b].cmp(&self.weights[a]).then(a.cmp(&b)));
-        idx.into_iter().take(f).map(|i| ServerId(i as u32)).collect()
+        idx.into_iter()
+            .take(f)
+            .map(|i| ServerId(i as u32))
+            .collect()
     }
 
     /// Minimum weight across servers.

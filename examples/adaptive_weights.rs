@@ -60,7 +60,11 @@ fn main() {
                 t.from,
                 t.to,
                 t.delta,
-                if out.is_effective() { "effective" } else { "null" }
+                if out.is_effective() {
+                    "effective"
+                } else {
+                    "null"
+                }
             );
         }
         system.settle();

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --example consensus_reduction`
 
 use awr::core::naive::run_theorem1_race;
-use awr::core::reduction::{run_alg1, run_alg2, run_alg1_threads};
+use awr::core::reduction::{run_alg1, run_alg1_threads, run_alg2};
 
 fn main() {
     // Algorithm 1: servers propose values; whoever's reassign(±0.5) lands
@@ -57,6 +57,9 @@ fn main() {
     println!(
         "naive async implementation: final weights {weights}, Integrity held = {integrity_held}"
     );
-    assert!(!integrity_held, "the naive protocol cannot be safe — Corollary 1");
+    assert!(
+        !integrity_held,
+        "the naive protocol cannot be safe — Corollary 1"
+    );
     println!("→ weight reassignment is consensus-hard (Theorem 1 / Corollary 1).");
 }

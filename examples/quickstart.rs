@@ -14,7 +14,11 @@ fn main() {
     // drop to 0.7 or below, which keeps a weighted quorum alive through any
     // two crashes (Property 1, forever).
     let cfg = RpConfig::uniform(7, 2);
-    println!("floor = {}, quorum threshold = {}", cfg.floor(), cfg.quorum_threshold());
+    println!(
+        "floor = {}, quorum threshold = {}",
+        cfg.floor(),
+        cfg.quorum_threshold()
+    );
 
     // A simulated asynchronous network: per-message random delays.
     let mut system = RpHarness::build(cfg.clone(), 1, 42, UniformLatency::new(1_000, 80_000));
@@ -42,7 +46,10 @@ fn main() {
         .transfer_and_wait(ServerId(3), ServerId(1), Ratio::dec("0.5"))
         .expect("transfer should complete (as null)");
     assert!(!outcome.is_effective());
-    println!("over-draining transfer aborted: {}", outcome.complete_change());
+    println!(
+        "over-draining transfer aborted: {}",
+        outcome.complete_change()
+    );
 
     // The audit replays every completed transfer and certifies the paper's
     // safety properties (RP-Integrity, P-Integrity, C1, conservation).

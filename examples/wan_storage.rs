@@ -24,7 +24,10 @@ fn main() {
     );
     println!(
         "regions: {:?}",
-        Region::ALL.iter().map(|r| format!("{r:?}")).collect::<Vec<_>>()
+        Region::ALL
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect::<Vec<_>>()
     );
 
     // Ordinary multi-writer ABD usage.
@@ -46,12 +49,14 @@ fn main() {
             "transfer s{}→s{} 0.15: {}",
             from + 1,
             to + 1,
-            if out.is_effective() { "effective" } else { "null" }
+            if out.is_effective() {
+                "effective"
+            } else {
+                "null"
+            }
         );
         // Interleave a write between transfers.
-        store
-            .write(0, format!("v-after-transfer-{from}"))
-            .unwrap();
+        store.write(0, format!("v-after-transfer-{from}")).unwrap();
     }
 
     let (v, op) = store.read(2).unwrap();

@@ -73,7 +73,12 @@ fn consensus_baseline_stalls_with_leader_but_protocol_does_not() {
     ));
     let mut w: World<SlotMsg> = World::new(10, model);
     for i in 0..5 {
-        w.add_actor(CwrNode::new(5, 2, WeightMap::uniform(5, Ratio::ONE), i == 0));
+        w.add_actor(CwrNode::new(
+            5,
+            2,
+            WeightMap::uniform(5, Ratio::ONE),
+            i == 0,
+        ));
     }
     handle.lock().set_slow(vec![ActorId(0)]);
     w.with_actor_ctx::<CwrNode, _>(ActorId(0), |n, ctx| {

@@ -6,7 +6,7 @@ use awr::core::{audit_transfers, RpConfig, RpHarness};
 use awr::sim::{Time, UniformLatency, MILLI};
 use awr::types::{Ratio, ServerId};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 fn s(i: u32) -> ServerId {
     ServerId(i)
@@ -63,7 +63,10 @@ fn f_plus_one_crashes_do_break_liveness() {
     h.crash_server(s(6));
     // n − f − 1 = 4 acks needed, only 3 other live servers remain.
     let result = h.transfer_and_wait(s(0), s(1), Ratio::dec("0.1"));
-    assert!(result.is_err(), "transfer should not complete with f+1 crashes");
+    assert!(
+        result.is_err(),
+        "transfer should not complete with f+1 crashes"
+    );
 }
 
 #[test]

@@ -105,10 +105,7 @@ fn section5c_flexibility_limits() {
     // "the size of the smallest quorum is five" when s1, s2 are slow.
     let qs = WeightedMajorityQuorumSystem::new(w.clone());
     let dead: std::collections::BTreeSet<ServerId> = [s(0), s(1)].into();
-    assert_eq!(
-        awr::quorum::smallest_quorum_avoiding(&qs, &dead),
-        Some(5)
-    );
+    assert_eq!(awr::quorum::smallest_quorum_avoiding(&qs, &dead), Some(5));
 
     // "servers cannot form smaller quorums by reassigning weights": every
     // live donor has at most 0.1 of headroom above the floor, and any
@@ -117,7 +114,7 @@ fn section5c_flexibility_limits() {
     let live_total: Ratio = (2..7).map(|i| w.weight(s(i))).sum();
     assert_eq!(live_total, Ratio::integer(4));
     assert!(live_total > w.total().half()); // they can still form quorums…
-    // …but four of them max out at 4 − 0.7-floor'ed fifth < 3.5:
+                                            // …but four of them max out at 4 − 0.7-floor'ed fifth < 3.5:
     let best_four = live_total - floor; // leave the weakest at the floor
     assert!(best_four < w.total().half() + Ratio::dec("0.2")); // 3.3 < 3.5 ✓
     assert!(best_four < Ratio::dec("3.5"));

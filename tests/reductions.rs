@@ -65,7 +65,9 @@ fn reduction_weights_are_the_papers_construction() {
     // W_F = (n−1)/2 and W_{S\F} = (n+1)/2, summing to n, with Integrity.
     for &(n, f) in &[(4usize, 1usize), (7, 2), (10, 4)] {
         let w = reduction_initial_weights(n, f);
-        let wf: awr::types::Ratio = (0..f).map(|i| w.weight(awr::types::ServerId(i as u32))).sum();
+        let wf: awr::types::Ratio = (0..f)
+            .map(|i| w.weight(awr::types::ServerId(i as u32)))
+            .sum();
         assert_eq!(wf, awr::types::Ratio::new(n as i128 - 1, 2));
         assert_eq!(w.total(), awr::types::Ratio::integer(n as i64));
         assert!(integrity_holds(&w, f));

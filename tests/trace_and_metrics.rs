@@ -30,7 +30,8 @@ fn trace_records_crashes_and_drops() {
     h.world.enable_trace(10_000);
     h.transfer_async(ServerId(1), ServerId(0), Ratio::dec("0.1"))
         .unwrap();
-    h.world.schedule_crash(h.server_actor(ServerId(4)), awr::sim::Time(1));
+    h.world
+        .schedule_crash(h.server_actor(ServerId(4)), awr::sim::Time(1));
     h.settle();
     let trace = h.world.trace().unwrap();
     let crashed = trace
@@ -40,7 +41,10 @@ fn trace_records_crashes_and_drops() {
     let dropped = trace
         .records()
         .any(|r| matches!(r.kind, TraceKind::DropCrashed { .. }));
-    assert!(dropped, "messages to the crashed server must be traced as drops");
+    assert!(
+        dropped,
+        "messages to the crashed server must be traced as drops"
+    );
 }
 
 #[test]

@@ -1,0 +1,244 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! Implements the benchmark surface this workspace uses — groups,
+//! `bench_with_input`, `BenchmarkId`, `criterion_group!`/`criterion_main!` —
+//! with a simple but honest measurement loop: batches are auto-calibrated
+//! to a minimum duration, several samples are taken, and the *median*
+//! ns/iter is reported (robust to scheduler noise). No HTML reports, no
+//! statistical regression machinery.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver passed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 15 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            min_batch: Duration::from_millis(5),
+            _criterion: self,
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    min_batch: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Sets the target measurement time (interpreted as the per-sample
+    /// batch floor).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.min_batch = d / 10;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            min_batch: self.min_batch,
+            samples: self.sample_size,
+            result_ns: None,
+        };
+        f(&mut b, input);
+        self.report(&id.id, b.result_ns);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            min_batch: self.min_batch,
+            samples: self.sample_size,
+            result_ns: None,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.result_ns);
+        self
+    }
+
+    fn report(&self, id: &str, result_ns: Option<f64>) {
+        let full = format!("{}/{}", self.name, id);
+        match result_ns {
+            Some(ns) => println!("{full:<48} time: {}", format_ns(ns)),
+            None => println!("{full:<48} time: <no iterations run>"),
+        }
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Formats nanoseconds-per-iteration human-readably.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Runs and times a single benchmark's closure.
+pub struct Bencher {
+    min_batch: Duration,
+    samples: usize,
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, reporting the median ns/iter over calibrated batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: find an iteration count whose batch takes ≥ min_batch.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.min_batch || iters >= 1 << 28 {
+                break;
+            }
+            // Aim straight for the target, with headroom.
+            let scale =
+                (self.min_batch.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64).ceil() as u64;
+            iters = iters.saturating_mul(scale.clamp(2, 1024)).min(1 << 28);
+        }
+        // Measure.
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = Some(per_iter[per_iter.len() / 2]);
+    }
+
+    /// The measured median ns/iter, if [`Bencher::iter`] ran.
+    pub fn result_ns(&self) -> Option<f64> {
+        self.result_ns
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` / `--list` probe the binary; don't
+            // spend time measuring there.
+            let args: ::std::vec::Vec<String> = ::std::env::args().collect();
+            if args.iter().any(|a| a == "--test" || a == "--list") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        let mut measured = None;
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            measured = b.result_ns();
+        });
+        g.finish();
+        assert!(measured.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(12_500.0), "12.50 µs");
+        assert_eq!(format_ns(3_000_000.0), "3.00 ms");
+    }
+}

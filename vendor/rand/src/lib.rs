@@ -1,0 +1,243 @@
+//! Workspace-local stand-in for the `rand` crate (0.9-style API).
+//!
+//! Provides [`Rng::random_range`], [`SeedableRng::seed_from_u64`], and
+//! [`rngs::StdRng`] backed by xoshiro256++ seeded via SplitMix64. The
+//! simulator only needs deterministic, well-mixed streams — not
+//! cryptographic strength — and determinism per seed is exactly what the
+//! replay tests assert.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of randomness (subset of rand 0.9's `Rng`).
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from the given range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns a uniformly random `f64` in `[0, 1)`.
+    fn random_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random_f64() < p
+    }
+}
+
+/// A seedable randomness source (subset of rand 0.9's `SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, expanding it with SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that can produce a uniform sample (subset of `SampleRange`).
+///
+/// Like real rand, this is generic over the element type via
+/// [`SampleUniform`], so integer-literal ranges unify with the surrounding
+/// inference context (`rng.random_range(0..100) < some_u32` samples a u32).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Element types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[low, high)` (`inclusive` widens to `[low, high]`).
+    fn sample_between<R: Rng>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_between(rng, start, end, true)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: Rng>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+                let span = (high as i128).wrapping_sub(low as i128) as u128
+                    + if inclusive { 1 } else { 0 };
+                let offset = uniform_u128(rng, span);
+                ((low as i128).wrapping_add(offset as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleUniform for i128 {
+    fn sample_between<R: Rng>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+        let span = high.wrapping_sub(low) as u128;
+        if inclusive && span == u128::MAX {
+            let hi = rng.next_u64() as u128;
+            let lo = rng.next_u64() as u128;
+            return ((hi << 64) | lo) as i128;
+        }
+        let span = span + if inclusive { 1 } else { 0 };
+        low.wrapping_add(uniform_u128(rng, span) as i128)
+    }
+}
+
+impl SampleUniform for u128 {
+    fn sample_between<R: Rng>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+        let span = high.wrapping_sub(low);
+        if inclusive && span == u128::MAX {
+            let hi = rng.next_u64() as u128;
+            let lo = rng.next_u64() as u128;
+            return (hi << 64) | lo;
+        }
+        let span = span + if inclusive { 1 } else { 0 };
+        low.wrapping_add(uniform_u128(rng, span))
+    }
+}
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: Rng>(rng: &mut R, low: Self, high: Self, _inclusive: bool) -> Self {
+                let unit = rng.random_f64() as $t;
+                low + unit * (high - low)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Uniform value in `[0, span)` via 128-bit modular reduction. The modulo
+/// bias is at most `span / 2^128` — irrelevant for simulation workloads.
+fn uniform_u128<R: Rng>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    let hi = rng.next_u64() as u128;
+    let lo = rng.next_u64() as u128;
+    ((hi << 64) | lo) % span
+}
+
+/// Pre-built generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (public-domain
+    /// algorithm by Blackman & Vigna), seeded via SplitMix64.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = r.random_range(3..10);
+            assert!((3..10).contains(&x));
+            let y: i64 = r.random_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let z = r.random_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&z));
+            let w: i128 = r.random_range(1i128..1000);
+            assert!((1..1000).contains(&w));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[r.random_range(0usize..=2)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(1);
+        let _ = r.random_range(5..5);
+    }
+}

@@ -1,0 +1,620 @@
+//! Derive macros for the workspace-local `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` with
+//! hand-rolled token parsing (no `syn`/`quote` in this offline build).
+//! Supported shapes — the ones that occur in this workspace:
+//!
+//! * structs with named fields (serialized as a string-keyed map);
+//! * tuple structs (arity 1 is transparent/newtype, like real serde;
+//!   larger arities become a sequence);
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   like real serde's default representation);
+//! * generic type parameters (each gets a `Serialize`/`Deserialize`
+//!   bound on the impl, bounds written on the type are repeated).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by mapping the type onto `serde::Value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives `serde::Deserialize` by rebuilding the type from `serde::Value`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsed shape of the item.
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Original generic parameter tokens (with bounds), e.g. `V: Clone`.
+    generics_decl: Vec<String>,
+    /// Bare parameter names for type arguments, e.g. `V` or `'a`.
+    generic_args: Vec<String>,
+    /// Names of type parameters (excluding lifetimes/consts) that need
+    /// Serialize/Deserialize bounds.
+    type_params: Vec<String>,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing.
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if let Some(TokenTree::Punct(p)) = self.peek() {
+                if p.as_char() == '!' {
+                    self.pos += 1;
+                }
+            }
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Bracket {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consumes `<...>` generics if present, returning the inner tokens.
+    fn take_generics(&mut self) -> Vec<TokenTree> {
+        let mut inner = Vec::new();
+        let starts = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<');
+        if !starts {
+            return inner;
+        }
+        self.pos += 1;
+        let mut depth = 1usize;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            inner.push(t);
+        }
+        inner
+    }
+}
+
+/// Splits a token slice at top-level commas (angle-bracket depth 0).
+fn split_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0usize;
+    for t in toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn tokens_to_string(toks: &[TokenTree]) -> String {
+    let stream: TokenStream = toks.iter().cloned().collect();
+    stream.to_string()
+}
+
+/// Parses one generic parameter: returns (decl-with-bounds, bare-name,
+/// is-type-param).
+fn parse_generic_param(toks: &[TokenTree]) -> Result<(String, String, bool), String> {
+    let decl = tokens_to_string(toks);
+    // Lifetime: leading `'` punct then ident.
+    if let Some(TokenTree::Punct(p)) = toks.first() {
+        if p.as_char() == '\'' {
+            let name = match toks.get(1) {
+                Some(TokenTree::Ident(id)) => format!("'{id}"),
+                _ => return Err("malformed lifetime parameter".into()),
+            };
+            return Ok((decl, name, false));
+        }
+    }
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "const" => {
+            let name = match toks.get(1) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return Err("malformed const parameter".into()),
+            };
+            Ok((decl, name, false))
+        }
+        Some(TokenTree::Ident(id)) => Ok((decl, id.to_string(), true)),
+        other => Err(format!("unsupported generic parameter start: {other:?}")),
+    }
+}
+
+/// Parses the fields of a brace-delimited (named) field list.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor {
+        toks: group.into_iter().collect(),
+        pos: 0,
+    };
+    let mut names = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_visibility();
+        let name = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: everything up to a top-level comma.
+        let mut depth = 0usize;
+        while let Some(t) = c.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        c.pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            c.pos += 1;
+        }
+        names.push(name);
+    }
+    Ok(names)
+}
+
+/// Counts the fields of a paren-delimited (tuple) field list.
+fn parse_tuple_fields(group: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    split_commas(&toks).len()
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor {
+        toks: group.into_iter().collect(),
+        pos: 0,
+    };
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                c.pos += 1;
+                Fields::Tuple(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                c.pos += 1;
+                Fields::Named(parse_named_fields(g)?)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        let mut depth = 0usize;
+        while let Some(t) = c.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        c.pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            c.pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor {
+        toks: input.into_iter().collect(),
+        pos: 0,
+    };
+    c.skip_attributes();
+    c.skip_visibility();
+    let kind = c.expect_ident()?;
+    if kind != "struct" && kind != "enum" {
+        return Err(format!(
+            "derive target must be a struct or enum, found `{kind}`"
+        ));
+    }
+    let name = c.expect_ident()?;
+    let generics = c.take_generics();
+    let mut generics_decl = Vec::new();
+    let mut generic_args = Vec::new();
+    let mut type_params = Vec::new();
+    for param in split_commas(&generics) {
+        if param.is_empty() {
+            continue;
+        }
+        let (decl, bare, is_type) = parse_generic_param(&param)?;
+        generics_decl.push(decl);
+        generic_args.push(bare.clone());
+        if is_type {
+            type_params.push(bare);
+        }
+    }
+    // Optional where clause (not used in this workspace; reject loudly so a
+    // future addition fails at compile time instead of mis-serializing).
+    if let Some(TokenTree::Ident(id)) = c.peek() {
+        if id.to_string() == "where" {
+            return Err("where clauses are not supported by the vendored serde_derive".into());
+        }
+    }
+    let body = if kind == "struct" {
+        match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(parse_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        }
+    } else {
+        match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        }
+    };
+    Ok(Item {
+        name,
+        generics_decl,
+        generic_args,
+        type_params,
+        body,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+impl Item {
+    /// `<'de, V: Clone>`-style impl generics, optionally with a leading
+    /// extra parameter (used for the `'de` of Deserialize).
+    fn impl_generics(&self, extra: Option<&str>) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(e) = extra {
+            parts.push(e.to_string());
+        }
+        parts.extend(self.generics_decl.iter().cloned());
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", parts.join(", "))
+        }
+    }
+
+    fn type_args(&self) -> String {
+        if self.generic_args.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generic_args.join(", "))
+        }
+    }
+
+    fn where_clause(&self, bound: &str) -> String {
+        if self.type_params.is_empty() {
+            String::new()
+        } else {
+            let preds: Vec<String> = self
+                .type_params
+                .iter()
+                .map(|p| format!("{p}: {bound}"))
+                .collect();
+            format!("where {}", preds.join(", "))
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vname:?}), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl{} ::serde::Serialize for {name}{} {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        item.impl_generics(None),
+        item.type_args(),
+        item.where_clause("::serde::Serialize")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let err = |msg: &str| format!("::std::result::Result::Err(::serde::Error::custom({msg:?}))");
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::map_get(__m, {f:?})?)?")
+                })
+                .collect();
+            format!(
+                "let __m = match __v {{ ::serde::Value::Map(m) => m, _ => return {} }};\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                err(&format!("expected map for struct {name}")),
+                inits.join(", ")
+            )
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(__s.get({i}).ok_or_else(|| ::serde::Error::custom(\"tuple struct sequence too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __s = match __v {{ ::serde::Value::Seq(s) => s, _ => return {} }};\n\
+                 ::std::result::Result::Ok({name}({}))",
+                err(&format!("expected sequence for tuple struct {name}")),
+                inits.join(", ")
+            )
+        }
+        Body::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!(
+                        "::serde::Value::Str(__s) if __s == {vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Tuple(1) => format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__seq.get({i}).ok_or_else(|| ::serde::Error::custom(\"variant sequence too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vname:?} => {{ let __seq = __inner.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for tuple variant\"))?; ::std::result::Result::Ok({name}::{vname}({})) }},",
+                                inits.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::map_get(__mm, {f:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vname:?} => {{ let __mm = __inner.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for struct variant\"))?; ::std::result::Result::Ok({name}::{vname} {{ {} }}) }},",
+                                inits.join(", ")
+                            )
+                        }
+                        Fields::Unit => unreachable!("filtered above"),
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                    {}\n\
+                    ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                        let (__tag, __inner) = &__m[0];\n\
+                        match __tag.as_str() {{ {} _ => {} }}\n\
+                    }},\n\
+                    _ => {}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join(" "),
+                err(&format!("unknown variant for enum {name}")),
+                err(&format!("expected externally tagged value for enum {name}"))
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl{} ::serde::Deserialize<'de> for {name}{} {} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}",
+        item.impl_generics(Some("'de")),
+        item.type_args(),
+        {
+            let mut w = item.where_clause("::serde::Deserialize<'de>");
+            if w.is_empty() {
+                w = String::new();
+            }
+            w
+        }
+    )
+}
