@@ -1,0 +1,134 @@
+//! Wire-cost benchmark: steady-state bytes per storage operation under the
+//! delta-negotiated wire (`WireMode::Negotiate`) versus the paper-literal
+//! full-set wire (`WireMode::ForceFull`), across change-set sizes.
+//!
+//! Every participant is pre-seeded with the same converged change set of
+//! |C| changes, then a closed loop of reads and writes runs in that steady
+//! state. Under the full wire each `R`/`W`/`RAck`/`WAck` ships all of `C`,
+//! so bytes/op grows O(|C|); under negotiation the phases carry O(1)
+//! digests, so bytes/op is flat in |C| — which is the property the JSON
+//! output pins and the `--smoke` mode asserts.
+//!
+//! Run with: `cargo run --release --bin bench_wire [-- --smoke] [out.json]`
+
+use awr_core::RpConfig;
+use awr_sim::UniformLatency;
+use awr_storage::{DynOptions, StorageHarness, WireMode};
+
+const N: usize = 5;
+const F: usize = 1;
+const OPS: usize = 40;
+
+struct Row {
+    c_size: usize,
+    mode: &'static str,
+    bytes_per_op: f64,
+    mean_r_bytes: f64,
+    mean_rack_bytes: f64,
+}
+
+fn run(extra: usize, wire: WireMode) -> Row {
+    let cfg = RpConfig::uniform(N, F);
+    let mut h: StorageHarness<u64> = StorageHarness::build(
+        cfg,
+        1,
+        0xC0FFEE,
+        UniformLatency::new(1_000, 20_000),
+        DynOptions {
+            wire,
+            ..DynOptions::default()
+        },
+    );
+    let big = h.seed_converged_changes(extra);
+
+    for v in 0..OPS as u64 {
+        if v % 2 == 0 {
+            h.write(0, v).unwrap();
+        } else {
+            h.read(0).unwrap();
+        }
+    }
+
+    let m = h.world.metrics();
+    let cs_bytes = m.bytes_of_kind("R")
+        + m.bytes_of_kind("R_A")
+        + m.bytes_of_kind("W")
+        + m.bytes_of_kind("W_A");
+    Row {
+        c_size: N + big.len(),
+        mode: match wire {
+            WireMode::Negotiate => "delta",
+            WireMode::ForceFull => "full",
+        },
+        bytes_per_op: cs_bytes as f64 / OPS as f64,
+        mean_r_bytes: m.mean_bytes_of_kind("R"),
+        mean_rack_bytes: m.mean_bytes_of_kind("R_A"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_wire.json".to_string());
+    let sizes: &[usize] = if smoke {
+        &[10, 100]
+    } else {
+        &[10, 100, 1_000, 10_000]
+    };
+
+    let mut rows = Vec::new();
+    for &size in sizes {
+        rows.push(run(size, WireMode::Negotiate));
+        rows.push(run(size, WireMode::ForceFull));
+    }
+
+    println!(
+        "{:<8} {:<6} {:>14} {:>12} {:>12}",
+        "|C|", "mode", "bytes/op", "mean R", "mean R_A"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:<6} {:>14.1} {:>12.1} {:>12.1}",
+            r.c_size, r.mode, r.bytes_per_op, r.mean_r_bytes, r.mean_rack_bytes
+        );
+    }
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"wire\",\n  \"unit\": \"bytes_per_op\",\n  \"results\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"c_size\": {}, \"mode\": \"{}\", \"bytes_per_op\": {:.1}, \"mean_r_bytes\": {:.1}, \"mean_rack_bytes\": {:.1}}}{}\n",
+            r.c_size,
+            r.mode,
+            r.bytes_per_op,
+            r.mean_r_bytes,
+            r.mean_rack_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+
+    // In every pairing, the delta wire must move fewer steady-state bytes
+    // per op than the full wire (the CI smoke gate).
+    let mut ok = true;
+    for pair in rows.chunks(2) {
+        let (delta, full) = (&pair[0], &pair[1]);
+        if delta.bytes_per_op >= full.bytes_per_op {
+            eprintln!(
+                "FAIL: |C|={} delta {:.1} B/op >= full {:.1} B/op",
+                delta.c_size, delta.bytes_per_op, full.bytes_per_op
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

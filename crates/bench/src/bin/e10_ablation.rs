@@ -91,7 +91,7 @@ fn ablation_b(restart_on_stale: bool) -> (Option<u64>, bool) {
         d2,
         DynOptions {
             restart_on_stale,
-            refresh_on_gain: true,
+            ..DynOptions::default()
         },
     );
     h.write(2, 1).unwrap();
@@ -145,8 +145,8 @@ fn ablation_c(refresh_on_gain: bool) -> (Option<u64>, bool) {
         43,
         d,
         DynOptions {
-            restart_on_stale: true,
             refresh_on_gain,
+            ..DynOptions::default()
         },
     );
     // v = 9 written under the initial uniform map: {s4..s7} = 4 > 3.5.

@@ -1,17 +1,41 @@
 //! Wire messages of the restricted pairwise weight reassignment protocol
-//! (Algorithms 3 and 4).
+//! (Algorithms 3 and 4), with delta-aware change-set payloads.
+//!
+//! The change-set-carrying legs (`RC_Ack` and `WC`) ship a
+//! [`CsRef`] instead of a full [`awr_types::ChangeSet`], negotiated per the
+//! discipline of [`awr_types::sync`]:
+//!
+//! * `⟨RC, s, known⟩` carries the requester's digest of its last known
+//!   restriction `C|s`; a server whose restriction matches answers with an
+//!   O(1) [`CsRef::Summary`], a server that can cover the gap from its
+//!   per-target journal answers with an O(gap) [`CsRef::Delta`], and
+//!   anything else falls back to [`CsRef::Full`]. `known = 0` (an empty
+//!   cache) always resolves, because every journal's empty prefix digests
+//!   to 0.
+//! * `⟨WC, s, ref⟩` write-backs open with a `Summary` toward servers the
+//!   requester believes are already converged and `Full` toward the rest.
+//!   A server that cannot prove it stores the referenced set replies
+//!   `⟨WC_Miss, have⟩` with its own restriction digest; the requester
+//!   answers with a delta against `have`, degrading to `Full` after one
+//!   failed delta — so the exchange is bounded and the store-then-ack
+//!   semantics of Algorithm 3 line 8 (and hence Validity-II) are untouched.
+//!
+//! A `WC_Ack` is still sent only once the receiving server *stores* the
+//! referenced set (possibly proving it already did via the digest).
 
 use awr_rb::RbEnvelope;
 use awr_sim::Message;
-use awr_types::{ChangeSet, ServerId, TransferChanges};
+use awr_types::{CsRef, ServerId, TransferChanges};
 
 /// Protocol messages. Names follow the paper's:
 ///
 /// * `⟨T, c, c′⟩` — reliable-broadcast transfer announcement (Algorithm 4
 ///   line 14), carried inside an RB envelope;
 /// * `⟨T_Ack, lc⟩` — per-transfer acknowledgment (line 11/15);
-/// * `⟨RC, s⟩` / `⟨RC_Ack, C_s⟩` — read_changes collect phase (Algorithm 3);
-/// * `⟨WC, C⟩` / `⟨WC_Ack⟩` — read_changes write-back phase.
+/// * `⟨RC, s⟩` / `⟨RC_Ack, ref⟩` — read_changes collect phase (Algorithm 3),
+///   the reply carrying a [`CsRef`] to the replier's restriction;
+/// * `⟨WC, s, ref⟩` / `⟨WC_Ack⟩` / `⟨WC_Miss⟩` — read_changes write-back
+///   phase with digest negotiation (see the module docs).
 #[derive(Clone, Debug)]
 pub enum WrMsg {
     /// Reliable-broadcast leg carrying the transfer's change pair.
@@ -28,25 +52,42 @@ pub enum WrMsg {
         op: u64,
         /// The server whose changes are being read.
         target: ServerId,
+        /// Digest of the restriction the requester already holds for
+        /// `target` (0 = nothing cached), so the replier can answer with a
+        /// summary or delta instead of the full restriction.
+        known: u64,
     },
-    /// Reply to [`WrMsg::Rc`] with the changes the replier has stored.
+    /// Reply to [`WrMsg::Rc`] referencing the changes the replier has
+    /// stored for the requested server.
     RcAck {
         /// Echo of the request's `op`.
         op: u64,
-        /// The changes stored for the requested server.
-        changes: ChangeSet,
+        /// Reference to the replier's restriction `C|target`.
+        changes: CsRef,
     },
     /// Write-back of the collected set (Algorithm 3 line 7).
     Wc {
         /// Echo of the request's `op`.
         op: u64,
-        /// The union the reader collected.
-        changes: ChangeSet,
+        /// The server whose restriction is being written back — tells the
+        /// receiver which per-target digest to check a summary against.
+        target: ServerId,
+        /// Reference to the union the reader collected.
+        changes: CsRef,
     },
-    /// Acknowledgment of a write-back.
+    /// Acknowledgment of a write-back: the sender stores the referenced set.
     WcAck {
         /// Echo of the request's `op`.
         op: u64,
+    },
+    /// The receiver of a [`WrMsg::Wc`] could not prove it stores the
+    /// referenced set; `have` is its current restriction digest so the
+    /// requester can resend a delta (or `Full`).
+    WcMiss {
+        /// Echo of the request's `op`.
+        op: u64,
+        /// The replier's current digest of `C|target`.
+        have: u64,
     },
     /// Management RPC: ask the receiving server to invoke
     /// `transfer(self, to, delta)`. Not part of the paper's wire protocol —
@@ -70,7 +111,19 @@ impl Message for WrMsg {
             WrMsg::RcAck { .. } => "RC_Ack",
             WrMsg::Wc { .. } => "WC",
             WrMsg::WcAck { .. } => "WC_Ack",
+            WrMsg::WcMiss { .. } => "WC_Miss",
             WrMsg::Invoke { .. } => "Invoke",
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            // The change-set payloads dominate; charge the reference's own
+            // size on top of a small fixed header.
+            WrMsg::RcAck { changes, .. } => 16 + changes.wire_size(),
+            WrMsg::Wc { changes, .. } => 20 + changes.wire_size(),
+            // Everything else is plain data: the enum footprint is honest.
+            _ => std::mem::size_of_val(self),
         }
     }
 }
@@ -84,9 +137,65 @@ mod tests {
         let rc = WrMsg::Rc {
             op: 0,
             target: ServerId(0),
+            known: 0,
         };
         assert_eq!(rc.kind(), "RC");
         assert_eq!(WrMsg::TAck { counter: 2 }.kind(), "T_Ack");
         assert_eq!(WrMsg::WcAck { op: 1 }.kind(), "WC_Ack");
+        assert_eq!(WrMsg::WcMiss { op: 1, have: 7 }.kind(), "WC_Miss");
+    }
+
+    #[test]
+    fn kinds_are_distinct_per_variant() {
+        use awr_types::{ChangeSet, Ratio};
+        let variants = [
+            WrMsg::Rb(RbEnvelope {
+                origin: awr_sim::ActorId(0),
+                seq: 0,
+                payload: TransferChanges::new(ServerId(0), ServerId(1), 2, Ratio::ONE, true),
+            }),
+            WrMsg::TAck { counter: 1 },
+            WrMsg::Rc {
+                op: 0,
+                target: ServerId(0),
+                known: 0,
+            },
+            WrMsg::RcAck {
+                op: 0,
+                changes: CsRef::summary(&ChangeSet::new()),
+            },
+            WrMsg::Wc {
+                op: 0,
+                target: ServerId(0),
+                changes: CsRef::summary(&ChangeSet::new()),
+            },
+            WrMsg::WcAck { op: 0 },
+            WrMsg::WcMiss { op: 0, have: 0 },
+            WrMsg::Invoke {
+                to: ServerId(1),
+                delta: Ratio::ONE,
+            },
+        ];
+        let kinds: std::collections::BTreeSet<&str> = variants.iter().map(|m| m.kind()).collect();
+        assert_eq!(kinds.len(), variants.len(), "kind labels must be distinct");
+    }
+
+    #[test]
+    fn wire_size_charges_for_change_payloads() {
+        use awr_types::{Change, ChangeSet, Ratio};
+        let mut set = ChangeSet::new();
+        for i in 0..50u64 {
+            set.insert(Change::new(ServerId(0), 2 + i, ServerId(0), Ratio::ZERO));
+        }
+        let summary = WrMsg::RcAck {
+            op: 0,
+            changes: CsRef::summary(&set),
+        };
+        let full = WrMsg::RcAck {
+            op: 0,
+            changes: CsRef::Full(set),
+        };
+        assert!(summary.wire_size() < full.wire_size());
+        assert!(full.wire_size() > 50 * std::mem::size_of::<Change>());
     }
 }

@@ -51,6 +51,20 @@ pub trait Message: Clone + fmt::Debug + Send + 'static {
     fn kind(&self) -> &'static str {
         "msg"
     }
+
+    /// Approximate size of this message on the wire, in bytes. Both
+    /// runtimes charge every send against this, so message cost is a
+    /// first-class, benchmarkable quantity
+    /// ([`crate::Metrics::bytes_sent`] / [`crate::Metrics::bytes_by_kind`]).
+    ///
+    /// The default — the message's in-memory footprint — is exact for
+    /// plain-data messages. Types that carry heap payloads (change sets,
+    /// deltas, vectors) must override it to add the payload bytes,
+    /// otherwise the metrics silently undercount exactly the messages this
+    /// accounting exists to expose.
+    fn wire_size(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
 }
 
 /// An event-driven process.

@@ -65,7 +65,7 @@ pub use network::{
     shared_latency, ConstantLatency, FifoLinks, HealingPartition, LatencyModel, SharedLatency,
     SlowActors, TargetedDelay, UniformLatency, WanMatrix,
 };
-pub use threaded::{downcast_actor, ThreadedSystem};
+pub use threaded::{downcast_actor, ThreadedMetrics, ThreadedSystem};
 pub use time::{Nanos, Time, MICRO, MILLI, SECOND};
 pub use topology::{
     five_region_matrix, five_region_wan, five_region_wan_with_placement, mean_delay_profile, Region,

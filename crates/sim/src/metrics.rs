@@ -1,16 +1,20 @@
-//! Simulation metrics: message and event accounting.
+//! Simulation metrics: message, byte, and event accounting.
 
 use std::collections::BTreeMap;
 
 use crate::time::Time;
 
-/// Counters accumulated by a [`crate::World`] run.
+/// Counters accumulated by a [`crate::World`] run (and snapshotted from a
+/// [`crate::ThreadedSystem`]).
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
     /// Total events processed (deliveries + timers + crashes).
     pub events_processed: u64,
     /// Messages handed to the network.
     pub messages_sent: u64,
+    /// Bytes handed to the network (sum of [`crate::Message::wire_size`]
+    /// over every send).
+    pub bytes_sent: u64,
     /// Messages delivered to a live actor.
     pub messages_delivered: u64,
     /// Messages dropped because the destination had crashed.
@@ -19,15 +23,19 @@ pub struct Metrics {
     pub timers_fired: u64,
     /// Per message-kind send counts.
     pub sent_by_kind: BTreeMap<&'static str, u64>,
+    /// Per message-kind byte totals.
+    pub bytes_by_kind: BTreeMap<&'static str, u64>,
     /// Latest virtual time reached.
     pub last_time: Time,
 }
 
 impl Metrics {
-    /// Records a send of a message with the given kind label.
-    pub(crate) fn record_send(&mut self, kind: &'static str) {
+    /// Records a send of a message with the given kind label and wire size.
+    pub(crate) fn record_send(&mut self, kind: &'static str, bytes: usize) {
         self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
         *self.sent_by_kind.entry(kind).or_insert(0) += 1;
+        *self.bytes_by_kind.entry(kind).or_insert(0) += bytes as u64;
     }
 
     /// Messages sent with a specific kind label.
@@ -35,12 +43,28 @@ impl Metrics {
         self.sent_by_kind.get(kind).copied().unwrap_or(0)
     }
 
+    /// Bytes sent with a specific kind label.
+    pub fn bytes_of_kind(&self, kind: &str) -> u64 {
+        self.bytes_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Mean bytes per sent message of a specific kind (0 if none sent).
+    pub fn mean_bytes_of_kind(&self, kind: &str) -> f64 {
+        let n = self.sent_of_kind(kind);
+        if n == 0 {
+            0.0
+        } else {
+            self.bytes_of_kind(kind) as f64 / n as f64
+        }
+    }
+
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "events={} sent={} delivered={} dropped={} timers={} t_end={}",
+            "events={} sent={} bytes={} delivered={} dropped={} timers={} t_end={}",
             self.events_processed,
             self.messages_sent,
+            self.bytes_sent,
             self.messages_delivered,
             self.messages_dropped_crashed,
             self.timers_fired,
@@ -56,13 +80,19 @@ mod tests {
     #[test]
     fn record_and_query() {
         let mut m = Metrics::default();
-        m.record_send("RC");
-        m.record_send("RC");
-        m.record_send("T");
+        m.record_send("RC", 24);
+        m.record_send("RC", 36);
+        m.record_send("T", 100);
         assert_eq!(m.messages_sent, 3);
+        assert_eq!(m.bytes_sent, 160);
         assert_eq!(m.sent_of_kind("RC"), 2);
+        assert_eq!(m.bytes_of_kind("RC"), 60);
+        assert_eq!(m.mean_bytes_of_kind("RC"), 30.0);
         assert_eq!(m.sent_of_kind("T"), 1);
         assert_eq!(m.sent_of_kind("nope"), 0);
+        assert_eq!(m.bytes_of_kind("nope"), 0);
+        assert_eq!(m.mean_bytes_of_kind("nope"), 0.0);
         assert!(m.summary().contains("sent=3"));
+        assert!(m.summary().contains("bytes=160"));
     }
 }

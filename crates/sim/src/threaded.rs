@@ -8,6 +8,9 @@
 //! supported (none of the paper's protocols need them).
 
 use std::any::Any;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -15,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::actor::{Actor, ActorId, Context, Effect, Message};
+use crate::metrics::Metrics;
 
 enum Envelope<M> {
     Msg { from: ActorId, msg: M },
@@ -23,6 +27,78 @@ enum Envelope<M> {
 
 type Channel<M> = (Sender<Envelope<M>>, Receiver<Envelope<M>>);
 type Callback<'cb, M> = dyn FnMut(&mut dyn Actor<Msg = M>, &mut Context<'_, M>) + 'cb;
+
+#[derive(Clone, Copy, Default)]
+struct KindTally {
+    count: u64,
+    bytes: u64,
+}
+
+/// Run-wide send accounting shared by every actor thread. Totals are
+/// lock-free atomics updated per send; the per-kind map takes a lock only
+/// when a thread exits and merges its local tallies.
+#[derive(Default)]
+struct SharedCounters {
+    messages_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    by_kind: Mutex<BTreeMap<&'static str, KindTally>>,
+}
+
+impl SharedCounters {
+    fn record_totals(&self, bytes: usize) {
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn merge_kinds(&self, local: &BTreeMap<&'static str, KindTally>) {
+        let mut map = self.by_kind.lock().expect("metrics mutex poisoned");
+        for (k, t) in local {
+            let e = map.entry(k).or_default();
+            e.count += t.count;
+            e.bytes += t.bytes;
+        }
+    }
+
+    /// One-off accounting for harness-injected messages (actor threads use
+    /// the thread-local tallies instead; injection is rare enough that one
+    /// lock per call is fine).
+    fn record_one(&self, kind: &'static str, bytes: usize) {
+        self.record_totals(bytes);
+        let mut map = self.by_kind.lock().expect("metrics mutex poisoned");
+        let e = map.entry(kind).or_default();
+        e.count += 1;
+        e.bytes += bytes as u64;
+    }
+}
+
+/// A cloneable handle onto a [`ThreadedSystem`] run's message and byte
+/// accounting, usable before and after [`ThreadedSystem::shutdown`].
+///
+/// Totals ([`Metrics::messages_sent`], [`Metrics::bytes_sent`]) are live at
+/// any time; the per-kind breakdowns are merged when each actor thread
+/// exits, so they are complete once `shutdown` returns.
+#[derive(Clone)]
+pub struct ThreadedMetrics {
+    shared: Arc<SharedCounters>,
+}
+
+impl ThreadedMetrics {
+    /// Snapshots the counters into a [`Metrics`] (fields the threaded
+    /// runtime does not track — virtual time, timers — stay zero).
+    pub fn snapshot(&self) -> Metrics {
+        let mut m = Metrics {
+            messages_sent: self.shared.messages_sent.load(Ordering::Relaxed),
+            bytes_sent: self.shared.bytes_sent.load(Ordering::Relaxed),
+            ..Metrics::default()
+        };
+        let map = self.shared.by_kind.lock().expect("metrics mutex poisoned");
+        for (k, t) in map.iter() {
+            m.sent_by_kind.insert(k, t.count);
+            m.bytes_by_kind.insert(k, t.bytes);
+        }
+        m
+    }
+}
 
 /// A running threaded actor system.
 ///
@@ -53,6 +129,7 @@ type Callback<'cb, M> = dyn FnMut(&mut dyn Actor<Msg = M>, &mut Context<'_, M>) 
 pub struct ThreadedSystem<M: Message> {
     senders: Vec<Sender<Envelope<M>>>,
     handles: Vec<JoinHandle<Box<dyn Actor<Msg = M> + Send>>>,
+    counters: Arc<SharedCounters>,
 }
 
 impl<M: Message + Send> ThreadedSystem<M> {
@@ -77,14 +154,19 @@ impl<M: Message + Send> ThreadedSystem<M> {
         let n = actors.len();
         let channels: Vec<Channel<M>> = (0..n).map(|_| unbounded()).collect();
         let senders: Vec<Sender<Envelope<M>>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        let counters = Arc::new(SharedCounters::default());
 
         let mut handles = Vec::with_capacity(n);
         for (i, (mut actor, (_, rx))) in actors.into_iter().zip(channels).enumerate() {
             let peer_senders = senders.clone();
+            let shared = Arc::clone(&counters);
             let handle = std::thread::spawn(move || {
                 let self_id = ActorId(i);
                 let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E3779B9));
                 let mut next_timer = 0u64;
+                // Per-kind tallies stay thread-local and merge into the
+                // shared map once, on exit, to keep the send path lock-free.
+                let mut kinds: BTreeMap<&'static str, KindTally> = BTreeMap::new();
                 let mut run_cb = |actor: &mut Box<dyn Actor<Msg = M> + Send>,
                                   cb: &mut Callback<'_, M>| {
                     let mut effects: Vec<Effect<M>> = Vec::new();
@@ -103,6 +185,11 @@ impl<M: Message + Send> ThreadedSystem<M> {
                     for e in effects {
                         match e {
                             Effect::Send { to, msg } => {
+                                let bytes = msg.wire_size();
+                                shared.record_totals(bytes);
+                                let t = kinds.entry(msg.kind()).or_default();
+                                t.count += 1;
+                                t.bytes += bytes as u64;
                                 // A send to a stopped peer is a dropped
                                 // message, matching the crash model.
                                 let _ = peer_senders[to.index()]
@@ -130,12 +217,17 @@ impl<M: Message + Send> ThreadedSystem<M> {
                 }
                 // Drain silently after crash/stop until Stop arrives so
                 // senders never block (channels are unbounded anyway).
+                shared.merge_kinds(&kinds);
                 actor
             });
             handles.push(handle);
         }
 
-        ThreadedSystem { senders, handles }
+        ThreadedSystem {
+            senders,
+            handles,
+            counters,
+        }
     }
 
     /// Number of actors.
@@ -145,7 +237,16 @@ impl<M: Message + Send> ThreadedSystem<M> {
 
     /// Injects a message as if sent by `from`.
     pub fn inject(&self, from: ActorId, to: ActorId, msg: M) {
+        self.counters.record_one(msg.kind(), msg.wire_size());
         let _ = self.senders[to.index()].send(Envelope::Msg { from, msg });
+    }
+
+    /// A cloneable handle onto this run's message/byte accounting. Keep it
+    /// across [`ThreadedSystem::shutdown`] to read the final counters.
+    pub fn metrics(&self) -> ThreadedMetrics {
+        ThreadedMetrics {
+            shared: Arc::clone(&self.counters),
+        }
     }
 
     /// Stops all actors after their queued messages *before the stop marker*
@@ -218,6 +319,7 @@ mod tests {
             ],
             9,
         );
+        let metrics = sys.metrics();
         for _ in 0..1000 {
             sys.inject(ActorId(1), ActorId(0), M2::Hit);
         }
@@ -231,6 +333,12 @@ mod tests {
         assert_eq!(a0.hits, 1000);
         let a1 = downcast_actor::<CounterActor, M2>(actors[1].as_ref()).unwrap();
         assert_eq!(a1.reported, Some(1000));
+        // 1001 injects + actor 0's Count reply are all byte-accounted.
+        let m = metrics.snapshot();
+        assert_eq!(m.messages_sent, 1002);
+        assert_eq!(m.bytes_sent, 1002 * std::mem::size_of::<M2>() as u64);
+        assert_eq!(m.sent_of_kind("msg"), 1002);
+        assert_eq!(m.bytes_of_kind("msg"), m.bytes_sent);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! Tracing is off by default (zero cost beyond a branch); enable it with
 //! [`crate::World::enable_trace`]. Records carry the message *kind* labels
-//! (not payloads), which is enough to reconstruct protocol phases.
+//! and per-delivery wire sizes (not payloads), which is enough to
+//! reconstruct protocol phases and attribute bandwidth.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -22,6 +23,8 @@ pub enum TraceKind {
         to: ActorId,
         /// The message's kind label.
         kind: &'static str,
+        /// The message's wire size in bytes.
+        bytes: usize,
     },
     /// A message to a crashed actor was dropped.
     DropCrashed {
@@ -31,6 +34,8 @@ pub enum TraceKind {
         to: ActorId,
         /// The message's kind label.
         kind: &'static str,
+        /// The message's wire size in bytes.
+        bytes: usize,
     },
     /// A timer fired.
     Timer {
@@ -58,11 +63,25 @@ pub struct TraceRecord {
 impl fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
-            TraceKind::Deliver { from, to, kind } => {
-                write!(f, "[{}] {from} → {to} : {kind}", self.at)
+            TraceKind::Deliver {
+                from,
+                to,
+                kind,
+                bytes,
+            } => {
+                write!(f, "[{}] {from} → {to} : {kind} ({bytes}B)", self.at)
             }
-            TraceKind::DropCrashed { from, to, kind } => {
-                write!(f, "[{}] {from} → {to} : {kind} (dropped; crashed)", self.at)
+            TraceKind::DropCrashed {
+                from,
+                to,
+                kind,
+                bytes,
+            } => {
+                write!(
+                    f,
+                    "[{}] {from} → {to} : {kind} ({bytes}B) (dropped; crashed)",
+                    self.at
+                )
             }
             TraceKind::Timer { actor, tag } => {
                 write!(f, "[{}] {actor} timer #{tag}", self.at)
@@ -116,6 +135,17 @@ impl Trace {
             .count()
     }
 
+    /// Total bytes across retained deliveries of a given message kind.
+    pub fn delivered_bytes_of(&self, kind: &str) -> u64 {
+        self.records
+            .iter()
+            .filter_map(|r| match &r.kind {
+                TraceKind::Deliver { kind: k, bytes, .. } if *k == kind => Some(*bytes as u64),
+                _ => None,
+            })
+            .sum()
+    }
+
     /// Renders the retained records, one per line.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -156,9 +186,10 @@ mod tests {
                 from: ActorId(0),
                 to: ActorId(1),
                 kind: "T",
+                bytes: 64,
             },
         };
-        assert_eq!(r.to_string(), "[t=1.000ms] a0 → a1 : T");
+        assert_eq!(r.to_string(), "[t=1.000ms] a0 → a1 : T (64B)");
         let c = TraceRecord {
             at: Time(0),
             kind: TraceKind::Crash { actor: ActorId(2) },
@@ -175,6 +206,7 @@ mod tests {
                 from: ActorId(0),
                 to: ActorId(1),
                 kind: "T",
+                bytes: 48,
             },
         );
         t.record(
@@ -183,11 +215,14 @@ mod tests {
                 from: ActorId(1),
                 to: ActorId(0),
                 kind: "T_Ack",
+                bytes: 16,
             },
         );
         assert_eq!(t.deliveries_of("T"), 1);
         assert_eq!(t.deliveries_of("T_Ack"), 1);
         assert_eq!(t.deliveries_of("nope"), 0);
+        assert_eq!(t.delivered_bytes_of("T"), 48);
+        assert_eq!(t.delivered_bytes_of("nope"), 0);
         assert!(t.render().contains("T_Ack"));
     }
 }

@@ -201,7 +201,7 @@ impl<M: Message> World<M> {
     /// Useful for harness-driven stimuli.
     pub fn inject(&mut self, from: ActorId, to: ActorId, msg: M) {
         let delay = self.network.sample(from, to, self.time, &mut self.rng);
-        self.metrics.record_send(msg.kind());
+        self.metrics.record_send(msg.kind(), msg.wire_size());
         self.push_event(self.time + delay, EventKind::Deliver { from, to, msg });
     }
 
@@ -259,7 +259,7 @@ impl<M: Message> World<M> {
             match e {
                 Effect::Send { to, msg } => {
                     let delay = self.network.sample(from, to, self.time, &mut self.rng);
-                    self.metrics.record_send(msg.kind());
+                    self.metrics.record_send(msg.kind(), msg.wire_size());
                     self.push_event(self.time + delay, EventKind::Deliver { from, to, msg });
                 }
                 Effect::SetTimer { id, after, tag } => {
@@ -339,6 +339,7 @@ impl<M: Message> World<M> {
                                 from,
                                 to,
                                 kind: msg.kind(),
+                                bytes: msg.wire_size(),
                             },
                         );
                     }
@@ -351,6 +352,7 @@ impl<M: Message> World<M> {
                                 from,
                                 to,
                                 kind: msg.kind(),
+                                bytes: msg.wire_size(),
                             },
                         );
                     }
@@ -493,6 +495,11 @@ mod tests {
         assert_eq!(w.metrics().sent_of_kind("ping"), 5);
         assert_eq!(w.metrics().sent_of_kind("pong"), 5);
         assert_eq!(w.metrics().messages_delivered, 10);
+        // Every send is byte-accounted with the default wire size.
+        let per_msg = std::mem::size_of::<Msg>() as u64;
+        assert_eq!(w.metrics().bytes_sent, 10 * per_msg);
+        assert_eq!(w.metrics().bytes_of_kind("ping"), 5 * per_msg);
+        assert_eq!(w.metrics().mean_bytes_of_kind("pong"), per_msg as f64);
     }
 
     #[test]

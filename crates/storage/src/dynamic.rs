@@ -1,13 +1,14 @@
-//! Dynamic-weighted atomic storage (paper §VII, Algorithms 5 and 6).
+//! Dynamic-weighted atomic storage (paper §VII, Algorithms 5 and 6) over a
+//! delta-aware wire protocol.
 //!
 //! Multi-writer ABD where quorums are judged by *weight* under the most
 //! up-to-date set of completed changes `C`, and weights move via the
 //! restricted pairwise weight reassignment protocol (Algorithm 4, embedded
 //! through [`TransferCore`]):
 //!
-//! * every `R`/`W` message carries the client's `C`; servers **reject**
-//!   operations whose `C` differs from theirs and reply with their own set;
-//!   the client merges and restarts the operation (§VII, first requirement);
+//! * every `R`/`W` message references the client's `C`; servers **reject**
+//!   operations whose `C` differs from theirs; the client reconciles and
+//!   restarts the operation (§VII, first requirement);
 //! * `is_quorum(Q)` holds iff `Σ_{s∈Q} W_s > W_{S,0}/2` with weights taken
 //!   from the client's current `C` (Algorithm 5 lines 5–8);
 //! * when a server gains weight it refreshes its register *before*
@@ -20,58 +21,93 @@
 //! * two ablation knobs — [`DynOptions::restart_on_stale`] and
 //!   [`DynOptions::refresh_on_gain`] — let experiment E10 demonstrate that
 //!   both mechanisms are load-bearing.
+//!
+//! # The change-set negotiation
+//!
+//! The paper's Algorithm 6 only ever *compares* the attached `C` against
+//! the server's own (`C = C_i`), and a rejected client only needs the
+//! changes it is missing — so shipping the full set both ways is pure
+//! overhead once the system is converged. Under
+//! [`WireMode::Negotiate`] (the default) the phases carry
+//! [`CsRef`] references instead, per the discipline of [`awr_types::sync`]:
+//!
+//! 1. the client attaches an O(1) [`CsRef::Summary`] of its `C` to every
+//!    `R`/`W`; the server's accept check is the digest comparison;
+//! 2. a rejecting server answers with [`CsRef::Delta`] against the
+//!    client's digest when its journal covers the gap (the steady-state
+//!    mismatch: the client is a few transfers behind), falling back to
+//!    [`CsRef::Full`] when it cannot (client ahead or diverged);
+//! 3. the client absorbs the reply ([`ChangeSet::apply_ref`]); if it
+//!    learned new changes it restarts the operation (Algorithm 5
+//!    lines 14–16), otherwise the server is behind and the client re-polls
+//!    just that server — both exactly the pre-delta semantics;
+//! 4. per rejecting server, one unresolved delta (the client re-presents
+//!    the digest the server already answered) degrades the next reply to
+//!    `Full`, so every exchange is bounded and liveness needs no new
+//!    argument.
+//!
+//! [`WireMode::ForceFull`] restores the ship-everything wire on these four
+//! ABD phases (`R`/`RAck`/`W`/`WAck`) — the accept check becomes the exact
+//! set comparison again and every payload is [`CsRef::Full`] — which makes
+//! it the equivalence baseline for the `wire_equivalence` test suite and
+//! the "before" arm of `bench_wire`. The knob deliberately does not reach
+//! the embedded Algorithm 3/4 legs (`RC`/`RC_Ack`/`WC`): those negotiate
+//! unconditionally (see [`awr_core::restricted`]), so byte comparisons
+//! between the two modes are scoped to the ABD message kinds.
 
 use std::any::Any;
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use awr_core::restricted::{ApplyRequest, CoreEvent, TransferCore, TransferStart, WrMsg};
 use awr_core::{RpConfig, TransferError, TransferOutcome};
 use awr_sim::{Actor, ActorId, Context, Message, Time};
-use awr_types::{ChangeSet, ProcessId, Ratio, ServerId, Tag, TaggedValue};
+use awr_types::{ChangeSet, CsRef, ProcessId, Ratio, ServerId, Tag, TaggedValue};
 
 use crate::abd_static::Value;
 use crate::history::{HistOp, OpKind};
 
 /// Wire messages of the dynamic-weighted storage: the weight-reassignment
-/// sub-protocol plus change-set-carrying ABD phases.
+/// sub-protocol plus change-set-referencing ABD phases (see the module
+/// docs for the negotiation).
 #[derive(Clone, Debug)]
 pub enum DynMsg<V> {
     /// Weight-reassignment traffic (Algorithms 3–4).
     Wr(WrMsg),
-    /// Phase-1 request carrying the client's `C`.
+    /// Phase-1 request referencing the client's `C`.
     R {
         /// Client-local operation counter.
         op: u64,
-        /// The client's current set of completed changes.
-        changes: ChangeSet,
+        /// Reference to the client's current set of completed changes.
+        changes: CsRef,
     },
     /// Phase-1 reply; `accepted == false` means the server rejected the
-    /// operation because the change sets differ (its own set is attached).
+    /// operation because the change sets differ (a reference that lets the
+    /// client catch up — delta or full — is attached).
     RAck {
         /// Echo of the request counter.
         op: u64,
         /// The server's register content.
         reg: TaggedValue<V>,
-        /// The server's current change set.
-        changes: ChangeSet,
+        /// Reference to the server's current change set.
+        changes: CsRef,
         /// Whether the server accepted the operation.
         accepted: bool,
     },
-    /// Phase-2 request carrying the client's `C`.
+    /// Phase-2 request referencing the client's `C`.
     W {
         /// Client-local operation counter.
         op: u64,
         /// The tagged value to store.
         reg: TaggedValue<V>,
-        /// The client's current change set.
-        changes: ChangeSet,
+        /// Reference to the client's current change set.
+        changes: CsRef,
     },
     /// Phase-2 reply.
     WAck {
         /// Echo of the request counter.
         op: u64,
-        /// The server's current change set.
-        changes: ChangeSet,
+        /// Reference to the server's current change set.
+        changes: CsRef,
         /// Whether the server accepted (and possibly applied) the write.
         accepted: bool,
     },
@@ -104,11 +140,43 @@ impl<V: Value> Message for DynMsg<V> {
             DynMsg::RefreshAck { .. } => "RefA",
         }
     }
+
+    // Register values are metered at their in-memory footprint
+    // (`size_of_val`), which is exact for the inline `Copy` values used
+    // throughout this workspace but undercounts a heap-backed `V` (e.g.
+    // `String`): `Value` is blanket-implemented, so there is no hook to ask
+    // an arbitrary `V` for its heap size. The change-set payloads — the
+    // quantity this accounting exists to expose — are always charged fully.
+    fn wire_size(&self) -> usize {
+        match self {
+            DynMsg::Wr(m) => m.wire_size(),
+            DynMsg::R { changes, .. } => 12 + changes.wire_size(),
+            DynMsg::WAck { changes, .. } => 16 + changes.wire_size(),
+            DynMsg::RAck { reg, changes, .. } | DynMsg::W { reg, changes, .. } => {
+                16 + std::mem::size_of_val(reg) + changes.wire_size()
+            }
+            DynMsg::RefreshR { .. } | DynMsg::RefreshAck { .. } => std::mem::size_of_val(self),
+        }
+    }
 }
 
-/// Behaviour knobs, defaulting to the paper's protocol. Turning either off
-/// reproduces the E10 ablations (and breaks atomicity, as the checker
-/// shows).
+/// How `R`/`W`/`RAck`/`WAck` reference the change set on the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WireMode {
+    /// Digest summaries with delta/full negotiation on mismatch (the
+    /// module docs' state machine): steady-state payloads are O(1) in |C|.
+    #[default]
+    Negotiate,
+    /// Ship the full change set on every `R`/`RAck`/`W`/`WAck` — the
+    /// paper-literal wire format for the ABD phases (the embedded
+    /// Algorithm 3/4 legs negotiate regardless). Baseline for equivalence
+    /// tests and `bench_wire`.
+    ForceFull,
+}
+
+/// Behaviour knobs, defaulting to the paper's protocol (with the
+/// delta-negotiated wire). Turning either boolean off reproduces the E10
+/// ablations (and breaks atomicity, as the checker shows).
 #[derive(Clone, Copy, Debug)]
 pub struct DynOptions {
     /// Restart operations when a server's change set differs (paper: on).
@@ -116,6 +184,8 @@ pub struct DynOptions {
     /// Refresh the register with a full read before applying a weight gain
     /// (Algorithm 4 lines 8–9; paper: on).
     pub refresh_on_gain: bool,
+    /// Wire representation of change sets on the ABD phases.
+    pub wire: WireMode,
 }
 
 impl Default for DynOptions {
@@ -123,6 +193,7 @@ impl Default for DynOptions {
         DynOptions {
             restart_on_stale: true,
             refresh_on_gain: true,
+            wire: WireMode::Negotiate,
         }
     }
 }
@@ -227,6 +298,18 @@ impl<V: Value> DynOpDriver<V> {
         self.send_phase1(ctx, wrap);
     }
 
+    /// The wire reference this client attaches to its `R`/`W` requests: an
+    /// O(1) summary under [`WireMode::Negotiate`] (the server only needs
+    /// to *compare*), the whole set under [`WireMode::ForceFull`].
+    fn cs_payload(&self) -> CsRef {
+        match self.options.wire {
+            WireMode::Negotiate => CsRef::summary(&self.changes),
+            // Attaching `C` is a reference-count bump: the n messages of a
+            // round share one copy-on-write storage.
+            WireMode::ForceFull => CsRef::Full(self.changes.clone()),
+        }
+    }
+
     fn send_phase1<M: Message>(
         &mut self,
         ctx: &mut Context<'_, M>,
@@ -237,27 +320,23 @@ impl<V: Value> DynOpDriver<V> {
             _ => unreachable!("send_phase1 outside phase 1"),
         };
         for i in 0..self.cfg.n {
-            // Attaching `C` to every request is a reference-count bump: the
-            // n messages of a round share one copy-on-write storage.
             ctx.send(
                 ActorId(self.actor_base + i),
                 wrap(DynMsg::R {
                     op,
-                    changes: self.changes.clone(),
+                    changes: self.cs_payload(),
                 }),
             );
         }
     }
 
-    /// Merges a newer change set and restarts the whole operation
-    /// (Algorithm 5 lines 14–16 / 30–32).
+    /// Restarts the whole operation under the (already reconciled) newer
+    /// `C` (Algorithm 5 lines 14–16 / 30–32).
     fn restart<M: Message>(
         &mut self,
-        newer: &ChangeSet,
         ctx: &mut Context<'_, M>,
         wrap: impl Fn(DynMsg<V>) -> M + Copy,
     ) {
-        self.changes.merge(newer);
         self.op_cnt += 1;
         let (write_value, invoke, restarts) =
             match std::mem::replace(&mut self.phase, DynPhase::Idle) {
@@ -318,20 +397,23 @@ impl<V: Value> DynOpDriver<V> {
                     return None;
                 }
                 if !accepted && self.options.restart_on_stale {
-                    // Two kinds of mismatch. If the server knows changes we
-                    // don't, merge and restart the operation (Algorithm 5
-                    // lines 14–16). If instead the server is *behind* us
-                    // (e.g. frozen mid-refresh), restarting teaches us
-                    // nothing and livelocks; re-poll just that server — it
-                    // will catch up through the reliable broadcast.
-                    if !self.changes.contains_all(changes) {
-                        self.restart(changes, ctx, wrap);
+                    // Two kinds of mismatch. If the server's reference
+                    // taught us changes we lacked, restart the operation
+                    // (Algorithm 5 lines 14–16). If instead the server is
+                    // *behind* us (e.g. frozen mid-refresh) — the reference
+                    // added nothing — restarting teaches us nothing and
+                    // livelocks; re-poll just that server. The re-poll
+                    // presents our (possibly unchanged) digest again; a
+                    // server whose delta failed to resolve degrades its
+                    // next reply to `Full`, keeping the exchange bounded.
+                    if self.changes.apply_ref(changes).learned() {
+                        self.restart(ctx, wrap);
                     } else {
                         ctx.send(
                             from,
                             wrap(DynMsg::R {
                                 op: cur_op,
-                                changes: self.changes.clone(),
+                                changes: self.cs_payload(),
                             }),
                         );
                     }
@@ -385,7 +467,7 @@ impl<V: Value> DynOpDriver<V> {
                             wrap(DynMsg::W {
                                 op,
                                 reg: chosen.clone(),
-                                changes: self.changes.clone(),
+                                changes: self.cs_payload(),
                             }),
                         );
                     }
@@ -405,8 +487,8 @@ impl<V: Value> DynOpDriver<V> {
                     return None;
                 }
                 if !accepted && self.options.restart_on_stale {
-                    if !self.changes.contains_all(changes) {
-                        self.restart(changes, ctx, wrap);
+                    if self.changes.apply_ref(changes).learned() {
+                        self.restart(ctx, wrap);
                     } else if let DynPhase::Two { chosen, .. } = &self.phase {
                         // Re-poll the behind server with the same write.
                         let reg = chosen.clone();
@@ -415,7 +497,7 @@ impl<V: Value> DynOpDriver<V> {
                             wrap(DynMsg::W {
                                 op: cur_op,
                                 reg,
-                                changes: self.changes.clone(),
+                                changes: self.cs_payload(),
                             }),
                         );
                     }
@@ -472,6 +554,11 @@ pub struct DynServer<V> {
     /// The in-flight refresh read, if any.
     refresh: Option<RefreshRead<V>>,
     refresh_ops: u64,
+    /// Per-client negotiation memory: the client digest the last reject
+    /// reply cut a delta against. A client re-presenting the same digest
+    /// means that delta did not resolve — the next reply degrades to
+    /// `Full`. One u64 per client keeps the state machine bounded.
+    nego: BTreeMap<ActorId, u64>,
     /// Completed own transfers (`⟨Complete, c⟩` log).
     pub transfer_log: Vec<TransferOutcome>,
     /// Number of register refreshes performed (metric for E10c).
@@ -489,8 +576,61 @@ impl<V: Value> DynServer<V> {
             pending_applies: VecDeque::new(),
             refresh: None,
             refresh_ops: 0,
+            nego: BTreeMap::new(),
             transfer_log: Vec::new(),
             refreshes: 0,
+        }
+    }
+
+    /// Harness/bench hook: merges `set` into the local `C` directly, with
+    /// no protocol interaction (no acks, no register refresh). Used to
+    /// pre-seed converged steady states; not part of the protocol.
+    pub fn seed_changes(&mut self, set: &ChangeSet) {
+        self.core.absorb_changes(set);
+    }
+
+    /// The reference attached to an *accepting* `RAck`/`WAck` (the client
+    /// ignores it; a summary costs nothing, while `ForceFull` reproduces
+    /// the paper-literal full-set echo).
+    fn ack_payload(&self) -> CsRef {
+        match self.options.wire {
+            WireMode::Negotiate => CsRef::summary(self.core.changes()),
+            WireMode::ForceFull => CsRef::Full(self.core.changes().clone()),
+        }
+    }
+
+    /// The reference attached to a *rejecting* `RAck`/`WAck`: whatever most
+    /// cheaply lets `peer` catch up to this server's `C` — a delta against
+    /// the digest it presented when the journal covers the gap, `Full`
+    /// otherwise, and `Full` unconditionally once a delta against the same
+    /// digest has already failed to resolve (see the module docs).
+    fn reject_payload(&mut self, peer: ActorId, client_ref: &CsRef) -> CsRef {
+        let mine = self.core.changes();
+        if self.options.wire == WireMode::ForceFull {
+            return CsRef::Full(mine.clone());
+        }
+        let client_digest = client_ref.implied_digest();
+        if self.nego.get(&peer) == Some(&client_digest) {
+            // Second reject for the same client digest: the delta we cut
+            // last time did not resolve. Degrade.
+            self.nego.remove(&peer);
+            return CsRef::Full(mine.clone());
+        }
+        match CsRef::for_peer(mine, client_digest) {
+            r @ CsRef::Delta { .. } => {
+                self.nego.insert(peer, client_digest);
+                r
+            }
+            // A summary teaches a rejected client nothing (and equal
+            // digests should have been accepted): send content.
+            CsRef::Summary { .. } => {
+                self.nego.remove(&peer);
+                CsRef::Full(mine.clone())
+            }
+            r @ CsRef::Full(_) => {
+                self.nego.remove(&peer);
+                r
+            }
         }
     }
 
@@ -617,27 +757,39 @@ impl<V: Value> Actor for DynServer<V> {
                 self.drain_applies(ctx);
             }
             DynMsg::R { op, changes } => {
-                let accepted = changes == *self.core.changes();
+                // Algorithm 6's accept check `C = C_i`, answered from the
+                // reference without materializing the client's set.
+                let accepted = self.core.changes().matches_ref(&changes);
+                let reply = if accepted {
+                    self.nego.remove(&from);
+                    self.ack_payload()
+                } else {
+                    self.reject_payload(from, &changes)
+                };
                 ctx.send(
                     from,
                     DynMsg::RAck {
                         op,
                         reg: self.register.clone(),
-                        changes: self.core.changes().clone(),
+                        changes: reply,
                         accepted,
                     },
                 );
             }
             DynMsg::W { op, reg, changes } => {
-                let accepted = changes == *self.core.changes();
-                if accepted {
+                let accepted = self.core.changes().matches_ref(&changes);
+                let reply = if accepted {
+                    self.nego.remove(&from);
                     self.register.adopt_if_newer(&reg);
-                }
+                    self.ack_payload()
+                } else {
+                    self.reject_payload(from, &changes)
+                };
                 ctx.send(
                     from,
                     DynMsg::WAck {
                         op,
-                        changes: self.core.changes().clone(),
+                        changes: reply,
                         accepted,
                     },
                 );
@@ -796,7 +948,7 @@ mod driver_tests {
         let forged = DynMsg::RAck {
             op: 9999,
             reg: TaggedValue::new(Tag::new(99, ProcessId::Client(ClientId(7))), 424242u64),
-            changes: ChangeSet::from_initial_weights(&cfg.initial_weights),
+            changes: CsRef::Full(ChangeSet::from_initial_weights(&cfg.initial_weights)),
             accepted: true,
         };
         h.world.inject(h.server_actor(s(0)), c0, forged);

@@ -3,7 +3,7 @@
 
 use awr_core::{RpConfig, TransferError, TransferOutcome};
 use awr_sim::{ActorId, LatencyModel, Time, World};
-use awr_types::{ClientId, ProcessId, Ratio, ServerId};
+use awr_types::{Change, ChangeSet, ClientId, ProcessId, Ratio, ServerId};
 
 use crate::abd_static::Value;
 use crate::dynamic::{DynClient, DynCompletedOp, DynMsg, DynOptions, DynServer};
@@ -85,6 +85,42 @@ impl<V: Value> StorageHarness<V> {
     /// Crashes server `s` immediately.
     pub fn crash_server(&mut self, s: ServerId) {
         self.world.crash_now(self.server_actor(s));
+    }
+
+    /// Test/bench hook: pre-seeds every server *and* every client with the
+    /// same converged set of at least `extra` additional changes, so
+    /// subsequent operations run in a large-|C| steady state. The changes
+    /// come in cancelling ±1/1000 pairs on one target, leaving every weight
+    /// (and hence quorum behaviour) untouched — what varies is purely the
+    /// wire cost of referencing `C`. Call before driving any operation.
+    /// Returns the seeded set (shared, copy-on-write, by all participants).
+    pub fn seed_converged_changes(&mut self, extra: usize) -> ChangeSet {
+        let n = self.cfg.n;
+        let mut set = ChangeSet::new();
+        let mut i = 0u64;
+        while set.len() < extra {
+            let t = ServerId((i % n as u64) as u32);
+            set.insert(Change::new(t, 1_000 + i, t, Ratio::new(1, 1000)));
+            set.insert(Change::new(t, 1_000 + i, t, Ratio::new(-1, 1000)));
+            i += 1;
+        }
+        for s in self.cfg.servers() {
+            let a = self.server_actor(s);
+            self.world
+                .actor_mut::<DynServer<V>>(a)
+                .expect("server")
+                .seed_changes(&set);
+        }
+        for k in 0..self.n_clients {
+            let a = self.client_actor(k);
+            self.world
+                .actor_mut::<DynClient<V>>(a)
+                .expect("client")
+                .driver
+                .changes
+                .merge(&set);
+        }
+        set
     }
 
     fn run_client_op(

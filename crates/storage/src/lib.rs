@@ -8,9 +8,12 @@
 //!
 //! * [`AbdClient`]/[`AbdServer`] — classic multi-writer ABD over a static
 //!   [`QuorumRule`] (majority, or weighted with fixed weights);
-//! * [`DynClient`]/[`DynServer`] — Algorithms 5 & 6: change-set-carrying
-//!   phases, stale-`C` rejection with client restart, and the Algorithm 4
-//!   register refresh on weight gain;
+//! * [`DynClient`]/[`DynServer`] — Algorithms 5 & 6: change-set-referencing
+//!   phases over the delta-negotiated wire of [`awr_types::sync`]
+//!   (steady-state payloads O(1) in |C|; [`WireMode::ForceFull`] restores
+//!   the paper-literal full sets on the ABD phases), stale-`C` rejection
+//!   with client restart,
+//!   and the Algorithm 4 register refresh on weight gain;
 //! * [`StorageHarness`] — a wired world for experiments;
 //! * [`check_linearizable`] — Wing&Gong-style atomicity checking with
 //!   quiescent partitioning and memoization;
@@ -28,7 +31,9 @@ mod quorum_rule;
 pub mod workload;
 
 pub use abd_static::{AbdClient, AbdMsg, AbdServer, CompletedOp, Value};
-pub use dynamic::{DynClient, DynCompletedOp, DynMsg, DynOpDriver, DynOptions, DynServer};
+pub use dynamic::{
+    DynClient, DynCompletedOp, DynMsg, DynOpDriver, DynOptions, DynServer, WireMode,
+};
 pub use harness::StorageHarness;
 pub use history::{HistOp, History, OpKind};
 pub use lin::{check_linearizable, LinError};
@@ -205,7 +210,7 @@ mod dynamic_tests {
             d2,
             DynOptions {
                 restart_on_stale: false,
-                refresh_on_gain: true,
+                ..DynOptions::default()
             },
         );
         // Client 2 (unconstrained) writes v1 everywhere under initial C.

@@ -37,7 +37,13 @@
 //! * `total == Σ {c.delta | c ∈ changes}`;
 //! * `digest == Σ {mix(c) | c ∈ changes}` (wrapping), a commutative
 //!   combination of per-change SipHash values, so it is order-insensitive
-//!   and updatable in O(1) per insert.
+//!   and updatable in O(1) per insert;
+//! * `journal` holds every change exactly once in the order this replica
+//!   learned it (so [`ChangeSet::delta_since`] can roll the digest back to
+//!   any historical prefix), and `by_target[s]` / `target_digests[s]` index
+//!   the journal per target server (so [`ChangeSet::changes_for`],
+//!   [`ChangeSet::restricted_to`], and [`ChangeSet::target_digest`] avoid
+//!   O(|C|) scans).
 //!
 //! Equal sets therefore always have equal digests; *unequal* sets collide
 //! with probability ≈ 2⁻⁶⁴. Fast paths that conclude *inequality* from a
@@ -66,11 +72,30 @@ struct Inner {
     total: Ratio,
     /// Commutative content digest (wrapping sum of per-change hashes).
     digest: u64,
+    /// Append-order journal: every change exactly once, in the order this
+    /// replica learned it. Because the digest is a commutative sum, the
+    /// digest of any journal *prefix* can be recovered by subtracting the
+    /// suffix mixes — which is what [`ChangeSet::delta_since`] exploits to
+    /// extract wire deltas without storing historical snapshots.
+    journal: Vec<Change>,
+    /// The precomputed mix of each journal entry (parallel to `journal`),
+    /// so the digest-rollback walk of [`ChangeSet::delta_since`] is
+    /// subtraction-only instead of one SipHash per step.
+    journal_mixes: Vec<u64>,
+    /// Per-target index: `by_target[s]` holds *journal indices* of the
+    /// changes created for server `s`, in append order. Indices rather
+    /// than copies keep the per-change storage at one `Change` plus a
+    /// `u32` (the `BTreeSet` holds the other copy). Length tracks
+    /// `weights`.
+    by_target: Vec<Vec<u32>>,
+    /// Per-target commutative digests (same mix as `digest`, restricted to
+    /// one target), so a restriction's digest is readable in O(1).
+    target_digests: Vec<u64>,
 }
 
 /// One change's contribution to the digest: a well-mixed 64-bit hash,
 /// combined by wrapping addition so the digest is order-independent.
-fn change_mix(c: &Change) -> u64 {
+pub(crate) fn change_mix(c: &Change) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     c.hash(&mut h);
     h.finish() | 1 // never zero, so inserting a change always moves the digest
@@ -83,19 +108,32 @@ impl Inner {
         let idx = c.target.index();
         if idx >= self.weights.len() {
             self.weights.resize(idx + 1, Ratio::ZERO);
+            self.by_target.resize(idx + 1, Vec::new());
+            self.target_digests.resize(idx + 1, 0);
         }
         self.weights[idx] += c.delta;
         self.total += c.delta;
-        self.digest = self.digest.wrapping_add(change_mix(c));
+        let mix = change_mix(c);
+        self.digest = self.digest.wrapping_add(mix);
+        self.target_digests[idx] = self.target_digests[idx].wrapping_add(mix);
+        self.by_target[idx].push(self.journal.len() as u32);
+        self.journal.push(*c);
+        self.journal_mixes.push(mix);
+    }
+
+    /// Builds storage from unique changes in the given append order (the
+    /// order becomes the journal order).
+    fn from_ordered<'a>(changes: impl IntoIterator<Item = &'a Change>) -> Inner {
+        let mut inner = Inner::default();
+        for c in changes {
+            inner.changes.insert(*c);
+            inner.account(c);
+        }
+        inner
     }
 
     fn from_changes(changes: BTreeSet<Change>) -> Inner {
-        let mut inner = Inner {
-            changes: BTreeSet::new(),
-            weights: Vec::new(),
-            total: Ratio::ZERO,
-            digest: 0,
-        };
+        let mut inner = Inner::default();
         for c in &changes {
             inner.account(c);
         }
@@ -265,15 +303,48 @@ impl ChangeSet {
         self.inner.changes.iter()
     }
 
-    /// All changes created for server `s` (the `get_changes(s)` of
-    /// Algorithm 4 line 6).
-    pub fn changes_for(&self, s: ServerId) -> impl Iterator<Item = &Change> {
-        self.inner.changes.iter().filter(move |c| c.target == s)
+    /// Journal indices of the changes created for server `s`, in append
+    /// order — the backing slice of the per-target index (O(1) to obtain).
+    fn target_indices(&self, s: ServerId) -> &[u32] {
+        self.inner
+            .by_target
+            .get(s.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
-    /// The subset of changes created for `s`, as an owned set.
+    /// All changes created for server `s` (the `get_changes(s)` of
+    /// Algorithm 4 line 6). O(|C_s|) via the per-target index, not O(|C|).
+    pub fn changes_for(&self, s: ServerId) -> impl Iterator<Item = &Change> {
+        let journal = &self.inner.journal;
+        self.target_indices(s)
+            .iter()
+            .map(move |&i| &journal[i as usize])
+    }
+
+    /// The subset of changes created for `s`, as an owned set. O(|C_s|);
+    /// the restriction inherits this set's append order, so deltas between
+    /// successive restrictions of the same replica line up.
     pub fn restricted_to(&self, s: ServerId) -> ChangeSet {
-        self.changes_for(s).copied().collect()
+        ChangeSet {
+            inner: Arc::new(Inner::from_ordered(self.changes_for(s))),
+        }
+    }
+
+    /// Number of changes created for server `s`. O(1).
+    pub fn target_len(&self, s: ServerId) -> usize {
+        self.target_indices(s).len()
+    }
+
+    /// Commutative digest of the changes created for `s` — equal to
+    /// `self.restricted_to(s).digest()` without building the restriction.
+    /// O(1).
+    pub fn target_digest(&self, s: ServerId) -> u64 {
+        self.inner
+            .target_digests
+            .get(s.index())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The weight of server `s` induced by this set:
@@ -308,12 +379,11 @@ impl ChangeSet {
     }
 
     /// Returns `true` if a change issued by `(issuer, counter)` targeting `s`
-    /// is present — the completion test of Definition 2.
+    /// is present — the completion test of Definition 2. O(|C_s|) via the
+    /// per-target index.
     pub fn has_op_for(&self, issuer: crate::ProcessId, counter: u64, target: ServerId) -> bool {
-        self.inner
-            .changes
-            .iter()
-            .any(|c| c.issuer == issuer && c.counter == counter && c.target == target)
+        self.changes_for(target)
+            .any(|c| c.issuer == issuer && c.counter == counter)
     }
 
     /// A compact content digest for cheap comparison in message headers,
@@ -330,6 +400,54 @@ impl ChangeSet {
     /// witness that the sets are equal without any comparison.
     pub fn shares_storage_with(&self, other: &ChangeSet) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// The changes this replica appended *after* the historical point at
+    /// which its digest was `base` — the wire delta a peer whose set digests
+    /// to `base` needs to catch up (see [`crate::sync::CsRef::Delta`]).
+    ///
+    /// Works by rolling the commutative digest backwards over the
+    /// append-order journal: starting from the current digest, suffix mixes
+    /// are subtracted until `base` is hit; the remaining suffix *is* the
+    /// delta. O(k) where `k` is the delta length — O(1)-ish when the peer is
+    /// barely behind, O(|C|) when `base` is not found.
+    ///
+    /// Returns `None` if no journal prefix digests to `base`: the peer is
+    /// ahead, diverged, or followed a different append order. Callers fall
+    /// back to [`crate::sync::CsRef::Full`]. `delta_since(0)` always
+    /// succeeds with the entire journal (the empty prefix digests to 0).
+    ///
+    /// A hit means the peer's *content* equals the prefix only w.h.p.
+    /// (digest collision ≈ 2⁻⁶⁴) — the same probabilistic contract as the
+    /// digest fast paths in [`ChangeSet::merge`].
+    pub fn delta_since(&self, base: u64) -> Option<&[Change]> {
+        let journal = &self.inner.journal;
+        let mixes = &self.inner.journal_mixes;
+        let mut d = self.inner.digest;
+        let mut i = journal.len();
+        loop {
+            if d == base {
+                return Some(&journal[i..]);
+            }
+            if i == 0 {
+                return None;
+            }
+            i -= 1;
+            d = d.wrapping_sub(mixes[i]);
+        }
+    }
+
+    /// Approximate serialized size in bytes: a fixed header (digest and
+    /// length) plus the packed changes. The constant matters less than the
+    /// scaling — this is what the simulator's byte metrics charge for a
+    /// full change set on the wire.
+    pub fn wire_size(&self) -> usize {
+        16 + self.len() * std::mem::size_of::<Change>()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn journal_for_tests(&self) -> &[Change] {
+        &self.inner.journal
     }
 }
 
@@ -428,6 +546,50 @@ mod tests {
         assert_eq!(set.inner.weights, weights, "per-server cache drifted");
         assert_eq!(set.inner.total, total, "total cache drifted");
         assert_eq!(set.inner.digest, digest, "digest cache drifted");
+        assert_journal_exact(set);
+    }
+
+    /// The journal and per-target index must mirror the set exactly: same
+    /// membership, no duplicates, per-target slices in journal-relative
+    /// order, and per-target digests that re-sum from scratch.
+    fn assert_journal_exact(set: &ChangeSet) {
+        let journal = set.journal_for_tests();
+        assert_eq!(journal.len(), set.len(), "journal length drifted");
+        let as_set: BTreeSet<Change> = journal.iter().copied().collect();
+        let model: BTreeSet<Change> = set.iter().copied().collect();
+        assert_eq!(as_set, model, "journal membership drifted");
+        let mixes: Vec<u64> = journal.iter().map(change_mix).collect();
+        assert_eq!(set.inner.journal_mixes, mixes, "journal mixes drifted");
+        let n_targets = set.inner.by_target.len();
+        assert_eq!(set.inner.weights.len(), n_targets);
+        assert_eq!(set.inner.target_digests.len(), n_targets);
+        for t in 0..n_targets {
+            let s = ServerId(t as u32);
+            let expect: Vec<Change> = journal.iter().filter(|c| c.target == s).copied().collect();
+            let indexed: Vec<Change> = set.changes_for(s).copied().collect();
+            assert_eq!(
+                indexed, expect,
+                "per-target index out of journal order for {s}"
+            );
+            let d: u64 = expect
+                .iter()
+                .fold(0u64, |d, c| d.wrapping_add(change_mix(c)));
+            assert_eq!(set.inner.target_digests[t], d, "target digest drifted");
+            assert_eq!(set.target_digest(s), d);
+            assert_eq!(set.target_len(s), expect.len());
+        }
+        // delta_since round-trips every journal prefix.
+        let mut prefix_digest = 0u64;
+        for k in 0..=journal.len() {
+            assert_eq!(
+                set.delta_since(prefix_digest),
+                Some(&journal[k..]),
+                "delta_since missed prefix {k}"
+            );
+            if k < journal.len() {
+                prefix_digest = prefix_digest.wrapping_add(change_mix(&journal[k]));
+            }
+        }
     }
 
     #[test]
@@ -673,11 +835,13 @@ mod tests {
                     let got: BTreeSet<Change> = sets[i].iter().copied().collect();
                     prop_assert_eq!(&got, &models[i]);
                     prop_assert_eq!(sets[i].len(), models[i].len());
-                    // (b) Every cached quantity matches a from-scratch scan.
+                    // (b) Every cached quantity matches a from-scratch scan,
+                    // and the journal / per-target index mirror the set.
                     let (weights, total, digest) = super::rescan(&sets[i]);
                     prop_assert_eq!(&sets[i].inner.weights, &weights);
                     prop_assert_eq!(sets[i].inner.total, total);
                     prop_assert_eq!(sets[i].inner.digest, digest);
+                    super::assert_journal_exact(&sets[i]);
                     // (c) Public accessors agree with naive recomputation.
                     for srv in 0..6u32 {
                         let naive: Ratio = models[i]

@@ -14,6 +14,9 @@
 //!   (§III) and the debit/credit pair of a pairwise transfer (§V).
 //! * [`ChangeSet`] — grow-only sets of changes (`C_{s,t}`) with weight
 //!   accounting; the union-semilattice every protocol converges on.
+//! * [`sync`] — [`CsRef`] wire references (summary / delta / full) and the
+//!   reconciliation API that lets protocols ship an O(1) digest instead of
+//!   the whole set.
 //! * [`WeightMap`] — dense per-server weight vectors for quorum math.
 //! * [`Tag`], [`TaggedValue`] — multi-writer ABD tags (§VII).
 //!
@@ -40,6 +43,7 @@ mod change;
 mod change_set;
 mod ids;
 mod ratio;
+pub mod sync;
 mod tag;
 mod weight_map;
 
@@ -47,6 +51,7 @@ pub use change::{Change, TransferChanges};
 pub use change_set::ChangeSet;
 pub use ids::{ClientId, ProcessId, ServerId};
 pub use ratio::{ParseRatioError, Ratio};
+pub use sync::{CsRef, ReconcileOutcome};
 pub use tag::{Tag, TaggedValue};
 pub use weight_map::WeightMap;
 

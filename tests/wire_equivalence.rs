@@ -1,0 +1,211 @@
+//! Wire-equivalence tests: the delta-negotiated wire
+//! ([`awr::storage::WireMode::Negotiate`]) must be *observably identical*
+//! to the paper-literal full-set wire ([`awr::storage::WireMode::ForceFull`])
+//! — same operation results, same final registers, same converged change
+//! sets, both linearizable — while shipping asymptotically fewer bytes.
+//!
+//! The comparison runs the same seeded scenario once per mode. Client
+//! operations are issued sequentially (each runs to completion before the
+//! next starts) so that the schedule divergence the extra negotiation legs
+//! introduce cannot change which of two concurrent writes "wins": with a
+//! sequential workload, linearizability pins every read's result, and any
+//! deviation between the modes is a real protocol difference, not noise.
+//! Transfers still overlap the client ops freely, which is what forces the
+//! stale-`C` rejections the negotiation exists to serve.
+
+use std::collections::BTreeSet;
+
+use awr::core::{audit_transfers, RpConfig};
+use awr::sim::UniformLatency;
+use awr::storage::{check_linearizable, DynOptions, DynServer, StorageHarness, WireMode};
+use awr::types::{Change, Ratio, ServerId};
+
+fn s(i: u32) -> ServerId {
+    ServerId(i)
+}
+
+/// Everything observable about one scenario run.
+#[derive(Debug, PartialEq, Eq)]
+struct Observation {
+    /// Per completed client op: (client, is_write, value read/written).
+    ops: Vec<(usize, bool, Option<u64>)>,
+    /// Final register value per server.
+    registers: Vec<Option<u64>>,
+    /// Final change set per server, as plain sets of changes.
+    change_sets: Vec<BTreeSet<Change>>,
+}
+
+/// A deterministic mixed scenario: interleaved transfers (sync and async)
+/// with sequential reads and writes from three clients. Donors and deltas
+/// are chosen so every transfer passes the C2 check regardless of message
+/// timing (weight only ever helps), keeping the outcome schedule-independent.
+fn run_scenario(seed: u64, wire: WireMode) -> (Observation, u64, u64) {
+    let cfg = RpConfig::uniform(7, 2);
+    let n = cfg.n;
+    let mut h: StorageHarness<u64> = StorageHarness::build(
+        cfg,
+        3,
+        seed,
+        UniformLatency::new(1_000, 50_000),
+        DynOptions {
+            wire,
+            ..DynOptions::default()
+        },
+    );
+    let mut ops = Vec::new();
+    let mut record = |client: usize, kind: (bool, Option<u64>)| {
+        ops.push((client, kind.0, kind.1));
+    };
+
+    h.write(0, 10).unwrap();
+    record(0, (true, Some(10)));
+    // floor = 7/10; donors at 1.0 give 0.1 twice: 0.9 > 0.1 + 0.7 holds
+    // even if no credit ever lands, so effectiveness is schedule-free.
+    h.transfer_and_wait(s(3), s(0), Ratio::dec("0.1")).unwrap();
+    let (v, _) = h.read(1).unwrap();
+    record(1, (false, v));
+    // Async transfers overlapping the next ops: stale clients must
+    // renegotiate mid-operation.
+    h.transfer_async(s(4), s(1), Ratio::dec("0.1")).unwrap();
+    h.write(2, 20).unwrap();
+    record(2, (true, Some(20)));
+    h.transfer_async(s(5), s(2), Ratio::dec("0.1")).unwrap();
+    let (v, _) = h.read(0).unwrap();
+    record(0, (false, v));
+    h.write(1, 30).unwrap();
+    record(1, (true, Some(30)));
+    h.transfer_and_wait(s(3), s(6), Ratio::dec("0.1")).unwrap();
+    let (v, _) = h.read(2).unwrap();
+    record(2, (false, v));
+    h.write(0, 40).unwrap();
+    record(0, (true, Some(40)));
+    h.transfer_async(s(4), s(0), Ratio::dec("0.1")).unwrap();
+    let (v, _) = h.read(1).unwrap();
+    record(1, (false, v));
+    h.settle();
+
+    check_linearizable(&h.history()).expect("scenario must stay linearizable");
+    let report = audit_transfers(h.config(), &h.all_completed_transfers());
+    assert!(report.is_clean(), "{:?}", report.violations);
+
+    let mut registers = Vec::new();
+    let mut change_sets = Vec::new();
+    for i in 0..n as u32 {
+        let srv = h
+            .world
+            .actor::<DynServer<u64>>(h.server_actor(s(i)))
+            .unwrap();
+        registers.push(srv.register().value);
+        change_sets.push(srv.changes().iter().copied().collect());
+    }
+    let m = h.world.metrics();
+    let cs_bytes = m.bytes_of_kind("R")
+        + m.bytes_of_kind("R_A")
+        + m.bytes_of_kind("W")
+        + m.bytes_of_kind("W_A");
+    (
+        Observation {
+            ops,
+            registers,
+            change_sets,
+        },
+        cs_bytes,
+        m.bytes_sent,
+    )
+}
+
+#[test]
+fn negotiate_and_force_full_are_observably_identical() {
+    for seed in 0..10 {
+        let (delta_obs, delta_cs_bytes, _) = run_scenario(seed, WireMode::Negotiate);
+        let (full_obs, full_cs_bytes, _) = run_scenario(seed, WireMode::ForceFull);
+        assert_eq!(
+            delta_obs, full_obs,
+            "seed {seed}: wire modes observably diverged"
+        );
+        // All servers converge to one change set after settle, in both modes.
+        for cs in &delta_obs.change_sets[1..] {
+            assert_eq!(
+                cs, &delta_obs.change_sets[0],
+                "seed {seed}: servers diverged"
+            );
+        }
+        // The whole point: the negotiated wire moves fewer bytes on the
+        // change-set-referencing phases, same scenario, same results.
+        assert!(
+            delta_cs_bytes < full_cs_bytes,
+            "seed {seed}: negotiation did not save bytes ({delta_cs_bytes} vs {full_cs_bytes})"
+        );
+    }
+}
+
+#[test]
+fn force_full_workload_stays_linearizable() {
+    // The baseline mode is a live protocol in its own right (it is the
+    // paper-literal wire): run the shared mixed workload under it.
+    use awr::storage::workload::{run_mixed_workload, WorkloadSpec};
+    for seed in 0..4 {
+        let mut h: StorageHarness<u64> = StorageHarness::build(
+            RpConfig::uniform(7, 2),
+            4,
+            900 + seed,
+            UniformLatency::new(1_000, 50_000),
+            DynOptions {
+                wire: WireMode::ForceFull,
+                ..DynOptions::default()
+            },
+        );
+        let stats = run_mixed_workload(&mut h, 4, &WorkloadSpec::default(), seed);
+        assert!(stats.reads + stats.writes > 10, "seed {seed}: thin history");
+        check_linearizable(&h.history()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn negotiated_concurrent_workload_stays_linearizable() {
+    // And the negotiated mode survives genuinely concurrent clients (the
+    // observable-equivalence test is sequential by design; this one is not).
+    use awr::storage::workload::{run_mixed_workload, WorkloadSpec};
+    for seed in 0..4 {
+        let mut h: StorageHarness<u64> = StorageHarness::build(
+            RpConfig::uniform(7, 2),
+            4,
+            700 + seed,
+            UniformLatency::new(1_000, 50_000),
+            DynOptions::default(),
+        );
+        let stats = run_mixed_workload(&mut h, 4, &WorkloadSpec::default(), seed);
+        assert!(stats.reads + stats.writes > 10, "seed {seed}: thin history");
+        check_linearizable(&h.history()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let report = audit_transfers(h.config(), &h.all_completed_transfers());
+        assert!(report.is_clean(), "seed {seed}: {:?}", report.violations);
+    }
+}
+
+#[test]
+fn steady_state_requests_are_constant_size() {
+    // After the system converges, R/W requests under negotiation are O(1):
+    // growing |C| must not grow the mean request size.
+    let mean_r_bytes = |extra: usize| -> f64 {
+        let cfg = RpConfig::uniform(5, 1);
+        let mut h: StorageHarness<u64> = StorageHarness::build(
+            cfg,
+            1,
+            7,
+            UniformLatency::new(1_000, 20_000),
+            DynOptions::default(),
+        );
+        h.seed_converged_changes(extra);
+        for v in 0..10 {
+            h.write(0, v).unwrap();
+            h.read(0).unwrap();
+        }
+        h.world.metrics().mean_bytes_of_kind("R")
+    };
+    let small = mean_r_bytes(10);
+    let large = mean_r_bytes(2_000);
+    assert_eq!(
+        small, large,
+        "steady-state R size must not depend on |C| ({small} vs {large})"
+    );
+}
