@@ -1,0 +1,195 @@
+//! Bandwidth benchmark: steady-state *operation latency* under the
+//! delta-negotiated wire (`WireMode::Negotiate`) versus the paper-literal
+//! full-set wire (`WireMode::ForceFull`), on a constrained-uplink topology
+//! where message sizes shape the schedule.
+//!
+//! `bench_wire` showed the delta wire keeps bytes/op flat in |C|; this
+//! benchmark closes the loop by *simulating* those bytes: every send is
+//! charged transmission time (`wire_size / bandwidth`) and serializes on
+//! its sender's uplink (see `awr_sim::constrained_uplink`). Under the full
+//! wire each `R`/`RAck`/`W`/`WAck` ships all of `C`, so a phase broadcast
+//! occupies the client's uplink O(|C|) long and mean op latency degrades
+//! linearly in |C|; under negotiation the phases carry O(1) digests and
+//! the latency curve stays flat — which is what the JSON output pins and
+//! the `--smoke` mode asserts for CI.
+//!
+//! Run with: `cargo run --release --bin bench_bandwidth [-- --smoke] [out.json]`
+
+use awr_core::RpConfig;
+use awr_sim::constrained_uplink;
+use awr_storage::{DynClient, DynOptions, StorageHarness, WireMode};
+
+const N: usize = 5;
+const F: usize = 1;
+const OPS: usize = 40;
+/// Every sender's outgoing traffic shares one 4 MB/s uplink.
+const UPLINK_BYTES_PER_SEC: u64 = 4_000_000;
+
+struct Row {
+    c_size: usize,
+    mode: &'static str,
+    mean_latency_ms: f64,
+    max_latency_ms: f64,
+    bytes_per_op: f64,
+    max_uplink_utilization: f64,
+}
+
+fn run(extra: usize, wire: WireMode) -> Row {
+    let cfg = RpConfig::uniform(N, F);
+    let mut h: StorageHarness<u64> = StorageHarness::build(
+        cfg,
+        1,
+        0xBA2D,
+        constrained_uplink(N + 1, UPLINK_BYTES_PER_SEC),
+        DynOptions {
+            wire,
+            ..DynOptions::default()
+        },
+    );
+    let big = h.seed_converged_changes(extra);
+
+    for v in 0..OPS as u64 {
+        if v % 2 == 0 {
+            h.write(0, v).unwrap();
+        } else {
+            h.read(0).unwrap();
+        }
+    }
+
+    let client = h.client_actor(0);
+    let ops = &h
+        .world
+        .actor::<DynClient<u64>>(client)
+        .expect("client")
+        .driver
+        .completed;
+    assert_eq!(ops.len(), OPS);
+    let latencies_ms: Vec<f64> = ops
+        .iter()
+        .map(|o| (o.response - o.invoke) as f64 / 1e6)
+        .collect();
+    let mean = latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64;
+    let max = latencies_ms.iter().cloned().fold(0.0, f64::max);
+
+    let m = h.world.metrics();
+    let cs_bytes = m.bytes_of_kind("R")
+        + m.bytes_of_kind("R_A")
+        + m.bytes_of_kind("W")
+        + m.bytes_of_kind("W_A");
+    Row {
+        c_size: N + big.len(),
+        mode: match wire {
+            WireMode::Negotiate => "delta",
+            WireMode::ForceFull => "full",
+        },
+        mean_latency_ms: mean,
+        max_latency_ms: max,
+        bytes_per_op: cs_bytes as f64 / OPS as f64,
+        // The topology serializes each sender's outgoing traffic on one
+        // shared uplink, so saturation is measured per uplink, not per
+        // (from, to) pair.
+        max_uplink_utilization: m.max_uplink_utilization(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_bandwidth.json".to_string());
+    let sizes: &[usize] = if smoke {
+        &[10, 100]
+    } else {
+        &[10, 100, 1_000, 10_000]
+    };
+
+    let mut rows = Vec::new();
+    for &size in sizes {
+        rows.push(run(size, WireMode::Negotiate));
+        rows.push(run(size, WireMode::ForceFull));
+    }
+
+    println!(
+        "{:<8} {:<6} {:>14} {:>13} {:>14} {:>10}",
+        "|C|", "mode", "mean op (ms)", "max op (ms)", "bytes/op", "max util"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:<6} {:>14.2} {:>13.2} {:>14.1} {:>10.3}",
+            r.c_size,
+            r.mode,
+            r.mean_latency_ms,
+            r.max_latency_ms,
+            r.bytes_per_op,
+            r.max_uplink_utilization
+        );
+    }
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"bandwidth\",\n  \"unit\": \"mean_op_latency_ms\",\n  \"topology\": \
+         {\"kind\": \"constrained_uplink\", \"uplink_bytes_per_sec\": 4000000},\n  \"results\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"c_size\": {}, \"mode\": \"{}\", \"mean_op_latency_ms\": {:.3}, \
+             \"max_op_latency_ms\": {:.3}, \"bytes_per_op\": {:.1}, \"max_uplink_utilization\": {:.4}}}{}\n",
+            r.c_size,
+            r.mode,
+            r.mean_latency_ms,
+            r.max_latency_ms,
+            r.bytes_per_op,
+            r.max_uplink_utilization,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+
+    let mut ok = true;
+    // The CI smoke gate: at every |C|, the delta wire must complete ops
+    // faster on the constrained topology — the byte saving is a *latency*
+    // saving once bandwidth is simulated.
+    for pair in rows.chunks(2) {
+        let (delta, full) = (&pair[0], &pair[1]);
+        if delta.mean_latency_ms >= full.mean_latency_ms {
+            eprintln!(
+                "FAIL: |C|={} delta {:.2} ms/op >= full {:.2} ms/op",
+                delta.c_size, delta.mean_latency_ms, full.mean_latency_ms
+            );
+            ok = false;
+        }
+    }
+    // Full runs additionally pin the curve shapes: Negotiate flat (within
+    // 2×) across three decades of |C|, ForceFull degrading by well over an
+    // order of magnitude as transmission time dominates.
+    if !smoke {
+        let deltas: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.mode == "delta")
+            .map(|r| r.mean_latency_ms)
+            .collect();
+        let fulls: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.mode == "full")
+            .map(|r| r.mean_latency_ms)
+            .collect();
+        let delta_spread = deltas.iter().cloned().fold(0.0, f64::max)
+            / deltas.iter().cloned().fold(f64::INFINITY, f64::min);
+        if delta_spread > 2.0 {
+            eprintln!("FAIL: delta latency not flat (spread {delta_spread:.2}x)");
+            ok = false;
+        }
+        let full_growth = fulls.last().unwrap() / fulls.first().unwrap();
+        if full_growth < 10.0 {
+            eprintln!("FAIL: full wire did not degrade with |C| (growth {full_growth:.2}x)");
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -265,6 +265,50 @@ mod protocol_tests {
     }
 
     #[test]
+    fn queued_transfers_batch_into_one_envelope() {
+        let mut h = harness(7, 2, 17);
+        // The first request starts immediately; the next two queue behind
+        // it and drain as ONE batched ⟨T⟩ envelope when it completes.
+        h.transfer_queued(s(3), s(0), Ratio::dec("0.05")).unwrap();
+        h.transfer_queued(s(3), s(1), Ratio::dec("0.05")).unwrap();
+        h.transfer_queued(s(3), s(2), Ratio::dec("0.05")).unwrap();
+        h.settle();
+        let report = audit_transfers(h.config(), &h.all_completed());
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.effective, 3);
+        // Eager-relay RB costs exactly (n−1)² = 36 T messages per
+        // broadcast instance: two instances (first + drained batch), not
+        // three — the batching saved a full relay wave.
+        assert_eq!(h.world.metrics().sent_of_kind("T"), 2 * 36);
+        // Every server converged on all three credits.
+        for i in 0..7 {
+            let w = h.weights_seen_by(s(i));
+            assert_eq!(w.weight(s(3)), Ratio::dec("0.85"), "server {i}");
+            assert_eq!(w.total(), Ratio::integer(7), "server {i}");
+        }
+    }
+
+    #[test]
+    fn queued_null_transfers_complete_via_events() {
+        let mut h = harness(7, 2, 18);
+        h.transfer_queued(s(3), s(0), Ratio::dec("0.25")).unwrap();
+        // At drain time the donor holds 0.75: 0.2 fails C2 (needs > 0.9),
+        // 0.04 passes (needs > 0.74) — the null must still complete.
+        h.transfer_queued(s(3), s(1), Ratio::dec("0.2")).unwrap();
+        h.transfer_queued(s(3), s(2), Ratio::dec("0.04")).unwrap();
+        h.settle();
+        let all = h.all_completed();
+        assert_eq!(all.len(), 3, "every queued request must complete");
+        let report = audit_transfers(h.config(), &all);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.effective, 2);
+        // The null outcome reached the host's completion log too.
+        let logged = &h.world.actor::<RpServer>(ActorId(3)).unwrap().complete_log;
+        assert_eq!(logged.len(), 3);
+        assert_eq!(logged.iter().filter(|o| !o.is_effective()).count(), 1);
+    }
+
+    #[test]
     fn with_actor_ctx_effects_flow() {
         // Regression guard: effects from with_actor_ctx must enter the queue.
         let mut h = harness(4, 1, 16);

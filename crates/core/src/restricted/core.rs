@@ -8,7 +8,7 @@
 //! why "apply these changes" is surfaced to the host as an
 //! [`ApplyRequest`] instead of happening internally.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use awr_rb::RbEngine;
 use awr_sim::{ActorId, Context, Message, Time};
@@ -59,7 +59,8 @@ pub enum CoreEvent {
     Completed(TransferOutcome),
 }
 
-/// The immediate disposition of a [`TransferCore::transfer`] invocation.
+/// The immediate disposition of a [`TransferCore::transfer`] (or
+/// [`TransferCore::transfer_queued`]) invocation.
 #[derive(Clone, Debug)]
 pub enum TransferStart {
     /// The local C2 check failed: the transfer completed *null* right away
@@ -69,6 +70,13 @@ pub enum TransferStart {
     /// acknowledgments); completion surfaces later as
     /// [`CoreEvent::Completed`].
     Effective,
+    /// The request was queued behind an in-flight transfer
+    /// ([`TransferCore::transfer_queued`] only). Its C2 check runs when the
+    /// queue drains; it is announced — coalesced with every other queued
+    /// request — in a single RB envelope, and both its start and its
+    /// completion surface later as [`CoreEvent::Completed`] (null requests
+    /// included).
+    Queued,
 }
 
 #[derive(Debug)]
@@ -92,8 +100,17 @@ pub struct TransferCore {
     /// of Algorithms 1–2).
     lc: u64,
     changes: ChangeSet,
-    rb: RbEngine<TransferChanges>,
-    pending: Option<PendingTransfer>,
+    /// The RB engine carries *batches* of change pairs: queued transfers
+    /// coalesce into one envelope (see [`TransferCore::transfer_queued`]).
+    rb: RbEngine<Vec<TransferChanges>>,
+    /// In-flight own transfers, keyed by local counter. [`TransferCore::transfer`]
+    /// keeps at most one entry (processes are sequential, §II); a drained
+    /// queue of [`TransferCore::transfer_queued`] requests may hold several,
+    /// all announced by the same envelope.
+    pending: BTreeMap<u64, PendingTransfer>,
+    /// Requests accepted by [`TransferCore::transfer_queued`] while a
+    /// transfer was in flight, started (as one batch) when it completes.
+    queued: VecDeque<(ServerId, Ratio)>,
     /// Transfers (issuer, counter) we already acknowledged — the
     /// "if not already sent" of Algorithm 4 line 11.
     acked: HashSet<(ServerId, u64)>,
@@ -113,7 +130,8 @@ impl TransferCore {
             me,
             actor_base,
             lc: 2,
-            pending: None,
+            pending: BTreeMap::new(),
+            queued: VecDeque::new(),
             acked: HashSet::new(),
             completed: Vec::new(),
         }
@@ -158,9 +176,28 @@ impl TransferCore {
         &self.completed
     }
 
-    /// Whether a transfer is currently in flight.
+    /// Whether a transfer is currently in flight or queued.
     pub fn is_busy(&self) -> bool {
-        self.pending.is_some()
+        !self.pending.is_empty() || !self.queued.is_empty()
+    }
+
+    fn validate(&self, to: ServerId, delta: Ratio) -> Result<(), TransferError> {
+        if !delta.is_positive() {
+            return Err(TransferError::InvalidArguments {
+                reason: format!("delta must be positive, got {delta}"),
+            });
+        }
+        if to == self.me {
+            return Err(TransferError::InvalidArguments {
+                reason: "cannot transfer to self".into(),
+            });
+        }
+        if to.index() >= self.cfg.n {
+            return Err(TransferError::InvalidArguments {
+                reason: format!("unknown destination {to}"),
+            });
+        }
+        Ok(())
     }
 
     /// Invokes `transfer(me, to, Δ)` (Algorithm 4 lines 12–20).
@@ -181,83 +218,126 @@ impl TransferCore {
         ctx: &mut Context<'_, M>,
         wrap: impl Fn(WrMsg) -> M + Copy,
     ) -> Result<TransferStart, TransferError> {
-        if self.pending.is_some() {
+        if self.is_busy() {
             return Err(TransferError::Busy);
         }
-        if !delta.is_positive() {
-            return Err(TransferError::InvalidArguments {
-                reason: format!("delta must be positive, got {delta}"),
-            });
-        }
-        if to == self.me {
-            return Err(TransferError::InvalidArguments {
-                reason: "cannot transfer to self".into(),
-            });
-        }
-        if to.index() >= self.cfg.n {
-            return Err(TransferError::InvalidArguments {
-                reason: format!("unknown destination {to}"),
-            });
-        }
-        let counter = self.lc;
-        self.lc += 1;
-        // Line 12: the local C2 check — weight() > Δ + W_{S,0}/(2(n−f)).
-        if self.weight() > delta + self.cfg.floor() {
-            let pair = TransferChanges::new(self.me, to, counter, delta, true);
-            // Line 13: add both changes to the local set now.
-            self.changes.insert(pair.debit);
-            self.changes.insert(pair.credit);
-            // Never ack our own transfer (we wait for *other* servers).
-            self.acked.insert((self.me, counter));
-            let outcome = TransferOutcome {
-                from: self.me,
-                to,
-                requested: delta,
-                changes: pair,
-                counter,
-            };
-            self.pending = Some(PendingTransfer {
-                outcome,
-                acks: HashSet::new(),
-                needed: self.cfg.n - self.cfg.f - 1,
-            });
-            // Line 14: RB-broadcast ⟨T, c, c′⟩.
-            self.rb
-                .broadcast(pair, ctx, move |env| wrap(WrMsg::Rb(env)));
-            // Degenerate configs (n − f − 1 == 0) complete instantly.
-            if let Some(o) = self.check_pending_complete(ctx.now()) {
-                self.completed.push((o, ctx.now()));
-            }
-            Ok(TransferStart::Effective)
-        } else {
-            // Lines 17–18: null completion, no broadcast, no stored change
-            // (zero-weight changes don't affect weights, per the paper's
-            // Theorem 4 proof remark).
-            let pair = TransferChanges::new(self.me, to, counter, delta, false);
-            let outcome = TransferOutcome {
-                from: self.me,
-                to,
-                requested: delta,
-                changes: pair,
-                counter,
-            };
-            self.completed.push((outcome.clone(), ctx.now()));
-            Ok(TransferStart::Null(outcome))
-        }
+        // Not busy, so this can never return `Queued`.
+        self.transfer_queued(to, delta, ctx, wrap)
     }
 
-    fn check_pending_complete(&mut self, _now: Time) -> Option<TransferOutcome> {
-        let done = self
-            .pending
-            .as_ref()
-            .map(|p| p.acks.len() >= p.needed)
-            .unwrap_or(false);
-        if done {
-            let p = self.pending.take().expect("checked above");
-            Some(p.outcome)
-        } else {
-            None
+    /// Like [`TransferCore::transfer`], but a request arriving while a
+    /// transfer is in flight is *queued* instead of rejected. When the
+    /// in-flight transfer completes, every queued request runs its C2 check
+    /// (in arrival order, each seeing its predecessors' debits) and all
+    /// effective ones are RB-broadcast **in a single `⟨T⟩` envelope** — the
+    /// batching that keeps the reliable-broadcast leg from paying one
+    /// envelope-plus-relay wave per transfer under bursty reassignment.
+    ///
+    /// Queued requests surface *only* as [`CoreEvent::Completed`] events
+    /// (null outcomes included), since the invocation has long returned by
+    /// the time their C2 check runs.
+    ///
+    /// # Errors
+    ///
+    /// [`TransferError::InvalidArguments`] for `Δ ≤ 0`, unknown `to`, or
+    /// `to == me` (checked at enqueue time).
+    pub fn transfer_queued<M: Message>(
+        &mut self,
+        to: ServerId,
+        delta: Ratio,
+        ctx: &mut Context<'_, M>,
+        wrap: impl Fn(WrMsg) -> M + Copy,
+    ) -> Result<TransferStart, TransferError> {
+        self.validate(to, delta)?;
+        if self.is_busy() {
+            self.queued.push_back((to, delta));
+            return Ok(TransferStart::Queued);
         }
+        let mut starts = self.start_batch(vec![(to, delta)], ctx, wrap);
+        // Degenerate configs (n − f − 1 == 0) complete instantly.
+        let _ = self.reap_complete(ctx.now());
+        Ok(starts.pop().expect("one request, one disposition"))
+    }
+
+    /// Starts every request in `reqs` now: per-request C2 check (each
+    /// seeing its predecessors' debits), then one RB broadcast carrying all
+    /// effective pairs. Returns the per-request dispositions, in order.
+    fn start_batch<M: Message>(
+        &mut self,
+        reqs: Vec<(ServerId, Ratio)>,
+        ctx: &mut Context<'_, M>,
+        wrap: impl Fn(WrMsg) -> M + Copy,
+    ) -> Vec<TransferStart> {
+        let mut starts = Vec::with_capacity(reqs.len());
+        let mut batch: Vec<TransferChanges> = Vec::new();
+        for (to, delta) in reqs {
+            let counter = self.lc;
+            self.lc += 1;
+            // Line 12: the local C2 check — weight() > Δ + W_{S,0}/(2(n−f)).
+            if self.weight() > delta + self.cfg.floor() {
+                let pair = TransferChanges::new(self.me, to, counter, delta, true);
+                // Line 13: add both changes to the local set now.
+                self.changes.insert(pair.debit);
+                self.changes.insert(pair.credit);
+                // Never ack our own transfer (we wait for *other* servers).
+                self.acked.insert((self.me, counter));
+                let outcome = TransferOutcome {
+                    from: self.me,
+                    to,
+                    requested: delta,
+                    changes: pair,
+                    counter,
+                };
+                self.pending.insert(
+                    counter,
+                    PendingTransfer {
+                        outcome,
+                        acks: HashSet::new(),
+                        needed: self.cfg.n - self.cfg.f - 1,
+                    },
+                );
+                batch.push(pair);
+                starts.push(TransferStart::Effective);
+            } else {
+                // Lines 17–18: null completion, no broadcast, no stored
+                // change (zero-weight changes don't affect weights, per the
+                // paper's Theorem 4 proof remark).
+                let pair = TransferChanges::new(self.me, to, counter, delta, false);
+                let outcome = TransferOutcome {
+                    from: self.me,
+                    to,
+                    requested: delta,
+                    changes: pair,
+                    counter,
+                };
+                self.completed.push((outcome.clone(), ctx.now()));
+                starts.push(TransferStart::Null(outcome));
+            }
+        }
+        if !batch.is_empty() {
+            // Line 14: RB-broadcast ⟨T, c, c′⟩ — once for the whole batch.
+            self.rb
+                .broadcast(batch, ctx, move |env| wrap(WrMsg::Rb(env)));
+        }
+        starts
+    }
+
+    /// Moves every fully-acknowledged pending transfer to `completed`,
+    /// returning the reaped outcomes (in counter order).
+    fn reap_complete(&mut self, now: Time) -> Vec<TransferOutcome> {
+        let done: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.acks.len() >= p.needed)
+            .map(|(c, _)| *c)
+            .collect();
+        done.into_iter()
+            .map(|c| {
+                let p = self.pending.remove(&c).expect("key collected above");
+                self.completed.push((p.outcome.clone(), now));
+                p.outcome
+            })
+            .collect()
     }
 
     /// Handles a protocol message addressed to this server. Returns events
@@ -273,8 +353,12 @@ impl TransferCore {
             WrMsg::Rb(env) => {
                 let delivered = self.rb.on_envelope(env, ctx, move |e| wrap(WrMsg::Rb(e)));
                 match delivered {
-                    Some(pair) => {
-                        let req = self.stage_changes(pair.both().to_vec(), None);
+                    Some(batch) => {
+                        // One staging pass for the whole batch: a storage
+                        // host pays at most one register refresh for all
+                        // the coalesced transfers.
+                        let all: Vec<Change> = batch.iter().flat_map(|pair| pair.both()).collect();
+                        let req = self.stage_changes(all, None);
                         match req {
                             Some(r) => vec![CoreEvent::NeedApply(r)],
                             None => Vec::new(),
@@ -285,19 +369,23 @@ impl TransferCore {
             }
             WrMsg::TAck { counter } => {
                 let mut events = Vec::new();
-                let matches = self
-                    .pending
-                    .as_ref()
-                    .map(|p| p.outcome.counter == counter)
-                    .unwrap_or(false);
-                if matches {
-                    self.pending
-                        .as_mut()
-                        .expect("matched above")
-                        .acks
-                        .insert(from);
-                    if let Some(outcome) = self.check_pending_complete(ctx.now()) {
-                        self.completed.push((outcome.clone(), ctx.now()));
+                if let Some(p) = self.pending.get_mut(&counter) {
+                    p.acks.insert(from);
+                }
+                for outcome in self.reap_complete(ctx.now()) {
+                    events.push(CoreEvent::Completed(outcome));
+                }
+                // Every in-flight transfer is done: start the queued batch.
+                if self.pending.is_empty() && !self.queued.is_empty() {
+                    let reqs: Vec<(ServerId, Ratio)> = self.queued.drain(..).collect();
+                    for start in self.start_batch(reqs, ctx, wrap) {
+                        // Queued invocations returned long ago; null
+                        // dispositions surface as completions instead.
+                        if let TransferStart::Null(o) = start {
+                            events.push(CoreEvent::Completed(o));
+                        }
+                    }
+                    for outcome in self.reap_complete(ctx.now()) {
                         events.push(CoreEvent::Completed(outcome));
                     }
                 }

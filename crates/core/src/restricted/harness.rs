@@ -1,6 +1,6 @@
 //! A convenience harness wiring servers + clients into a simulated world.
 
-use awr_sim::{ActorId, LatencyModel, World};
+use awr_sim::{ActorId, NetworkModel, World};
 use awr_types::{ChangeSet, Ratio, ServerId, WeightMap};
 
 use crate::problem::{RpConfig, TransferError, TransferOutcome};
@@ -37,14 +37,16 @@ pub struct RpHarness {
 }
 
 impl RpHarness {
-    /// Builds a world with `n` servers and `n_clients` clients.
+    /// Builds a world with `n` servers and `n_clients` clients. `network`
+    /// is any [`NetworkModel`] — a plain latency model or a bandwidth-aware
+    /// topology.
     pub fn build(
         cfg: RpConfig,
         n_clients: usize,
         seed: u64,
-        latency: impl LatencyModel + 'static,
+        network: impl NetworkModel + 'static,
     ) -> RpHarness {
-        let mut world = World::new(seed, latency);
+        let mut world = World::new(seed, network);
         for s in cfg.servers() {
             world.add_actor(RpServer::new(cfg.clone(), s, 0));
         }
@@ -141,6 +143,27 @@ impl RpHarness {
         self.world
             .with_actor_ctx::<RpServer, Result<_, TransferError>>(actor, |srv, ctx| {
                 srv.transfer(to, delta, ctx).map(|_| ())
+            })
+    }
+
+    /// Starts a transfer in queued mode without waiting: a request issued
+    /// while `from` is busy queues and is announced — batched with every
+    /// other queued request — in a single `⟨T⟩` envelope when the in-flight
+    /// transfer completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invocation errors (never [`TransferError::Busy`]).
+    pub fn transfer_queued(
+        &mut self,
+        from: ServerId,
+        to: ServerId,
+        delta: Ratio,
+    ) -> Result<(), TransferError> {
+        let actor = self.server_actor(from);
+        self.world
+            .with_actor_ctx::<RpServer, Result<_, TransferError>>(actor, |srv, ctx| {
+                srv.transfer_queued(to, delta, ctx).map(|_| ())
             })
     }
 

@@ -30,7 +30,12 @@ use awr_types::{CsRef, ServerId, TransferChanges};
 /// Protocol messages. Names follow the paper's:
 ///
 /// * `⟨T, c, c′⟩` — reliable-broadcast transfer announcement (Algorithm 4
-///   line 14), carried inside an RB envelope;
+///   line 14), carried inside an RB envelope. The envelope payload is a
+///   *batch*: transfers queued behind an in-flight one (via
+///   `TransferCore::transfer_queued`) are announced together, one envelope
+///   and one relay wave for the whole batch, so the `T` leg is charged
+///   per batch rather than per transfer. A single `transfer` is a batch of
+///   one, with the per-transfer `T_Ack` contract unchanged;
 /// * `⟨T_Ack, lc⟩` — per-transfer acknowledgment (line 11/15);
 /// * `⟨RC, s⟩` / `⟨RC_Ack, ref⟩` — read_changes collect phase (Algorithm 3),
 ///   the reply carrying a [`CsRef`] to the replier's restriction;
@@ -38,8 +43,8 @@ use awr_types::{CsRef, ServerId, TransferChanges};
 ///   phase with digest negotiation (see the module docs).
 #[derive(Clone, Debug)]
 pub enum WrMsg {
-    /// Reliable-broadcast leg carrying the transfer's change pair.
-    Rb(RbEnvelope<TransferChanges>),
+    /// Reliable-broadcast leg carrying a batch of transfer change pairs.
+    Rb(RbEnvelope<Vec<TransferChanges>>),
     /// Acknowledgment that the sender stored the changes of the transfer
     /// identified by the origin's local counter.
     TAck {
@@ -122,6 +127,8 @@ impl Message for WrMsg {
             // size on top of a small fixed header.
             WrMsg::RcAck { changes, .. } => 16 + changes.wire_size(),
             WrMsg::Wc { changes, .. } => 20 + changes.wire_size(),
+            // The RB envelope ships its batch of change pairs inline.
+            WrMsg::Rb(env) => 24 + env.payload.len() * std::mem::size_of::<TransferChanges>(),
             // Everything else is plain data: the enum footprint is honest.
             _ => std::mem::size_of_val(self),
         }
@@ -152,7 +159,13 @@ mod tests {
             WrMsg::Rb(RbEnvelope {
                 origin: awr_sim::ActorId(0),
                 seq: 0,
-                payload: TransferChanges::new(ServerId(0), ServerId(1), 2, Ratio::ONE, true),
+                payload: vec![TransferChanges::new(
+                    ServerId(0),
+                    ServerId(1),
+                    2,
+                    Ratio::ONE,
+                    true,
+                )],
             }),
             WrMsg::TAck { counter: 1 },
             WrMsg::Rc {
@@ -178,6 +191,27 @@ mod tests {
         ];
         let kinds: std::collections::BTreeSet<&str> = variants.iter().map(|m| m.kind()).collect();
         assert_eq!(kinds.len(), variants.len(), "kind labels must be distinct");
+    }
+
+    #[test]
+    fn rb_batch_wire_size_scales_with_batch() {
+        use awr_types::Ratio;
+        let pair = |c| TransferChanges::new(ServerId(0), ServerId(1), c, Ratio::ONE, true);
+        let env = |payload| {
+            WrMsg::Rb(RbEnvelope {
+                origin: awr_sim::ActorId(0),
+                seq: 0,
+                payload,
+            })
+        };
+        let one = env(vec![pair(2)]);
+        let three = env(vec![pair(2), pair(3), pair(4)]);
+        // Three coalesced transfers cost one envelope, not three.
+        assert!(three.wire_size() < 3 * one.wire_size());
+        assert_eq!(
+            three.wire_size() - one.wire_size(),
+            2 * std::mem::size_of::<TransferChanges>()
+        );
     }
 
     #[test]

@@ -72,6 +72,26 @@ impl RpServer {
         }
         Ok(r)
     }
+
+    /// Like [`RpServer::transfer`], but queues behind an in-flight transfer
+    /// instead of failing `Busy`; drained requests are announced batched in
+    /// one `⟨T⟩` envelope (see [`TransferCore::transfer_queued`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`TransferCore::transfer_queued`].
+    pub fn transfer_queued(
+        &mut self,
+        to: ServerId,
+        delta: Ratio,
+        ctx: &mut Context<'_, WrMsg>,
+    ) -> Result<TransferStart, TransferError> {
+        let r = self.core.transfer_queued(to, delta, ctx, |m| m)?;
+        if let TransferStart::Null(o) = &r {
+            self.complete_log.push(o.clone());
+        }
+        Ok(r)
+    }
 }
 
 impl Actor for RpServer {

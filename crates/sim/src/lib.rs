@@ -13,6 +13,33 @@
 //! * [`ThreadedSystem`] — the same [`Actor`] trait over real threads and
 //!   crossbeam channels, for wall-clock benchmarks.
 //!
+//! # The network model: propagation, transmission, serialization
+//!
+//! Delivery delay is decided by a [`NetworkModel`], which sees each
+//! message's [`Message::wire_size`] and splits the delay into three
+//! components (recorded per delivery when tracing is on):
+//!
+//! * **propagation** — the classic [`LatencyModel`] sample (distance,
+//!   jitter, adversarial holds);
+//! * **transmission** — `wire_size / link bandwidth`, from a
+//!   [`BandwidthMatrix`] (per-region-pair bytes/second, mirroring
+//!   [`WanMatrix`]);
+//! * **queueing** — time waiting for the link: [`BandwidthLinks`] keeps a
+//!   per-directed-link (or per-sender-uplink, [`LinkDiscipline`]) FIFO
+//!   horizon, so a 12 MB full change set really *occupies* the link and
+//!   delays everything queued behind it.
+//!
+//! Every [`LatencyModel`] is a [`NetworkModel`] via a blanket impl that
+//! charges zero transmission — size-oblivious scenarios, tests, and
+//! benches run unchanged, and wrapping the same model in
+//! [`BandwidthLinks`] with [`UNLIMITED_BANDWIDTH`] reproduces their
+//! schedules *exactly* (pinned by `tests/network_equivalence.rs`).
+//! Topology presets cover the interesting regimes: [`lan_network`],
+//! [`wan_network`], [`geo_network`], and [`constrained_uplink`] (every
+//! sender's outgoing traffic serializes on one modest uplink).
+//! [`Metrics`] attributes bytes and transmission time per directed link
+//! ([`Metrics::bytes_on_link`], [`Metrics::link_utilization`]).
+//!
 //! Protocols are explicit state machines (no async runtime): see the crate
 //! `awr-core` for the paper's protocols built on this.
 //!
@@ -62,13 +89,16 @@ mod world;
 pub use actor::{Actor, ActorId, Context, Message, TimerId};
 pub use metrics::Metrics;
 pub use network::{
-    shared_latency, ConstantLatency, FifoLinks, HealingPartition, LatencyModel, SharedLatency,
-    SlowActors, TargetedDelay, UniformLatency, WanMatrix,
+    shared_latency, BandwidthLinks, BandwidthMatrix, ConstantLatency, Delivery, FifoLinks,
+    HealingPartition, LatencyModel, LinkDiscipline, NetworkModel, SharedLatency, SlowActors,
+    TargetedDelay, UniformLatency, WanMatrix, UNLIMITED_BANDWIDTH,
 };
 pub use threaded::{downcast_actor, ThreadedMetrics, ThreadedSystem};
 pub use time::{Nanos, Time, MICRO, MILLI, SECOND};
 pub use topology::{
-    five_region_matrix, five_region_wan, five_region_wan_with_placement, mean_delay_profile, Region,
+    constrained_uplink, five_region_bandwidth, five_region_matrix, five_region_wan,
+    five_region_wan_with_placement, geo_network, lan_network, mean_delay_profile, wan_network,
+    Region, GBIT10,
 };
 pub use trace::{Trace, TraceKind, TraceRecord};
 pub use world::World;

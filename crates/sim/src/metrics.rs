@@ -1,8 +1,9 @@
-//! Simulation metrics: message, byte, and event accounting.
+//! Simulation metrics: message, byte, event, and per-link accounting.
 
 use std::collections::BTreeMap;
 
-use crate::time::Time;
+use crate::actor::ActorId;
+use crate::time::{Nanos, Time};
 
 /// Counters accumulated by a [`crate::World`] run (and snapshotted from a
 /// [`crate::ThreadedSystem`]).
@@ -25,17 +26,35 @@ pub struct Metrics {
     pub sent_by_kind: BTreeMap<&'static str, u64>,
     /// Per message-kind byte totals.
     pub bytes_by_kind: BTreeMap<&'static str, u64>,
+    /// Per directed-link byte totals (`(from, to)` → bytes sent).
+    pub bytes_by_link: BTreeMap<(ActorId, ActorId), u64>,
+    /// Per directed-link transmission time (`(from, to)` → nanoseconds the
+    /// link spent actually transmitting). Zero under pure-propagation
+    /// models and in the threaded runtime (no virtual time).
+    pub link_busy: BTreeMap<(ActorId, ActorId), Nanos>,
     /// Latest virtual time reached.
     pub last_time: Time,
 }
 
 impl Metrics {
-    /// Records a send of a message with the given kind label and wire size.
-    pub(crate) fn record_send(&mut self, kind: &'static str, bytes: usize) {
+    /// Records a send of a message with the given kind label, wire size,
+    /// endpoints, and transmission time.
+    pub(crate) fn record_send(
+        &mut self,
+        kind: &'static str,
+        bytes: usize,
+        from: ActorId,
+        to: ActorId,
+        transmission: Nanos,
+    ) {
         self.messages_sent += 1;
         self.bytes_sent += bytes as u64;
         *self.sent_by_kind.entry(kind).or_insert(0) += 1;
         *self.bytes_by_kind.entry(kind).or_insert(0) += bytes as u64;
+        *self.bytes_by_link.entry((from, to)).or_insert(0) += bytes as u64;
+        if transmission > 0 {
+            *self.link_busy.entry((from, to)).or_insert(0) += transmission;
+        }
     }
 
     /// Messages sent with a specific kind label.
@@ -58,6 +77,84 @@ impl Metrics {
         }
     }
 
+    /// Bytes sent on the directed link `from → to`.
+    pub fn bytes_on_link(&self, from: ActorId, to: ActorId) -> u64 {
+        self.bytes_by_link.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// The directed link that carried the most bytes, if any traffic flowed.
+    pub fn busiest_link(&self) -> Option<((ActorId, ActorId), u64)> {
+        self.bytes_by_link
+            .iter()
+            .max_by_key(|(link, bytes)| (**bytes, std::cmp::Reverse(**link)))
+            .map(|(l, b)| (*l, *b))
+    }
+
+    /// Fraction of the run the `from → to` link spent transmitting
+    /// (`link_busy / last_time`; 0 before any time has passed). Under
+    /// pure-propagation models this is always 0 — utilization only becomes
+    /// meaningful once a bandwidth-aware [`crate::NetworkModel`] charges
+    /// transmission time.
+    pub fn link_utilization(&self, from: ActorId, to: ActorId) -> f64 {
+        let elapsed = self.last_time.nanos();
+        if elapsed == 0 {
+            return 0.0;
+        }
+        let busy = self.link_busy.get(&(from, to)).copied().unwrap_or(0);
+        busy as f64 / elapsed as f64
+    }
+
+    /// The highest per-link utilization across all links (0 if no
+    /// transmission time was charged).
+    pub fn max_link_utilization(&self) -> f64 {
+        self.link_busy
+            .keys()
+            .map(|&(f, t)| self.link_utilization(f, t))
+            .fold(0.0, f64::max)
+    }
+
+    /// Fraction of the run actor `from`'s *uplink* spent transmitting:
+    /// busy time summed over every outgoing link. This is the right
+    /// saturation measure under [`crate::LinkDiscipline::SharedUplink`],
+    /// where all outgoing transmissions serialize on one pipe —
+    /// per-(from, to) utilization splits that pipe's busy time across
+    /// destinations and understates it. Transmission time is charged at
+    /// send, so a saturated uplink with messages still queued when the
+    /// run ends can report slightly above 1.0.
+    pub fn uplink_utilization(&self, from: ActorId) -> f64 {
+        let elapsed = self.last_time.nanos();
+        if elapsed == 0 {
+            return 0.0;
+        }
+        let busy: u128 = self
+            .link_busy
+            .iter()
+            .filter(|((f, _), _)| *f == from)
+            .map(|(_, &b)| b as u128)
+            .sum();
+        busy as f64 / elapsed as f64
+    }
+
+    /// The highest uplink utilization across all senders.
+    pub fn max_uplink_utilization(&self) -> f64 {
+        self.link_busy
+            .keys()
+            .map(|&(f, _)| self.uplink_utilization(f))
+            .fold(0.0, f64::max)
+    }
+
+    /// The full `n × n` byte matrix (`matrix[i][j]` = bytes `a_i → a_j`),
+    /// for reporting.
+    pub fn link_byte_matrix(&self, n: usize) -> Vec<Vec<u64>> {
+        let mut m = vec![vec![0u64; n]; n];
+        for (&(from, to), &bytes) in &self.bytes_by_link {
+            if from.index() < n && to.index() < n {
+                m[from.index()][to.index()] = bytes;
+            }
+        }
+        m
+    }
+
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -77,12 +174,16 @@ impl Metrics {
 mod tests {
     use super::*;
 
+    fn a(i: usize) -> ActorId {
+        ActorId(i)
+    }
+
     #[test]
     fn record_and_query() {
         let mut m = Metrics::default();
-        m.record_send("RC", 24);
-        m.record_send("RC", 36);
-        m.record_send("T", 100);
+        m.record_send("RC", 24, a(0), a(1), 0);
+        m.record_send("RC", 36, a(0), a(2), 0);
+        m.record_send("T", 100, a(1), a(0), 0);
         assert_eq!(m.messages_sent, 3);
         assert_eq!(m.bytes_sent, 160);
         assert_eq!(m.sent_of_kind("RC"), 2);
@@ -94,5 +195,39 @@ mod tests {
         assert_eq!(m.mean_bytes_of_kind("nope"), 0.0);
         assert!(m.summary().contains("sent=3"));
         assert!(m.summary().contains("bytes=160"));
+    }
+
+    #[test]
+    fn per_link_accounting() {
+        let mut m = Metrics::default();
+        m.record_send("R", 1_000, a(0), a(1), 100);
+        m.record_send("R", 3_000, a(0), a(1), 300);
+        m.record_send("W", 500, a(1), a(0), 50);
+        assert_eq!(m.bytes_on_link(a(0), a(1)), 4_000);
+        assert_eq!(m.bytes_on_link(a(1), a(0)), 500);
+        assert_eq!(m.bytes_on_link(a(0), a(2)), 0);
+        assert_eq!(m.busiest_link(), Some(((a(0), a(1)), 4_000)));
+        let mat = m.link_byte_matrix(2);
+        assert_eq!(mat, vec![vec![0, 4_000], vec![500, 0]]);
+        // Utilization: 400 ns busy over a 1000 ns run.
+        m.last_time = Time(1_000);
+        assert_eq!(m.link_utilization(a(0), a(1)), 0.4);
+        assert_eq!(m.link_utilization(a(2), a(0)), 0.0);
+        assert_eq!(m.max_link_utilization(), 0.4);
+        // A shared uplink's saturation is the *sum* over destinations.
+        m.record_send("R", 1_000, a(0), a(2), 500);
+        assert_eq!(m.link_utilization(a(0), a(2)), 0.5);
+        assert_eq!(m.uplink_utilization(a(0)), 0.9);
+        assert_eq!(m.uplink_utilization(a(2)), 0.0);
+        assert_eq!(m.max_uplink_utilization(), 0.9);
+    }
+
+    #[test]
+    fn utilization_zero_without_time_or_transmission() {
+        let mut m = Metrics::default();
+        assert_eq!(m.link_utilization(a(0), a(1)), 0.0);
+        m.record_send("R", 100, a(0), a(1), 0);
+        m.last_time = Time(1_000);
+        assert_eq!(m.max_link_utilization(), 0.0, "no transmission charged");
     }
 }

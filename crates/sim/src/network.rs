@@ -1,23 +1,308 @@
-//! Network latency models and adversarial delivery strategies.
+//! Network models and adversarial delivery strategies.
 //!
 //! The system model (§II) assumes reliable links in an asynchronous system:
 //! every sent message is eventually delivered, after an arbitrary finite
-//! delay. A [`LatencyModel`] decides that delay per message. Composable
-//! decorators turn a base model into an adversary: reordering bursts,
-//! targeted slow-downs, or temporary partitions that heal (preserving
-//! reliability).
+//! delay. Two layers decide that delay:
+//!
+//! * A [`LatencyModel`] samples *propagation* delay per message — distance,
+//!   jitter, adversarial holds. Composable decorators turn a base model
+//!   into an adversary: reordering bursts, targeted slow-downs, or
+//!   temporary partitions that heal (preserving reliability).
+//! * A [`NetworkModel`] additionally sees the message's *size* and charges
+//!   transmission time plus link-serialization queueing. Every
+//!   `LatencyModel` is a `NetworkModel` with infinite bandwidth (a blanket
+//!   impl), so size-oblivious scenarios keep working unchanged; wrap any
+//!   model in [`BandwidthLinks`] to make wire bytes shape the schedule.
+
+use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::actor::ActorId;
-use crate::time::{Nanos, Time, MILLI};
+use crate::time::{Nanos, Time, MILLI, SECOND};
 
-/// Decides the delivery delay of each message. Stateful and seeded: given
-/// the same seed and send sequence, delays are reproducible.
+/// Decides the propagation delay of each message. Stateful and seeded:
+/// given the same seed and send sequence, delays are reproducible.
 pub trait LatencyModel: Send {
     /// Delay for a message from `from` to `to` sent at `now`.
     fn sample(&mut self, from: ActorId, to: ActorId, now: Time, rng: &mut StdRng) -> Nanos;
+}
+
+/// The components of one message's delivery delay, as decided by a
+/// [`NetworkModel`]. The world schedules delivery at
+/// `send time + total()` and the trace records the components.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Delivery {
+    /// Time spent waiting for the link to free up (serialization behind
+    /// earlier messages on the same link/uplink).
+    pub queued: Nanos,
+    /// Transmission time: `wire_size / link bandwidth`.
+    pub transmission: Nanos,
+    /// Propagation delay (the [`LatencyModel`] sample).
+    pub propagation: Nanos,
+}
+
+impl Delivery {
+    /// A pure-propagation delivery (infinite bandwidth, idle link).
+    pub fn propagation_only(propagation: Nanos) -> Delivery {
+        Delivery {
+            queued: 0,
+            transmission: 0,
+            propagation,
+        }
+    }
+
+    /// Total send-to-delivery delay.
+    pub fn total(&self) -> Nanos {
+        self.queued
+            .saturating_add(self.transmission)
+            .saturating_add(self.propagation)
+    }
+}
+
+/// Decides the full delivery delay of each message, *including* its size:
+/// delay = queueing (link serialization) + transmission (size / bandwidth)
+/// + propagation.
+///
+/// Every [`LatencyModel`] is a `NetworkModel` through a blanket impl that
+/// charges zero transmission — so constant/uniform/WAN models, all the
+/// adversary decorators, and every existing scenario remain valid network
+/// models verbatim. Size-aware models ([`BandwidthLinks`]) implement this
+/// trait directly.
+pub trait NetworkModel: Send {
+    /// Delivery components for a message of `bytes` from `from` to `to`
+    /// sent at `now`.
+    fn delivery(
+        &mut self,
+        from: ActorId,
+        to: ActorId,
+        now: Time,
+        bytes: usize,
+        rng: &mut StdRng,
+    ) -> Delivery;
+}
+
+impl<L: LatencyModel> NetworkModel for L {
+    fn delivery(
+        &mut self,
+        from: ActorId,
+        to: ActorId,
+        now: Time,
+        _bytes: usize,
+        rng: &mut StdRng,
+    ) -> Delivery {
+        Delivery::propagation_only(self.sample(from, to, now, rng))
+    }
+}
+
+impl NetworkModel for Box<dyn NetworkModel> {
+    fn delivery(
+        &mut self,
+        from: ActorId,
+        to: ActorId,
+        now: Time,
+        bytes: usize,
+        rng: &mut StdRng,
+    ) -> Delivery {
+        (**self).delivery(from, to, now, bytes, rng)
+    }
+}
+
+/// Sentinel bandwidth meaning "unlimited" (zero transmission time).
+pub const UNLIMITED_BANDWIDTH: u64 = u64::MAX;
+
+/// A per-link bandwidth matrix, mirroring [`WanMatrix`]: bandwidth in
+/// bytes/second per (from-region, to-region) pair, with actors mapped to
+/// regions by `region_of`. Self-sends are free (no wire is crossed).
+///
+/// # Examples
+///
+/// ```
+/// use awr_sim::{ActorId, BandwidthMatrix};
+///
+/// // 4 actors sharing one 10 MB/s fabric.
+/// let bw = BandwidthMatrix::uniform(4, 10_000_000);
+/// // A 1 MB message occupies the link for 100 ms.
+/// assert_eq!(
+///     bw.transmission_nanos(ActorId(0), ActorId(1), 1_000_000),
+///     100_000_000
+/// );
+/// assert_eq!(bw.transmission_nanos(ActorId(2), ActorId(2), 1_000_000), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BandwidthMatrix {
+    /// `bw[i][j]` = bytes/second from region `i` to region `j`.
+    bw: Vec<Vec<u64>>,
+    /// Region of each actor (index = actor index).
+    region_of: Vec<usize>,
+}
+
+impl BandwidthMatrix {
+    /// Builds a bandwidth model from a region matrix (bytes/second) and an
+    /// actor→region map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square, a region index is out of range,
+    /// or any bandwidth is zero.
+    pub fn new(bw: Vec<Vec<u64>>, region_of: Vec<usize>) -> BandwidthMatrix {
+        let r = bw.len();
+        assert!(bw.iter().all(|row| row.len() == r), "matrix must be square");
+        assert!(
+            bw.iter().all(|row| row.iter().all(|&b| b > 0)),
+            "bandwidth must be positive (use UNLIMITED_BANDWIDTH for ∞)"
+        );
+        assert!(
+            region_of.iter().all(|&x| x < r),
+            "region index out of range"
+        );
+        BandwidthMatrix { bw, region_of }
+    }
+
+    /// All `n` actors in one region with the same link bandwidth.
+    pub fn uniform(n: usize, bytes_per_sec: u64) -> BandwidthMatrix {
+        BandwidthMatrix::new(vec![vec![bytes_per_sec]], vec![0; n])
+    }
+
+    /// All `n` actors in one region with unlimited bandwidth — the identity
+    /// element: wrapping a latency model with this matrix reproduces the
+    /// pure-propagation schedule exactly.
+    pub fn unlimited(n: usize) -> BandwidthMatrix {
+        BandwidthMatrix::uniform(n, UNLIMITED_BANDWIDTH)
+    }
+
+    /// Region of an actor.
+    pub fn region(&self, a: ActorId) -> usize {
+        self.region_of[a.index()]
+    }
+
+    /// Re-maps an actor to a different region (regime shifts; mirror of
+    /// [`WanMatrix::set_region`]).
+    pub fn set_region(&mut self, a: ActorId, region: usize) {
+        assert!(region < self.bw.len());
+        self.region_of[a.index()] = region;
+    }
+
+    /// The bandwidth of the directed link between two actors, bytes/second.
+    pub fn link_bandwidth(&self, from: ActorId, to: ActorId) -> u64 {
+        self.bw[self.region(from)][self.region(to)]
+    }
+
+    /// Transmission time of `bytes` on the `from → to` link. Zero for
+    /// self-sends and unlimited links.
+    pub fn transmission_nanos(&self, from: ActorId, to: ActorId, bytes: usize) -> Nanos {
+        if from == to || bytes == 0 {
+            return 0;
+        }
+        let bw = self.link_bandwidth(from, to);
+        if bw == UNLIMITED_BANDWIDTH {
+            return 0;
+        }
+        ((bytes as u128 * SECOND as u128) / bw as u128) as Nanos
+    }
+}
+
+/// What serializes transmissions in a [`BandwidthLinks`] model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LinkDiscipline {
+    /// Each directed `(from, to)` link is its own FIFO pipe: a broadcast's
+    /// messages transmit in parallel, but two messages on the *same* link
+    /// serialize.
+    #[default]
+    PerLink,
+    /// All of a sender's outgoing messages share one uplink: a broadcast of
+    /// `n` large messages occupies the uplink `n` transmissions long — the
+    /// regime where full-change-set wires hurt most.
+    SharedUplink,
+}
+
+/// A size-aware network: wraps any [`NetworkModel`] (typically a plain
+/// [`LatencyModel`]) and adds transmission time plus link serialization
+/// from a [`BandwidthMatrix`].
+///
+/// Each transmission starts when its link (per [`LinkDiscipline`]) frees
+/// up, occupies it for `size / bandwidth`, then propagates independently —
+/// so a 12 MB full change set really does delay everything queued behind
+/// it. With a constant propagation model this makes every link FIFO; with
+/// jittered propagation, messages still serialize at the sender but may
+/// reorder in flight (the asynchronous model is preserved).
+///
+/// # Examples
+///
+/// ```
+/// use awr_sim::{BandwidthLinks, BandwidthMatrix, ConstantLatency, MILLI};
+///
+/// // 1 ms propagation, 1 MB/s links.
+/// let net = BandwidthLinks::new(ConstantLatency(MILLI), BandwidthMatrix::uniform(4, 1_000_000));
+/// // give `net` to World::new(..): a 1 KB message now takes 2 ms.
+/// # drop(net);
+/// ```
+pub struct BandwidthLinks<N> {
+    inner: N,
+    bandwidth: BandwidthMatrix,
+    discipline: LinkDiscipline,
+    /// When each link frees up. Key: `(from, Some(to))` per-link or
+    /// `(from, None)` shared-uplink.
+    free_at: HashMap<(ActorId, Option<ActorId>), Time>,
+}
+
+impl<N: NetworkModel> BandwidthLinks<N> {
+    /// Wraps `inner` with per-directed-link serialization.
+    pub fn new(inner: N, bandwidth: BandwidthMatrix) -> BandwidthLinks<N> {
+        BandwidthLinks::with_discipline(inner, bandwidth, LinkDiscipline::PerLink)
+    }
+
+    /// Wraps `inner` with an explicit serialization discipline.
+    pub fn with_discipline(
+        inner: N,
+        bandwidth: BandwidthMatrix,
+        discipline: LinkDiscipline,
+    ) -> BandwidthLinks<N> {
+        BandwidthLinks {
+            inner,
+            bandwidth,
+            discipline,
+            free_at: HashMap::new(),
+        }
+    }
+
+    /// The bandwidth matrix (for inspection / regime shifts).
+    pub fn bandwidth_mut(&mut self) -> &mut BandwidthMatrix {
+        &mut self.bandwidth
+    }
+
+    /// The wrapped propagation model.
+    pub fn inner_mut(&mut self) -> &mut N {
+        &mut self.inner
+    }
+}
+
+impl<N: NetworkModel> NetworkModel for BandwidthLinks<N> {
+    fn delivery(
+        &mut self,
+        from: ActorId,
+        to: ActorId,
+        now: Time,
+        bytes: usize,
+        rng: &mut StdRng,
+    ) -> Delivery {
+        let base = self.inner.delivery(from, to, now, bytes, rng);
+        let tx = self.bandwidth.transmission_nanos(from, to, bytes);
+        let key = match self.discipline {
+            LinkDiscipline::PerLink => (from, Some(to)),
+            LinkDiscipline::SharedUplink => (from, None),
+        };
+        let free = self.free_at.entry(key).or_insert(Time::ZERO);
+        let start = if *free > now { *free } else { now };
+        let queued = start - now;
+        *free = start + tx;
+        Delivery {
+            queued: queued.saturating_add(base.queued),
+            transmission: tx.saturating_add(base.transmission),
+            propagation: base.propagation,
+        }
+    }
 }
 
 /// A fixed delay for every message — synchronous-looking, useful for
@@ -370,6 +655,12 @@ mod tests {
 /// The paper's model (§II) does not assume FIFO links, so the default
 /// everywhere is non-FIFO; this exists to measure how much protocol
 /// behaviour depends on reordering (none, for safety — that is the point).
+///
+/// Relation to [`BandwidthLinks`]: that wrapper serializes *transmissions*
+/// at the sender (arrivals can still reorder under jittered propagation),
+/// while this decorator forces FIFO *arrivals* outright with no bandwidth
+/// semantics. Compose them — `FifoLinks` inside, as the propagation model —
+/// to get both.
 pub struct FifoLinks<L> {
     inner: L,
     last_arrival: std::collections::HashMap<(ActorId, ActorId), Time>,
@@ -397,6 +688,132 @@ impl<L: LatencyModel> LatencyModel for FifoLinks<L> {
         };
         *entry = fifo_arrival;
         fifo_arrival - now
+    }
+}
+
+#[cfg(test)]
+mod bandwidth_tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn a(i: usize) -> ActorId {
+        ActorId(i)
+    }
+
+    #[test]
+    fn blanket_impl_is_pure_propagation() {
+        let mut m = ConstantLatency(500);
+        let d = m.delivery(a(0), a(1), Time::ZERO, 1 << 20, &mut rng());
+        assert_eq!(d, Delivery::propagation_only(500));
+        assert_eq!(d.total(), 500);
+    }
+
+    #[test]
+    fn transmission_is_size_over_bandwidth() {
+        let bw = BandwidthMatrix::uniform(3, 1_000_000); // 1 MB/s
+        assert_eq!(bw.transmission_nanos(a(0), a(1), 1_000), MILLI);
+        assert_eq!(bw.transmission_nanos(a(0), a(1), 0), 0);
+        assert_eq!(bw.transmission_nanos(a(1), a(1), 1_000), 0, "self-send");
+        let inf = BandwidthMatrix::unlimited(3);
+        assert_eq!(inf.transmission_nanos(a(0), a(1), 1 << 30), 0);
+    }
+
+    #[test]
+    fn unlimited_bandwidth_reproduces_latency_schedule() {
+        let mut plain = UniformLatency::new(1, 10_000);
+        let mut wrapped = BandwidthLinks::new(
+            UniformLatency::new(1, 10_000),
+            BandwidthMatrix::unlimited(4),
+        );
+        let (mut r1, mut r2) = (rng(), rng());
+        for k in 0..100u64 {
+            let p = plain.delivery(a(0), a(1), Time(k), 10_000, &mut r1);
+            let w = wrapped.delivery(a(0), a(1), Time(k), 10_000, &mut r2);
+            assert_eq!(p, w, "infinite bandwidth must be a no-op (k={k})");
+        }
+    }
+
+    #[test]
+    fn per_link_serialization_queues_behind_large_messages() {
+        // 1 KB/ms links, zero propagation: a 10 KB message occupies the
+        // link for 10 ms; a small message sent right after waits for it.
+        let mut net =
+            BandwidthLinks::new(ConstantLatency(0), BandwidthMatrix::uniform(3, 1_000_000));
+        let big = net.delivery(a(0), a(1), Time::ZERO, 10_000, &mut rng());
+        assert_eq!(big.queued, 0);
+        assert_eq!(big.transmission, 10 * MILLI);
+        let small = net.delivery(a(0), a(1), Time(1), 100, &mut rng());
+        assert_eq!(small.queued, 10 * MILLI - 1, "must wait for the link");
+        // A different link is idle.
+        let other = net.delivery(a(0), a(2), Time(1), 100, &mut rng());
+        assert_eq!(other.queued, 0);
+        // The reverse direction is a separate link too.
+        let reverse = net.delivery(a(1), a(0), Time(1), 100, &mut rng());
+        assert_eq!(reverse.queued, 0);
+    }
+
+    #[test]
+    fn shared_uplink_serializes_a_broadcast() {
+        let mut net = BandwidthLinks::with_discipline(
+            ConstantLatency(0),
+            BandwidthMatrix::uniform(5, 1_000_000),
+            LinkDiscipline::SharedUplink,
+        );
+        // Broadcast of four 1 KB messages from a0: the k-th waits k·1 ms.
+        for k in 0..4u64 {
+            let d = net.delivery(a(0), a(1 + k as usize), Time::ZERO, 1_000, &mut rng());
+            assert_eq!(d.queued, k * MILLI, "message {k} must queue");
+            assert_eq!(d.transmission, MILLI);
+        }
+        // Another sender's uplink is independent.
+        let d = net.delivery(a(1), a(0), Time::ZERO, 1_000, &mut rng());
+        assert_eq!(d.queued, 0);
+    }
+
+    #[test]
+    fn bandwidth_links_preserve_fifo_per_link() {
+        // Constant propagation + serialization ⇒ arrivals on a link never
+        // overtake, whatever the message sizes.
+        let mut net =
+            BandwidthLinks::new(ConstantLatency(MILLI), BandwidthMatrix::uniform(2, 500_000));
+        let mut r = rng();
+        let mut last = 0u64;
+        for k in 0..50u64 {
+            let now = Time(k * 100);
+            let bytes = if k % 3 == 0 { 20_000 } else { 50 };
+            let d = net.delivery(a(0), a(1), now, bytes, &mut r);
+            let arrival = now.nanos() + d.total();
+            assert!(arrival >= last, "overtake at k={k}");
+            last = arrival;
+        }
+    }
+
+    #[test]
+    fn matrix_regions_and_remap() {
+        let mut bw = BandwidthMatrix::new(
+            vec![vec![1_000_000, 100_000], vec![100_000, 1_000_000]],
+            vec![0, 0, 1],
+        );
+        assert_eq!(bw.region(a(2)), 1);
+        assert_eq!(bw.link_bandwidth(a(0), a(1)), 1_000_000);
+        assert_eq!(bw.link_bandwidth(a(0), a(2)), 100_000);
+        // Cross-region is 10× slower for the same payload.
+        assert_eq!(
+            bw.transmission_nanos(a(0), a(2), 1_000),
+            10 * bw.transmission_nanos(a(0), a(1), 1_000)
+        );
+        bw.set_region(a(2), 0);
+        assert_eq!(bw.link_bandwidth(a(0), a(2)), 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = BandwidthMatrix::uniform(2, 0);
     }
 }
 

@@ -35,13 +35,14 @@ struct KindTally {
 }
 
 /// Run-wide send accounting shared by every actor thread. Totals are
-/// lock-free atomics updated per send; the per-kind map takes a lock only
-/// when a thread exits and merges its local tallies.
+/// lock-free atomics updated per send; the per-kind and per-link maps take
+/// a lock only when a thread exits and merges its local tallies.
 #[derive(Default)]
 struct SharedCounters {
     messages_sent: AtomicU64,
     bytes_sent: AtomicU64,
     by_kind: Mutex<BTreeMap<&'static str, KindTally>>,
+    by_link: Mutex<BTreeMap<(ActorId, ActorId), u64>>,
 }
 
 impl SharedCounters {
@@ -50,24 +51,40 @@ impl SharedCounters {
         self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
-    fn merge_kinds(&self, local: &BTreeMap<&'static str, KindTally>) {
+    fn merge_kinds(
+        &self,
+        local: &BTreeMap<&'static str, KindTally>,
+        links: &BTreeMap<(ActorId, ActorId), u64>,
+    ) {
         let mut map = self.by_kind.lock().expect("metrics mutex poisoned");
         for (k, t) in local {
             let e = map.entry(k).or_default();
             e.count += t.count;
             e.bytes += t.bytes;
         }
+        drop(map);
+        let mut map = self.by_link.lock().expect("metrics mutex poisoned");
+        for (l, b) in links {
+            *map.entry(*l).or_insert(0) += b;
+        }
     }
 
     /// One-off accounting for harness-injected messages (actor threads use
     /// the thread-local tallies instead; injection is rare enough that one
     /// lock per call is fine).
-    fn record_one(&self, kind: &'static str, bytes: usize) {
+    fn record_one(&self, kind: &'static str, bytes: usize, from: ActorId, to: ActorId) {
         self.record_totals(bytes);
         let mut map = self.by_kind.lock().expect("metrics mutex poisoned");
         let e = map.entry(kind).or_default();
         e.count += 1;
         e.bytes += bytes as u64;
+        drop(map);
+        *self
+            .by_link
+            .lock()
+            .expect("metrics mutex poisoned")
+            .entry((from, to))
+            .or_insert(0) += bytes as u64;
     }
 }
 
@@ -84,7 +101,8 @@ pub struct ThreadedMetrics {
 
 impl ThreadedMetrics {
     /// Snapshots the counters into a [`Metrics`] (fields the threaded
-    /// runtime does not track — virtual time, timers — stay zero).
+    /// runtime does not track — virtual time, timers, link busy time —
+    /// stay zero).
     pub fn snapshot(&self) -> Metrics {
         let mut m = Metrics {
             messages_sent: self.shared.messages_sent.load(Ordering::Relaxed),
@@ -95,6 +113,11 @@ impl ThreadedMetrics {
         for (k, t) in map.iter() {
             m.sent_by_kind.insert(k, t.count);
             m.bytes_by_kind.insert(k, t.bytes);
+        }
+        drop(map);
+        let map = self.shared.by_link.lock().expect("metrics mutex poisoned");
+        for (l, b) in map.iter() {
+            m.bytes_by_link.insert(*l, *b);
         }
         m
     }
@@ -164,9 +187,11 @@ impl<M: Message + Send> ThreadedSystem<M> {
                 let self_id = ActorId(i);
                 let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E3779B9));
                 let mut next_timer = 0u64;
-                // Per-kind tallies stay thread-local and merge into the
-                // shared map once, on exit, to keep the send path lock-free.
+                // Per-kind and per-link tallies stay thread-local and merge
+                // into the shared maps once, on exit, to keep the send path
+                // lock-free.
                 let mut kinds: BTreeMap<&'static str, KindTally> = BTreeMap::new();
+                let mut links: BTreeMap<(ActorId, ActorId), u64> = BTreeMap::new();
                 let mut run_cb = |actor: &mut Box<dyn Actor<Msg = M> + Send>,
                                   cb: &mut Callback<'_, M>| {
                     let mut effects: Vec<Effect<M>> = Vec::new();
@@ -190,6 +215,7 @@ impl<M: Message + Send> ThreadedSystem<M> {
                                 let t = kinds.entry(msg.kind()).or_default();
                                 t.count += 1;
                                 t.bytes += bytes as u64;
+                                *links.entry((self_id, to)).or_insert(0) += bytes as u64;
                                 // A send to a stopped peer is a dropped
                                 // message, matching the crash model.
                                 let _ = peer_senders[to.index()]
@@ -217,7 +243,7 @@ impl<M: Message + Send> ThreadedSystem<M> {
                 }
                 // Drain silently after crash/stop until Stop arrives so
                 // senders never block (channels are unbounded anyway).
-                shared.merge_kinds(&kinds);
+                shared.merge_kinds(&kinds, &links);
                 actor
             });
             handles.push(handle);
@@ -237,7 +263,8 @@ impl<M: Message + Send> ThreadedSystem<M> {
 
     /// Injects a message as if sent by `from`.
     pub fn inject(&self, from: ActorId, to: ActorId, msg: M) {
-        self.counters.record_one(msg.kind(), msg.wire_size());
+        self.counters
+            .record_one(msg.kind(), msg.wire_size(), from, to);
         let _ = self.senders[to.index()].send(Envelope::Msg { from, msg });
     }
 
@@ -335,10 +362,14 @@ mod tests {
         assert_eq!(a1.reported, Some(1000));
         // 1001 injects + actor 0's Count reply are all byte-accounted.
         let m = metrics.snapshot();
+        let per_msg = std::mem::size_of::<M2>() as u64;
         assert_eq!(m.messages_sent, 1002);
-        assert_eq!(m.bytes_sent, 1002 * std::mem::size_of::<M2>() as u64);
+        assert_eq!(m.bytes_sent, 1002 * per_msg);
         assert_eq!(m.sent_of_kind("msg"), 1002);
         assert_eq!(m.bytes_of_kind("msg"), m.bytes_sent);
+        // Per-link attribution: 1001 a1→a0 (injected), one a0→a1 reply.
+        assert_eq!(m.bytes_on_link(ActorId(1), ActorId(0)), 1001 * per_msg);
+        assert_eq!(m.bytes_on_link(ActorId(0), ActorId(1)), per_msg);
     }
 
     #[test]

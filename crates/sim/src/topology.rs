@@ -1,13 +1,21 @@
-//! Wide-area topology presets.
+//! Topology presets: propagation matrices and full bandwidth-aware
+//! networks.
 //!
 //! The paper motivates weighted quorums with geo-replication (WHEAT [20],
 //! AWARE [10]): replicas in different regions see very different quorum
 //! latencies. These presets encode a five-region planet-scale matrix with
 //! one-way delays in the ballpark of public-cloud inter-region RTTs, which
 //! is all the experiments need — only the *shape* (heterogeneity) matters.
+//!
+//! The `*_network` presets pair propagation with a [`BandwidthMatrix`] so
+//! wire bytes shape schedules: [`lan_network`] (fast links, tiny delays),
+//! [`wan_network`]/[`geo_network`] (five regions, bandwidth falling with
+//! distance), and [`constrained_uplink`] (every sender's outgoing traffic
+//! serializes on one modest uplink — the regime where full-change-set
+//! wires hurt most).
 
-use crate::network::WanMatrix;
-use crate::time::{Nanos, MILLI};
+use crate::network::{BandwidthLinks, BandwidthMatrix, LinkDiscipline, UniformLatency, WanMatrix};
+use crate::time::{Nanos, MICRO, MILLI};
 
 /// A named region of the five-region preset.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,6 +93,75 @@ pub fn mean_delay_profile(wan: &WanMatrix, n: usize) -> Vec<f64> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Bandwidth-aware network presets.
+// ---------------------------------------------------------------------------
+
+/// 10 Gbit/s in bytes/second — the LAN / intra-region link speed.
+pub const GBIT10: u64 = 1_250_000_000;
+
+/// Inter-region bandwidth (bytes/second) between the five preset regions:
+/// intra-region links run at [`GBIT10`], cross-region capacity falls with
+/// distance (same shape as the delay matrix — long-haul links are both
+/// slower and thinner).
+pub fn five_region_bandwidth() -> Vec<Vec<u64>> {
+    const MB: u64 = 1_000_000;
+    // bytes/s:                  VA        IE        SP        TK        SY
+    [
+        [GBIT10, 250 * MB, 150 * MB, 120 * MB, 100 * MB],
+        [250 * MB, GBIT10, 100 * MB, 90 * MB, 80 * MB],
+        [150 * MB, 100 * MB, GBIT10, 70 * MB, 60 * MB],
+        [120 * MB, 90 * MB, 70 * MB, GBIT10, 200 * MB],
+        [100 * MB, 80 * MB, 60 * MB, 200 * MB, GBIT10],
+    ]
+    .iter()
+    .map(|row| row.to_vec())
+    .collect()
+}
+
+/// A LAN: 20–80 µs propagation, [`GBIT10`] full-duplex links, per-link
+/// serialization. Messages are effectively free until they reach megabyte
+/// scale.
+pub fn lan_network(n: usize) -> BandwidthLinks<UniformLatency> {
+    BandwidthLinks::new(
+        UniformLatency::new(20 * MICRO, 80 * MICRO),
+        BandwidthMatrix::uniform(n, GBIT10),
+    )
+}
+
+/// The five-region WAN with bandwidth falling with distance: actors placed
+/// round-robin (actor `i` → region `i % 5`), per-link serialization.
+pub fn wan_network(n: usize, jitter: f64) -> BandwidthLinks<WanMatrix> {
+    let region_of: Vec<usize> = (0..n).map(|i| i % 5).collect();
+    BandwidthLinks::new(
+        five_region_wan(n, jitter),
+        BandwidthMatrix::new(five_region_bandwidth(), region_of),
+    )
+}
+
+/// The five-region WAN with an explicit actor→region placement — the
+/// geo-replicated deployment the paper's motivating systems (WHEAT, AWARE)
+/// run in.
+pub fn geo_network(placement: &[Region], jitter: f64) -> BandwidthLinks<WanMatrix> {
+    let region_of: Vec<usize> = placement.iter().map(|r| r.index()).collect();
+    BandwidthLinks::new(
+        five_region_wan_with_placement(placement, jitter),
+        BandwidthMatrix::new(five_region_bandwidth(), region_of),
+    )
+}
+
+/// A constrained-uplink topology: modest propagation (0.2–1 ms) and one
+/// shared uplink of `bytes_per_sec` per sender, so a broadcast's messages
+/// serialize behind each other. Pass [`crate::UNLIMITED_BANDWIDTH`] to
+/// recover the pure-propagation schedule (useful for A/B comparisons).
+pub fn constrained_uplink(n: usize, bytes_per_sec: u64) -> BandwidthLinks<UniformLatency> {
+    BandwidthLinks::with_discipline(
+        UniformLatency::new(200 * MICRO, MILLI),
+        BandwidthMatrix::uniform(n, bytes_per_sec),
+        LinkDiscipline::SharedUplink,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +199,83 @@ mod tests {
     fn explicit_placement() {
         let wan = five_region_wan_with_placement(&[Region::Tokyo, Region::Sydney], 0.0);
         assert_eq!(wan.base_delay(ActorId(0), ActorId(1)), 52 * MILLI);
+    }
+
+    #[test]
+    fn bandwidth_presets_have_expected_shape() {
+        use crate::network::NetworkModel;
+        use rand::SeedableRng;
+
+        let bw = five_region_bandwidth();
+        assert_eq!(bw.len(), 5);
+        for (i, row) in bw.iter().enumerate() {
+            assert_eq!(row.len(), 5);
+            assert_eq!(row[i], GBIT10, "intra-region must be LAN speed");
+            for (j, &cell) in row.iter().enumerate() {
+                assert_eq!(cell, bw[j][i], "asymmetric at {i},{j}");
+                assert!(cell > 0);
+            }
+        }
+        // A 1 MB payload crosses VA→SP slower than VA→IE (thinner pipe).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut net = wan_network(5, 0.0);
+        let to_ie = net.delivery(
+            ActorId(0),
+            ActorId(1),
+            crate::time::Time::ZERO,
+            1 << 20,
+            &mut rng,
+        );
+        let mut net = wan_network(5, 0.0);
+        let to_sp = net.delivery(
+            ActorId(0),
+            ActorId(2),
+            crate::time::Time::ZERO,
+            1 << 20,
+            &mut rng,
+        );
+        assert!(to_sp.transmission > to_ie.transmission);
+
+        // The constrained uplink serializes a fan-out; the LAN does not
+        // (same 100 KB payload, wildly different transmission).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut con = constrained_uplink(4, 1_000_000);
+        let first = con.delivery(
+            ActorId(0),
+            ActorId(1),
+            crate::time::Time::ZERO,
+            100_000,
+            &mut rng,
+        );
+        let second = con.delivery(
+            ActorId(0),
+            ActorId(2),
+            crate::time::Time::ZERO,
+            100_000,
+            &mut rng,
+        );
+        assert_eq!(first.transmission, 100 * MILLI);
+        assert_eq!(second.queued, 100 * MILLI, "uplink shared across targets");
+        let mut lan = lan_network(4);
+        let d = lan.delivery(
+            ActorId(0),
+            ActorId(1),
+            crate::time::Time::ZERO,
+            100_000,
+            &mut rng,
+        );
+        assert!(d.transmission < MILLI / 10);
+
+        // Geo placement honours the explicit region list.
+        let mut geo = geo_network(&[Region::Tokyo, Region::Sydney], 0.0);
+        let d = geo.delivery(
+            ActorId(0),
+            ActorId(1),
+            crate::time::Time::ZERO,
+            1 << 20,
+            &mut rng,
+        );
+        assert!(d.propagation >= 52 * MILLI);
     }
 
     #[test]

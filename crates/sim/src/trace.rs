@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use crate::actor::ActorId;
-use crate::time::Time;
+use crate::time::{Nanos, Time};
 
 /// What happened at one traced instant.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -25,6 +25,11 @@ pub enum TraceKind {
         kind: &'static str,
         /// The message's wire size in bytes.
         bytes: usize,
+        /// Transmission component of the delivery delay (`size/bandwidth`
+        /// plus link queueing; 0 under pure-propagation models).
+        transmission: Nanos,
+        /// Propagation component of the delivery delay.
+        propagation: Nanos,
     },
     /// A message to a crashed actor was dropped.
     DropCrashed {
@@ -68,8 +73,19 @@ impl fmt::Display for TraceRecord {
                 to,
                 kind,
                 bytes,
+                transmission,
+                propagation,
             } => {
-                write!(f, "[{}] {from} → {to} : {kind} ({bytes}B)", self.at)
+                write!(f, "[{}] {from} → {to} : {kind} ({bytes}B)", self.at)?;
+                if *transmission > 0 {
+                    write!(
+                        f,
+                        " [tx {:.3}ms + prop {:.3}ms]",
+                        *transmission as f64 / 1e6,
+                        *propagation as f64 / 1e6
+                    )?;
+                }
+                Ok(())
             }
             TraceKind::DropCrashed {
                 from,
@@ -146,6 +162,26 @@ impl Trace {
             .sum()
     }
 
+    /// Total `(transmission, propagation)` nanoseconds across retained
+    /// deliveries of a given message kind — how much of a phase's latency
+    /// was bandwidth versus distance.
+    pub fn delivered_delay_components_of(&self, kind: &str) -> (Nanos, Nanos) {
+        self.records
+            .iter()
+            .filter_map(|r| match &r.kind {
+                TraceKind::Deliver {
+                    kind: k,
+                    transmission,
+                    propagation,
+                    ..
+                } if *k == kind => Some((*transmission, *propagation)),
+                _ => None,
+            })
+            .fold((0, 0), |(t, p), (dt, dp)| {
+                (t.saturating_add(dt), p.saturating_add(dp))
+            })
+    }
+
     /// Renders the retained records, one per line.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -187,9 +223,26 @@ mod tests {
                 to: ActorId(1),
                 kind: "T",
                 bytes: 64,
+                transmission: 0,
+                propagation: 1_000_000,
             },
         };
         assert_eq!(r.to_string(), "[t=1.000ms] a0 → a1 : T (64B)");
+        let sized = TraceRecord {
+            at: Time(3_000_000),
+            kind: TraceKind::Deliver {
+                from: ActorId(0),
+                to: ActorId(1),
+                kind: "W",
+                bytes: 4096,
+                transmission: 2_000_000,
+                propagation: 1_000_000,
+            },
+        };
+        assert_eq!(
+            sized.to_string(),
+            "[t=3.000ms] a0 → a1 : W (4096B) [tx 2.000ms + prop 1.000ms]"
+        );
         let c = TraceRecord {
             at: Time(0),
             kind: TraceKind::Crash { actor: ActorId(2) },
@@ -207,6 +260,8 @@ mod tests {
                 to: ActorId(1),
                 kind: "T",
                 bytes: 48,
+                transmission: 300,
+                propagation: 700,
             },
         );
         t.record(
@@ -216,6 +271,8 @@ mod tests {
                 to: ActorId(0),
                 kind: "T_Ack",
                 bytes: 16,
+                transmission: 0,
+                propagation: 500,
             },
         );
         assert_eq!(t.deliveries_of("T"), 1);
@@ -223,6 +280,8 @@ mod tests {
         assert_eq!(t.deliveries_of("nope"), 0);
         assert_eq!(t.delivered_bytes_of("T"), 48);
         assert_eq!(t.delivered_bytes_of("nope"), 0);
+        assert_eq!(t.delivered_delay_components_of("T"), (300, 700));
+        assert_eq!(t.delivered_delay_components_of("nope"), (0, 0));
         assert!(t.render().contains("T_Ack"));
     }
 }

@@ -1,7 +1,7 @@
 //! The deterministic discrete-event world.
 //!
 //! [`World`] owns the actors, the event queue, the network model, and a
-//! seeded RNG. Every run with the same seed, actors, and latency model
+//! seeded RNG. Every run with the same seed, actors, and network model
 //! replays the exact same schedule — the property all experiment harnesses
 //! and failure-injection tests rely on.
 
@@ -13,7 +13,7 @@ use rand::SeedableRng;
 
 use crate::actor::{Actor, ActorId, Context, Effect, Message, TimerId};
 use crate::metrics::Metrics;
-use crate::network::LatencyModel;
+use crate::network::NetworkModel;
 use crate::time::{Nanos, Time};
 use crate::trace::{Trace, TraceKind};
 
@@ -25,6 +25,10 @@ enum EventKind<M> {
         from: ActorId,
         to: ActorId,
         msg: M,
+        /// Transmission + queueing component of the delivery delay.
+        tx: Nanos,
+        /// Propagation component of the delivery delay.
+        prop: Nanos,
     },
     Timer {
         actor: ActorId,
@@ -104,7 +108,7 @@ pub struct World<M: Message> {
     actors: Vec<Box<dyn Actor<Msg = M>>>,
     crashed: Vec<bool>,
     started: bool,
-    network: Box<dyn LatencyModel>,
+    network: Box<dyn NetworkModel>,
     rng: StdRng,
     next_timer: u64,
     cancelled_timers: HashSet<TimerId>,
@@ -115,8 +119,10 @@ pub struct World<M: Message> {
 }
 
 impl<M: Message> World<M> {
-    /// Creates a world with the given RNG seed and network model.
-    pub fn new(seed: u64, network: impl LatencyModel + 'static) -> World<M> {
+    /// Creates a world with the given RNG seed and network model. Any
+    /// [`crate::LatencyModel`] works directly (infinite bandwidth); wrap it
+    /// in [`crate::BandwidthLinks`] to make message sizes shape delivery.
+    pub fn new(seed: u64, network: impl NetworkModel + 'static) -> World<M> {
         World {
             time: Time::ZERO,
             seq: 0,
@@ -200,9 +206,27 @@ impl<M: Message> World<M> {
     /// Injects a message from `from` to `to` as if `from` had sent it now.
     /// Useful for harness-driven stimuli.
     pub fn inject(&mut self, from: ActorId, to: ActorId, msg: M) {
-        let delay = self.network.sample(from, to, self.time, &mut self.rng);
-        self.metrics.record_send(msg.kind(), msg.wire_size());
-        self.push_event(self.time + delay, EventKind::Deliver { from, to, msg });
+        self.send_message(from, to, msg);
+    }
+
+    fn send_message(&mut self, from: ActorId, to: ActorId, msg: M) {
+        let bytes = msg.wire_size();
+        let d = self
+            .network
+            .delivery(from, to, self.time, bytes, &mut self.rng);
+        let tx = d.queued.saturating_add(d.transmission);
+        self.metrics
+            .record_send(msg.kind(), bytes, from, to, d.transmission);
+        self.push_event(
+            self.time + d.total(),
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                tx,
+                prop: d.propagation,
+            },
+        );
     }
 
     /// Immutable typed access to an actor's state (post-run inspection).
@@ -258,9 +282,7 @@ impl<M: Message> World<M> {
         for e in effects {
             match e {
                 Effect::Send { to, msg } => {
-                    let delay = self.network.sample(from, to, self.time, &mut self.rng);
-                    self.metrics.record_send(msg.kind(), msg.wire_size());
-                    self.push_event(self.time + delay, EventKind::Deliver { from, to, msg });
+                    self.send_message(from, to, msg);
                 }
                 Effect::SetTimer { id, after, tag } => {
                     self.push_event(
@@ -329,7 +351,13 @@ impl<M: Message> World<M> {
             EventKind::Start(a) => {
                 self.dispatch(a, |actor, ctx| actor.on_start(ctx));
             }
-            EventKind::Deliver { from, to, msg } => {
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                tx,
+                prop,
+            } => {
                 if self.crashed[to.index()] {
                     self.metrics.messages_dropped_crashed += 1;
                     if let Some(t) = self.trace.as_mut() {
@@ -353,6 +381,8 @@ impl<M: Message> World<M> {
                                 to,
                                 kind: msg.kind(),
                                 bytes: msg.wire_size(),
+                                transmission: tx,
+                                propagation: prop,
                             },
                         );
                     }
@@ -581,5 +611,36 @@ mod tests {
         let mut w = world_with(2, 6);
         w.step();
         w.add_actor(Echo::new());
+    }
+
+    #[test]
+    fn bandwidth_model_shapes_the_schedule() {
+        use crate::network::{BandwidthLinks, BandwidthMatrix};
+
+        // Same seed and actors; the only difference is link bandwidth.
+        let run = |bw: u64| {
+            let net = BandwidthLinks::new(ConstantLatency(1_000), BandwidthMatrix::uniform(3, bw));
+            let mut w: World<Msg> = World::new(11, net);
+            for _ in 0..3 {
+                w.add_actor(Echo::new());
+            }
+            w.enable_trace(64);
+            w.run_to_quiescence();
+            let tx_total = w.trace().unwrap().delivered_delay_components_of("ping").0;
+            (w.now(), w.metrics().clone(), tx_total)
+        };
+        let (slow_end, slow_m, slow_tx) = run(1_000); // 1 KB/s: tx dominates
+        let (fast_end, fast_m, fast_tx) = run(crate::network::UNLIMITED_BANDWIDTH);
+        assert!(
+            slow_end > fast_end,
+            "constrained links must stretch the run ({slow_end} vs {fast_end})"
+        );
+        assert!(slow_tx > 0 && fast_tx == 0);
+        // Same traffic either way; the bytes are link-attributed.
+        assert_eq!(slow_m.bytes_sent, fast_m.bytes_sent);
+        let per_msg = std::mem::size_of::<Msg>() as u64;
+        assert_eq!(slow_m.bytes_on_link(ActorId(0), ActorId(1)), per_msg);
+        assert!(slow_m.max_link_utilization() > 0.0);
+        assert_eq!(fast_m.max_link_utilization(), 0.0);
     }
 }

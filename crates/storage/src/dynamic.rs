@@ -677,6 +677,28 @@ impl<V: Value> DynServer<V> {
         Ok(r)
     }
 
+    /// Like [`DynServer::begin_transfer`], but a request arriving while a
+    /// transfer is in flight queues instead of failing `Busy`; the queue
+    /// drains as one batched `⟨T⟩` envelope, so this server's peers pay a
+    /// single relay wave — and at most one register refresh — for the whole
+    /// burst (see [`awr_core::restricted::TransferCore::transfer_queued`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`awr_core::restricted::TransferCore::transfer_queued`].
+    pub fn begin_transfer_queued(
+        &mut self,
+        to: ServerId,
+        delta: Ratio,
+        ctx: &mut Context<'_, DynMsg<V>>,
+    ) -> Result<TransferStart, TransferError> {
+        let r = self.core.transfer_queued(to, delta, ctx, DynMsg::Wr)?;
+        if let TransferStart::Null(o) = &r {
+            self.transfer_log.push(o.clone());
+        }
+        Ok(r)
+    }
+
     /// Processes the apply queue: applies head requests, pausing to refresh
     /// the register when a request changes this server's own weight.
     fn drain_applies(&mut self, ctx: &mut Context<'_, DynMsg<V>>) {
@@ -740,8 +762,10 @@ impl<V: Value> Actor for DynServer<V> {
     fn on_message(&mut self, from: ActorId, msg: DynMsg<V>, ctx: &mut Context<'_, DynMsg<V>>) {
         match msg {
             DynMsg::Wr(WrMsg::Invoke { to, delta }) => {
-                // Management RPC: start a transfer if idle (see RpServer).
-                let _ = self.begin_transfer(to, delta, ctx);
+                // Management RPC: start the transfer, or queue it behind an
+                // in-flight one — bursts of monitor-driven reassignments
+                // batch into one ⟨T⟩ envelope per drain.
+                let _ = self.begin_transfer_queued(to, delta, ctx);
             }
             DynMsg::Wr(wr) => {
                 // Feed the refresh driver first: its R_A/W_A arrive as
@@ -1003,6 +1027,42 @@ mod driver_tests {
         }
         let (v, _) = h.read(0).unwrap();
         assert_eq!(v, Some(9));
+    }
+
+    #[test]
+    fn queued_transfer_burst_batches_and_stays_linearizable() {
+        use crate::lin::check_linearizable;
+        use awr_core::audit_transfers;
+
+        let mut h: StorageHarness<u64> = StorageHarness::build(
+            RpConfig::uniform(7, 2),
+            2,
+            31,
+            UniformLatency::new(1_000, 40_000),
+            DynOptions::default(),
+        );
+        h.write(0, 1).unwrap();
+        // A burst of three donations from s3: two queue behind the first
+        // and drain as one batched ⟨T⟩ envelope.
+        h.transfer_queued(s(3), s(0), Ratio::dec("0.05")).unwrap();
+        h.transfer_queued(s(3), s(0), Ratio::dec("0.05")).unwrap();
+        h.transfer_queued(s(3), s(0), Ratio::dec("0.05")).unwrap();
+        let (v, _) = h.read(1).unwrap();
+        assert_eq!(v, Some(1));
+        h.settle();
+        check_linearizable(&h.history()).expect("linearizable under batched transfers");
+        let report = audit_transfers(h.config(), &h.all_completed_transfers());
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.effective, 3);
+        // Two RB instances (eager relay = (n−1)² T messages each), and the
+        // gainer refreshed once per *batch*, not once per transfer.
+        assert_eq!(h.world.metrics().sent_of_kind("T"), 2 * 36);
+        let s0 = h
+            .world
+            .actor::<DynServer<u64>>(h.server_actor(s(0)))
+            .unwrap();
+        assert_eq!(s0.refreshes, 2);
+        assert_eq!(s0.weight(), Ratio::dec("1.15"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! `0..n`, clients after them.
 
 use awr_core::{RpConfig, TransferError, TransferOutcome};
-use awr_sim::{ActorId, LatencyModel, Time, World};
+use awr_sim::{ActorId, NetworkModel, Time, World};
 use awr_types::{Change, ChangeSet, ClientId, ProcessId, Ratio, ServerId};
 
 use crate::abd_static::Value;
@@ -36,15 +36,18 @@ pub struct StorageHarness<V: Value> {
 }
 
 impl<V: Value> StorageHarness<V> {
-    /// Builds the system.
+    /// Builds the system. `network` is any [`NetworkModel`]: a plain
+    /// latency model (infinite bandwidth) or a bandwidth-aware topology
+    /// like [`awr_sim::constrained_uplink`] where message sizes shape the
+    /// schedule.
     pub fn build(
         cfg: RpConfig,
         n_clients: usize,
         seed: u64,
-        latency: impl LatencyModel + 'static,
+        network: impl NetworkModel + 'static,
         options: DynOptions,
     ) -> StorageHarness<V> {
-        let mut world = World::new(seed, latency);
+        let mut world = World::new(seed, network);
         for s in cfg.servers() {
             world.add_actor(DynServer::<V>::new(cfg.clone(), s, options));
         }
@@ -258,6 +261,26 @@ impl<V: Value> StorageHarness<V> {
         self.world
             .with_actor_ctx::<DynServer<V>, Result<_, TransferError>>(actor, |srv, ctx| {
                 srv.begin_transfer(to, delta, ctx).map(|_| ())
+            })
+    }
+
+    /// Starts a transfer in queued mode without waiting: requests issued
+    /// while `from` is busy queue up and are announced batched in one
+    /// `⟨T⟩` envelope when the in-flight transfer completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invocation errors (never [`TransferError::Busy`]).
+    pub fn transfer_queued(
+        &mut self,
+        from: ServerId,
+        to: ServerId,
+        delta: Ratio,
+    ) -> Result<(), TransferError> {
+        let actor = self.server_actor(from);
+        self.world
+            .with_actor_ctx::<DynServer<V>, Result<_, TransferError>>(actor, |srv, ctx| {
+                srv.begin_transfer_queued(to, delta, ctx).map(|_| ())
             })
     }
 
