@@ -210,6 +210,31 @@ impl RpHarness {
             .clone())
     }
 
+    /// Drives the deployment toward `target`: plans the current→target
+    /// move as pairwise transfers (from server 0's view of the weights)
+    /// and issues each one on its donor in queued mode — the reassignment
+    /// half of the observe→decide→reassign loop for the bare restricted
+    /// protocol (the storage-level driver lives in
+    /// `awr_storage::PlacementDriver`). Returns the number of transfers
+    /// issued; call [`RpHarness::settle`] to let them complete.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first invocation error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` has a different length or total than the current
+    /// weights (see `awr_quorum::plan_transfers`).
+    pub fn reassign_toward(&mut self, target: &WeightMap) -> Result<usize, TransferError> {
+        let current = self.weights_seen_by(ServerId(0));
+        let plan = awr_quorum::plan_transfers(&current, target);
+        for t in &plan {
+            self.transfer_queued(t.from, t.to, t.delta)?;
+        }
+        Ok(plan.len())
+    }
+
     /// Runs until every server is idle (no pending transfer) and the event
     /// queue drains.
     pub fn settle(&mut self) {

@@ -10,10 +10,15 @@
 //!   per-server latencies;
 //! * [`WeightPolicy`] — turns latency estimates into *target weights* that
 //!   respect the RP-Integrity floor and Property 1;
-//! * [`plan_transfers`] — decomposes a current→target weight move into
-//!   pairwise transfers that honour C1 (only a server moves its own weight)
-//!   and C2 (donors stay above the floor), ready to feed to
-//!   `TransferCore::transfer`.
+//! * [`plan_transfers`] (re-exported from [`awr_quorum::placement`], where
+//!   the full policy suite lives) — decomposes a current→target weight move
+//!   into pairwise transfers that honour C1 (only a server moves its own
+//!   weight) and C2 (donors stay above the floor), ready to feed to
+//!   `TransferCore::transfer`;
+//! * [`DecisionLog`] / [`PolicyDecision`] — telemetry for the adaptive
+//!   placement loop: every observe→decide→reassign tick records what the
+//!   policy saw, what it proposed, and what was actually issued, so
+//!   experiments can audit *why* weights moved.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -167,84 +172,7 @@ impl WeightPolicy {
     }
 }
 
-/// One planned pairwise transfer: `from` donates `delta` to `to`.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct PlannedTransfer {
-    /// The donating server (must invoke the transfer itself — C1).
-    pub from: ServerId,
-    /// The receiving server.
-    pub to: ServerId,
-    /// The amount to move.
-    pub delta: Ratio,
-}
-
-/// Decomposes `current → target` into pairwise transfers.
-///
-/// Donors are servers whose current weight exceeds their target; receivers
-/// the opposite. A greedy matching pairs the largest donor surplus with the
-/// largest receiver deficit, so the plan has at most `n − 1` transfers.
-///
-/// Returns an empty plan when the vectors already match.
-///
-/// # Panics
-///
-/// Panics if the totals differ (pairwise reassignment cannot change the
-/// total) or the vectors have different lengths.
-///
-/// # Examples
-///
-/// ```
-/// use awr_core::RpConfig;
-/// use awr_monitor::plan_transfers;
-/// use awr_types::{Ratio, WeightMap};
-///
-/// let cfg = RpConfig::uniform(4, 1);
-/// let target = WeightMap::dec(&["1.2", "1", "1", "0.8"]);
-/// let plan = plan_transfers(&cfg.initial_weights, &target);
-/// assert_eq!(plan.len(), 1);
-/// assert_eq!(plan[0].delta, Ratio::dec("0.2"));
-/// ```
-pub fn plan_transfers(current: &WeightMap, target: &WeightMap) -> Vec<PlannedTransfer> {
-    assert_eq!(current.len(), target.len(), "vector lengths differ");
-    assert_eq!(
-        current.total(),
-        target.total(),
-        "pairwise transfers preserve the total; totals differ"
-    );
-    let mut surplus: Vec<(ServerId, Ratio)> = Vec::new();
-    let mut deficit: Vec<(ServerId, Ratio)> = Vec::new();
-    for (s, cur) in current.iter() {
-        let t = target.weight(s);
-        if cur > t {
-            surplus.push((s, cur - t));
-        } else if t > cur {
-            deficit.push((s, t - cur));
-        }
-    }
-    // Largest first for a short plan.
-    surplus.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    deficit.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-
-    let mut plan = Vec::new();
-    let (mut i, mut j) = (0, 0);
-    while i < surplus.len() && j < deficit.len() {
-        let d = surplus[i].1.min(deficit[j].1);
-        plan.push(PlannedTransfer {
-            from: surplus[i].0,
-            to: deficit[j].0,
-            delta: d,
-        });
-        surplus[i].1 -= d;
-        deficit[j].1 -= d;
-        if surplus[i].1.is_zero() {
-            i += 1;
-        }
-        if deficit[j].1.is_zero() {
-            j += 1;
-        }
-    }
-    plan
-}
+pub use awr_quorum::placement::{plan_transfers, PlannedTransfer};
 
 /// Validates that a plan is executable under C2: simulating the transfers
 /// in order, every donor stays strictly above the floor. Returns the index
@@ -264,6 +192,94 @@ pub fn first_infeasible_step(
         w.add(t.to, t.delta);
     }
     None
+}
+
+/// One recorded placement decision: what the policy saw, what it proposed,
+/// and what was issued to the protocol.
+#[derive(Clone, Debug)]
+pub struct PolicyDecision {
+    /// Virtual time of the decision, nanoseconds.
+    pub at_nanos: u64,
+    /// The deciding policy's name.
+    pub policy: &'static str,
+    /// The weight map in force when the policy ran.
+    pub current: WeightMap,
+    /// The map the policy proposed.
+    pub proposed: WeightMap,
+    /// Whether the proposal passed safety validation (RP-Integrity floor
+    /// and Property 1). Invalid proposals are recorded but never issued.
+    pub accepted: bool,
+    /// Transfers the plan decomposed into (post hysteresis filtering).
+    pub planned: usize,
+    /// Transfers actually handed to the protocol.
+    pub issued: usize,
+}
+
+impl PolicyDecision {
+    /// Whether this tick changed anything (a no-op decision proposes the
+    /// current map back, or plans zero transfers).
+    pub fn is_noop(&self) -> bool {
+        self.issued == 0
+    }
+}
+
+/// An append-only log of placement decisions — the policy-side audit trail
+/// mirroring what `awr_core::audit_transfers` does for the protocol side.
+#[derive(Clone, Debug, Default)]
+pub struct DecisionLog {
+    entries: Vec<PolicyDecision>,
+}
+
+impl DecisionLog {
+    /// An empty log.
+    pub fn new() -> DecisionLog {
+        DecisionLog::default()
+    }
+
+    /// Appends a decision.
+    pub fn push(&mut self, d: PolicyDecision) {
+        self.entries.push(d);
+    }
+
+    /// All decisions, oldest first.
+    pub fn entries(&self) -> &[PolicyDecision] {
+        &self.entries
+    }
+
+    /// Number of decisions recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether any decision has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The most recent decision.
+    pub fn last(&self) -> Option<&PolicyDecision> {
+        self.entries.last()
+    }
+
+    /// Decisions that actually issued transfers.
+    pub fn effective(&self) -> usize {
+        self.entries.iter().filter(|d| !d.is_noop()).count()
+    }
+
+    /// Total transfers issued across all decisions.
+    pub fn transfers_issued(&self) -> usize {
+        self.entries.iter().map(|d| d.issued).sum()
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} decision(s), {} effective, {} transfer(s) issued",
+            self.len(),
+            self.effective(),
+            self.transfers_issued(),
+        )
+    }
 }
 
 /// A synthetic latency regime for experiments: per-server base latency with

@@ -13,7 +13,13 @@
 //! * availability & integrity checks — Property 1, Integrity, the
 //!   RP-Integrity floor `W_{S,0}/(2(n−f))`, and executable Lemma 1;
 //! * analysis helpers for the experiment harnesses (smallest quorum avoiding
-//!   failed servers, fastest-quorum latency, skew sweeps).
+//!   failed servers, fastest-quorum latency, skew sweeps);
+//! * [`placement`] — utilization-driven weight placement: the
+//!   [`PlacementPolicy`] trait ([`placement::Static`], [`LatencyGreedy`],
+//!   [`UtilizationAware`]) consumes the simulator's per-link latency /
+//!   utilization matrices and proposes safe weight maps, and
+//!   [`plan_transfers`] decomposes the move into C1-compatible pairwise
+//!   transfers.
 //!
 //! # Examples
 //!
@@ -36,6 +42,7 @@ mod availability;
 mod grid;
 mod load;
 mod majority;
+pub mod placement;
 mod system;
 mod tree;
 mod weighted;
@@ -48,6 +55,10 @@ pub use availability::{
 pub use grid::GridQuorumSystem;
 pub use load::{approximate_load, greedy_weighted_load, load_lower_bound, LoadAnalysis};
 pub use majority::MajorityQuorumSystem;
+pub use placement::{
+    plan_transfers, shape_weights, LatencyGreedy, PlacementInputs, PlacementPolicy,
+    PlannedTransfer, UtilizationAware,
+};
 pub use system::{minimal_quorums, verify_intersection, QuorumSystem};
 pub use tree::TreeQuorumSystem;
 pub use weighted::WeightedMajorityQuorumSystem;

@@ -37,8 +37,20 @@
 //! Topology presets cover the interesting regimes: [`lan_network`],
 //! [`wan_network`], [`geo_network`], and [`constrained_uplink`] (every
 //! sender's outgoing traffic serializes on one modest uplink).
-//! [`Metrics`] attributes bytes and transmission time per directed link
-//! ([`Metrics::bytes_on_link`], [`Metrics::link_utilization`]).
+//! [`Metrics`] attributes bytes, transmission time, and delivery-delay
+//! components per directed link ([`Metrics::bytes_on_link`],
+//! [`Metrics::link_utilization`], [`Metrics::link_delay`]) — the
+//! observation inputs of `awr_quorum`'s placement policies.
+//!
+//! # Cross traffic
+//!
+//! Real links carry other people's bytes too. The [`workload`] module adds
+//! background flows — [`ConstantBitrate`], [`BurstyOnOff`],
+//! [`ReassignmentBurst`] — that a [`CrossTraffic`] decorator charges onto a
+//! [`BandwidthLinks`] network (via [`BandwidthLinks::occupy`]), so protocol
+//! messages queue behind competing traffic. Generators are pure functions
+//! of virtual time: an empty flow list reproduces the unwrapped schedule
+//! exactly.
 //!
 //! Protocols are explicit state machines (no async runtime): see the crate
 //! `awr-core` for the paper's protocols built on this.
@@ -84,10 +96,11 @@ mod threaded;
 mod time;
 mod topology;
 mod trace;
+pub mod workload;
 mod world;
 
 pub use actor::{Actor, ActorId, Context, Message, TimerId};
-pub use metrics::Metrics;
+pub use metrics::{LinkDelayStat, Metrics};
 pub use network::{
     shared_latency, BandwidthLinks, BandwidthMatrix, ConstantLatency, Delivery, FifoLinks,
     HealingPartition, LatencyModel, LinkDiscipline, NetworkModel, SharedLatency, SlowActors,
@@ -101,6 +114,10 @@ pub use topology::{
     Region, GBIT10,
 };
 pub use trace::{Trace, TraceKind, TraceRecord};
+pub use workload::{
+    BurstyOnOff, ConstantBitrate, CrossTraffic, CrossTrafficStats, Flow, ReassignmentBurst,
+    TrafficGen,
+};
 pub use world::World;
 
 #[cfg(test)]

@@ -1,9 +1,55 @@
 //! Simulation metrics: message, byte, event, and per-link accounting.
+//!
+//! Besides the classic counters, [`Metrics`] keeps three per-directed-link
+//! matrices — bytes ([`Metrics::bytes_on_link`]), transmission busy time
+//! ([`Metrics::link_utilization`]), and delivery-delay components
+//! ([`Metrics::link_delay`], split into queueing / transmission /
+//! propagation) — which together are the observation side of the
+//! observe→decide→reassign loop: placement policies consume them to decide
+//! where weight should live.
 
 use std::collections::BTreeMap;
 
 use crate::actor::ActorId;
+use crate::network::Delivery;
 use crate::time::{Nanos, Time};
+
+/// Accumulated delivery-delay components of one directed link, recorded at
+/// send time from the [`Delivery`] the network model decided. The split
+/// matters to placement policies: `propagation` is the geometry of the
+/// topology (what a latency-greedy policy should act on), while `queued`
+/// is contention — cross traffic or protocol bursts occupying the link —
+/// which only a utilization-aware policy reacts to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkDelayStat {
+    /// Messages whose delay contributed to the sums.
+    pub count: u64,
+    /// Total time spent waiting for the link to free up.
+    pub queued: Nanos,
+    /// Total transmission time (`wire_size / bandwidth`).
+    pub transmission: Nanos,
+    /// Total propagation delay.
+    pub propagation: Nanos,
+}
+
+impl LinkDelayStat {
+    /// Mean propagation delay in nanoseconds (`None` before any sample).
+    pub fn mean_propagation(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.propagation as f64 / self.count as f64)
+    }
+
+    /// Mean queueing delay in nanoseconds (`None` before any sample).
+    pub fn mean_queued(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.queued as f64 / self.count as f64)
+    }
+
+    /// Mean total delivery delay in nanoseconds (`None` before any sample).
+    pub fn mean_total(&self) -> Option<f64> {
+        (self.count > 0).then(|| {
+            (self.queued + self.transmission + self.propagation) as f64 / self.count as f64
+        })
+    }
+}
 
 /// Counters accumulated by a [`crate::World`] run (and snapshotted from a
 /// [`crate::ThreadedSystem`]).
@@ -32,29 +78,46 @@ pub struct Metrics {
     /// link spent actually transmitting). Zero under pure-propagation
     /// models and in the threaded runtime (no virtual time).
     pub link_busy: BTreeMap<(ActorId, ActorId), Nanos>,
+    /// Per directed-link message counts (`(from, to)` → messages sent).
+    /// Tracked by both runtimes; with [`Metrics::bytes_by_link`] it gives
+    /// placement policies a traffic-share signal even where no virtual
+    /// time exists.
+    pub msgs_by_link: BTreeMap<(ActorId, ActorId), u64>,
+    /// Per directed-link delivery-delay accounting (queueing, transmission,
+    /// propagation — recorded at send from the decided [`Delivery`]).
+    /// Empty in the threaded runtime, which has no virtual time.
+    pub delay_by_link: BTreeMap<(ActorId, ActorId), LinkDelayStat>,
     /// Latest virtual time reached.
     pub last_time: Time,
 }
 
 impl Metrics {
     /// Records a send of a message with the given kind label, wire size,
-    /// endpoints, and transmission time.
-    pub(crate) fn record_send(
+    /// endpoints, and decided delivery components. Called by the runtimes
+    /// on every send; public so harnesses and tests can build synthetic
+    /// observation matrices for placement policies.
+    pub fn record_send(
         &mut self,
         kind: &'static str,
         bytes: usize,
         from: ActorId,
         to: ActorId,
-        transmission: Nanos,
+        delivery: Delivery,
     ) {
         self.messages_sent += 1;
         self.bytes_sent += bytes as u64;
         *self.sent_by_kind.entry(kind).or_insert(0) += 1;
         *self.bytes_by_kind.entry(kind).or_insert(0) += bytes as u64;
         *self.bytes_by_link.entry((from, to)).or_insert(0) += bytes as u64;
-        if transmission > 0 {
-            *self.link_busy.entry((from, to)).or_insert(0) += transmission;
+        *self.msgs_by_link.entry((from, to)).or_insert(0) += 1;
+        if delivery.transmission > 0 {
+            *self.link_busy.entry((from, to)).or_insert(0) += delivery.transmission;
         }
+        let stat = self.delay_by_link.entry((from, to)).or_default();
+        stat.count += 1;
+        stat.queued = stat.queued.saturating_add(delivery.queued);
+        stat.transmission = stat.transmission.saturating_add(delivery.transmission);
+        stat.propagation = stat.propagation.saturating_add(delivery.propagation);
     }
 
     /// Messages sent with a specific kind label.
@@ -155,6 +218,49 @@ impl Metrics {
         m
     }
 
+    /// Delay accounting of the directed link `from → to`, if any message
+    /// was sent on it.
+    pub fn link_delay(&self, from: ActorId, to: ActorId) -> Option<&LinkDelayStat> {
+        self.delay_by_link.get(&(from, to))
+    }
+
+    /// Mean observed *propagation* delay on `from → to`, nanoseconds —
+    /// the topology signal, free of contention.
+    pub fn mean_link_propagation(&self, from: ActorId, to: ActorId) -> Option<f64> {
+        self.link_delay(from, to).and_then(|s| s.mean_propagation())
+    }
+
+    /// Mean observed *queueing* delay on `from → to`, nanoseconds — the
+    /// contention signal (cross traffic or protocol bursts holding the
+    /// link).
+    pub fn mean_link_queueing(&self, from: ActorId, to: ActorId) -> Option<f64> {
+        self.link_delay(from, to).and_then(|s| s.mean_queued())
+    }
+
+    /// Mean observed round-trip propagation between two actors: mean
+    /// one-way `a → b` plus mean one-way `b → a`. `None` until both
+    /// directions carried traffic.
+    pub fn mean_link_rtt(&self, a: ActorId, b: ActorId) -> Option<f64> {
+        Some(self.mean_link_propagation(a, b)? + self.mean_link_propagation(b, a)?)
+    }
+
+    /// Messages sent on the directed link `from → to`.
+    pub fn msgs_on_link(&self, from: ActorId, to: ActorId) -> u64 {
+        self.msgs_by_link.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Bytes sent on links touching `a` (either direction) — the
+    /// traffic-share signal placement policies fall back to where no
+    /// transmission time is charged (pure-propagation models, threaded
+    /// runtime).
+    pub fn incident_bytes(&self, a: ActorId) -> u64 {
+        self.bytes_by_link
+            .iter()
+            .filter(|((f, t), _)| *f == a || *t == a)
+            .map(|(_, &b)| b)
+            .sum()
+    }
+
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -178,12 +284,22 @@ mod tests {
         ActorId(i)
     }
 
+    /// A delivery that only charges transmission time (the legacy shape of
+    /// the accounting tests).
+    fn tx(transmission: Nanos) -> Delivery {
+        Delivery {
+            queued: 0,
+            transmission,
+            propagation: 0,
+        }
+    }
+
     #[test]
     fn record_and_query() {
         let mut m = Metrics::default();
-        m.record_send("RC", 24, a(0), a(1), 0);
-        m.record_send("RC", 36, a(0), a(2), 0);
-        m.record_send("T", 100, a(1), a(0), 0);
+        m.record_send("RC", 24, a(0), a(1), tx(0));
+        m.record_send("RC", 36, a(0), a(2), tx(0));
+        m.record_send("T", 100, a(1), a(0), tx(0));
         assert_eq!(m.messages_sent, 3);
         assert_eq!(m.bytes_sent, 160);
         assert_eq!(m.sent_of_kind("RC"), 2);
@@ -200,9 +316,9 @@ mod tests {
     #[test]
     fn per_link_accounting() {
         let mut m = Metrics::default();
-        m.record_send("R", 1_000, a(0), a(1), 100);
-        m.record_send("R", 3_000, a(0), a(1), 300);
-        m.record_send("W", 500, a(1), a(0), 50);
+        m.record_send("R", 1_000, a(0), a(1), tx(100));
+        m.record_send("R", 3_000, a(0), a(1), tx(300));
+        m.record_send("W", 500, a(1), a(0), tx(50));
         assert_eq!(m.bytes_on_link(a(0), a(1)), 4_000);
         assert_eq!(m.bytes_on_link(a(1), a(0)), 500);
         assert_eq!(m.bytes_on_link(a(0), a(2)), 0);
@@ -215,7 +331,7 @@ mod tests {
         assert_eq!(m.link_utilization(a(2), a(0)), 0.0);
         assert_eq!(m.max_link_utilization(), 0.4);
         // A shared uplink's saturation is the *sum* over destinations.
-        m.record_send("R", 1_000, a(0), a(2), 500);
+        m.record_send("R", 1_000, a(0), a(2), tx(500));
         assert_eq!(m.link_utilization(a(0), a(2)), 0.5);
         assert_eq!(m.uplink_utilization(a(0)), 0.9);
         assert_eq!(m.uplink_utilization(a(2)), 0.0);
@@ -226,8 +342,50 @@ mod tests {
     fn utilization_zero_without_time_or_transmission() {
         let mut m = Metrics::default();
         assert_eq!(m.link_utilization(a(0), a(1)), 0.0);
-        m.record_send("R", 100, a(0), a(1), 0);
+        m.record_send("R", 100, a(0), a(1), tx(0));
         m.last_time = Time(1_000);
         assert_eq!(m.max_link_utilization(), 0.0, "no transmission charged");
+    }
+
+    #[test]
+    fn delay_components_split_and_average() {
+        let mut m = Metrics::default();
+        m.record_send(
+            "R",
+            100,
+            a(0),
+            a(1),
+            Delivery {
+                queued: 300,
+                transmission: 100,
+                propagation: 1_000,
+            },
+        );
+        m.record_send(
+            "R",
+            100,
+            a(0),
+            a(1),
+            Delivery {
+                queued: 100,
+                transmission: 100,
+                propagation: 3_000,
+            },
+        );
+        m.record_send("W", 50, a(1), a(0), tx(0));
+        let s = m.link_delay(a(0), a(1)).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(m.mean_link_propagation(a(0), a(1)), Some(2_000.0));
+        assert_eq!(m.mean_link_queueing(a(0), a(1)), Some(200.0));
+        assert_eq!(s.mean_total(), Some(2_300.0));
+        // RTT needs both directions; the reverse has zero propagation here.
+        assert_eq!(m.mean_link_rtt(a(0), a(1)), Some(2_000.0));
+        assert_eq!(m.mean_link_rtt(a(0), a(2)), None);
+        // Counts and traffic shares.
+        assert_eq!(m.msgs_on_link(a(0), a(1)), 2);
+        assert_eq!(m.msgs_on_link(a(2), a(0)), 0);
+        assert_eq!(m.incident_bytes(a(0)), 250);
+        assert_eq!(m.incident_bytes(a(1)), 250);
+        assert_eq!(m.incident_bytes(a(2)), 0);
     }
 }

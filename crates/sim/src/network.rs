@@ -276,6 +276,29 @@ impl<N: NetworkModel> BandwidthLinks<N> {
     pub fn inner_mut(&mut self) -> &mut N {
         &mut self.inner
     }
+
+    /// Charges `bytes` of *non-protocol* traffic onto the `from → to` link
+    /// (or `from`'s uplink, under [`LinkDiscipline::SharedUplink`]) as if a
+    /// competing flow had enqueued them at `at`: the link's free horizon
+    /// advances by their transmission time, so protocol messages sent later
+    /// queue behind them. This is the injection point the cross-traffic
+    /// generators of [`crate::workload`] use; it creates no deliveries and
+    /// draws no randomness. Returns the transmission time charged (zero for
+    /// self-sends and unlimited links).
+    pub fn occupy(&mut self, from: ActorId, to: ActorId, bytes: usize, at: Time) -> Nanos {
+        let tx = self.bandwidth.transmission_nanos(from, to, bytes);
+        if tx == 0 {
+            return 0;
+        }
+        let key = match self.discipline {
+            LinkDiscipline::PerLink => (from, Some(to)),
+            LinkDiscipline::SharedUplink => (from, None),
+        };
+        let free = self.free_at.entry(key).or_insert(Time::ZERO);
+        let start = if *free > at { *free } else { at };
+        *free = start + tx;
+        tx
+    }
 }
 
 impl<N: NetworkModel> NetworkModel for BandwidthLinks<N> {

@@ -34,6 +34,14 @@ struct KindTally {
     bytes: u64,
 }
 
+/// Per-link tally mirrored into [`Metrics::bytes_by_link`] and
+/// [`Metrics::msgs_by_link`] on snapshot.
+#[derive(Clone, Copy, Default)]
+struct LinkTally {
+    msgs: u64,
+    bytes: u64,
+}
+
 /// Run-wide send accounting shared by every actor thread. Totals are
 /// lock-free atomics updated per send; the per-kind and per-link maps take
 /// a lock only when a thread exits and merges its local tallies.
@@ -42,7 +50,7 @@ struct SharedCounters {
     messages_sent: AtomicU64,
     bytes_sent: AtomicU64,
     by_kind: Mutex<BTreeMap<&'static str, KindTally>>,
-    by_link: Mutex<BTreeMap<(ActorId, ActorId), u64>>,
+    by_link: Mutex<BTreeMap<(ActorId, ActorId), LinkTally>>,
 }
 
 impl SharedCounters {
@@ -54,7 +62,7 @@ impl SharedCounters {
     fn merge_kinds(
         &self,
         local: &BTreeMap<&'static str, KindTally>,
-        links: &BTreeMap<(ActorId, ActorId), u64>,
+        links: &BTreeMap<(ActorId, ActorId), LinkTally>,
     ) {
         let mut map = self.by_kind.lock().expect("metrics mutex poisoned");
         for (k, t) in local {
@@ -64,8 +72,10 @@ impl SharedCounters {
         }
         drop(map);
         let mut map = self.by_link.lock().expect("metrics mutex poisoned");
-        for (l, b) in links {
-            *map.entry(*l).or_insert(0) += b;
+        for (l, t) in links {
+            let e = map.entry(*l).or_default();
+            e.msgs += t.msgs;
+            e.bytes += t.bytes;
         }
     }
 
@@ -79,12 +89,10 @@ impl SharedCounters {
         e.count += 1;
         e.bytes += bytes as u64;
         drop(map);
-        *self
-            .by_link
-            .lock()
-            .expect("metrics mutex poisoned")
-            .entry((from, to))
-            .or_insert(0) += bytes as u64;
+        let mut map = self.by_link.lock().expect("metrics mutex poisoned");
+        let e = map.entry((from, to)).or_default();
+        e.msgs += 1;
+        e.bytes += bytes as u64;
     }
 }
 
@@ -116,8 +124,9 @@ impl ThreadedMetrics {
         }
         drop(map);
         let map = self.shared.by_link.lock().expect("metrics mutex poisoned");
-        for (l, b) in map.iter() {
-            m.bytes_by_link.insert(*l, *b);
+        for (l, t) in map.iter() {
+            m.bytes_by_link.insert(*l, t.bytes);
+            m.msgs_by_link.insert(*l, t.msgs);
         }
         m
     }
@@ -191,7 +200,7 @@ impl<M: Message + Send> ThreadedSystem<M> {
                 // into the shared maps once, on exit, to keep the send path
                 // lock-free.
                 let mut kinds: BTreeMap<&'static str, KindTally> = BTreeMap::new();
-                let mut links: BTreeMap<(ActorId, ActorId), u64> = BTreeMap::new();
+                let mut links: BTreeMap<(ActorId, ActorId), LinkTally> = BTreeMap::new();
                 let mut run_cb = |actor: &mut Box<dyn Actor<Msg = M> + Send>,
                                   cb: &mut Callback<'_, M>| {
                     let mut effects: Vec<Effect<M>> = Vec::new();
@@ -215,7 +224,9 @@ impl<M: Message + Send> ThreadedSystem<M> {
                                 let t = kinds.entry(msg.kind()).or_default();
                                 t.count += 1;
                                 t.bytes += bytes as u64;
-                                *links.entry((self_id, to)).or_insert(0) += bytes as u64;
+                                let l = links.entry((self_id, to)).or_default();
+                                l.msgs += 1;
+                                l.bytes += bytes as u64;
                                 // A send to a stopped peer is a dropped
                                 // message, matching the crash model.
                                 let _ = peer_senders[to.index()]
@@ -370,6 +381,8 @@ mod tests {
         // Per-link attribution: 1001 a1→a0 (injected), one a0→a1 reply.
         assert_eq!(m.bytes_on_link(ActorId(1), ActorId(0)), 1001 * per_msg);
         assert_eq!(m.bytes_on_link(ActorId(0), ActorId(1)), per_msg);
+        assert_eq!(m.msgs_on_link(ActorId(1), ActorId(0)), 1001);
+        assert_eq!(m.msgs_on_link(ActorId(0), ActorId(1)), 1);
     }
 
     #[test]

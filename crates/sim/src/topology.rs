@@ -46,6 +46,17 @@ impl Region {
     pub fn index(&self) -> usize {
         Region::ALL.iter().position(|r| r == self).unwrap()
     }
+
+    /// A short human-readable name, for benchmark reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Region::Virginia => "virginia",
+            Region::Ireland => "ireland",
+            Region::SaoPaulo => "sao-paulo",
+            Region::Tokyo => "tokyo",
+            Region::Sydney => "sydney",
+        }
+    }
 }
 
 /// One-way delay matrix (nanoseconds) between the five preset regions.

@@ -1,0 +1,453 @@
+//! Cross-traffic generators: competing flows that occupy link capacity.
+//!
+//! Quorum systems adapt their weights to network conditions, and network
+//! conditions are mostly *other people's traffic*. This module makes that
+//! contention simulable: a [`TrafficGen`] describes how many bytes a
+//! background flow emits over any virtual-time window, a [`Flow`] binds a
+//! generator to a directed actor pair, and [`CrossTraffic`] wraps a
+//! [`BandwidthLinks`] network so those bytes occupy real link capacity —
+//! protocol messages queue behind them (via [`BandwidthLinks::occupy`]),
+//! exactly as they would behind a bulk transfer sharing the uplink.
+//!
+//! Three generator shapes cover the regimes the placement benchmarks need:
+//!
+//! * [`ConstantBitrate`] — steady background load (replication streams,
+//!   telemetry);
+//! * [`BurstyOnOff`] — an on/off square wave whose on-rate exceeds the
+//!   link, the classic elephant-flow pattern that produces periodic queues;
+//! * [`ReassignmentBurst`] — periodic fixed-size dumps, modelling another
+//!   tenant's weight-reassignment waves (a full change set plus its relay
+//!   traffic hitting the wire at once).
+//!
+//! Generators are pure functions of virtual time — they draw no randomness
+//! from the world's RNG — so wrapping a network in [`CrossTraffic`] with an
+//! empty flow list reproduces the unwrapped schedule *exactly* (pinned by
+//! `tests/placement.rs`), and any flow set perturbs only link occupancy,
+//! never the propagation sampling sequence.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+
+use crate::actor::ActorId;
+use crate::network::{BandwidthLinks, Delivery, NetworkModel};
+use crate::time::{Nanos, Time, SECOND};
+
+/// A deterministic byte-emission schedule: how many bytes the flow puts on
+/// the wire during `[t0, t1)`. Implementations accumulate sub-byte
+/// remainders so that splitting a window never loses bytes.
+pub trait TrafficGen: Send {
+    /// Bytes emitted during the half-open window `[t0, t1)`.
+    fn bytes_between(&mut self, t0: Time, t1: Time) -> u64;
+}
+
+/// A constant-bitrate flow: `rate` bytes/second, continuously.
+///
+/// # Examples
+///
+/// ```
+/// use awr_sim::{ConstantBitrate, Time, TrafficGen, MILLI};
+///
+/// let mut cbr = ConstantBitrate::new(1_000_000); // 1 MB/s
+/// assert_eq!(cbr.bytes_between(Time::ZERO, Time(10 * MILLI)), 10_000);
+/// ```
+#[derive(Debug)]
+pub struct ConstantBitrate {
+    rate: u64,
+    /// Sub-byte remainder carried across windows (units of byte·ns).
+    carry: u128,
+}
+
+impl ConstantBitrate {
+    /// A flow emitting `bytes_per_sec` continuously.
+    pub fn new(bytes_per_sec: u64) -> ConstantBitrate {
+        ConstantBitrate {
+            rate: bytes_per_sec,
+            carry: 0,
+        }
+    }
+}
+
+impl TrafficGen for ConstantBitrate {
+    fn bytes_between(&mut self, t0: Time, t1: Time) -> u64 {
+        let elapsed = (t1 - t0) as u128;
+        let units = self.rate as u128 * elapsed + self.carry;
+        self.carry = units % SECOND as u128;
+        (units / SECOND as u128) as u64
+    }
+}
+
+/// An on/off square-wave flow: `on_rate` bytes/second for `on_ns`, silence
+/// for `off_ns`, repeating from `t = 0`. With an on-rate above the link
+/// bandwidth this is the canonical congestion generator: each on-phase
+/// builds a queue that drains during the off-phase, so protocol messages
+/// see periodic (bounded) queueing rather than an ever-growing backlog.
+#[derive(Debug)]
+pub struct BurstyOnOff {
+    on_ns: Nanos,
+    off_ns: Nanos,
+    on_rate: u64,
+    carry: u128,
+}
+
+impl BurstyOnOff {
+    /// A square wave: `on_rate` bytes/second during each `on_ns` phase,
+    /// nothing during each `off_ns` phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `on_ns` is zero (the wave would never emit).
+    pub fn new(on_ns: Nanos, off_ns: Nanos, on_rate: u64) -> BurstyOnOff {
+        assert!(on_ns > 0, "on phase must be non-empty");
+        BurstyOnOff {
+            on_ns,
+            off_ns,
+            on_rate,
+            carry: 0,
+        }
+    }
+
+    /// Cumulative on-phase nanoseconds in `[0, t)`.
+    fn on_time(&self, t: Nanos) -> u128 {
+        let period = (self.on_ns + self.off_ns) as u128;
+        let t = t as u128;
+        let full = t / period;
+        let rem = t % period;
+        full * self.on_ns as u128 + rem.min(self.on_ns as u128)
+    }
+}
+
+impl TrafficGen for BurstyOnOff {
+    fn bytes_between(&mut self, t0: Time, t1: Time) -> u64 {
+        let on = self
+            .on_time(t1.nanos())
+            .saturating_sub(self.on_time(t0.nanos()));
+        let units = self.on_rate as u128 * on + self.carry;
+        self.carry = units % SECOND as u128;
+        (units / SECOND as u128) as u64
+    }
+}
+
+/// Periodic fixed-size dumps: `bytes_per_burst` hit the wire instantaneously
+/// at `offset_ns`, `offset_ns + period_ns`, … — the shape of a competing
+/// reassignment wave (a full change set and its reliable-broadcast relays
+/// leaving one server at once).
+#[derive(Debug)]
+pub struct ReassignmentBurst {
+    period_ns: Nanos,
+    bytes_per_burst: u64,
+    offset_ns: Nanos,
+}
+
+impl ReassignmentBurst {
+    /// Bursts of `bytes_per_burst` every `period_ns`, the first at
+    /// `offset_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ns` is zero.
+    pub fn new(period_ns: Nanos, bytes_per_burst: u64, offset_ns: Nanos) -> ReassignmentBurst {
+        assert!(period_ns > 0, "burst period must be positive");
+        ReassignmentBurst {
+            period_ns,
+            bytes_per_burst,
+            offset_ns,
+        }
+    }
+
+    /// Number of bursts strictly before `t`.
+    fn bursts_before(&self, t: Nanos) -> u64 {
+        if t <= self.offset_ns {
+            0
+        } else {
+            1 + (t - 1 - self.offset_ns) / self.period_ns
+        }
+    }
+}
+
+impl TrafficGen for ReassignmentBurst {
+    fn bytes_between(&mut self, t0: Time, t1: Time) -> u64 {
+        let n = self
+            .bursts_before(t1.nanos())
+            .saturating_sub(self.bursts_before(t0.nanos()));
+        n * self.bytes_per_burst
+    }
+}
+
+/// A background flow: a generator bound to a directed actor pair.
+pub struct Flow {
+    /// Sending endpoint (whose link/uplink the bytes occupy).
+    pub from: ActorId,
+    /// Receiving endpoint.
+    pub to: ActorId,
+    gen: Box<dyn TrafficGen>,
+    /// How far this flow's emissions have been charged.
+    cursor: Time,
+}
+
+impl Flow {
+    /// Binds `gen` to the directed pair `from → to`.
+    pub fn new(from: ActorId, to: ActorId, gen: impl TrafficGen + 'static) -> Flow {
+        Flow {
+            from,
+            to,
+            gen: Box::new(gen),
+            cursor: Time::ZERO,
+        }
+    }
+}
+
+/// A cloneable handle onto the bytes each flow has injected so far
+/// (readable after the network has been moved into a `World`).
+#[derive(Clone)]
+pub struct CrossTrafficStats {
+    injected: Arc<Vec<AtomicU64>>,
+}
+
+impl CrossTrafficStats {
+    /// Bytes flow `i` has injected so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn injected_bytes(&self, i: usize) -> u64 {
+        self.injected[i].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes injected across all flows.
+    pub fn total_injected(&self) -> u64 {
+        self.injected
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Number of flows.
+    pub fn n_flows(&self) -> usize {
+        self.injected.len()
+    }
+}
+
+/// A [`NetworkModel`] decorator injecting competing traffic: before every
+/// protocol delivery is scheduled, each flow's emissions since its last
+/// charge are pushed onto the wrapped [`BandwidthLinks`] (via
+/// [`BandwidthLinks::occupy`]), so the delivery — and everything after it —
+/// queues behind the cross traffic.
+///
+/// The charging is lazy (flows advance at delivery decisions, the only
+/// instants queueing is observable) and exact (generators carry sub-byte
+/// remainders), and it consults no randomness: with an empty flow list the
+/// wrapped network's schedule is reproduced bit-for-bit.
+///
+/// # Examples
+///
+/// ```
+/// use awr_sim::{geo_network, ActorId, BurstyOnOff, CrossTraffic, Flow, Region, MILLI};
+///
+/// let placement = [Region::Virginia, Region::Ireland, Region::Virginia];
+/// let net = CrossTraffic::new(
+///     geo_network(&placement, 0.0),
+///     vec![Flow::new(
+///         ActorId(1),
+///         ActorId(2),
+///         BurstyOnOff::new(40 * MILLI, 160 * MILLI, 500_000_000),
+///     )],
+/// );
+/// let stats = net.stats();
+/// // give `net` to World::new(..); after the run:
+/// // stats.total_injected() reports the competing bytes.
+/// # drop((net, stats));
+/// ```
+pub struct CrossTraffic<N> {
+    links: BandwidthLinks<N>,
+    flows: Vec<Flow>,
+    injected: Arc<Vec<AtomicU64>>,
+}
+
+impl<N: NetworkModel> CrossTraffic<N> {
+    /// Wraps `links` with the given background flows.
+    pub fn new(links: BandwidthLinks<N>, flows: Vec<Flow>) -> CrossTraffic<N> {
+        let injected = Arc::new((0..flows.len()).map(|_| AtomicU64::new(0)).collect());
+        CrossTraffic {
+            links,
+            flows,
+            injected,
+        }
+    }
+
+    /// A handle onto per-flow injection counters, usable after `self` has
+    /// been moved into a world.
+    pub fn stats(&self) -> CrossTrafficStats {
+        CrossTrafficStats {
+            injected: Arc::clone(&self.injected),
+        }
+    }
+
+    /// Charges every flow's emissions in `[cursor, now)` onto the links.
+    ///
+    /// Long windows (sparse protocol traffic) are subdivided at
+    /// [`CHARGE_RESOLUTION`] so a burst's bytes hit the link close to
+    /// when the generator emitted them, not lumped at the window start —
+    /// otherwise the observed queueing would depend on how often the
+    /// protocol happens to send, not on the flow schedule.
+    fn advance_flows(&mut self, now: Time) {
+        for (i, f) in self.flows.iter_mut().enumerate() {
+            while f.cursor < now {
+                let chunk_end = (f.cursor + CHARGE_RESOLUTION).min(now);
+                let bytes = f.gen.bytes_between(f.cursor, chunk_end);
+                let chunk_start = f.cursor;
+                f.cursor = chunk_end;
+                if bytes > 0 {
+                    self.links.occupy(f.from, f.to, bytes as usize, chunk_start);
+                    self.injected[i].fetch_add(bytes, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Granularity at which flow emissions are charged onto links: the
+/// timing error of any cross-traffic byte is bounded by this, however
+/// sparse the protocol traffic is.
+const CHARGE_RESOLUTION: Nanos = 5 * crate::time::MILLI;
+
+impl<N: NetworkModel> NetworkModel for CrossTraffic<N> {
+    fn delivery(
+        &mut self,
+        from: ActorId,
+        to: ActorId,
+        now: Time,
+        bytes: usize,
+        rng: &mut StdRng,
+    ) -> Delivery {
+        self.advance_flows(now);
+        self.links.delivery(from, to, now, bytes, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{BandwidthMatrix, ConstantLatency};
+    use crate::time::MILLI;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    fn a(i: usize) -> ActorId {
+        ActorId(i)
+    }
+
+    #[test]
+    fn cbr_is_exact_across_window_splits() {
+        let mut one = ConstantBitrate::new(333);
+        let whole = one.bytes_between(Time::ZERO, Time(10 * SECOND));
+        let mut two = ConstantBitrate::new(333);
+        let mut split = 0;
+        for k in 0..100 {
+            split += two.bytes_between(Time(k * SECOND / 10), Time((k + 1) * SECOND / 10));
+        }
+        assert_eq!(whole, 3330);
+        assert_eq!(split, whole, "window splitting must not lose bytes");
+    }
+
+    #[test]
+    fn bursty_emits_only_during_on_phases() {
+        // 10 ms on at 1 MB/s, 90 ms off.
+        let mut g = BurstyOnOff::new(10 * MILLI, 90 * MILLI, 1_000_000);
+        assert_eq!(g.bytes_between(Time::ZERO, Time(10 * MILLI)), 10_000);
+        assert_eq!(g.bytes_between(Time(10 * MILLI), Time(100 * MILLI)), 0);
+        // A full period from an arbitrary origin still carries one on-phase.
+        assert_eq!(
+            g.bytes_between(Time(105 * MILLI), Time(205 * MILLI)),
+            10_000
+        );
+    }
+
+    #[test]
+    fn reassignment_bursts_count_boundaries_once() {
+        let mut g = ReassignmentBurst::new(50 * MILLI, 1_000, 0);
+        // Bursts at t = 0, 50 ms, 100 ms, ...
+        assert_eq!(g.bytes_between(Time::ZERO, Time(1)), 1_000);
+        assert_eq!(g.bytes_between(Time(1), Time(50 * MILLI)), 0);
+        assert_eq!(
+            g.bytes_between(Time(50 * MILLI), Time(50 * MILLI + 1)),
+            1_000
+        );
+        let mut h = ReassignmentBurst::new(50 * MILLI, 1_000, 10 * MILLI);
+        assert_eq!(h.bytes_between(Time::ZERO, Time(10 * MILLI)), 0);
+        assert_eq!(h.bytes_between(Time(10 * MILLI), Time(11 * MILLI)), 1_000);
+    }
+
+    #[test]
+    fn empty_flow_list_is_transparent() {
+        let mk = || {
+            BandwidthLinks::new(
+                ConstantLatency(MILLI),
+                BandwidthMatrix::uniform(3, 1_000_000),
+            )
+        };
+        let mut plain = mk();
+        let mut wrapped = CrossTraffic::new(mk(), vec![]);
+        let (mut r1, mut r2) = (rng(), rng());
+        for k in 0..50u64 {
+            let p = plain.delivery(a(0), a(1), Time(k * 1_000), 2_000, &mut r1);
+            let w = wrapped.delivery(a(0), a(1), Time(k * 1_000), 2_000, &mut r2);
+            assert_eq!(p, w, "no flows must mean no perturbation (k={k})");
+        }
+        assert_eq!(wrapped.stats().total_injected(), 0);
+        assert_eq!(wrapped.stats().n_flows(), 0);
+    }
+
+    #[test]
+    fn cross_traffic_queues_protocol_messages() {
+        // 1 MB/s link; a CBR flow at 1 MB/s occupies it fully, so a
+        // protocol message sent after the flow has been charged waits.
+        let links = BandwidthLinks::new(ConstantLatency(0), BandwidthMatrix::uniform(3, 1_000_000));
+        let mut net = CrossTraffic::new(
+            links,
+            vec![Flow::new(a(0), a(1), ConstantBitrate::new(1_000_000))],
+        );
+        let stats = net.stats();
+        // At t = 100 ms the flow has emitted 100 KB → the link is busy
+        // until exactly t = 100 ms; a same-link message queues 0 but the
+        // *next* burst shows up. Jump to 200 ms with a dead window first.
+        let d = net.delivery(a(0), a(1), Time(100 * MILLI), 1_000, &mut rng());
+        assert_eq!(stats.injected_bytes(0), 100_000);
+        // Flow bytes charged from window start occupy [0, 100 ms]; the
+        // message starts right at the horizon: zero queue, 1 ms tx.
+        assert_eq!(d.queued, 0);
+        assert_eq!(d.transmission, MILLI);
+        // A message 1 ms later on the same link queues behind both the
+        // first message and the flow's last-millisecond emission.
+        let d2 = net.delivery(a(0), a(1), Time(101 * MILLI), 1_000, &mut rng());
+        assert!(d2.queued > 0, "expected queueing, got {d2:?}");
+        // Unrelated links stay clean.
+        let d3 = net.delivery(a(2), a(1), Time(101 * MILLI), 1_000, &mut rng());
+        assert_eq!(d3.queued, 0);
+    }
+
+    #[test]
+    fn bursty_flow_creates_periodic_congestion() {
+        // 1 MB/s link; 10 ms bursts at 10 MB/s every 100 ms → each burst
+        // dumps 100 KB = 100 ms of link time.
+        let links = BandwidthLinks::new(ConstantLatency(0), BandwidthMatrix::uniform(2, 1_000_000));
+        let mut net = CrossTraffic::new(
+            links,
+            vec![Flow::new(
+                a(0),
+                a(1),
+                BurstyOnOff::new(10 * MILLI, 90 * MILLI, 10_000_000),
+            )],
+        );
+        // Right after the first burst: ~90 ms of backlog ahead of us.
+        let d = net.delivery(a(0), a(1), Time(10 * MILLI), 100, &mut rng());
+        assert!(
+            d.queued >= 80 * MILLI,
+            "burst should back the link up, got {d:?}"
+        );
+    }
+}

@@ -215,8 +215,7 @@ impl<M: Message> World<M> {
             .network
             .delivery(from, to, self.time, bytes, &mut self.rng);
         let tx = d.queued.saturating_add(d.transmission);
-        self.metrics
-            .record_send(msg.kind(), bytes, from, to, d.transmission);
+        self.metrics.record_send(msg.kind(), bytes, from, to, d);
         self.push_event(
             self.time + d.total(),
             EventKind::Deliver {

@@ -118,13 +118,24 @@ pub enum DynMsg<V> {
     RefreshR {
         /// Refresher-local operation number.
         op: u64,
+        /// The refresher's current register tag. Lets repliers
+        /// delta-encode: a register no newer than this cannot change the
+        /// refresh outcome, so its value is suppressed on the wire.
+        have: Tag,
     },
-    /// Reply to [`DynMsg::RefreshR`] with the server's register.
+    /// Reply to [`DynMsg::RefreshR`]. The register value ships only when
+    /// it is strictly newer than the tag the refresher presented —
+    /// otherwise the value is elided (`None`), shrinking the ack to a
+    /// header. Observationally equivalent to always shipping the value:
+    /// the refresher adopts the freshest register it sees, and a register
+    /// with `tag ≤ have` can never be that (the refresher's own register
+    /// only grows newer while the read is in flight).
     RefreshAck {
         /// Echo of the request number.
         op: u64,
-        /// The server's register content.
-        reg: TaggedValue<V>,
+        /// The server's register, or `None` when it is no newer than the
+        /// refresher's.
+        reg: Option<TaggedValue<V>>,
     },
 }
 
@@ -155,7 +166,12 @@ impl<V: Value> Message for DynMsg<V> {
             DynMsg::RAck { reg, changes, .. } | DynMsg::W { reg, changes, .. } => {
                 16 + std::mem::size_of_val(reg) + changes.wire_size()
             }
-            DynMsg::RefreshR { .. } | DynMsg::RefreshAck { .. } => std::mem::size_of_val(self),
+            // Header + the presented tag — not the enum footprint, which
+            // is sized by the register-carrying variants.
+            DynMsg::RefreshR { .. } => 16 + std::mem::size_of::<Tag>(),
+            // A suppressed register costs only the header; a shipped one
+            // is charged at its footprint like every other register.
+            DynMsg::RefreshAck { reg, .. } => 16 + reg.as_ref().map_or(0, std::mem::size_of_val),
         }
     }
 }
@@ -724,8 +740,9 @@ impl<V: Value> DynServer<V> {
                     best: TaggedValue::bottom(),
                 });
                 let n = self.core.config().n;
+                let have = self.register.tag;
                 for i in 0..n {
-                    ctx.send(ActorId(i), DynMsg::RefreshR { op });
+                    ctx.send(ActorId(i), DynMsg::RefreshR { op, have });
                 }
                 return; // resume in on_message when the read completes
             }
@@ -818,23 +835,24 @@ impl<V: Value> Actor for DynServer<V> {
                     },
                 );
             }
-            DynMsg::RefreshR { op } => {
+            DynMsg::RefreshR { op, have } => {
                 // Answered unconditionally — no C matching (see above).
-                ctx.send(
-                    from,
-                    DynMsg::RefreshAck {
-                        op,
-                        reg: self.register.clone(),
-                    },
-                );
+                // Delta-encoding: the value ships only when it can matter,
+                // i.e. when it is strictly newer than what the refresher
+                // already holds (large registers would otherwise cost
+                // n × |V| bytes per refresh).
+                let reg = (self.register.tag > have).then(|| self.register.clone());
+                ctx.send(from, DynMsg::RefreshAck { op, reg });
             }
             DynMsg::RefreshAck { op, reg } => {
                 let cfg_needed = self.core.config().n - self.core.config().f;
                 let done = match self.refresh.as_mut() {
                     Some(r) if r.op == op => {
                         r.acks += 1;
-                        if reg.tag > r.best.tag {
-                            r.best = reg;
+                        if let Some(reg) = reg {
+                            if reg.tag > r.best.tag {
+                                r.best = reg;
+                            }
                         }
                         r.acks >= cfg_needed
                     }
@@ -1063,6 +1081,43 @@ mod driver_tests {
             .unwrap();
         assert_eq!(s0.refreshes, 2);
         assert_eq!(s0.weight(), Ratio::dec("1.15"));
+    }
+
+    #[test]
+    fn refresh_acks_are_delta_encoded_for_large_values() {
+        // A fat register: shipping it in every RefreshAck would cost
+        // n × ~0.5 KB per refresh. With delta encoding, a replier whose
+        // register is no newer than the refresher's sends a 16-byte header.
+        type Fat = [u64; 64];
+        let mut h: StorageHarness<Fat> = StorageHarness::build(
+            RpConfig::uniform(5, 1),
+            1,
+            33,
+            UniformLatency::new(1_000, 10_000),
+            DynOptions::default(),
+        );
+        h.write(0, [7u64; 64]).unwrap();
+        // Weight moves → both endpoints refresh before applying. Every
+        // server already holds the written register, so every ack elides
+        // its value.
+        h.transfer_and_wait(s(1), s(0), Ratio::dec("0.1")).unwrap();
+        h.settle();
+        let s0 = h
+            .world
+            .actor::<DynServer<Fat>>(h.server_actor(s(0)))
+            .unwrap();
+        assert_eq!(s0.refreshes, 1);
+        let m = h.world.metrics();
+        assert!(m.sent_of_kind("RefA") >= 5);
+        let full = std::mem::size_of::<TaggedValue<Fat>>() as f64;
+        assert_eq!(
+            m.mean_bytes_of_kind("RefA"),
+            16.0,
+            "every ack should elide the register (full would be ≥ {full})"
+        );
+        // The refresh outcome is unchanged: the register survives.
+        let (v, _) = h.read(0).unwrap();
+        assert_eq!(v, Some([7u64; 64]));
     }
 
     #[test]

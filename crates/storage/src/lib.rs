@@ -17,7 +17,12 @@
 //! * [`StorageHarness`] — a wired world for experiments;
 //! * [`check_linearizable`] — Wing&Gong-style atomicity checking with
 //!   quiescent partitioning and memoization;
-//! * [`workload`] — random closed-loop workload generators.
+//! * [`workload`] — random closed-loop workload generators;
+//! * [`placement`] — the [`PlacementDriver`] closing the
+//!   observe→decide→reassign loop: it feeds the simulator's per-link
+//!   metrics to an `awr_quorum` [`awr_quorum::PlacementPolicy`], validates
+//!   the proposal, and issues the planned transfers through the restricted
+//!   protocol (decision telemetry lands in an `awr_monitor::DecisionLog`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +32,7 @@ mod dynamic;
 mod harness;
 mod history;
 mod lin;
+pub mod placement;
 mod quorum_rule;
 pub mod workload;
 
@@ -37,6 +43,7 @@ pub use dynamic::{
 pub use harness::StorageHarness;
 pub use history::{HistOp, History, OpKind};
 pub use lin::{check_linearizable, LinError};
+pub use placement::{run_adaptive_workload, PlacementDriver};
 pub use quorum_rule::QuorumRule;
 
 #[cfg(test)]

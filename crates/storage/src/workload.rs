@@ -64,11 +64,25 @@ pub fn run_mixed_workload(
     spec: &WorkloadSpec,
     seed: u64,
 ) -> WorkloadStats {
+    run_workload_with_hook(h, n_clients, spec, seed, |_, _| {})
+}
+
+/// The shared closed-loop workload engine: client ops and random transfers
+/// per `spec`, with `per_round(harness, round)` called after each round's
+/// stimuli are issued and before the world advances — the hook
+/// `placement::run_adaptive_workload` uses to tick a placement driver.
+pub(crate) fn run_workload_with_hook(
+    h: &mut StorageHarness<u64>,
+    n_clients: usize,
+    spec: &WorkloadSpec,
+    seed: u64,
+    mut per_round: impl FnMut(&mut StorageHarness<u64>, usize),
+) -> WorkloadStats {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = h.config().n;
     let mut next_val = 1u64;
     let mut stats = WorkloadStats::default();
-    for _ in 0..spec.rounds {
+    for round in 0..spec.rounds {
         for k in 0..n_clients {
             if !h.client_busy(k) && rng.random_range(0..100) < spec.op_percent {
                 if rng.random_range(0..100) < spec.write_percent {
@@ -86,6 +100,7 @@ pub fn run_mixed_workload(
                 stats.transfers_attempted += 1;
             }
         }
+        per_round(h, round);
         h.world.run_for(spec.round_ns);
     }
     h.settle();

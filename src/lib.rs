@@ -7,22 +7,25 @@
 //! This facade crate re-exports the whole workspace:
 //!
 //! * [`types`] — exact rational weights, change quadruples, change sets, tags;
-//! * [`quorum`] — majority & weighted-majority quorum systems, Property 1;
+//! * [`quorum`] — majority & weighted-majority quorum systems, Property 1,
+//!   and the weight placement policies (`quorum::placement`);
 //! * [`sim`] — deterministic discrete-event simulator for asynchronous
-//!   message-passing systems (plus a threaded runtime);
+//!   message-passing systems, with bandwidth-aware networks and
+//!   cross-traffic workloads (`sim::workload`), plus a threaded runtime;
 //! * [`rb`] — uniform reliable broadcast for the crash model;
 //! * [`core`] — the paper's contribution: the weight-reassignment problem
 //!   family, the consensus reductions (Algorithms 1–2), and the restricted
 //!   pairwise weight reassignment protocol (Algorithms 3–4);
 //! * [`storage`] — dynamic-weighted atomic storage (Algorithms 5–6), static
-//!   baselines, and linearizability checkers;
+//!   baselines, linearizability checkers, and the adaptive placement
+//!   driver (`storage::placement`);
 //! * [`consensus`] — single-decree Paxos and the consensus-based
 //!   reassignment baseline;
 //! * [`epoch`] — the epoch-based reassignment baseline;
 //! * [`monitor`] — synthetic monitoring, weight policies, transfer planning.
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
-//! `EXPERIMENTS.md` for the reproduction results.
+//! See `README.md` for a tour, `docs/PAPER_MAP.md` for the paper→code
+//! table, and `ROADMAP.md` for the open items.
 //!
 //! # Quickstart
 //!
@@ -36,6 +39,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use awr_consensus as consensus;
 pub use awr_core as core;
