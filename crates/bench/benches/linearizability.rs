@@ -1,10 +1,12 @@
 //! Criterion: linearizability checker throughput on sequential and
-//! concurrent histories.
+//! concurrent histories, plus the per-object partitioned checker on keyed
+//! histories.
 
 use std::hint::black_box;
 
 use awr_sim::Time;
-use awr_storage::{check_linearizable, HistOp, History, OpKind};
+use awr_storage::{check_linearizable, check_linearizable_keyed, HistOp, History, OpKind};
+use awr_types::ObjectId;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn sequential_history(ops: usize) -> History<u64> {
@@ -12,12 +14,14 @@ fn sequential_history(ops: usize) -> History<u64> {
     for i in 0..ops as u64 {
         h.record(HistOp {
             client: 0,
+            obj: ObjectId::DEFAULT,
             kind: OpKind::Write(i),
             invoke: Time(i * 20),
             response: Time(i * 20 + 5),
         });
         h.record(HistOp {
             client: 1,
+            obj: ObjectId::DEFAULT,
             kind: OpKind::Read(Some(i)),
             invoke: Time(i * 20 + 10),
             response: Time(i * 20 + 15),
@@ -32,6 +36,7 @@ fn concurrent_history(width: usize) -> History<u64> {
     for i in 0..width as u64 {
         h.record(HistOp {
             client: i as usize,
+            obj: ObjectId::DEFAULT,
             kind: OpKind::Write(i),
             invoke: Time(0),
             response: Time(1000),
@@ -39,10 +44,36 @@ fn concurrent_history(width: usize) -> History<u64> {
     }
     h.record(HistOp {
         client: width,
+        obj: ObjectId::DEFAULT,
         kind: OpKind::Read(Some(0)),
         invoke: Time(2000),
         response: Time(2100),
     });
+    h
+}
+
+/// A globally-entangled keyed history: `objects` writer/reader pairs, every
+/// operation overlapping every other in real time, but each pair on its own
+/// object. The whole-history view is one impossible 2·`objects`-op window;
+/// the per-object partition is `objects` trivial 2-op windows.
+fn keyed_history(objects: usize) -> History<u64> {
+    let mut h = History::new();
+    for o in 0..objects as u64 {
+        h.record(HistOp {
+            client: o as usize,
+            obj: ObjectId(o),
+            kind: OpKind::Write(o),
+            invoke: Time(0),
+            response: Time(1000),
+        });
+        h.record(HistOp {
+            client: objects + o as usize,
+            obj: ObjectId(o),
+            kind: OpKind::Read(Some(o)),
+            invoke: Time(500),
+            response: Time(1500),
+        });
+    }
     h
 }
 
@@ -58,6 +89,14 @@ fn bench_lin(c: &mut Criterion) {
         let h = concurrent_history(w);
         g.bench_with_input(BenchmarkId::new("concurrent_window", w), &w, |b, _| {
             b.iter(|| check_linearizable(black_box(&h)).unwrap())
+        });
+    }
+    // The whole-history checker would need a 2·k-op window here (and reject
+    // it as one register); the keyed checker decomposes it per object.
+    for &k in &[16usize, 256, 2048] {
+        let h = keyed_history(k);
+        g.bench_with_input(BenchmarkId::new("keyed_partitioned", 2 * k), &k, |b, _| {
+            b.iter(|| check_linearizable_keyed(black_box(&h)).unwrap())
         });
     }
     g.finish();

@@ -1,0 +1,230 @@
+//! Object-count scaling benchmark: per-operation wire bytes and latency
+//! must be *flat* in the number of objects the shard hosts.
+//!
+//! The keyed refactor's claim is that the weighted configuration is shared
+//! infrastructure: however many registers a server stores, a read or write
+//! touches one of them and references `C` by an O(1) summary, so growing
+//! the key space 15 → 10k must not grow per-op cost under
+//! [`awr_storage::WireMode::Negotiate`]. The run prepopulates `objects` keys through
+//! the full protocol, then measures a Zipf-skewed read/write mix while
+//! weight reassignments race the operations across the whole key space
+//! (each completed transfer re-weights every object and forces the
+//! client's stale-`C` restart path).
+//!
+//! What is *not* flat — and is reported, not gated — is the refresh leg:
+//! a gaining server's `RefreshR` presents one tag per stored key, the
+//! amortized per-reassignment price of catching the whole object space up
+//! (the acks stay header-sized thanks to the map delta encoding).
+//!
+//! The `--smoke` gate (CI) runs the two smallest points and asserts
+//! flatness; the full run also covers 1k and 10k objects and writes
+//! BENCH_objects.json.
+//!
+//! Run with: `cargo run --release --bin bench_objects [-- --smoke] [out.json]`
+
+use awr_core::RpConfig;
+use awr_sim::UniformLatency;
+use awr_storage::workload::{KeyDistribution, KeySampler};
+use awr_storage::{check_linearizable_keyed, DynClient, DynOptions, StorageHarness};
+use awr_types::{ObjectId, Ratio, ServerId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 5;
+const F: usize = 1;
+const SEED: u64 = 0x0B7EC7;
+
+const ABD_KINDS: [&str; 4] = ["R", "R_A", "W", "W_A"];
+const REFRESH_KINDS: [&str; 2] = ["RefR", "RefA"];
+
+struct Row {
+    objects: usize,
+    measured_ops: usize,
+    /// Mean ABD-phase wire bytes per measured op.
+    abd_bytes_per_op: f64,
+    /// Mean op latency over the measured window, virtual ms.
+    mean_latency_ms: f64,
+    /// Refresh-leg bytes per reassignment (requests grow with the key
+    /// space; acks stay delta-encoded headers).
+    refresh_bytes_per_transfer: f64,
+    /// Stale-`C` restarts over the measured window.
+    restarts: u64,
+    /// Bytes attributed to the hottest measured key (per-object metrics).
+    hot_key_bytes: u64,
+}
+
+fn kinds_bytes(m: &awr_sim::Metrics, kinds: &[&str]) -> u64 {
+    kinds.iter().map(|k| m.bytes_of_kind(k)).sum()
+}
+
+fn run(objects: usize, ops: usize) -> Row {
+    let cfg = RpConfig::uniform(N, F);
+    let mut h: StorageHarness<u64> = StorageHarness::build(
+        cfg,
+        1,
+        SEED,
+        UniformLatency::new(1_000, 20_000),
+        DynOptions::default(),
+    );
+    // Prepopulate every key through the full protocol: the servers end up
+    // holding `objects` registers each.
+    for o in 0..objects as u64 {
+        h.write_obj(0, ObjectId(o), o).unwrap();
+    }
+
+    let sampler = KeySampler::new(objects, KeyDistribution::Zipfian { exponent: 1.0 });
+    let mut rng = StdRng::seed_from_u64(SEED ^ objects as u64);
+    let before = h.world.metrics().clone();
+    let client = h.client_actor(0);
+    let completed_before = h
+        .world
+        .actor::<DynClient<u64>>(client)
+        .expect("client")
+        .driver
+        .completed
+        .len();
+    let restarts_before = h.total_restarts();
+
+    // Measured window: Zipf-skewed ops racing two reassignment bursts that
+    // each re-weight the whole shard (and refresh all `objects` registers
+    // on the gaining side).
+    let mut next_val = 1_000_000u64;
+    let mut transfers = 0usize;
+    for i in 0..ops {
+        if i == ops / 3 {
+            h.transfer_queued(ServerId(3), ServerId(0), Ratio::dec("0.05"))
+                .unwrap();
+            transfers += 1;
+        }
+        if i == 2 * ops / 3 {
+            h.transfer_queued(ServerId(0), ServerId(3), Ratio::dec("0.05"))
+                .unwrap();
+            transfers += 1;
+        }
+        let obj = sampler.sample(&mut rng);
+        if i % 2 == 0 {
+            h.write_obj(0, obj, next_val).unwrap();
+            next_val += 1;
+        } else {
+            h.read_obj(0, obj).unwrap();
+        }
+    }
+    h.settle();
+    check_linearizable_keyed(&h.history()).expect("keyed history must stay linearizable");
+
+    let after = h.world.metrics().clone();
+    let completed = &h
+        .world
+        .actor::<DynClient<u64>>(client)
+        .expect("client")
+        .driver
+        .completed;
+    let lat_ms: Vec<f64> = completed[completed_before..]
+        .iter()
+        .map(|o| (o.response - o.invoke) as f64 / 1e6)
+        .collect();
+    assert_eq!(lat_ms.len(), ops);
+
+    let abd_delta = kinds_bytes(&after, &ABD_KINDS) - kinds_bytes(&before, &ABD_KINDS);
+    let refresh_delta = kinds_bytes(&after, &REFRESH_KINDS) - kinds_bytes(&before, &REFRESH_KINDS);
+    // Windowed like the other deltas: prepopulation traffic (one write per
+    // key, near-uniform) must not dilute the measured Zipf skew.
+    let hot_key_bytes = (0..objects as u64)
+        .map(|o| after.bytes_of_object(o) - before.bytes_of_object(o))
+        .max()
+        .unwrap_or(0);
+    Row {
+        objects,
+        measured_ops: ops,
+        abd_bytes_per_op: abd_delta as f64 / ops as f64,
+        mean_latency_ms: lat_ms.iter().sum::<f64>() / ops as f64,
+        refresh_bytes_per_transfer: refresh_delta as f64 / transfers as f64,
+        restarts: h.total_restarts() - restarts_before,
+        hot_key_bytes,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_objects.json".to_string());
+    let (counts, ops): (&[usize], usize) = if smoke {
+        (&[15, 255], 60)
+    } else {
+        (&[15, 105, 1005, 10005], 300)
+    };
+
+    let rows: Vec<Row> = counts.iter().map(|&o| run(o, ops)).collect();
+
+    println!(
+        "{:>8} {:>8} {:>16} {:>14} {:>20} {:>9}",
+        "objects", "ops", "ABD bytes/op", "mean op (ms)", "refresh B/transfer", "restarts"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>8} {:>16.1} {:>14.3} {:>20.0} {:>9}",
+            r.objects,
+            r.measured_ops,
+            r.abd_bytes_per_op,
+            r.mean_latency_ms,
+            r.refresh_bytes_per_transfer,
+            r.restarts
+        );
+    }
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"objects\",\n  \"unit\": \"abd_bytes_per_op\",\n  \"wire\": \
+         \"negotiate\",\n  \"workload\": {\"dist\": \"zipf(1.0)\", \"transfers_racing\": 2},\n  \
+         \"results\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"objects\": {}, \"measured_ops\": {}, \"abd_bytes_per_op\": {:.2}, \
+             \"mean_op_latency_ms\": {:.4}, \"refresh_bytes_per_transfer\": {:.0}, \
+             \"restarts\": {}, \"hot_key_bytes\": {}}}{}\n",
+            r.objects,
+            r.measured_ops,
+            r.abd_bytes_per_op,
+            r.mean_latency_ms,
+            r.refresh_bytes_per_transfer,
+            r.restarts,
+            r.hot_key_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+
+    // The gate: per-op ABD bytes and latency must be flat in object count.
+    let bytes: Vec<f64> = rows.iter().map(|r| r.abd_bytes_per_op).collect();
+    let lats: Vec<f64> = rows.iter().map(|r| r.mean_latency_ms).collect();
+    let spread = |v: &[f64]| -> f64 {
+        let max = v.iter().cloned().fold(f64::MIN, f64::max);
+        let min = v.iter().cloned().fold(f64::MAX, f64::min);
+        max / min
+    };
+    let mut ok = true;
+    let byte_spread = spread(&bytes);
+    if byte_spread > 1.10 {
+        eprintln!("FAIL: per-op ABD bytes not flat in object count ({byte_spread:.3}x spread)");
+        ok = false;
+    }
+    let lat_spread = spread(&lats);
+    if lat_spread > 1.30 {
+        eprintln!("FAIL: per-op latency not flat in object count ({lat_spread:.3}x spread)");
+        ok = false;
+    }
+    println!(
+        "spread over {}..{} objects: bytes {byte_spread:.3}x, latency {lat_spread:.3}x",
+        counts.first().unwrap(),
+        counts.last().unwrap()
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Profiles `Arc`-backed change-set refcount traffic in the threaded
+//! runtime at high fan-out (the PR 1 follow-up recorded in ROADMAP).
+//!
+//! Since messages share copy-on-write `ChangeSet` storage, every clone and
+//! drop of a message is an atomic increment/decrement on ONE shared
+//! refcount — and in [`ThreadedSystem`] those hit from many threads at
+//! once: a relay actor clones the payload per peer while every sink thread
+//! decrements it on drop, all contending for the same cache line.
+//!
+//! The harness: one relay actor broadcasts each injected seed message to
+//! `fanout` sink actors (each on its own thread). Three payloads separate
+//! the costs:
+//!
+//! * `shared` — a 1000-change `ChangeSet` (clone = one refcount bump);
+//! * `deep`   — a `Vec<u64>` of equal byte size (clone = alloc + memcpy);
+//! * `tiny`   — no payload (pure channel/runtime overhead baseline).
+//!
+//! Timing covers inject → all broadcasts sent → every sink drained
+//! (shutdown joins). Findings and the resulting delivery-path fix are
+//! written up in `docs/THREADED_NOTES.md`.
+//!
+//! Run with: `cargo run --release --bin profile_threaded`
+
+use std::any::Any;
+use std::time::Instant;
+
+use awr_sim::{Actor, ActorId, Context, Message, ThreadedSystem};
+use awr_types::{Change, ChangeSet, Ratio, ServerId};
+
+#[derive(Clone, Debug)]
+enum ProfMsg {
+    /// Broadcast me to every sink.
+    Seed(Payload),
+}
+
+#[derive(Clone, Debug)]
+enum Payload {
+    Shared(ChangeSet),
+    Deep(Vec<u64>),
+    Tiny,
+}
+
+impl Payload {
+    /// A trivial read so sinks touch the payload they received, like a
+    /// real handler would.
+    fn probe(&self) -> usize {
+        match self {
+            Payload::Shared(c) => c.len(),
+            Payload::Deep(v) => v.len(),
+            Payload::Tiny => 0,
+        }
+    }
+}
+
+impl Message for ProfMsg {
+    fn kind(&self) -> &'static str {
+        "prof"
+    }
+
+    // Keep accounting cheap and size-independent: the profile measures
+    // clone/drop cost, not wire metering.
+    fn wire_size(&self) -> usize {
+        16
+    }
+}
+
+struct Relay {
+    sinks: Vec<ActorId>,
+}
+
+impl Actor for Relay {
+    type Msg = ProfMsg;
+
+    fn on_message(&mut self, _from: ActorId, msg: ProfMsg, ctx: &mut Context<'_, ProfMsg>) {
+        ctx.send_to_all(self.sinks.iter().copied(), msg);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct Sink {
+    received: u64,
+    probed: usize,
+}
+
+impl Actor for Sink {
+    type Msg = ProfMsg;
+
+    fn on_message(&mut self, _from: ActorId, msg: ProfMsg, _ctx: &mut Context<'_, ProfMsg>) {
+        let ProfMsg::Seed(payload) = &msg;
+        self.probed = self.probed.max(payload.probe());
+        // The payload drops here — on this sink's thread.
+        drop(msg);
+        self.received += 1;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn big_change_set(changes: usize) -> ChangeSet {
+    let mut set = ChangeSet::new();
+    for i in 0..changes as u64 {
+        let t = ServerId((i % 7) as u32);
+        set.insert(Change::new(t, 1_000 + i, t, Ratio::new(1, 1000)));
+    }
+    set
+}
+
+/// Returns broadcast deliveries per second.
+fn run(payload: &Payload, fanout: usize, seeds: u64) -> f64 {
+    let mut actors: Vec<Box<dyn Actor<Msg = ProfMsg> + Send>> = Vec::new();
+    actors.push(Box::new(Relay {
+        sinks: (1..=fanout).map(ActorId).collect(),
+    }));
+    for _ in 0..fanout {
+        actors.push(Box::new(Sink {
+            received: 0,
+            probed: 0,
+        }));
+    }
+    let sys = ThreadedSystem::spawn_boxed(actors, 1);
+    let metrics = sys.metrics();
+    let expected = seeds + seeds * fanout as u64;
+
+    let t0 = Instant::now();
+    for _ in 0..seeds {
+        sys.inject(ActorId(0), ActorId(0), ProfMsg::Seed(payload.clone()));
+    }
+    // Wait for the relay to have sent every broadcast, so the Stop markers
+    // land *behind* all deliveries and shutdown joins a fully-drained run.
+    while metrics.snapshot().messages_sent < expected {
+        std::thread::yield_now();
+    }
+    let actors = sys.shutdown();
+    let dt = t0.elapsed();
+
+    let mut delivered = 0u64;
+    for a in &actors[1..] {
+        let sink = a.as_any().downcast_ref::<Sink>().expect("sink");
+        delivered += sink.received;
+        assert_eq!(sink.probed, payload.probe(), "payload mangled in flight");
+    }
+    assert_eq!(delivered, seeds * fanout as u64, "deliveries lost");
+    delivered as f64 / dt.as_secs_f64()
+}
+
+fn main() {
+    const CHANGES: usize = 1_000;
+    let shared = Payload::Shared(big_change_set(CHANGES));
+    // A deep payload of comparable byte volume (a Change is ~48 bytes).
+    let deep = Payload::Deep(vec![0u64; CHANGES * 6]);
+    let tiny = Payload::Tiny;
+
+    let seeds: u64 = 2_000;
+    println!(
+        "{:>7} {:>15} {:>15} {:>15}   (deliveries/sec, {} seeds)",
+        "fanout", "shared-arc", "deep-copy", "tiny", seeds
+    );
+    for &fanout in &[2usize, 8, 32] {
+        let s = run(&shared, fanout, seeds);
+        let d = run(&deep, fanout, seeds);
+        let t = run(&tiny, fanout, seeds);
+        println!(
+            "{fanout:>7} {s:>15.0} {d:>15.0} {t:>15.0}   shared/deep {:.2}x, shared/tiny {:.2}x",
+            s / d,
+            s / t
+        );
+    }
+}

@@ -11,6 +11,13 @@ use crate::restricted::server::{RpClient, RpServer};
 /// A ready-to-run restricted pairwise weight reassignment system:
 /// `n` servers at world indices `0..n`, `k` clients at `n..n+k`.
 ///
+/// This harness is the *configuration layer* and is deliberately
+/// object-agnostic: the weighted configuration it reassigns is shared
+/// infrastructure beneath any number of keyed registers (see
+/// `awr_storage`'s multi-object `StorageHarness`, where one transfer
+/// issued through these same APIs re-weights the whole shard). Nothing
+/// here needs an `ObjectId` — that is the point.
+///
 /// # Examples
 ///
 /// ```

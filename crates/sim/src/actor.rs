@@ -65,6 +65,17 @@ pub trait Message: Clone + fmt::Debug + Send + 'static {
     fn wire_size(&self) -> usize {
         std::mem::size_of_val(self)
     }
+
+    /// The object (keyed register) this message belongs to, if any — the
+    /// hook behind the per-object byte accounting
+    /// ([`crate::Metrics::bytes_by_object`]). Multi-object storage
+    /// protocols return the key of their addressed register on the keyed
+    /// phases; shared-infrastructure traffic (reassignment, whole-space
+    /// refreshes) and single-register protocols return `None` (the
+    /// default) and stay unattributed.
+    fn object_key(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// An event-driven process.

@@ -103,8 +103,8 @@ pub use actor::{Actor, ActorId, Context, Message, TimerId};
 pub use metrics::{LinkDelayStat, Metrics};
 pub use network::{
     shared_latency, BandwidthLinks, BandwidthMatrix, ConstantLatency, Delivery, FifoLinks,
-    HealingPartition, LatencyModel, LinkDiscipline, NetworkModel, SharedLatency, SlowActors,
-    TargetedDelay, UniformLatency, WanMatrix, UNLIMITED_BANDWIDTH,
+    HealingPartition, LatencyModel, LinkDiscipline, NetworkModel, ReceiveDiscipline, SharedLatency,
+    SlowActors, TargetedDelay, UniformLatency, WanMatrix, UNLIMITED_BANDWIDTH,
 };
 pub use threaded::{downcast_actor, ThreadedMetrics, ThreadedSystem};
 pub use time::{Nanos, Time, MICRO, MILLI, SECOND};
@@ -116,7 +116,7 @@ pub use topology::{
 pub use trace::{Trace, TraceKind, TraceRecord};
 pub use workload::{
     BurstyOnOff, ConstantBitrate, CrossTraffic, CrossTrafficStats, Flow, ReassignmentBurst,
-    TrafficGen,
+    RegimeShift, TrafficGen,
 };
 pub use world::World;
 

@@ -72,6 +72,12 @@ pub struct Metrics {
     pub sent_by_kind: BTreeMap<&'static str, u64>,
     /// Per message-kind byte totals.
     pub bytes_by_kind: BTreeMap<&'static str, u64>,
+    /// Per-object byte totals (object key → bytes), fed by
+    /// [`crate::Message::object_key`]. Only messages that name an object
+    /// are attributed; shared traffic (reassignment, refreshes) is not.
+    pub bytes_by_object: BTreeMap<u64, u64>,
+    /// Per-object send counts (object key → messages).
+    pub msgs_by_object: BTreeMap<u64, u64>,
     /// Per directed-link byte totals (`(from, to)` → bytes sent).
     pub bytes_by_link: BTreeMap<(ActorId, ActorId), u64>,
     /// Per directed-link transmission time (`(from, to)` → nanoseconds the
@@ -118,6 +124,34 @@ impl Metrics {
         stat.queued = stat.queued.saturating_add(delivery.queued);
         stat.transmission = stat.transmission.saturating_add(delivery.transmission);
         stat.propagation = stat.propagation.saturating_add(delivery.propagation);
+    }
+
+    /// Attributes a send to an object (keyed register). The runtimes call
+    /// this alongside [`Metrics::record_send`] whenever
+    /// [`crate::Message::object_key`] names one.
+    pub fn record_object(&mut self, object: u64, bytes: usize) {
+        *self.bytes_by_object.entry(object).or_insert(0) += bytes as u64;
+        *self.msgs_by_object.entry(object).or_insert(0) += 1;
+    }
+
+    /// Bytes attributed to an object key.
+    pub fn bytes_of_object(&self, object: u64) -> u64 {
+        self.bytes_by_object.get(&object).copied().unwrap_or(0)
+    }
+
+    /// Messages attributed to an object key.
+    pub fn msgs_of_object(&self, object: u64) -> u64 {
+        self.msgs_by_object.get(&object).copied().unwrap_or(0)
+    }
+
+    /// Mean bytes per attributed message of an object key (0 if none).
+    pub fn mean_bytes_of_object(&self, object: u64) -> f64 {
+        let n = self.msgs_of_object(object);
+        if n == 0 {
+            0.0
+        } else {
+            self.bytes_of_object(object) as f64 / n as f64
+        }
     }
 
     /// Messages sent with a specific kind label.
@@ -261,6 +295,72 @@ impl Metrics {
             .sum()
     }
 
+    /// The counters accumulated *since* `baseline` was snapshotted: every
+    /// total, per-kind, per-link, per-object, and delay tally is the
+    /// component-wise difference, and `last_time` becomes the window
+    /// *length* — so ratio queries ([`Metrics::link_utilization`],
+    /// [`Metrics::uplink_utilization`]) read as utilization over the
+    /// window, not over the whole run.
+    ///
+    /// This is what lets an observe→decide loop re-decide mid-run on fresh
+    /// evidence: a regime shift is invisible in cumulative means (the old
+    /// regime's samples dilute the new ones) but obvious in a window.
+    /// `baseline` must be an earlier snapshot of the same run; counters
+    /// saturate at zero rather than underflow.
+    pub fn since(&self, baseline: &Metrics) -> Metrics {
+        fn sub_map<K: Ord + Copy>(
+            new: &BTreeMap<K, u64>,
+            old: &BTreeMap<K, u64>,
+        ) -> BTreeMap<K, u64> {
+            new.iter()
+                .map(|(k, v)| (*k, v.saturating_sub(old.get(k).copied().unwrap_or(0))))
+                .collect()
+        }
+        let delay_by_link = self
+            .delay_by_link
+            .iter()
+            .map(|(k, s)| {
+                let o = baseline.delay_by_link.get(k).copied().unwrap_or_default();
+                (
+                    *k,
+                    LinkDelayStat {
+                        count: s.count.saturating_sub(o.count),
+                        queued: s.queued.saturating_sub(o.queued),
+                        transmission: s.transmission.saturating_sub(o.transmission),
+                        propagation: s.propagation.saturating_sub(o.propagation),
+                    },
+                )
+            })
+            .collect();
+        Metrics {
+            events_processed: self
+                .events_processed
+                .saturating_sub(baseline.events_processed),
+            messages_sent: self.messages_sent.saturating_sub(baseline.messages_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(baseline.bytes_sent),
+            messages_delivered: self
+                .messages_delivered
+                .saturating_sub(baseline.messages_delivered),
+            messages_dropped_crashed: self
+                .messages_dropped_crashed
+                .saturating_sub(baseline.messages_dropped_crashed),
+            timers_fired: self.timers_fired.saturating_sub(baseline.timers_fired),
+            sent_by_kind: sub_map(&self.sent_by_kind, &baseline.sent_by_kind),
+            bytes_by_kind: sub_map(&self.bytes_by_kind, &baseline.bytes_by_kind),
+            bytes_by_object: sub_map(&self.bytes_by_object, &baseline.bytes_by_object),
+            msgs_by_object: sub_map(&self.msgs_by_object, &baseline.msgs_by_object),
+            bytes_by_link: sub_map(&self.bytes_by_link, &baseline.bytes_by_link),
+            link_busy: sub_map(&self.link_busy, &baseline.link_busy),
+            msgs_by_link: sub_map(&self.msgs_by_link, &baseline.msgs_by_link),
+            delay_by_link,
+            last_time: Time(
+                self.last_time
+                    .nanos()
+                    .saturating_sub(baseline.last_time.nanos()),
+            ),
+        }
+    }
+
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -314,6 +414,20 @@ mod tests {
     }
 
     #[test]
+    fn per_object_accounting() {
+        let mut m = Metrics::default();
+        m.record_object(0, 100);
+        m.record_object(0, 50);
+        m.record_object(7, 20);
+        assert_eq!(m.bytes_of_object(0), 150);
+        assert_eq!(m.msgs_of_object(0), 2);
+        assert_eq!(m.mean_bytes_of_object(0), 75.0);
+        assert_eq!(m.bytes_of_object(7), 20);
+        assert_eq!(m.bytes_of_object(99), 0);
+        assert_eq!(m.mean_bytes_of_object(99), 0.0);
+    }
+
+    #[test]
     fn per_link_accounting() {
         let mut m = Metrics::default();
         m.record_send("R", 1_000, a(0), a(1), tx(100));
@@ -336,6 +450,36 @@ mod tests {
         assert_eq!(m.uplink_utilization(a(0)), 0.9);
         assert_eq!(m.uplink_utilization(a(2)), 0.0);
         assert_eq!(m.max_uplink_utilization(), 0.9);
+    }
+
+    #[test]
+    fn since_windows_the_counters() {
+        let mut m = Metrics::default();
+        m.record_send("R", 1_000, a(0), a(1), tx(100));
+        m.record_object(3, 1_000);
+        m.last_time = Time(1_000);
+        let snapshot = m.clone();
+        m.record_send("R", 3_000, a(0), a(1), tx(300));
+        m.record_send("W", 500, a(1), a(0), tx(50));
+        m.record_object(3, 3_000);
+        m.last_time = Time(2_000);
+        let w = m.since(&snapshot);
+        assert_eq!(w.messages_sent, 2);
+        assert_eq!(w.bytes_sent, 3_500);
+        assert_eq!(w.sent_of_kind("R"), 1);
+        assert_eq!(w.bytes_of_kind("R"), 3_000);
+        assert_eq!(w.bytes_on_link(a(0), a(1)), 3_000);
+        assert_eq!(w.bytes_of_object(3), 3_000);
+        assert_eq!(w.last_time, Time(1_000));
+        // Utilization reads over the window: 300 ns busy / 1000 ns window.
+        assert_eq!(w.link_utilization(a(0), a(1)), 0.3);
+        let d = w.link_delay(a(0), a(1)).unwrap();
+        assert_eq!(d.count, 1);
+        assert_eq!(d.transmission, 300);
+        // A zero-width window is all zeros.
+        let z = m.since(&m.clone());
+        assert_eq!(z.messages_sent, 0);
+        assert_eq!(z.max_link_utilization(), 0.0);
     }
 
     #[test]

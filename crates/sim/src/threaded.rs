@@ -51,6 +51,7 @@ struct SharedCounters {
     bytes_sent: AtomicU64,
     by_kind: Mutex<BTreeMap<&'static str, KindTally>>,
     by_link: Mutex<BTreeMap<(ActorId, ActorId), LinkTally>>,
+    by_object: Mutex<BTreeMap<u64, KindTally>>,
 }
 
 impl SharedCounters {
@@ -63,6 +64,7 @@ impl SharedCounters {
         &self,
         local: &BTreeMap<&'static str, KindTally>,
         links: &BTreeMap<(ActorId, ActorId), LinkTally>,
+        objects: &BTreeMap<u64, KindTally>,
     ) {
         let mut map = self.by_kind.lock().expect("metrics mutex poisoned");
         for (k, t) in local {
@@ -77,12 +79,26 @@ impl SharedCounters {
             e.msgs += t.msgs;
             e.bytes += t.bytes;
         }
+        drop(map);
+        let mut map = self.by_object.lock().expect("metrics mutex poisoned");
+        for (o, t) in objects {
+            let e = map.entry(*o).or_default();
+            e.count += t.count;
+            e.bytes += t.bytes;
+        }
     }
 
     /// One-off accounting for harness-injected messages (actor threads use
     /// the thread-local tallies instead; injection is rare enough that one
     /// lock per call is fine).
-    fn record_one(&self, kind: &'static str, bytes: usize, from: ActorId, to: ActorId) {
+    fn record_one(
+        &self,
+        kind: &'static str,
+        bytes: usize,
+        object: Option<u64>,
+        from: ActorId,
+        to: ActorId,
+    ) {
         self.record_totals(bytes);
         let mut map = self.by_kind.lock().expect("metrics mutex poisoned");
         let e = map.entry(kind).or_default();
@@ -93,6 +109,13 @@ impl SharedCounters {
         let e = map.entry((from, to)).or_default();
         e.msgs += 1;
         e.bytes += bytes as u64;
+        drop(map);
+        if let Some(o) = object {
+            let mut map = self.by_object.lock().expect("metrics mutex poisoned");
+            let e = map.entry(o).or_default();
+            e.count += 1;
+            e.bytes += bytes as u64;
+        }
     }
 }
 
@@ -127,6 +150,16 @@ impl ThreadedMetrics {
         for (l, t) in map.iter() {
             m.bytes_by_link.insert(*l, t.bytes);
             m.msgs_by_link.insert(*l, t.msgs);
+        }
+        drop(map);
+        let map = self
+            .shared
+            .by_object
+            .lock()
+            .expect("metrics mutex poisoned");
+        for (o, t) in map.iter() {
+            m.bytes_by_object.insert(*o, t.bytes);
+            m.msgs_by_object.insert(*o, t.count);
         }
         m
     }
@@ -201,6 +234,7 @@ impl<M: Message + Send> ThreadedSystem<M> {
                 // lock-free.
                 let mut kinds: BTreeMap<&'static str, KindTally> = BTreeMap::new();
                 let mut links: BTreeMap<(ActorId, ActorId), LinkTally> = BTreeMap::new();
+                let mut objects: BTreeMap<u64, KindTally> = BTreeMap::new();
                 let mut run_cb = |actor: &mut Box<dyn Actor<Msg = M> + Send>,
                                   cb: &mut Callback<'_, M>| {
                     let mut effects: Vec<Effect<M>> = Vec::new();
@@ -227,6 +261,11 @@ impl<M: Message + Send> ThreadedSystem<M> {
                                 let l = links.entry((self_id, to)).or_default();
                                 l.msgs += 1;
                                 l.bytes += bytes as u64;
+                                if let Some(o) = msg.object_key() {
+                                    let t = objects.entry(o).or_default();
+                                    t.count += 1;
+                                    t.bytes += bytes as u64;
+                                }
                                 // A send to a stopped peer is a dropped
                                 // message, matching the crash model.
                                 let _ = peer_senders[to.index()]
@@ -245,8 +284,15 @@ impl<M: Message + Send> ThreadedSystem<M> {
                 while !crashed {
                     match rx.recv() {
                         Ok(Envelope::Msg { from, msg }) => {
+                            // Move the owned message into the (single)
+                            // callback invocation instead of cloning it:
+                            // for Arc-backed payloads the clone+drop pair
+                            // is an avoidable hit on a refcount shared
+                            // with every other actor thread (see
+                            // docs/THREADED_NOTES.md).
+                            let mut slot = Some(msg);
                             crashed = run_cb(&mut actor, &mut |a, ctx| {
-                                a.on_message(from, msg.clone(), ctx)
+                                a.on_message(from, slot.take().expect("delivered once"), ctx)
                             });
                         }
                         Ok(Envelope::Stop) | Err(_) => break,
@@ -254,7 +300,7 @@ impl<M: Message + Send> ThreadedSystem<M> {
                 }
                 // Drain silently after crash/stop until Stop arrives so
                 // senders never block (channels are unbounded anyway).
-                shared.merge_kinds(&kinds, &links);
+                shared.merge_kinds(&kinds, &links, &objects);
                 actor
             });
             handles.push(handle);
@@ -275,7 +321,7 @@ impl<M: Message + Send> ThreadedSystem<M> {
     /// Injects a message as if sent by `from`.
     pub fn inject(&self, from: ActorId, to: ActorId, msg: M) {
         self.counters
-            .record_one(msg.kind(), msg.wire_size(), from, to);
+            .record_one(msg.kind(), msg.wire_size(), msg.object_key(), from, to);
         let _ = self.senders[to.index()].send(Envelope::Msg { from, msg });
     }
 

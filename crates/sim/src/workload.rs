@@ -175,6 +175,59 @@ impl TrafficGen for ReassignmentBurst {
     }
 }
 
+/// A regime shift: one generator before `switch_at`, another after — the
+/// composable way to model network conditions that *change mid-run*
+/// (a congested corridor clearing while another saturates). Like every
+/// generator it is a pure function of virtual time, so wrapping flows in
+/// shifts perturbs only link occupancy, never the propagation sampling.
+///
+/// # Examples
+///
+/// ```
+/// use awr_sim::{ConstantBitrate, RegimeShift, Time, TrafficGen, SECOND};
+///
+/// // Silent for 2 s, then a 1 MB/s stream.
+/// let mut g = RegimeShift::new(
+///     Time(2 * SECOND),
+///     ConstantBitrate::new(0),
+///     ConstantBitrate::new(1_000_000),
+/// );
+/// assert_eq!(g.bytes_between(Time::ZERO, Time(2 * SECOND)), 0);
+/// assert_eq!(g.bytes_between(Time(2 * SECOND), Time(3 * SECOND)), 1_000_000);
+/// ```
+pub struct RegimeShift<A, B> {
+    switch_at: Time,
+    before: A,
+    after: B,
+}
+
+impl<A: TrafficGen, B: TrafficGen> RegimeShift<A, B> {
+    /// Emits per `before` strictly before `switch_at`, per `after` from
+    /// `switch_at` on. The `after` generator's own clock still starts at
+    /// `t = 0` of the run (generators are functions of absolute virtual
+    /// time), which keeps burst phases predictable across arms.
+    pub fn new(switch_at: Time, before: A, after: B) -> RegimeShift<A, B> {
+        RegimeShift {
+            switch_at,
+            before,
+            after,
+        }
+    }
+}
+
+impl<A: TrafficGen, B: TrafficGen> TrafficGen for RegimeShift<A, B> {
+    fn bytes_between(&mut self, t0: Time, t1: Time) -> u64 {
+        let mut total = 0;
+        if t0 < self.switch_at {
+            total += self.before.bytes_between(t0, t1.min(self.switch_at));
+        }
+        if t1 > self.switch_at {
+            total += self.after.bytes_between(t0.max(self.switch_at), t1);
+        }
+        total
+    }
+}
+
 /// A background flow: a generator bound to a directed actor pair.
 pub struct Flow {
     /// Sending endpoint (whose link/uplink the bytes occupy).
@@ -380,6 +433,45 @@ mod tests {
         let mut h = ReassignmentBurst::new(50 * MILLI, 1_000, 10 * MILLI);
         assert_eq!(h.bytes_between(Time::ZERO, Time(10 * MILLI)), 0);
         assert_eq!(h.bytes_between(Time(10 * MILLI), Time(11 * MILLI)), 1_000);
+    }
+
+    #[test]
+    fn regime_shift_switches_generators_and_loses_no_bytes() {
+        let mut g = RegimeShift::new(
+            Time(SECOND),
+            ConstantBitrate::new(1_000),
+            ConstantBitrate::new(9_000),
+        );
+        // Window spanning the switch: 0.5 s of each regime.
+        assert_eq!(
+            g.bytes_between(Time(SECOND / 2), Time(3 * SECOND / 2)),
+            500 + 4_500
+        );
+        // Fully before / fully after.
+        let mut h = RegimeShift::new(
+            Time(SECOND),
+            ConstantBitrate::new(1_000),
+            ConstantBitrate::new(9_000),
+        );
+        assert_eq!(h.bytes_between(Time::ZERO, Time(SECOND)), 1_000);
+        assert_eq!(h.bytes_between(Time(SECOND), Time(2 * SECOND)), 9_000);
+        // Splitting windows across the switch never loses bytes.
+        let mut whole = RegimeShift::new(
+            Time(SECOND),
+            ConstantBitrate::new(333),
+            ConstantBitrate::new(777),
+        );
+        let total = whole.bytes_between(Time::ZERO, Time(2 * SECOND));
+        let mut split = RegimeShift::new(
+            Time(SECOND),
+            ConstantBitrate::new(333),
+            ConstantBitrate::new(777),
+        );
+        let mut sum = 0;
+        for k in 0..20 {
+            sum += split.bytes_between(Time(k * SECOND / 10), Time((k + 1) * SECOND / 10));
+        }
+        assert_eq!(sum, total);
     }
 
     #[test]

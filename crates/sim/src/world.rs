@@ -216,6 +216,9 @@ impl<M: Message> World<M> {
             .delivery(from, to, self.time, bytes, &mut self.rng);
         let tx = d.queued.saturating_add(d.transmission);
         self.metrics.record_send(msg.kind(), bytes, from, to, d);
+        if let Some(obj) = msg.object_key() {
+            self.metrics.record_object(obj, bytes);
+        }
         self.push_event(
             self.time + d.total(),
             EventKind::Deliver {

@@ -3,14 +3,17 @@
 //! compared against (experiment E7).
 //!
 //! The client runs the two-phase protocol of Algorithm 5 minus the change
-//! sets; the server is Algorithm 6 minus the change sets.
+//! sets; the server is Algorithm 6 minus the change sets. Like the dynamic
+//! engine, servers host a keyed register *map* ([`ObjectId`]) under one
+//! quorum rule; the single-object entry points operate on
+//! [`ObjectId::DEFAULT`].
 
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::fmt;
 
 use awr_sim::{Actor, ActorId, Context, Message, Time};
-use awr_types::{ProcessId, ServerId, Tag, TaggedValue};
+use awr_types::{ObjectId, ProcessId, ServerId, Tag, TaggedValue};
 
 use crate::history::{HistOp, OpKind};
 use crate::quorum_rule::QuorumRule;
@@ -22,29 +25,37 @@ impl<T: Clone + Eq + std::hash::Hash + fmt::Debug + Send + 'static> Value for T 
 /// Wire messages of static ABD.
 #[derive(Clone, Debug)]
 pub enum AbdMsg<V> {
-    /// Phase-1 request (`⟨R, opCnt⟩`).
+    /// Phase-1 request (`⟨R, obj, opCnt⟩`).
     R {
         /// Client-local operation counter.
         op: u64,
+        /// The object being read or written.
+        obj: ObjectId,
     },
-    /// Phase-1 reply (`⟨R_A, reg, opCnt⟩`).
+    /// Phase-1 reply (`⟨R_A, obj, reg, opCnt⟩`).
     RAck {
         /// Echo of the request counter.
         op: u64,
-        /// The server's register content.
+        /// Echo of the object key.
+        obj: ObjectId,
+        /// The server's register content for that object.
         reg: TaggedValue<V>,
     },
-    /// Phase-2 request (`⟨W, ⟨tag, val⟩, opCnt⟩`).
+    /// Phase-2 request (`⟨W, obj, ⟨tag, val⟩, opCnt⟩`).
     W {
         /// Client-local operation counter.
         op: u64,
+        /// The object being written back.
+        obj: ObjectId,
         /// The tagged value to store.
         reg: TaggedValue<V>,
     },
-    /// Phase-2 reply (`⟨W_A, opCnt⟩`).
+    /// Phase-2 reply (`⟨W_A, obj, opCnt⟩`).
     WAck {
         /// Echo of the request counter.
         op: u64,
+        /// Echo of the object key.
+        obj: ObjectId,
     },
 }
 
@@ -57,25 +68,56 @@ impl<V: Value> Message for AbdMsg<V> {
             AbdMsg::WAck { .. } => "W_A",
         }
     }
+
+    fn object_key(&self) -> Option<u64> {
+        match self {
+            AbdMsg::R { obj, .. }
+            | AbdMsg::RAck { obj, .. }
+            | AbdMsg::W { obj, .. }
+            | AbdMsg::WAck { obj, .. } => Some(obj.key()),
+        }
+    }
 }
 
-/// A static-ABD server: stores one tagged register.
+/// A static-ABD server: stores a sparse map of tagged registers, one per
+/// object (absent = bottom).
 #[derive(Debug)]
 pub struct AbdServer<V> {
-    register: TaggedValue<V>,
+    registers: BTreeMap<ObjectId, TaggedValue<V>>,
 }
 
 impl<V: Value> AbdServer<V> {
     /// Creates an empty server.
     pub fn new() -> AbdServer<V> {
         AbdServer {
-            register: TaggedValue::bottom(),
+            registers: BTreeMap::new(),
         }
     }
 
-    /// Current register content (inspection).
-    pub fn register(&self) -> &TaggedValue<V> {
-        &self.register
+    /// The [default object](ObjectId::DEFAULT)'s register (inspection).
+    pub fn register(&self) -> TaggedValue<V> {
+        self.register_of(ObjectId::DEFAULT)
+    }
+
+    /// The register stored for `obj` (bottom if never written).
+    pub fn register_of(&self, obj: ObjectId) -> TaggedValue<V> {
+        self.registers
+            .get(&obj)
+            .cloned()
+            .unwrap_or_else(TaggedValue::bottom)
+    }
+
+    fn adopt_register(&mut self, obj: ObjectId, incoming: &TaggedValue<V>) {
+        match self.registers.get_mut(&obj) {
+            Some(cur) => {
+                cur.adopt_if_newer(incoming);
+            }
+            None => {
+                if incoming.tag > Tag::bottom() {
+                    self.registers.insert(obj, incoming.clone());
+                }
+            }
+        }
     }
 }
 
@@ -90,18 +132,19 @@ impl<V: Value> Actor for AbdServer<V> {
 
     fn on_message(&mut self, from: ActorId, msg: AbdMsg<V>, ctx: &mut Context<'_, AbdMsg<V>>) {
         match msg {
-            AbdMsg::R { op } => {
+            AbdMsg::R { op, obj } => {
                 ctx.send(
                     from,
                     AbdMsg::RAck {
                         op,
-                        reg: self.register.clone(),
+                        obj,
+                        reg: self.register_of(obj),
                     },
                 );
             }
-            AbdMsg::W { op, reg } => {
-                self.register.adopt_if_newer(&reg);
-                ctx.send(from, AbdMsg::WAck { op });
+            AbdMsg::W { op, obj, reg } => {
+                self.adopt_register(obj, &reg);
+                ctx.send(from, AbdMsg::WAck { op, obj });
             }
             AbdMsg::RAck { .. } | AbdMsg::WAck { .. } => { /* client messages; ignore */ }
         }
@@ -118,6 +161,8 @@ impl<V: Value> Actor for AbdServer<V> {
 /// What a completed client operation looked like (for histories/metrics).
 #[derive(Clone, Debug)]
 pub struct CompletedOp<V> {
+    /// The object the operation targeted.
+    pub obj: ObjectId,
     /// Read result (`None` = register unwritten) or the written value.
     pub kind: OpKind<V>,
     /// Invocation time.
@@ -131,12 +176,14 @@ enum Phase<V> {
     Idle,
     One {
         op: u64,
+        obj: ObjectId,
         write_value: Option<V>, // None = read
         invoke: Time,
         replies: BTreeMap<ServerId, TaggedValue<V>>,
     },
     Two {
         op: u64,
+        obj: ObjectId,
         write_value: Option<V>,
         invoke: Time,
         chosen: TaggedValue<V>,
@@ -174,37 +221,57 @@ impl<V: Value> AbdClient<V> {
         !matches!(self.phase, Phase::Idle)
     }
 
-    /// Begins a read (`read() ≡ read_write(⊥)`).
+    /// Begins a read of the [default object](ObjectId::DEFAULT)
+    /// (`read() ≡ read_write(⊥)`).
     ///
     /// # Panics
     ///
     /// Panics if an operation is already in flight (processes are
     /// sequential).
     pub fn begin_read(&mut self, ctx: &mut Context<'_, AbdMsg<V>>) {
-        self.begin(None, ctx);
+        self.begin(ObjectId::DEFAULT, None, ctx);
     }
 
-    /// Begins a write of `value`.
+    /// Begins a write of `value` to the [default object](ObjectId::DEFAULT).
     ///
     /// # Panics
     ///
     /// Panics if an operation is already in flight.
     pub fn begin_write(&mut self, value: V, ctx: &mut Context<'_, AbdMsg<V>>) {
-        self.begin(Some(value), ctx);
+        self.begin(ObjectId::DEFAULT, Some(value), ctx);
     }
 
-    fn begin(&mut self, write_value: Option<V>, ctx: &mut Context<'_, AbdMsg<V>>) {
+    /// Begins a read of `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight.
+    pub fn begin_read_obj(&mut self, obj: ObjectId, ctx: &mut Context<'_, AbdMsg<V>>) {
+        self.begin(obj, None, ctx);
+    }
+
+    /// Begins a write of `value` to `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight.
+    pub fn begin_write_obj(&mut self, obj: ObjectId, value: V, ctx: &mut Context<'_, AbdMsg<V>>) {
+        self.begin(obj, Some(value), ctx);
+    }
+
+    fn begin(&mut self, obj: ObjectId, write_value: Option<V>, ctx: &mut Context<'_, AbdMsg<V>>) {
         assert!(!self.is_busy(), "client already has an operation in flight");
         self.op_cnt += 1;
         let op = self.op_cnt;
         self.phase = Phase::One {
             op,
+            obj,
             write_value,
             invoke: ctx.now(),
             replies: BTreeMap::new(),
         };
         for i in 0..self.n_servers {
-            ctx.send(ActorId(i), AbdMsg::R { op });
+            ctx.send(ActorId(i), AbdMsg::R { op, obj });
         }
     }
 
@@ -218,12 +285,17 @@ impl<V: Value> AbdClient<V> {
             (
                 Phase::One {
                     op,
+                    obj,
                     write_value,
                     invoke,
                     replies,
                 },
-                AbdMsg::RAck { op: mop, reg },
-            ) if mop == *op => {
+                AbdMsg::RAck {
+                    op: mop,
+                    obj: mobj,
+                    reg,
+                },
+            ) if mop == *op && mobj == *obj => {
                 replies.insert(sid, reg);
                 let responders: std::collections::BTreeSet<ServerId> =
                     replies.keys().copied().collect();
@@ -242,9 +314,11 @@ impl<V: Value> AbdClient<V> {
                         }
                     };
                     let op = *op;
+                    let obj = *obj;
                     let invoke = *invoke;
                     self.phase = Phase::Two {
                         op,
+                        obj,
                         write_value: wv,
                         invoke,
                         chosen: chosen.clone(),
@@ -255,6 +329,7 @@ impl<V: Value> AbdClient<V> {
                             ActorId(i),
                             AbdMsg::W {
                                 op,
+                                obj,
                                 reg: chosen.clone(),
                             },
                         );
@@ -264,13 +339,14 @@ impl<V: Value> AbdClient<V> {
             (
                 Phase::Two {
                     op,
+                    obj,
                     write_value,
                     invoke,
                     chosen,
                     acks,
                 },
-                AbdMsg::WAck { op: mop },
-            ) if mop == *op => {
+                AbdMsg::WAck { op: mop, obj: mobj },
+            ) if mop == *op && mobj == *obj => {
                 acks.insert(sid);
                 if self.rule.is_quorum(acks) {
                     let kind = match write_value.take() {
@@ -278,6 +354,7 @@ impl<V: Value> AbdClient<V> {
                         Some(v) => OpKind::Write(v),
                     };
                     self.completed.push(CompletedOp {
+                        obj: *obj,
                         kind,
                         invoke: *invoke,
                         response: ctx.now(),
@@ -295,6 +372,7 @@ impl<V: Value> AbdClient<V> {
             .iter()
             .map(|c| HistOp {
                 client: ci,
+                obj: c.obj,
                 kind: c.kind.clone(),
                 invoke: c.invoke,
                 response: c.response,

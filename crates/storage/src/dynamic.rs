@@ -1,10 +1,15 @@
 //! Dynamic-weighted atomic storage (paper §VII, Algorithms 5 and 6) over a
-//! delta-aware wire protocol.
+//! delta-aware wire protocol and a *keyed object space*.
 //!
 //! Multi-writer ABD where quorums are judged by *weight* under the most
 //! up-to-date set of completed changes `C`, and weights move via the
 //! restricted pairwise weight reassignment protocol (Algorithm 4, embedded
-//! through [`TransferCore`]):
+//! through [`TransferCore`]). Each server hosts a whole *map* of registers
+//! keyed by [`ObjectId`] — the paper's reassignment machinery governs the
+//! quorum system, not a datum, so a single `C` (and a single reassignment
+//! protocol instance) serves any number of objects: every `R`/`W` names its
+//! object, quorum judgement is object-independent, and one weight transfer
+//! re-weights the whole shard. Mechanically:
 //!
 //! * every `R`/`W` message references the client's `C`; servers **reject**
 //!   operations whose `C` differs from theirs; the client reconciles and
@@ -61,7 +66,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use awr_core::restricted::{ApplyRequest, CoreEvent, TransferCore, TransferStart, WrMsg};
 use awr_core::{RpConfig, TransferError, TransferOutcome};
 use awr_sim::{Actor, ActorId, Context, Message, Time};
-use awr_types::{ChangeSet, CsRef, ProcessId, Ratio, ServerId, Tag, TaggedValue};
+use awr_types::{ChangeSet, CsRef, ObjectId, ProcessId, Ratio, ServerId, Tag, TaggedValue};
 
 use crate::abd_static::Value;
 use crate::history::{HistOp, OpKind};
@@ -77,6 +82,8 @@ pub enum DynMsg<V> {
     R {
         /// Client-local operation counter.
         op: u64,
+        /// The object being read or written.
+        obj: ObjectId,
         /// Reference to the client's current set of completed changes.
         changes: CsRef,
     },
@@ -86,7 +93,9 @@ pub enum DynMsg<V> {
     RAck {
         /// Echo of the request counter.
         op: u64,
-        /// The server's register content.
+        /// Echo of the object key.
+        obj: ObjectId,
+        /// The server's register content for that object.
         reg: TaggedValue<V>,
         /// Reference to the server's current change set.
         changes: CsRef,
@@ -97,6 +106,8 @@ pub enum DynMsg<V> {
     W {
         /// Client-local operation counter.
         op: u64,
+        /// The object being written back.
+        obj: ObjectId,
         /// The tagged value to store.
         reg: TaggedValue<V>,
         /// Reference to the client's current change set.
@@ -106,6 +117,8 @@ pub enum DynMsg<V> {
     WAck {
         /// Echo of the request counter.
         op: u64,
+        /// Echo of the object key.
+        obj: ObjectId,
         /// Reference to the server's current change set.
         changes: CsRef,
         /// Whether the server accepted (and possibly applied) the write.
@@ -115,27 +128,34 @@ pub enum DynMsg<V> {
     /// unconditionally — by *count*, not weight — so it can never deadlock:
     /// an `n − f` count set intersects every weighted quorum under every
     /// Property-1 map (its complement is `f` servers, holding < half).
+    ///
+    /// One refresh covers the *whole object space*: a weight gain changes
+    /// which quorums are possible for every object at once, so the
+    /// refresher must catch up on every register before applying it
+    /// (Lemma 4, per object).
     RefreshR {
         /// Refresher-local operation number.
         op: u64,
-        /// The refresher's current register tag. Lets repliers
-        /// delta-encode: a register no newer than this cannot change the
-        /// refresh outcome, so its value is suppressed on the wire.
-        have: Tag,
+        /// The refresher's current per-object register tags. Lets repliers
+        /// delta-encode: a register no newer than the refresher's tag for
+        /// that object cannot change the refresh outcome, so its value is
+        /// suppressed on the wire. Objects absent from the map are ones
+        /// the refresher has never stored (implicitly at the bottom tag).
+        have: BTreeMap<ObjectId, Tag>,
     },
-    /// Reply to [`DynMsg::RefreshR`]. The register value ships only when
-    /// it is strictly newer than the tag the refresher presented —
-    /// otherwise the value is elided (`None`), shrinking the ack to a
-    /// header. Observationally equivalent to always shipping the value:
-    /// the refresher adopts the freshest register it sees, and a register
-    /// with `tag ≤ have` can never be that (the refresher's own register
-    /// only grows newer while the read is in flight).
+    /// Reply to [`DynMsg::RefreshR`]: the subset of the replier's registers
+    /// that are *strictly newer* than the tags the refresher presented.
+    /// Everything else is elided, so in the converged case the ack is a
+    /// bare header regardless of how many objects the shard holds.
+    /// Observationally equivalent to always shipping the full register map:
+    /// the refresher adopts the freshest register per object, and a
+    /// register with `tag ≤ have[obj]` can never be that (the refresher's
+    /// own registers only grow newer while the read is in flight).
     RefreshAck {
         /// Echo of the request number.
         op: u64,
-        /// The server's register, or `None` when it is no newer than the
-        /// refresher's.
-        reg: Option<TaggedValue<V>>,
+        /// The replier's registers that are newer than the refresher's.
+        regs: BTreeMap<ObjectId, TaggedValue<V>>,
     },
 }
 
@@ -159,19 +179,40 @@ impl<V: Value> Message for DynMsg<V> {
     // an arbitrary `V` for its heap size. The change-set payloads — the
     // quantity this accounting exists to expose — are always charged fully.
     fn wire_size(&self) -> usize {
+        const OBJ: usize = std::mem::size_of::<ObjectId>();
         match self {
             DynMsg::Wr(m) => m.wire_size(),
-            DynMsg::R { changes, .. } => 12 + changes.wire_size(),
-            DynMsg::WAck { changes, .. } => 16 + changes.wire_size(),
+            DynMsg::R { changes, .. } => 12 + OBJ + changes.wire_size(),
+            DynMsg::WAck { changes, .. } => 16 + OBJ + changes.wire_size(),
             DynMsg::RAck { reg, changes, .. } | DynMsg::W { reg, changes, .. } => {
-                16 + std::mem::size_of_val(reg) + changes.wire_size()
+                16 + OBJ + std::mem::size_of_val(reg) + changes.wire_size()
             }
-            // Header + the presented tag — not the enum footprint, which
-            // is sized by the register-carrying variants.
-            DynMsg::RefreshR { .. } => 16 + std::mem::size_of::<Tag>(),
-            // A suppressed register costs only the header; a shipped one
-            // is charged at its footprint like every other register.
-            DynMsg::RefreshAck { reg, .. } => 16 + reg.as_ref().map_or(0, std::mem::size_of_val),
+            // Header + one (key, tag) pair per object the refresher holds —
+            // the per-reassignment cost of covering the whole object space,
+            // independent of register value sizes.
+            DynMsg::RefreshR { have, .. } => 16 + have.len() * (OBJ + std::mem::size_of::<Tag>()),
+            // Elided registers cost nothing: a converged replier sends a
+            // 16-byte header however many objects the shard holds. Shipped
+            // registers are charged at their footprint plus their key.
+            DynMsg::RefreshAck { regs, .. } => {
+                16 + regs
+                    .values()
+                    .map(|r| OBJ + std::mem::size_of_val(r))
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    // Per-object byte attribution: the four keyed ABD phases carry their
+    // object; reassignment traffic and the (whole-space) refresh legs are
+    // shared infrastructure and stay unattributed.
+    fn object_key(&self) -> Option<u64> {
+        match self {
+            DynMsg::R { obj, .. }
+            | DynMsg::RAck { obj, .. }
+            | DynMsg::W { obj, .. }
+            | DynMsg::WAck { obj, .. } => Some(obj.key()),
+            DynMsg::Wr(_) | DynMsg::RefreshR { .. } | DynMsg::RefreshAck { .. } => None,
         }
     }
 }
@@ -217,6 +258,8 @@ impl Default for DynOptions {
 /// A completed read/write (client-side record).
 #[derive(Clone, Debug)]
 pub struct DynCompletedOp<V> {
+    /// The object the operation targeted.
+    pub obj: ObjectId,
     /// What happened.
     pub kind: OpKind<V>,
     /// Invocation time.
@@ -232,6 +275,7 @@ enum DynPhase<V> {
     Idle,
     One {
         op: u64,
+        obj: ObjectId,
         write_value: Option<V>,
         invoke: Time,
         restarts: u64,
@@ -244,6 +288,7 @@ enum DynPhase<V> {
     },
     Two {
         op: u64,
+        obj: ObjectId,
         write_value: Option<V>,
         invoke: Time,
         restarts: u64,
@@ -290,7 +335,8 @@ impl<V: Value> DynOpDriver<V> {
         !matches!(self.phase, DynPhase::Idle)
     }
 
-    /// Begins `read()` (write value `None`) or `write(v)`.
+    /// Begins `read()` (write value `None`) or `write(v)` on the
+    /// [default object](ObjectId::DEFAULT).
     ///
     /// # Panics
     ///
@@ -301,10 +347,28 @@ impl<V: Value> DynOpDriver<V> {
         ctx: &mut Context<'_, M>,
         wrap: impl Fn(DynMsg<V>) -> M + Copy,
     ) {
+        self.begin_obj(ObjectId::DEFAULT, write_value, ctx, wrap);
+    }
+
+    /// Begins `read(obj)` (write value `None`) or `write(obj, v)`. All
+    /// objects share this driver's change set `C` and quorum judgement —
+    /// only the register addressed by the two phases differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight.
+    pub fn begin_obj<M: Message>(
+        &mut self,
+        obj: ObjectId,
+        write_value: Option<V>,
+        ctx: &mut Context<'_, M>,
+        wrap: impl Fn(DynMsg<V>) -> M + Copy,
+    ) {
         assert!(!self.is_busy(), "operation already in flight");
         self.op_cnt += 1;
         self.phase = DynPhase::One {
             op: self.op_cnt,
+            obj,
             write_value,
             invoke: ctx.now(),
             restarts: 0,
@@ -331,8 +395,8 @@ impl<V: Value> DynOpDriver<V> {
         ctx: &mut Context<'_, M>,
         wrap: impl Fn(DynMsg<V>) -> M + Copy,
     ) {
-        let op = match &self.phase {
-            DynPhase::One { op, .. } => *op,
+        let (op, obj) = match &self.phase {
+            DynPhase::One { op, obj, .. } => (*op, *obj),
             _ => unreachable!("send_phase1 outside phase 1"),
         };
         for i in 0..self.cfg.n {
@@ -340,6 +404,7 @@ impl<V: Value> DynOpDriver<V> {
                 ActorId(self.actor_base + i),
                 wrap(DynMsg::R {
                     op,
+                    obj,
                     changes: self.cs_payload(),
                 }),
             );
@@ -354,15 +419,17 @@ impl<V: Value> DynOpDriver<V> {
         wrap: impl Fn(DynMsg<V>) -> M + Copy,
     ) {
         self.op_cnt += 1;
-        let (write_value, invoke, restarts) =
+        let (obj, write_value, invoke, restarts) =
             match std::mem::replace(&mut self.phase, DynPhase::Idle) {
                 DynPhase::One {
+                    obj,
                     write_value,
                     invoke,
                     restarts,
                     ..
-                } => (write_value, invoke, restarts),
+                } => (obj, write_value, invoke, restarts),
                 DynPhase::Two {
+                    obj,
                     write_value,
                     invoke,
                     restarts,
@@ -373,12 +440,13 @@ impl<V: Value> DynOpDriver<V> {
                     // original value; a read re-runs phase 1 discarding the
                     // previously chosen register.
                     let _ = chosen;
-                    (write_value, invoke, restarts)
+                    (obj, write_value, invoke, restarts)
                 }
                 DynPhase::Idle => unreachable!("restart on idle driver"),
             };
         self.phase = DynPhase::One {
             op: self.op_cnt,
+            obj,
             write_value,
             invoke,
             restarts: restarts + 1,
@@ -401,15 +469,16 @@ impl<V: Value> DynOpDriver<V> {
         match msg {
             DynMsg::RAck {
                 op,
+                obj,
                 reg,
                 changes,
                 accepted,
             } => {
-                let cur_op = match &self.phase {
-                    DynPhase::One { op, .. } => *op,
+                let (cur_op, cur_obj) = match &self.phase {
+                    DynPhase::One { op, obj, .. } => (*op, *obj),
                     _ => return None,
                 };
-                if *op != cur_op {
+                if *op != cur_op || *obj != cur_obj {
                     return None;
                 }
                 if !accepted && self.options.restart_on_stale {
@@ -429,6 +498,7 @@ impl<V: Value> DynOpDriver<V> {
                             from,
                             wrap(DynMsg::R {
                                 op: cur_op,
+                                obj: cur_obj,
                                 changes: self.cs_payload(),
                             }),
                         );
@@ -470,6 +540,7 @@ impl<V: Value> DynOpDriver<V> {
                     let (op, invoke, restarts) = (cur_op, *invoke, *restarts);
                     self.phase = DynPhase::Two {
                         op,
+                        obj: cur_obj,
                         write_value: wv,
                         invoke,
                         restarts,
@@ -482,6 +553,7 @@ impl<V: Value> DynOpDriver<V> {
                             ActorId(self.actor_base + i),
                             wrap(DynMsg::W {
                                 op,
+                                obj: cur_obj,
                                 reg: chosen.clone(),
                                 changes: self.cs_payload(),
                             }),
@@ -492,14 +564,15 @@ impl<V: Value> DynOpDriver<V> {
             }
             DynMsg::WAck {
                 op,
+                obj,
                 changes,
                 accepted,
             } => {
-                let cur_op = match &self.phase {
-                    DynPhase::Two { op, .. } => *op,
+                let (cur_op, cur_obj) = match &self.phase {
+                    DynPhase::Two { op, obj, .. } => (*op, *obj),
                     _ => return None,
                 };
-                if *op != cur_op {
+                if *op != cur_op || *obj != cur_obj {
                     return None;
                 }
                 if !accepted && self.options.restart_on_stale {
@@ -512,6 +585,7 @@ impl<V: Value> DynOpDriver<V> {
                             from,
                             wrap(DynMsg::W {
                                 op: cur_op,
+                                obj: cur_obj,
                                 reg,
                                 changes: self.cs_payload(),
                             }),
@@ -538,6 +612,7 @@ impl<V: Value> DynOpDriver<V> {
                 let quorum = *weight > self.cfg.quorum_threshold();
                 if quorum {
                     let done = DynCompletedOp {
+                        obj: cur_obj,
                         kind: match write_value.take() {
                             None => OpKind::Read(chosen.value.clone()),
                             Some(v) => OpKind::Write(v),
@@ -557,12 +632,20 @@ impl<V: Value> DynOpDriver<V> {
     }
 }
 
-/// A dynamic-weighted storage server: Algorithm 6 plus the embedded
-/// Algorithm 4 engine and the register-refresh rule.
+/// A dynamic-weighted storage server: Algorithm 6 over a keyed object
+/// space, plus the embedded Algorithm 4 engine and the register-refresh
+/// rule.
+///
+/// One server hosts *many* registers — a map keyed by [`ObjectId`] — under
+/// a *single* change set `C`: the weighted configuration is shared
+/// infrastructure beneath every object, so one reassignment re-weights the
+/// whole shard and one register refresh (on weight gain) catches up every
+/// key at once. Registers are stored sparsely: a key is absent until some
+/// write for it is adopted, and an absent key reads as the bottom register.
 #[derive(Debug)]
 pub struct DynServer<V> {
     core: TransferCore,
-    register: TaggedValue<V>,
+    registers: BTreeMap<ObjectId, TaggedValue<V>>,
     options: DynOptions,
     /// Queue of change applications awaiting their turn (each may require a
     /// register refresh first).
@@ -587,7 +670,7 @@ impl<V: Value> DynServer<V> {
     pub fn new(cfg: RpConfig, me: ServerId, options: DynOptions) -> DynServer<V> {
         DynServer {
             core: TransferCore::new(cfg, me, 0),
-            register: TaggedValue::bottom(),
+            registers: BTreeMap::new(),
             options,
             pending_applies: VecDeque::new(),
             refresh: None,
@@ -665,9 +748,39 @@ impl<V: Value> DynServer<V> {
         self.core.weight()
     }
 
-    /// The register content (inspection).
-    pub fn register(&self) -> &TaggedValue<V> {
-        &self.register
+    /// The [default object](ObjectId::DEFAULT)'s register (inspection).
+    pub fn register(&self) -> TaggedValue<V> {
+        self.register_of(ObjectId::DEFAULT)
+    }
+
+    /// The register stored for `obj` — the bottom register if no write for
+    /// that key has been adopted (inspection).
+    pub fn register_of(&self, obj: ObjectId) -> TaggedValue<V> {
+        self.registers
+            .get(&obj)
+            .cloned()
+            .unwrap_or_else(TaggedValue::bottom)
+    }
+
+    /// The sparse register map (inspection).
+    pub fn registers(&self) -> &BTreeMap<ObjectId, TaggedValue<V>> {
+        &self.registers
+    }
+
+    /// Adopts `incoming` for `obj` if it is strictly newer than what the
+    /// sparse map holds (absent = bottom). Keys are only materialized by
+    /// genuinely newer registers, so an idle object costs nothing anywhere.
+    fn adopt_register(&mut self, obj: ObjectId, incoming: &TaggedValue<V>) {
+        match self.registers.get_mut(&obj) {
+            Some(cur) => {
+                cur.adopt_if_newer(incoming);
+            }
+            None => {
+                if incoming.tag > Tag::bottom() {
+                    self.registers.insert(obj, incoming.clone());
+                }
+            }
+        }
     }
 
     /// Completed own transfers with completion times.
@@ -737,12 +850,22 @@ impl<V: Value> DynServer<V> {
                 self.refresh = Some(RefreshRead {
                     op,
                     acks: 0,
-                    best: TaggedValue::bottom(),
+                    best: BTreeMap::new(),
                 });
                 let n = self.core.config().n;
-                let have = self.register.tag;
+                // One read covers the whole object space: present the tag
+                // held for every key, so repliers can elide everything this
+                // server is already up to date on.
+                let have: BTreeMap<ObjectId, Tag> =
+                    self.registers.iter().map(|(o, r)| (*o, r.tag)).collect();
                 for i in 0..n {
-                    ctx.send(ActorId(i), DynMsg::RefreshR { op, have });
+                    ctx.send(
+                        ActorId(i),
+                        DynMsg::RefreshR {
+                            op,
+                            have: have.clone(),
+                        },
+                    );
                 }
                 return; // resume in on_message when the read completes
             }
@@ -751,12 +874,19 @@ impl<V: Value> DynServer<V> {
         }
     }
 
-    fn on_refresh_complete(&mut self, best: TaggedValue<V>, ctx: &mut Context<'_, DynMsg<V>>) {
-        // Adopt the freshest value observed: this server's register is now
-        // at least as new as any write completed before the refresh began
-        // (Lemma 4's requirement), so quorums that become possible once the
-        // weight gain applies cannot serve stale data through us.
-        self.register.adopt_if_newer(&best);
+    fn on_refresh_complete(
+        &mut self,
+        best: BTreeMap<ObjectId, TaggedValue<V>>,
+        ctx: &mut Context<'_, DynMsg<V>>,
+    ) {
+        // Adopt the freshest value observed per object: every register this
+        // server holds is now at least as new as any write completed before
+        // the refresh began (Lemma 4's requirement, per key), so quorums
+        // that become possible once the weight gain applies cannot serve
+        // stale data through us for any object.
+        for (obj, reg) in &best {
+            self.adopt_register(*obj, reg);
+        }
         // The head request triggered this refresh: apply it now.
         if let Some(req) = self.pending_applies.pop_front() {
             self.core.apply(req, ctx, DynMsg::Wr);
@@ -765,12 +895,13 @@ impl<V: Value> DynServer<V> {
     }
 }
 
-/// An in-flight count-based register refresh.
+/// An in-flight count-based register refresh, covering every object.
 #[derive(Debug)]
 struct RefreshRead<V> {
     op: u64,
     acks: usize,
-    best: TaggedValue<V>,
+    /// Freshest register observed so far, per object.
+    best: BTreeMap<ObjectId, TaggedValue<V>>,
 }
 
 impl<V: Value> Actor for DynServer<V> {
@@ -797,7 +928,7 @@ impl<V: Value> Actor for DynServer<V> {
                 }
                 self.drain_applies(ctx);
             }
-            DynMsg::R { op, changes } => {
+            DynMsg::R { op, obj, changes } => {
                 // Algorithm 6's accept check `C = C_i`, answered from the
                 // reference without materializing the client's set.
                 let accepted = self.core.changes().matches_ref(&changes);
@@ -811,17 +942,23 @@ impl<V: Value> Actor for DynServer<V> {
                     from,
                     DynMsg::RAck {
                         op,
-                        reg: self.register.clone(),
+                        obj,
+                        reg: self.register_of(obj),
                         changes: reply,
                         accepted,
                     },
                 );
             }
-            DynMsg::W { op, reg, changes } => {
+            DynMsg::W {
+                op,
+                obj,
+                reg,
+                changes,
+            } => {
                 let accepted = self.core.changes().matches_ref(&changes);
                 let reply = if accepted {
                     self.nego.remove(&from);
-                    self.register.adopt_if_newer(&reg);
+                    self.adopt_register(obj, &reg);
                     self.ack_payload()
                 } else {
                     self.reject_payload(from, &changes)
@@ -830,6 +967,7 @@ impl<V: Value> Actor for DynServer<V> {
                     from,
                     DynMsg::WAck {
                         op,
+                        obj,
                         changes: reply,
                         accepted,
                     },
@@ -837,21 +975,34 @@ impl<V: Value> Actor for DynServer<V> {
             }
             DynMsg::RefreshR { op, have } => {
                 // Answered unconditionally — no C matching (see above).
-                // Delta-encoding: the value ships only when it can matter,
-                // i.e. when it is strictly newer than what the refresher
-                // already holds (large registers would otherwise cost
-                // n × |V| bytes per refresh).
-                let reg = (self.register.tag > have).then(|| self.register.clone());
-                ctx.send(from, DynMsg::RefreshAck { op, reg });
+                // Delta-encoding over the register *map*: a value ships only
+                // when it can matter, i.e. when it is strictly newer than
+                // what the refresher already holds for that key (absent =
+                // bottom). In the converged case the ack is a bare header
+                // however many objects the shard stores.
+                let regs: BTreeMap<ObjectId, TaggedValue<V>> = self
+                    .registers
+                    .iter()
+                    .filter(|(obj, reg)| {
+                        reg.tag > have.get(obj).copied().unwrap_or_else(Tag::bottom)
+                    })
+                    .map(|(obj, reg)| (*obj, reg.clone()))
+                    .collect();
+                ctx.send(from, DynMsg::RefreshAck { op, regs });
             }
-            DynMsg::RefreshAck { op, reg } => {
+            DynMsg::RefreshAck { op, regs } => {
                 let cfg_needed = self.core.config().n - self.core.config().f;
                 let done = match self.refresh.as_mut() {
                     Some(r) if r.op == op => {
                         r.acks += 1;
-                        if let Some(reg) = reg {
-                            if reg.tag > r.best.tag {
-                                r.best = reg;
+                        for (obj, reg) in regs {
+                            match r.best.get_mut(&obj) {
+                                Some(b) => {
+                                    b.adopt_if_newer(&reg);
+                                }
+                                None => {
+                                    r.best.insert(obj, reg);
+                                }
                             }
                         }
                         r.acks >= cfg_needed
@@ -892,7 +1043,7 @@ impl<V: Value> DynClient<V> {
         }
     }
 
-    /// Begins a read.
+    /// Begins a read of the [default object](ObjectId::DEFAULT).
     ///
     /// # Panics
     ///
@@ -901,13 +1052,31 @@ impl<V: Value> DynClient<V> {
         self.driver.begin(None, ctx, |m| m);
     }
 
-    /// Begins a write.
+    /// Begins a write to the [default object](ObjectId::DEFAULT).
     ///
     /// # Panics
     ///
     /// Panics if an operation is in flight.
     pub fn begin_write(&mut self, v: V, ctx: &mut Context<'_, DynMsg<V>>) {
         self.driver.begin(Some(v), ctx, |m| m);
+    }
+
+    /// Begins a read of `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is in flight.
+    pub fn begin_read_obj(&mut self, obj: ObjectId, ctx: &mut Context<'_, DynMsg<V>>) {
+        self.driver.begin_obj(obj, None, ctx, |m| m);
+    }
+
+    /// Begins a write of `v` to `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is in flight.
+    pub fn begin_write_obj(&mut self, obj: ObjectId, v: V, ctx: &mut Context<'_, DynMsg<V>>) {
+        self.driver.begin_obj(obj, Some(v), ctx, |m| m);
     }
 
     /// Converts completed ops into history entries for client index `ci`.
@@ -917,6 +1086,7 @@ impl<V: Value> DynClient<V> {
             .iter()
             .map(|c| HistOp {
                 client: ci,
+                obj: c.obj,
                 kind: c.kind.clone(),
                 invoke: c.invoke,
                 response: c.response,
@@ -989,6 +1159,7 @@ mod driver_tests {
         // Feed a forged RAck for a long-gone op id through the world.
         let forged = DynMsg::RAck {
             op: 9999,
+            obj: ObjectId::DEFAULT,
             reg: TaggedValue::new(Tag::new(99, ProcessId::Client(ClientId(7))), 424242u64),
             changes: CsRef::Full(ChangeSet::from_initial_weights(&cfg.initial_weights)),
             accepted: true,

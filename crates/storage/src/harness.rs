@@ -1,9 +1,11 @@
 //! A wired world for the dynamic-weighted storage: `n` servers at indices
 //! `0..n`, clients after them.
 
+use std::collections::BTreeMap;
+
 use awr_core::{RpConfig, TransferError, TransferOutcome};
 use awr_sim::{ActorId, NetworkModel, Time, World};
-use awr_types::{Change, ChangeSet, ClientId, ProcessId, Ratio, ServerId};
+use awr_types::{Change, ChangeSet, ClientId, ObjectId, ProcessId, Ratio, ServerId};
 
 use crate::abd_static::Value;
 use crate::dynamic::{DynClient, DynCompletedOp, DynMsg, DynOptions, DynServer};
@@ -163,22 +165,51 @@ impl<V: Value> StorageHarness<V> {
             .clone())
     }
 
-    /// Client `k` writes `v`, running the world until completion.
+    /// Client `k` writes `v` to the [default object](ObjectId::DEFAULT),
+    /// running the world until completion.
     ///
     /// # Errors
     ///
     /// Errors if the world quiesces first (too many crashes).
     pub fn write(&mut self, k: usize, v: V) -> Result<DynCompletedOp<V>, TransferError> {
-        self.run_client_op(k, |c, ctx| c.begin_write(v, ctx))
+        self.write_obj(k, ObjectId::DEFAULT, v)
     }
 
-    /// Client `k` reads, returning `(value, op record)`.
+    /// Client `k` reads the [default object](ObjectId::DEFAULT), returning
+    /// `(value, op record)`.
     ///
     /// # Errors
     ///
     /// Errors if the world quiesces first.
     pub fn read(&mut self, k: usize) -> Result<(Option<V>, DynCompletedOp<V>), TransferError> {
-        let op = self.run_client_op(k, |c, ctx| c.begin_read(ctx))?;
+        self.read_obj(k, ObjectId::DEFAULT)
+    }
+
+    /// Client `k` writes `v` to `obj`, running the world until completion.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the world quiesces first (too many crashes).
+    pub fn write_obj(
+        &mut self,
+        k: usize,
+        obj: ObjectId,
+        v: V,
+    ) -> Result<DynCompletedOp<V>, TransferError> {
+        self.run_client_op(k, |c, ctx| c.begin_write_obj(obj, v, ctx))
+    }
+
+    /// Client `k` reads `obj`, returning `(value, op record)`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the world quiesces first.
+    pub fn read_obj(
+        &mut self,
+        k: usize,
+        obj: ObjectId,
+    ) -> Result<(Option<V>, DynCompletedOp<V>), TransferError> {
+        let op = self.run_client_op(k, |c, ctx| c.begin_read_obj(obj, ctx))?;
         let v = match &op.kind {
             crate::history::OpKind::Read(v) => v.clone(),
             crate::history::OpKind::Write(_) => unreachable!("read returned a write record"),
@@ -186,13 +217,19 @@ impl<V: Value> StorageHarness<V> {
         Ok((v, op))
     }
 
-    /// Starts a client op without waiting (for concurrency experiments).
+    /// Starts a client op on the [default object](ObjectId::DEFAULT)
+    /// without waiting (for concurrency experiments).
     pub fn begin_async(&mut self, k: usize, value: Option<V>) {
+        self.begin_async_obj(k, ObjectId::DEFAULT, value);
+    }
+
+    /// Starts a client op on `obj` without waiting.
+    pub fn begin_async_obj(&mut self, k: usize, obj: ObjectId, value: Option<V>) {
         let actor = self.client_actor(k);
         self.world
             .with_actor_ctx::<DynClient<V>, _>(actor, |c, ctx| match value {
-                Some(v) => c.begin_write(v, ctx),
-                None => c.begin_read(ctx),
+                Some(v) => c.begin_write_obj(obj, v, ctx),
+                None => c.begin_read_obj(obj, ctx),
             });
     }
 
@@ -289,7 +326,8 @@ impl<V: Value> StorageHarness<V> {
         self.world.run_to_quiescence();
     }
 
-    /// Collects the full operation history across clients.
+    /// Collects the full operation history across clients (all objects;
+    /// each op carries its [`ObjectId`]).
     pub fn history(&self) -> History<V> {
         let mut h = History::new();
         for k in 0..self.n_clients {
@@ -300,6 +338,21 @@ impl<V: Value> StorageHarness<V> {
             }
         }
         h
+    }
+
+    /// The history split per object — the input shape of
+    /// [`crate::check_linearizable_keyed`]'s underlying partition, exposed
+    /// for per-object reporting.
+    pub fn keyed_history(&self) -> BTreeMap<ObjectId, History<V>> {
+        self.history().partition_by_object()
+    }
+
+    /// Per-object operation counts and mean latency (virtual ms) over the
+    /// *whole* recorded history — the latency side of the per-object
+    /// metrics (the byte side lives in
+    /// [`awr_sim::Metrics::bytes_by_object`]).
+    pub fn per_object_latency(&self) -> BTreeMap<ObjectId, (usize, f64)> {
+        self.history().per_object_latency()
     }
 
     /// All completed transfers across servers, sorted by completion time

@@ -3,7 +3,10 @@
 //! Harnesses record every completed `read`/`write` with its invocation and
 //! response times; the linearizability checker consumes the history.
 
+use std::collections::BTreeMap;
+
 use awr_sim::Time;
+use awr_types::ObjectId;
 
 /// What an operation did.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -19,6 +22,8 @@ pub enum OpKind<V> {
 pub struct HistOp<V> {
     /// The invoking process (harness-level client index).
     pub client: usize,
+    /// The object (keyed register) the operation targeted.
+    pub obj: ObjectId,
     /// Read or write, with the observed/written value.
     pub kind: OpKind<V>,
     /// Invocation time.
@@ -64,6 +69,47 @@ impl<V: Clone> History<V> {
         self.ops.is_empty()
     }
 
+    /// Splits the history into independent per-object histories.
+    ///
+    /// Objects are separate registers: an atomicity violation can only ever
+    /// involve operations on one object, so the per-object parts can be
+    /// checked independently (and in sum far more cheaply than the whole —
+    /// concurrency windows that straddle objects never entangle).
+    pub fn partition_by_object(&self) -> BTreeMap<ObjectId, History<V>> {
+        let mut parts: BTreeMap<ObjectId, History<V>> = BTreeMap::new();
+        for op in &self.ops {
+            parts
+                .entry(op.obj)
+                .or_insert_with(History::new)
+                .ops
+                .push(op.clone());
+        }
+        parts
+    }
+
+    /// The distinct objects the history touches, in key order.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        self.partition_by_object().into_keys().collect()
+    }
+
+    /// Per-object `(completed ops, mean latency in virtual ms)` — the
+    /// latency side of the per-object metrics (the byte side lives in
+    /// `awr_sim::Metrics::bytes_by_object`).
+    pub fn per_object_latency(&self) -> BTreeMap<ObjectId, (usize, f64)> {
+        self.partition_by_object()
+            .into_iter()
+            .map(|(obj, part)| {
+                let total_ms: f64 = part
+                    .ops
+                    .iter()
+                    .map(|o| (o.response - o.invoke) as f64 / 1e6)
+                    .sum();
+                let n = part.len();
+                (obj, (n, if n == 0 { 0.0 } else { total_ms / n as f64 }))
+            })
+            .collect()
+    }
+
     /// The maximum number of mutually concurrent operations — a cheap
     /// tractability proxy for the checker.
     pub fn max_concurrency(&self) -> usize {
@@ -90,6 +136,7 @@ mod tests {
     fn op(client: usize, kind: OpKind<u64>, i: u64, r: u64) -> HistOp<u64> {
         HistOp {
             client,
+            obj: ObjectId::DEFAULT,
             kind,
             invoke: Time(i),
             response: Time(r),
@@ -115,5 +162,20 @@ mod tests {
         assert_eq!(h.max_concurrency(), 2);
         assert_eq!(h.len(), 3);
         assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn partition_splits_per_object() {
+        let mut h = History::new();
+        h.record(op(0, OpKind::Write(1), 0, 10));
+        let mut keyed = op(1, OpKind::Write(2), 5, 15);
+        keyed.obj = ObjectId(3);
+        h.record(keyed);
+        h.record(op(1, OpKind::Read(Some(1)), 20, 30));
+        let parts = h.partition_by_object();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[&ObjectId::DEFAULT].len(), 2);
+        assert_eq!(parts[&ObjectId(3)].len(), 1);
+        assert_eq!(h.objects(), vec![ObjectId::DEFAULT, ObjectId(3)]);
     }
 }

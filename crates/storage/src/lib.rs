@@ -42,7 +42,7 @@ pub use dynamic::{
 };
 pub use harness::StorageHarness;
 pub use history::{HistOp, History, OpKind};
-pub use lin::{check_linearizable, LinError};
+pub use lin::{check_linearizable, check_linearizable_keyed, KeyedLinError, LinError};
 pub use placement::{run_adaptive_workload, PlacementDriver};
 pub use quorum_rule::QuorumRule;
 

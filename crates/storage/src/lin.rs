@@ -14,6 +14,8 @@
 use std::collections::HashSet;
 use std::hash::Hash;
 
+use awr_types::ObjectId;
+
 use crate::history::{HistOp, History, OpKind};
 
 /// Why a history failed the atomicity check.
@@ -55,14 +57,16 @@ impl std::error::Error for LinError {}
 /// ```
 /// use awr_sim::Time;
 /// use awr_storage::{check_linearizable, HistOp, History, OpKind};
+/// use awr_types::ObjectId;
 ///
+/// let obj = ObjectId::DEFAULT;
 /// let mut h = History::new();
-/// h.record(HistOp { client: 0, kind: OpKind::Write(7), invoke: Time(0), response: Time(10) });
-/// h.record(HistOp { client: 1, kind: OpKind::Read(Some(7)), invoke: Time(11), response: Time(20) });
+/// h.record(HistOp { client: 0, obj, kind: OpKind::Write(7), invoke: Time(0), response: Time(10) });
+/// h.record(HistOp { client: 1, obj, kind: OpKind::Read(Some(7)), invoke: Time(11), response: Time(20) });
 /// assert!(check_linearizable(&h).is_ok());
 ///
 /// // A read of a never-written value cannot linearize.
-/// h.record(HistOp { client: 1, kind: OpKind::Read(Some(9)), invoke: Time(21), response: Time(30) });
+/// h.record(HistOp { client: 1, obj, kind: OpKind::Read(Some(9)), invoke: Time(21), response: Time(30) });
 /// assert!(check_linearizable(&h).is_err());
 /// ```
 pub fn check_linearizable<V: Clone + Eq + Hash>(history: &History<V>) -> Result<(), LinError> {
@@ -94,6 +98,55 @@ pub fn check_linearizable<V: Clone + Eq + Hash>(history: &History<V>) -> Result<
             detail,
         })?;
         start = end;
+    }
+    Ok(())
+}
+
+/// Why a keyed history failed the per-object atomicity check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyedLinError {
+    /// The object whose partition failed.
+    pub obj: ObjectId,
+    /// The single-register failure within that object's history.
+    pub inner: LinError,
+}
+
+impl std::fmt::Display for KeyedLinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "object {}: {}", self.obj, self.inner)
+    }
+}
+
+impl std::error::Error for KeyedLinError {}
+
+/// Checks that `history` is linearizable as a *space of independent
+/// read/write registers*, one per [`ObjectId`], each initialized to `None`.
+///
+/// Objects are separate registers, so the history is
+/// [partitioned per object](History::partition_by_object) and each part is
+/// checked with [`check_linearizable`] on its own. Besides being the
+/// correct condition for a keyed store, this is the scalability device that
+/// keeps checking tractable at many objects: operations on different keys
+/// never entangle, so a window that would span hundreds of concurrent ops
+/// globally decomposes into small per-key windows.
+///
+/// On a single-object history this is exactly [`check_linearizable`]
+/// (pinned by the `keyed_checker` test suite).
+///
+/// # Errors
+///
+/// Returns [`KeyedLinError`] naming the first object (in key order) whose
+/// partition admits no linearization.
+///
+/// # Panics
+///
+/// Panics if any *per-object* window exceeds 64 mutually-entangled
+/// operations (the underlying checker's bitmask capacity).
+pub fn check_linearizable_keyed<V: Clone + Eq + Hash>(
+    history: &History<V>,
+) -> Result<(), KeyedLinError> {
+    for (obj, part) in history.partition_by_object() {
+        check_linearizable(&part).map_err(|inner| KeyedLinError { obj, inner })?;
     }
     Ok(())
 }
@@ -175,6 +228,7 @@ mod tests {
     fn w(client: usize, v: u64, i: u64, r: u64) -> HistOp<u64> {
         HistOp {
             client,
+            obj: ObjectId::DEFAULT,
             kind: OpKind::Write(v),
             invoke: Time(i),
             response: Time(r),
@@ -184,6 +238,7 @@ mod tests {
     fn rd(client: usize, v: Option<u64>, i: u64, r: u64) -> HistOp<u64> {
         HistOp {
             client,
+            obj: ObjectId::DEFAULT,
             kind: OpKind::Read(v),
             invoke: Time(i),
             response: Time(r),
@@ -310,6 +365,51 @@ mod tests {
             ops.push(rd(1, Some(i), i * 20 + 10, i * 20 + 15));
         }
         assert!(check_linearizable(&hist(ops)).is_ok());
+    }
+
+    #[test]
+    fn keyed_checker_partitions_per_object() {
+        // As ONE register this history is broken: read(1) strictly follows
+        // write(9). As two independent objects it is perfectly fine.
+        let mut other_w = w(2, 9, 12, 18);
+        other_w.obj = ObjectId(5);
+        let mut other_r = rd(3, Some(9), 40, 50);
+        other_r.obj = ObjectId(5);
+        let h = hist(vec![
+            w(0, 1, 0, 10),
+            other_w,
+            rd(1, Some(1), 20, 30),
+            other_r,
+        ]);
+        assert!(check_linearizable(&h).is_err());
+        assert!(check_linearizable_keyed(&h).is_ok());
+    }
+
+    #[test]
+    fn keyed_error_names_the_broken_object() {
+        let mut bad = rd(1, Some(77), 20, 30);
+        bad.obj = ObjectId(9);
+        let h = hist(vec![w(0, 1, 0, 10), rd(1, Some(1), 20, 30), bad]);
+        let err = check_linearizable_keyed(&h).unwrap_err();
+        assert_eq!(err.obj, ObjectId(9));
+        assert!(err.to_string().contains("o9"), "{err}");
+    }
+
+    #[test]
+    fn keyed_agrees_with_plain_on_single_object_histories() {
+        let ok = hist(vec![w(0, 1, 0, 10), rd(1, Some(1), 20, 30)]);
+        assert_eq!(
+            check_linearizable_keyed(&ok).is_ok(),
+            check_linearizable(&ok).is_ok()
+        );
+        let bad = hist(vec![
+            w(0, 1, 0, 10),
+            w(0, 2, 20, 30),
+            rd(1, Some(1), 40, 50),
+        ]);
+        assert!(check_linearizable(&bad).is_err());
+        let err = check_linearizable_keyed(&bad).unwrap_err();
+        assert_eq!(err.inner, check_linearizable(&bad).unwrap_err());
     }
 
     #[test]

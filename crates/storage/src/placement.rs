@@ -19,7 +19,7 @@
 use awr_monitor::{DecisionLog, PolicyDecision};
 use awr_quorum::placement::{plan_transfers, PlacementInputs, PlacementPolicy};
 use awr_quorum::{integrity_holds, rp_integrity_holds};
-use awr_sim::ActorId;
+use awr_sim::{ActorId, Metrics};
 use awr_types::{Ratio, ServerId, WeightMap};
 
 use crate::abd_static::Value;
@@ -34,6 +34,15 @@ pub struct PlacementDriver {
     /// Hysteresis: planned transfers smaller than this are dropped, so the
     /// loop does not churn the protocol over rounding-grade imbalances.
     pub min_step: Ratio,
+    /// Observe over the *window since the previous tick*
+    /// ([`Metrics::since`]) instead of the cumulative run. Off by default
+    /// (the historical behaviour). Windowing is what makes re-deciding
+    /// through a regime shift work: cumulative means dilute the new regime
+    /// under the old one's samples, so a driver that decided once under
+    /// congestion would keep seeing that congestion forever.
+    pub windowed: bool,
+    /// The metrics snapshot taken at the previous windowed tick.
+    last_snapshot: Option<Metrics>,
     /// The decision audit trail.
     pub log: DecisionLog,
 }
@@ -47,6 +56,8 @@ impl PlacementDriver {
             policy: Box::new(policy),
             observers,
             min_step: Ratio::new(1, 100),
+            windowed: false,
+            last_snapshot: None,
             log: DecisionLog::new(),
         }
     }
@@ -72,9 +83,22 @@ impl PlacementDriver {
     pub fn tick<V: Value>(&mut self, h: &mut StorageHarness<V>) -> usize {
         let cfg = h.config().clone();
         let current = self.current_weights(h);
+        // Windowed mode: the policy sees only what happened since the last
+        // tick; cumulative mode (default) sees the whole run.
+        let observed: Metrics = if self.windowed {
+            let now = h.world.metrics().clone();
+            let window = match &self.last_snapshot {
+                Some(base) => now.since(base),
+                None => now.clone(),
+            };
+            self.last_snapshot = Some(now);
+            window
+        } else {
+            h.world.metrics().clone()
+        };
         let proposed = {
             let inputs = PlacementInputs::for_prefix_servers(
-                h.world.metrics(),
+                &observed,
                 &current,
                 cfg.floor(),
                 cfg.f,

@@ -72,6 +72,58 @@ impl fmt::Display for ClientId {
     }
 }
 
+/// Identifier of an object (a keyed register) in the multi-object store.
+///
+/// The paper's reassignment machinery governs the *quorum system*, not a
+/// datum: one weighted configuration can serve any number of registers.
+/// `ObjectId` names one such register. Identifiers are dense by convention
+/// but nothing requires it; [`ObjectId::DEFAULT`] is the register the
+/// single-object convenience APIs operate on.
+///
+/// # Examples
+///
+/// ```
+/// use awr_types::ObjectId;
+/// assert_eq!(ObjectId(3).to_string(), "o3");
+/// assert_eq!(ObjectId::DEFAULT, ObjectId(0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// The conventional default object (id 0) — what the single-object
+    /// harness APIs read and write.
+    pub const DEFAULT: ObjectId = ObjectId(0);
+
+    /// The raw key, the form the simulator's per-object metrics use.
+    pub fn key(&self) -> u64 {
+        self.0
+    }
+
+    /// Iterator over the first `n` object ids (dense key spaces).
+    pub fn all(n: usize) -> impl Iterator<Item = ObjectId> {
+        (0..n as u64).map(ObjectId)
+    }
+}
+
+impl Default for ObjectId {
+    fn default() -> ObjectId {
+        ObjectId::DEFAULT
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
 /// Either a server or a client — the issuer of a reassignment request.
 ///
 /// Ordering places all servers before all clients, which gives changes a
@@ -147,6 +199,16 @@ mod tests {
     #[test]
     fn ordering_servers_before_clients() {
         assert!(ProcessId::from(ServerId(99)) < ProcessId::from(ClientId(0)));
+    }
+
+    #[test]
+    fn object_ids() {
+        assert_eq!(ObjectId::default(), ObjectId::DEFAULT);
+        assert_eq!(ObjectId(7).key(), 7);
+        assert_eq!(ObjectId(7).to_string(), "o7");
+        let all: Vec<_> = ObjectId::all(3).collect();
+        assert_eq!(all, vec![ObjectId(0), ObjectId(1), ObjectId(2)]);
+        assert!(ObjectId(1) < ObjectId(2));
     }
 
     #[test]

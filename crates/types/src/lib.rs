@@ -49,7 +49,7 @@ mod weight_map;
 
 pub use change::{Change, TransferChanges};
 pub use change_set::ChangeSet;
-pub use ids::{ClientId, ProcessId, ServerId};
+pub use ids::{ClientId, ObjectId, ProcessId, ServerId};
 pub use ratio::{ParseRatioError, Ratio};
 pub use sync::{CsRef, ReconcileOutcome};
 pub use tag::{Tag, TaggedValue};

@@ -1,0 +1,123 @@
+//! Per-key checker properties: the partitioned keyed checker must agree
+//! with the whole-history Wing&Gong checker wherever both are defined.
+//!
+//! * On a **single-key** history the two are the same predicate: one
+//!   partition, one register.
+//! * On a **mixed** history the keyed verdict must equal the conjunction of
+//!   whole-history verdicts over the per-object sub-histories — objects are
+//!   independent registers, so that conjunction *is* the atomicity
+//!   condition for a keyed store.
+//!
+//! Histories here are generated abstractly (arbitrary overlapping
+//! intervals, repeated values, reads of `None`), not through the protocol,
+//! so both linearizable and non-linearizable inputs are exercised.
+
+use awr::sim::Time;
+use awr::storage::{check_linearizable, check_linearizable_keyed, HistOp, History, OpKind};
+use awr::types::ObjectId;
+use proptest::prelude::*;
+
+/// Raw generated op: (client, obj, kind selector, value, invoke, duration).
+/// Kind: 0 = write(value+1), 1 = read(Some(value+1)), 2 = read(None).
+type RawOp = (u32, u64, u32, u64, u64, u64);
+
+fn hist_from(raw: &[RawOp]) -> History<u64> {
+    let mut h = History::new();
+    for &(client, obj, kind, value, invoke, dur) in raw {
+        let kind = match kind {
+            0 => OpKind::Write(value + 1),
+            1 => OpKind::Read(Some(value + 1)),
+            _ => OpKind::Read(None),
+        };
+        h.record(HistOp {
+            client: client as usize,
+            obj: ObjectId(obj),
+            kind,
+            invoke: Time(invoke),
+            response: Time(invoke + dur),
+        });
+    }
+    h
+}
+
+/// The reference predicate: run the *whole-history* checker on each
+/// per-object sub-history independently.
+fn per_object_whole_checker_verdict(h: &History<u64>) -> bool {
+    h.partition_by_object()
+        .values()
+        .all(|part| check_linearizable(part).is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Single-key histories: the keyed checker and the whole-history
+    /// checker are the same predicate.
+    #[test]
+    fn keyed_agrees_with_whole_on_single_key(
+        raw in proptest::collection::vec(
+            (0u32..4, 0u64..1, 0u32..3, 0u64..4, 0u64..2_000, 1u64..400),
+            1..16,
+        ),
+    ) {
+        let h = hist_from(&raw);
+        prop_assert_eq!(
+            check_linearizable_keyed(&h).is_ok(),
+            check_linearizable(&h).is_ok(),
+            "keyed and whole verdicts diverged on a single-key history"
+        );
+    }
+
+    /// Mixed histories: the keyed verdict equals the conjunction of
+    /// whole-history verdicts over the per-object partitions, and any
+    /// failure names an object whose partition really fails.
+    #[test]
+    fn keyed_agrees_with_whole_on_mixed_histories(
+        raw in proptest::collection::vec(
+            (0u32..4, 0u64..3, 0u32..3, 0u64..4, 0u64..2_000, 1u64..400),
+            1..20,
+        ),
+    ) {
+        let h = hist_from(&raw);
+        let keyed = check_linearizable_keyed(&h);
+        prop_assert_eq!(
+            keyed.is_ok(),
+            per_object_whole_checker_verdict(&h),
+            "keyed verdict diverged from the per-object conjunction"
+        );
+        if let Err(e) = keyed {
+            let part = &h.partition_by_object()[&e.obj];
+            prop_assert!(
+                check_linearizable(part).is_err(),
+                "keyed checker blamed {} but its partition passes alone",
+                e.obj
+            );
+        }
+    }
+
+    /// Padding a history with operations on *other* objects never changes
+    /// an object's verdict: per-key checking is local to the key.
+    #[test]
+    fn foreign_key_traffic_never_changes_a_verdict(
+        raw in proptest::collection::vec(
+            (0u32..4, 0u64..1, 0u32..3, 0u64..4, 0u64..1_500, 1u64..400),
+            1..12,
+        ),
+        noise in proptest::collection::vec(
+            (0u32..4, 1u64..3, 0u32..3, 0u64..4, 0u64..1_500, 1u64..400),
+            0..8,
+        ),
+    ) {
+        let base = hist_from(&raw);
+        let mut padded_raw = raw.clone();
+        padded_raw.extend(noise);
+        let padded = hist_from(&padded_raw);
+        let base_verdict = check_linearizable(&base).is_ok();
+        let padded_keyed = check_linearizable_keyed(&padded);
+        let obj0_ok = !matches!(&padded_keyed, Err(e) if e.obj == ObjectId(0));
+        prop_assert_eq!(
+            obj0_ok, base_verdict,
+            "foreign-object traffic changed object o0's verdict"
+        );
+    }
+}
