@@ -11,10 +11,14 @@
 //! (each completed transfer re-weights every object and forces the
 //! client's stale-`C` restart path).
 //!
-//! What is *not* flat — and is reported, not gated — is the refresh leg:
-//! a gaining server's `RefreshR` presents one tag per stored key, the
-//! amortized per-reassignment price of catching the whole object space up
-//! (the acks stay header-sized thanks to the map delta encoding).
+//! The refresh leg — the gaining server's per-reassignment price of
+//! catching the whole object space up — is reported, not gated. Below
+//! `refresh_tags_cap` a `RefreshR` presents one tag per stored key (its
+//! cost grows with the key space); above the cap it degrades to an O(1)
+//! commutative digest of the tag map, falling back to a targeted per-key
+//! exchange only for repliers whose digest mismatches. The reported
+//! column shows the crossover: the amortized cost is linear in the key
+//! space up to the cap, then flat.
 //!
 //! The `--smoke` gate (CI) runs the two smallest points and asserts
 //! flatness; the full run also covers 1k and 10k objects and writes
@@ -44,8 +48,9 @@ struct Row {
     abd_bytes_per_op: f64,
     /// Mean op latency over the measured window, virtual ms.
     mean_latency_ms: f64,
-    /// Refresh-leg bytes per reassignment (requests grow with the key
-    /// space; acks stay delta-encoded headers).
+    /// Refresh-leg bytes per reassignment: tag-map requests grow with the
+    /// key space below `refresh_tags_cap`, digest-mode requests above it
+    /// are O(1) (acks stay delta-encoded headers either way).
     refresh_bytes_per_transfer: f64,
     /// Stale-`C` restarts over the measured window.
     restarts: u64,

@@ -1,0 +1,255 @@
+//! Durability soak: thousands of reassignments under periodic crashes,
+//! with journal memory and recovery time gated *flat*.
+//!
+//! The durable-shard claim is that a server's footprint is governed by the
+//! checkpoint cadence, not by history length: journal compaction truncates
+//! the in-memory `C` journal, the WAL is reset by each snapshot, and a
+//! rebooted server replays a *bounded* suffix before rejoining through the
+//! sync round and count-based refresh. If any of those links breaks —
+//! compaction stops firing, snapshots stop resetting the WAL, recovery
+//! replays ever more history — this soak sees a monotone drift and fails.
+//!
+//! The run is epochs of weight ping-pong (each transfer is one paper
+//! reassignment: Algorithm 4 through the full wire protocol) racing
+//! register traffic, with one server crashed for the whole epoch and
+//! rebooted from its snapshot + WAL at the end. Gates:
+//!
+//! - journal length and WAL length stay under an absolute cadence-derived
+//!   bound on every sample, and do not drift between the first and second
+//!   half of the run;
+//! - recovery (reboot → rejoined, settled world) takes flat virtual time;
+//! - the full history is linearizable and the transfer audit is clean —
+//!   zero violations over the whole campaign;
+//! - every scheduled crash actually rebooted (restart count matches).
+//!
+//! The `--smoke` gate (CI) runs a short campaign; the full run covers
+//! ≥ 2000 reassignments and writes BENCH_soak.json.
+//!
+//! Run with: `cargo run --release --bin bench_soak [-- --smoke] [out.json]`
+
+use awr_core::{audit_transfers, RpConfig};
+use awr_sim::UniformLatency;
+use awr_storage::{
+    check_linearizable, CheckpointCadence, DynOptions, DynServer, RetryPolicy, StorageHarness,
+};
+use awr_types::{Ratio, ServerId};
+
+const N: usize = 7;
+const F: usize = 2;
+const SEED: u64 = 0x50AC;
+
+const CADENCE: CheckpointCadence = CheckpointCadence {
+    every: 64,
+    min_retain: 16,
+};
+
+struct Row {
+    epoch: usize,
+    /// Completed reassignments so far (cumulative).
+    reassignments: usize,
+    /// Total |C| on the rebooted server (grows forever).
+    changes: usize,
+    /// Largest in-memory journal across all servers (must stay bounded).
+    max_journal: usize,
+    /// Largest WAL across all servers (must stay bounded by snapshots).
+    max_wal: usize,
+    /// Virtual ns from reboot to fully settled (rejoin + refresh done).
+    recovery_ns: u64,
+}
+
+fn sample(h: &StorageHarness<u64>, cfg: &RpConfig) -> (usize, usize, usize) {
+    let mut max_journal = 0;
+    let mut max_wal = 0;
+    let mut changes = 0;
+    for sv in cfg.servers() {
+        let srv = h
+            .world
+            .actor::<DynServer<u64>>(h.server_actor(sv))
+            .expect("server");
+        max_journal = max_journal.max(srv.changes().journal_len());
+        changes = changes.max(srv.changes().len());
+        if let Some(st) = h.storage_handle(sv) {
+            max_wal = max_wal.max(st.wal_len());
+        }
+    }
+    (changes, max_journal, max_wal)
+}
+
+fn run(epochs: usize, transfers_per_epoch: usize) -> (Vec<Row>, u64) {
+    let cfg = RpConfig::uniform(N, F);
+    let options = DynOptions {
+        checkpoint: Some(CADENCE),
+        retry: Some(RetryPolicy::default()),
+        ..DynOptions::default()
+    };
+    let mut h: StorageHarness<u64> = StorageHarness::build_durable(
+        cfg.clone(),
+        2,
+        SEED,
+        UniformLatency::new(1_000, 20_000),
+        options,
+    );
+
+    let mut rows = Vec::with_capacity(epochs);
+    let mut reassignments = 0usize;
+    let mut next_val = 1u64;
+    for epoch in 0..epochs {
+        // One server sits out the whole epoch, dead; everyone else keeps
+        // reassigning weight and serving reads/writes without it.
+        let victim = ServerId((epoch % N) as u32);
+        h.crash_server(victim);
+        for t in 0..transfers_per_epoch {
+            // Ping-pong between rotating live pairs: weights return to
+            // uniform every two transfers, so the RP floor is never at
+            // risk no matter how long the soak runs.
+            let a = ServerId(((epoch + 1 + 2 * (t % 3)) % N) as u32);
+            let b = ServerId(((epoch + 2 + 2 * (t % 3)) % N) as u32);
+            let (from, to) = if t % 2 == 0 { (a, b) } else { (b, a) };
+            h.transfer_and_wait(from, to, Ratio::dec("0.05"))
+                .expect("soak transfer");
+            reassignments += 1;
+            if t % 4 == 0 {
+                h.write(epoch % 2, next_val).expect("soak write");
+                next_val += 1;
+            } else if t % 4 == 2 {
+                h.read((epoch + 1) % 2).expect("soak read");
+            }
+        }
+        // Reboot from snapshot + WAL; `settle` drains the sync round and
+        // the count-based refresh, so the delta is the full recovery cost.
+        let t0 = h.world.now();
+        h.restart_server(victim);
+        h.settle();
+        let recovery_ns = h.world.now() - t0;
+        let (changes, max_journal, max_wal) = sample(&h, &cfg);
+        rows.push(Row {
+            epoch,
+            reassignments,
+            changes,
+            max_journal,
+            max_wal,
+            recovery_ns,
+        });
+    }
+
+    check_linearizable(&h.history()).expect("soak history must stay linearizable");
+    let report = audit_transfers(h.config(), &h.all_completed_transfers());
+    assert!(
+        report.is_clean(),
+        "transfer audit violations: {:?}",
+        report.violations
+    );
+    let restarts = h.world.metrics().restarts;
+    assert_eq!(
+        restarts, epochs as u64,
+        "every crash must reboot exactly once"
+    );
+    (rows, restarts)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_soak.json".to_string());
+    let (epochs, per_epoch) = if smoke { (6, 12) } else { (50, 42) };
+
+    let (rows, restarts) = run(epochs, per_epoch);
+    let total = rows.last().map(|r| r.reassignments).unwrap_or(0);
+    if !smoke {
+        assert!(total >= 2000, "full soak must cover >= 2000 reassignments");
+    }
+
+    println!(
+        "{:>6} {:>14} {:>10} {:>12} {:>8} {:>14}",
+        "epoch", "reassignments", "|C|", "max journal", "max WAL", "recovery (ns)"
+    );
+    for r in &rows {
+        println!(
+            "{:>6} {:>14} {:>10} {:>12} {:>8} {:>14}",
+            r.epoch, r.reassignments, r.changes, r.max_journal, r.max_wal, r.recovery_ns
+        );
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"soak\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"n\": {N}, \"f\": {F}, \"checkpoint_every\": {}, \"min_retain\": {}}},\n",
+        CADENCE.every, CADENCE.min_retain
+    ));
+    json.push_str(&format!(
+        "  \"reassignments\": {total},\n  \"restarts\": {restarts},\n  \"violations\": 0,\n  \
+         \"results\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"epoch\": {}, \"reassignments\": {}, \"changes\": {}, \"max_journal\": {}, \
+             \"max_wal\": {}, \"recovery_ns\": {}}}{}\n",
+            r.epoch,
+            r.reassignments,
+            r.changes,
+            r.max_journal,
+            r.max_wal,
+            r.recovery_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+
+    // The gates. Absolute bound first: memory is cadence-shaped, never
+    // history-shaped. A compacted journal holds at most one full cadence
+    // interval plus the retained suffix (and the retention heuristic may
+    // keep a straggler's delta on top, bounded by the same interval).
+    let journal_bound = 2 * CADENCE.every + CADENCE.min_retain;
+    let mut ok = true;
+    for r in &rows {
+        if r.max_journal > journal_bound {
+            eprintln!(
+                "FAIL: epoch {}: journal {} exceeds bound {journal_bound}",
+                r.epoch, r.max_journal
+            );
+            ok = false;
+        }
+        if r.max_wal > journal_bound {
+            eprintln!(
+                "FAIL: epoch {}: WAL {} exceeds bound {journal_bound}",
+                r.epoch, r.max_wal
+            );
+            ok = false;
+        }
+    }
+    // Then drift: second-half maxima must not exceed first-half maxima by
+    // more than slack — flat, not merely bounded.
+    let halves = |f: &dyn Fn(&Row) -> u64| -> (u64, u64) {
+        let mid = rows.len() / 2;
+        let max = |rs: &[Row]| rs.iter().map(f).max().unwrap_or(0);
+        (max(&rows[..mid]), max(&rows[mid..]))
+    };
+    let drift_checks: [(&str, (u64, u64), f64); 3] = [
+        ("journal", halves(&|r| r.max_journal as u64), 1.25),
+        ("wal", halves(&|r| r.max_wal as u64), 1.25),
+        ("recovery time", halves(&|r| r.recovery_ns), 1.5),
+    ];
+    for (what, (first, second), slack) in drift_checks {
+        if second as f64 > first as f64 * slack {
+            eprintln!("FAIL: {what} drifts: first-half max {first}, second-half max {second}");
+            ok = false;
+        }
+    }
+    let growth = rows.last().unwrap().changes - rows.first().unwrap().changes;
+    if growth == 0 {
+        eprintln!("FAIL: |C| did not grow — the soak exercised nothing");
+        ok = false;
+    }
+    println!(
+        "soak: {total} reassignments, {restarts} reboots, |C| grew by {growth}, \
+         journal bound {journal_bound}, 0 violations"
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

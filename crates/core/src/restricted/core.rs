@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use awr_rb::RbEngine;
 use awr_sim::{ActorId, Context, Message, Time};
-use awr_types::{Change, ChangeSet, CsRef, Ratio, ServerId, TransferChanges};
+use awr_types::{Change, ChangeSet, CsRef, ProcessId, Ratio, ServerId, TransferChanges};
 
 use crate::problem::{RpConfig, TransferError, TransferOutcome};
 use crate::restricted::messages::WrMsg;
@@ -137,6 +137,39 @@ impl TransferCore {
         }
     }
 
+    /// Rebuilds the engine from a recovered set of completed changes (the
+    /// durable-storage restart path). The local counter resumes past the
+    /// highest counter this server ever issued — changes are globally keyed
+    /// by `⟨issuer, counter⟩`, so reusing a counter after a crash would
+    /// alias a previous operation. In-flight transfer state (pending
+    /// invocations, relay acks, queued requests) is *not* recovered: an
+    /// interrupted own transfer was never completed, and restarting with it
+    /// dropped is indistinguishable from the invocation never having been
+    /// accepted (crash-stop semantics, paper §II).
+    pub fn recover(
+        cfg: RpConfig,
+        me: ServerId,
+        actor_base: usize,
+        changes: ChangeSet,
+    ) -> TransferCore {
+        let mut core = TransferCore::new(cfg, me, actor_base);
+        let issued_max = changes
+            .iter()
+            .filter(|c| c.issuer == ProcessId::Server(me))
+            .map(|c| c.counter)
+            .max()
+            .unwrap_or(1);
+        core.lc = (issued_max + 1).max(2);
+        // Resume the RB sequence past anything we could have broadcast:
+        // every envelope consumed at least one counter, so counters are an
+        // upper bound on sequences used. Without this, peers (whose dedup
+        // sets survive our crash) would swallow every post-recovery
+        // broadcast as a duplicate and the transfer would never complete.
+        core.rb.resume_at(issued_max + 1);
+        core.changes = changes;
+        core
+    }
+
     /// The configuration this server runs under.
     pub fn config(&self) -> &RpConfig {
         &self.cfg
@@ -158,6 +191,20 @@ impl TransferCore {
     /// never called by protocol code.
     pub fn absorb_changes(&mut self, set: &ChangeSet) {
         self.changes.merge(set);
+    }
+
+    /// Reconciles the local `C` against a wire reference (the recovery
+    /// rejoin path), returning whether anything new was absorbed.
+    pub fn absorb_ref(&mut self, r: &CsRef) -> bool {
+        self.changes.apply_ref(r).learned()
+    }
+
+    /// Truncates the local change journal to at most `keep` recent entries
+    /// (see [`ChangeSet::compact_journal`]); returns the entries dropped.
+    /// Callers owning a write-ahead log must persist the journal tail
+    /// before compacting.
+    pub fn compact_journal(&mut self, keep: usize) -> usize {
+        self.changes.compact_journal(keep)
     }
 
     /// `weight()` of Algorithm 4 lines 4–5: this server's weight computed

@@ -95,6 +95,16 @@ impl<P: Clone + fmt::Debug + Send + 'static> RbEngine<P> {
         self.delivered_count
     }
 
+    /// Advances the broadcast sequence to at least `seq` — the crash
+    /// recovery hook. Deduplication is keyed by `(origin, seq)`, so a
+    /// rebooted process that restarted its sequence at 0 would have every
+    /// fresh broadcast swallowed as a duplicate of a pre-crash envelope;
+    /// callers resume past an upper bound on the sequences they could have
+    /// used (gaps are harmless — delivery is dedup-only, not ordered).
+    pub fn resume_at(&mut self, seq: u64) {
+        self.next_seq = self.next_seq.max(seq);
+    }
+
     /// RB-broadcasts `payload`. Sends the envelope to every *other* member
     /// and delivers locally at once (the local delivery is the return
     /// value — handle it exactly like a delivery from the network).

@@ -9,7 +9,10 @@
 //!   with pluggable [`LatencyModel`]s (constant, uniform, WAN matrices) and
 //!   composable adversaries ([`TargetedDelay`], [`HealingPartition`],
 //!   [`SlowActors`]) that reorder and stall but never drop messages.
-//!   Crash faults are injected by schedule or immediately.
+//!   Crash faults are injected by schedule or immediately, and crashed
+//!   actors can be rebuilt and rebooted ([`World::schedule_restart`]) —
+//!   [`FaultPlan`] generates whole kill/restart campaigns (scheduled,
+//!   random at a rate, or aimed at reassignment instants).
 //! * [`ThreadedSystem`] — the same [`Actor`] trait over real threads and
 //!   crossbeam channels, for wall-clock benchmarks.
 //!
@@ -90,6 +93,7 @@
 #![warn(missing_docs)]
 
 mod actor;
+mod fault;
 mod metrics;
 mod network;
 mod threaded;
@@ -100,6 +104,7 @@ pub mod workload;
 mod world;
 
 pub use actor::{Actor, ActorId, Context, Message, TimerId};
+pub use fault::{Fault, FaultPlan};
 pub use metrics::{LinkDelayStat, Metrics};
 pub use network::{
     shared_latency, BandwidthLinks, BandwidthMatrix, ConstantLatency, Delivery, FifoLinks,

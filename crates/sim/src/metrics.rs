@@ -66,6 +66,8 @@ pub struct Metrics {
     pub messages_delivered: u64,
     /// Messages dropped because the destination had crashed.
     pub messages_dropped_crashed: u64,
+    /// Actors rebuilt and rebooted after a crash (fault injection).
+    pub restarts: u64,
     /// Timers fired.
     pub timers_fired: u64,
     /// Per message-kind send counts.
@@ -344,6 +346,7 @@ impl Metrics {
             messages_dropped_crashed: self
                 .messages_dropped_crashed
                 .saturating_sub(baseline.messages_dropped_crashed),
+            restarts: self.restarts.saturating_sub(baseline.restarts),
             timers_fired: self.timers_fired.saturating_sub(baseline.timers_fired),
             sent_by_kind: sub_map(&self.sent_by_kind, &baseline.sent_by_kind),
             bytes_by_kind: sub_map(&self.bytes_by_kind, &baseline.bytes_by_kind),

@@ -6,6 +6,14 @@
 //! connected by crossbeam channels. Message delivery is FIFO per link and
 //! as fast as the OS allows; there is no virtual time and timers are not
 //! supported (none of the paper's protocols need them).
+//!
+//! Crash/restart fault injection mirrors the DES: [`ThreadedSystem::kill`]
+//! tears an actor's thread down and [`ThreadedSystem::restart`] rebuilds it
+//! (typically from a durable store shared with the dead incarnation).
+//! Because a thread cannot be killed mid-message, a kill is a stop marker:
+//! messages already queued ahead of it are still processed, while messages
+//! arriving during the downtime are discarded when the actor restarts —
+//! a best-effort rendition of the DES drop-while-crashed rule.
 
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -193,8 +201,108 @@ impl ThreadedMetrics {
 /// ```
 pub struct ThreadedSystem<M: Message> {
     senders: Vec<Sender<Envelope<M>>>,
-    handles: Vec<JoinHandle<Box<dyn Actor<Msg = M> + Send>>>,
+    handles: Vec<Option<JoinHandle<Parked<M>>>>,
+    /// Actors joined by [`ThreadedSystem::kill`] and not yet restarted,
+    /// kept (with their receiver, so the channel stays open and peers'
+    /// cloned senders remain valid) until restart or shutdown.
+    parked: Vec<Option<Parked<M>>>,
     counters: Arc<SharedCounters>,
+    seed: u64,
+}
+
+/// What an actor thread yields on exit: the actor for inspection plus its
+/// receiver, which keeps the channel alive across a downtime and lets
+/// [`ThreadedSystem::restart`] drain (drop) whatever arrived while dead.
+type Parked<M> = (Box<dyn Actor<Msg = M> + Send>, Receiver<Envelope<M>>);
+
+/// Runs one actor on a fresh thread: `on_start`, then the delivery loop
+/// until a stop marker, crash, or channel closure; merges the thread-local
+/// tallies and returns the actor and its receiver on exit.
+fn spawn_actor_thread<M: Message + Send>(
+    i: usize,
+    n: usize,
+    seed: u64,
+    mut actor: Box<dyn Actor<Msg = M> + Send>,
+    rx: Receiver<Envelope<M>>,
+    peer_senders: Vec<Sender<Envelope<M>>>,
+    shared: Arc<SharedCounters>,
+) -> JoinHandle<Parked<M>> {
+    std::thread::spawn(move || {
+        let self_id = ActorId(i);
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E3779B9));
+        let mut next_timer = 0u64;
+        // Per-kind and per-link tallies stay thread-local and merge
+        // into the shared maps once, on exit, to keep the send path
+        // lock-free.
+        let mut kinds: BTreeMap<&'static str, KindTally> = BTreeMap::new();
+        let mut links: BTreeMap<(ActorId, ActorId), LinkTally> = BTreeMap::new();
+        let mut objects: BTreeMap<u64, KindTally> = BTreeMap::new();
+        let mut run_cb = |actor: &mut Box<dyn Actor<Msg = M> + Send>, cb: &mut Callback<'_, M>| {
+            let mut effects: Vec<Effect<M>> = Vec::new();
+            {
+                let mut ctx = Context {
+                    now: crate::time::Time::ZERO,
+                    self_id,
+                    n_actors: n,
+                    rng: &mut rng,
+                    effects: &mut effects,
+                    next_timer: &mut next_timer,
+                };
+                cb(actor.as_mut(), &mut ctx);
+            }
+            let mut crash = false;
+            for e in effects {
+                match e {
+                    Effect::Send { to, msg } => {
+                        let bytes = msg.wire_size();
+                        shared.record_totals(bytes);
+                        let t = kinds.entry(msg.kind()).or_default();
+                        t.count += 1;
+                        t.bytes += bytes as u64;
+                        let l = links.entry((self_id, to)).or_default();
+                        l.msgs += 1;
+                        l.bytes += bytes as u64;
+                        if let Some(o) = msg.object_key() {
+                            let t = objects.entry(o).or_default();
+                            t.count += 1;
+                            t.bytes += bytes as u64;
+                        }
+                        // A send to a stopped peer is a dropped
+                        // message, matching the crash model.
+                        let _ = peer_senders[to.index()].send(Envelope::Msg { from: self_id, msg });
+                    }
+                    Effect::SetTimer { .. } | Effect::CancelTimer { .. } => {
+                        // Timers are a DES-only facility.
+                    }
+                    Effect::CrashSelf => crash = true,
+                }
+            }
+            crash
+        };
+
+        let mut crashed = run_cb(&mut actor, &mut |a, ctx| a.on_start(ctx));
+        while !crashed {
+            match rx.recv() {
+                Ok(Envelope::Msg { from, msg }) => {
+                    // Move the owned message into the (single)
+                    // callback invocation instead of cloning it:
+                    // for Arc-backed payloads the clone+drop pair
+                    // is an avoidable hit on a refcount shared
+                    // with every other actor thread (see
+                    // docs/THREADED_NOTES.md).
+                    let mut slot = Some(msg);
+                    crashed = run_cb(&mut actor, &mut |a, ctx| {
+                        a.on_message(from, slot.take().expect("delivered once"), ctx)
+                    });
+                }
+                Ok(Envelope::Stop) | Err(_) => break,
+            }
+        }
+        // Drain silently after crash/stop until Stop arrives so
+        // senders never block (channels are unbounded anyway).
+        shared.merge_kinds(&kinds, &links, &objects);
+        (actor, rx)
+    })
 }
 
 impl<M: Message + Send> ThreadedSystem<M> {
@@ -222,95 +330,74 @@ impl<M: Message + Send> ThreadedSystem<M> {
         let counters = Arc::new(SharedCounters::default());
 
         let mut handles = Vec::with_capacity(n);
-        for (i, (mut actor, (_, rx))) in actors.into_iter().zip(channels).enumerate() {
-            let peer_senders = senders.clone();
-            let shared = Arc::clone(&counters);
-            let handle = std::thread::spawn(move || {
-                let self_id = ActorId(i);
-                let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E3779B9));
-                let mut next_timer = 0u64;
-                // Per-kind and per-link tallies stay thread-local and merge
-                // into the shared maps once, on exit, to keep the send path
-                // lock-free.
-                let mut kinds: BTreeMap<&'static str, KindTally> = BTreeMap::new();
-                let mut links: BTreeMap<(ActorId, ActorId), LinkTally> = BTreeMap::new();
-                let mut objects: BTreeMap<u64, KindTally> = BTreeMap::new();
-                let mut run_cb = |actor: &mut Box<dyn Actor<Msg = M> + Send>,
-                                  cb: &mut Callback<'_, M>| {
-                    let mut effects: Vec<Effect<M>> = Vec::new();
-                    {
-                        let mut ctx = Context {
-                            now: crate::time::Time::ZERO,
-                            self_id,
-                            n_actors: n,
-                            rng: &mut rng,
-                            effects: &mut effects,
-                            next_timer: &mut next_timer,
-                        };
-                        cb(actor.as_mut(), &mut ctx);
-                    }
-                    let mut crash = false;
-                    for e in effects {
-                        match e {
-                            Effect::Send { to, msg } => {
-                                let bytes = msg.wire_size();
-                                shared.record_totals(bytes);
-                                let t = kinds.entry(msg.kind()).or_default();
-                                t.count += 1;
-                                t.bytes += bytes as u64;
-                                let l = links.entry((self_id, to)).or_default();
-                                l.msgs += 1;
-                                l.bytes += bytes as u64;
-                                if let Some(o) = msg.object_key() {
-                                    let t = objects.entry(o).or_default();
-                                    t.count += 1;
-                                    t.bytes += bytes as u64;
-                                }
-                                // A send to a stopped peer is a dropped
-                                // message, matching the crash model.
-                                let _ = peer_senders[to.index()]
-                                    .send(Envelope::Msg { from: self_id, msg });
-                            }
-                            Effect::SetTimer { .. } | Effect::CancelTimer { .. } => {
-                                // Timers are a DES-only facility.
-                            }
-                            Effect::CrashSelf => crash = true,
-                        }
-                    }
-                    crash
-                };
-
-                let mut crashed = run_cb(&mut actor, &mut |a, ctx| a.on_start(ctx));
-                while !crashed {
-                    match rx.recv() {
-                        Ok(Envelope::Msg { from, msg }) => {
-                            // Move the owned message into the (single)
-                            // callback invocation instead of cloning it:
-                            // for Arc-backed payloads the clone+drop pair
-                            // is an avoidable hit on a refcount shared
-                            // with every other actor thread (see
-                            // docs/THREADED_NOTES.md).
-                            let mut slot = Some(msg);
-                            crashed = run_cb(&mut actor, &mut |a, ctx| {
-                                a.on_message(from, slot.take().expect("delivered once"), ctx)
-                            });
-                        }
-                        Ok(Envelope::Stop) | Err(_) => break,
-                    }
-                }
-                // Drain silently after crash/stop until Stop arrives so
-                // senders never block (channels are unbounded anyway).
-                shared.merge_kinds(&kinds, &links, &objects);
-                actor
-            });
-            handles.push(handle);
+        let mut parked = Vec::with_capacity(n);
+        for (i, (actor, (_, rx))) in actors.into_iter().zip(channels).enumerate() {
+            handles.push(Some(spawn_actor_thread(
+                i,
+                n,
+                seed,
+                actor,
+                rx,
+                senders.clone(),
+                Arc::clone(&counters),
+            )));
+            parked.push(None);
         }
 
         ThreadedSystem {
             senders,
             handles,
+            parked,
             counters,
+            seed,
         }
+    }
+
+    /// Tears down an actor's thread (fault injection). The stop marker is
+    /// FIFO behind already-queued messages, so those are still processed;
+    /// messages arriving *after* the kill are discarded when the actor is
+    /// [`restart`](ThreadedSystem::restart)ed. The joined actor is parked
+    /// so [`ThreadedSystem::shutdown`] still returns it if it never
+    /// restarts. No-op if the actor is already down.
+    pub fn kill(&mut self, a: ActorId) {
+        let i = a.index();
+        if let Some(handle) = self.handles[i].take() {
+            let _ = self.senders[i].send(Envelope::Stop);
+            self.parked[i] = Some(handle.join().expect("actor thread panicked"));
+        }
+    }
+
+    /// Rebuilds a killed actor on a fresh thread, first discarding every
+    /// message that arrived during the downtime (the crash model drops
+    /// in-flight traffic to a dead actor). The replacement typically
+    /// recovers its state from a durable store shared with the dead
+    /// incarnation; its `on_start` runs before any delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor is still running.
+    pub fn restart(&mut self, a: ActorId, actor: Box<dyn Actor<Msg = M> + Send>) {
+        let i = a.index();
+        assert!(
+            self.handles[i].is_none(),
+            "restart of a running actor {a}; kill it first"
+        );
+        let (_, rx) = self.parked[i].take().expect("killed actor was parked");
+        while rx.try_recv().is_ok() {}
+        self.handles[i] = Some(spawn_actor_thread(
+            i,
+            self.senders.len(),
+            self.seed,
+            actor,
+            rx,
+            self.senders.clone(),
+            Arc::clone(&self.counters),
+        ));
+    }
+
+    /// Whether the actor is currently torn down (killed, not restarted).
+    pub fn is_down(&self, a: ActorId) -> bool {
+        self.handles[a.index()].is_none()
     }
 
     /// Number of actors.
@@ -336,12 +423,18 @@ impl<M: Message + Send> ThreadedSystem<M> {
     /// Stops all actors after their queued messages *before the stop marker*
     /// are processed, then joins and returns them for inspection.
     pub fn shutdown(self) -> Vec<Box<dyn Actor<Msg = M> + Send>> {
-        for s in &self.senders {
-            let _ = s.send(Envelope::Stop);
+        for (s, h) in self.senders.iter().zip(&self.handles) {
+            if h.is_some() {
+                let _ = s.send(Envelope::Stop);
+            }
         }
         self.handles
             .into_iter()
-            .map(|h| h.join().expect("actor thread panicked"))
+            .zip(self.parked)
+            .map(|(h, p)| match h {
+                Some(h) => h.join().expect("actor thread panicked").0,
+                None => p.expect("killed actor was parked").0,
+            })
             .collect()
     }
 }
@@ -429,6 +522,71 @@ mod tests {
         assert_eq!(m.bytes_on_link(ActorId(0), ActorId(1)), per_msg);
         assert_eq!(m.msgs_on_link(ActorId(1), ActorId(0)), 1001);
         assert_eq!(m.msgs_on_link(ActorId(0), ActorId(1)), 1);
+    }
+
+    #[test]
+    fn kill_restart_drops_messages_while_down() {
+        let mut sys = ThreadedSystem::spawn(
+            vec![
+                CounterActor {
+                    hits: 0,
+                    reported: None,
+                },
+                CounterActor {
+                    hits: 0,
+                    reported: None,
+                },
+            ],
+            7,
+        );
+        for _ in 0..10 {
+            sys.inject(ActorId(1), ActorId(0), M2::Hit);
+        }
+        // The stop marker is FIFO behind the 10 hits, so the dying
+        // incarnation still processes them.
+        sys.kill(ActorId(0));
+        assert!(sys.is_down(ActorId(0)));
+        // Traffic to a dead actor is dropped at restart.
+        for _ in 0..5 {
+            sys.inject(ActorId(1), ActorId(0), M2::Hit);
+        }
+        // The replacement carries "recovered" state in with it.
+        sys.restart(
+            ActorId(0),
+            Box::new(CounterActor {
+                hits: 40,
+                reported: None,
+            }),
+        );
+        assert!(!sys.is_down(ActorId(0)));
+        for _ in 0..3 {
+            sys.inject(ActorId(1), ActorId(0), M2::Hit);
+        }
+        sys.inject(ActorId(1), ActorId(0), M2::Report);
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let actors = sys.shutdown();
+        let a1 = downcast_actor::<CounterActor, M2>(actors[1].as_ref()).unwrap();
+        // 40 recovered + 3 post-restart; the 5 sent while down are gone.
+        assert_eq!(a1.reported, Some(43));
+    }
+
+    #[test]
+    fn kill_parks_actor_for_shutdown() {
+        let mut sys = ThreadedSystem::spawn(
+            vec![CounterActor {
+                hits: 0,
+                reported: None,
+            }],
+            3,
+        );
+        for _ in 0..3 {
+            sys.inject(ActorId(0), ActorId(0), M2::Hit);
+        }
+        sys.kill(ActorId(0));
+        sys.kill(ActorId(0)); // idempotent
+        let actors = sys.shutdown();
+        let a0 = downcast_actor::<CounterActor, M2>(actors[0].as_ref()).unwrap();
+        assert_eq!(a0.hits, 3);
     }
 
     #[test]

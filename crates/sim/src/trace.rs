@@ -54,6 +54,11 @@ pub enum TraceKind {
         /// The crashed actor.
         actor: ActorId,
     },
+    /// A crashed actor was rebuilt and rebooted.
+    Restart {
+        /// The restarted actor.
+        actor: ActorId,
+    },
 }
 
 /// One trace record.
@@ -103,6 +108,7 @@ impl fmt::Display for TraceRecord {
                 write!(f, "[{}] {actor} timer #{tag}", self.at)
             }
             TraceKind::Crash { actor } => write!(f, "[{}] {actor} CRASH", self.at),
+            TraceKind::Restart { actor } => write!(f, "[{}] {actor} RESTART", self.at),
         }
     }
 }

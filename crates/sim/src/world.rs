@@ -18,7 +18,6 @@ use crate::time::{Nanos, Time};
 use crate::trace::{Trace, TraceKind};
 
 /// A scheduled occurrence.
-#[derive(Debug)]
 enum EventKind<M> {
     Start(ActorId),
     Deliver {
@@ -36,6 +35,45 @@ enum EventKind<M> {
         tag: u64,
     },
     Crash(ActorId),
+    Restart {
+        actor: ActorId,
+        /// Runs at restart time — typically recovering state from a
+        /// durable store shared with the dead actor.
+        builder: Box<dyn FnOnce() -> Box<dyn Actor<Msg = M>>>,
+    },
+}
+
+impl<M: std::fmt::Debug> std::fmt::Debug for EventKind<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventKind::Start(a) => f.debug_tuple("Start").field(a).finish(),
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                tx,
+                prop,
+            } => f
+                .debug_struct("Deliver")
+                .field("from", from)
+                .field("to", to)
+                .field("msg", msg)
+                .field("tx", tx)
+                .field("prop", prop)
+                .finish(),
+            EventKind::Timer { actor, id, tag } => f
+                .debug_struct("Timer")
+                .field("actor", actor)
+                .field("id", id)
+                .field("tag", tag)
+                .finish(),
+            EventKind::Crash(a) => f.debug_tuple("Crash").field(a).finish(),
+            EventKind::Restart { actor, .. } => f
+                .debug_struct("Restart")
+                .field("actor", actor)
+                .finish_non_exhaustive(),
+        }
+    }
 }
 
 struct QueuedEvent<M> {
@@ -107,6 +145,11 @@ pub struct World<M: Message> {
     queue: BinaryHeap<Reverse<QueuedEvent<M>>>,
     actors: Vec<Box<dyn Actor<Msg = M>>>,
     crashed: Vec<bool>,
+    /// Dead incarnations displaced by [`World::restart_now`], kept for
+    /// post-hoc inspection: an omniscient checker (history auditor,
+    /// metrics scraper) must still see what a crashed process had observed,
+    /// even though the process itself lost it.
+    graveyard: Vec<(ActorId, Box<dyn Actor<Msg = M>>)>,
     started: bool,
     network: Box<dyn NetworkModel>,
     rng: StdRng,
@@ -129,6 +172,7 @@ impl<M: Message> World<M> {
             queue: BinaryHeap::new(),
             actors: Vec::new(),
             crashed: Vec::new(),
+            graveyard: Vec::new(),
             started: false,
             network: Box::new(network),
             rng: StdRng::seed_from_u64(seed),
@@ -203,6 +247,42 @@ impl<M: Message> World<M> {
         self.crashed[a.index()]
     }
 
+    /// Schedules actor `a` to be rebuilt and rebooted at virtual time
+    /// `at`. The `builder` runs at the restart instant — typically
+    /// recovering state from a durable store it shares with the dead
+    /// actor — and the rebuilt actor replaces the old one, clears the
+    /// crashed flag, and gets an `on_start` callback. Everything sent to
+    /// the actor while it was down stays dropped: a restart resumes from
+    /// what the builder reconstructs, never from lost in-flight messages.
+    pub fn schedule_restart(
+        &mut self,
+        a: ActorId,
+        at: Time,
+        builder: impl FnOnce() -> Box<dyn Actor<Msg = M>> + 'static,
+    ) {
+        self.push_event(
+            at,
+            EventKind::Restart {
+                actor: a,
+                builder: Box::new(builder),
+            },
+        );
+    }
+
+    /// Replaces actor `a` with `actor` immediately, clearing its crashed
+    /// flag and running `on_start` at the current virtual time — the
+    /// harness-driven form of [`World::schedule_restart`].
+    pub fn restart_now(&mut self, a: ActorId, actor: Box<dyn Actor<Msg = M>>) {
+        let corpse = std::mem::replace(&mut self.actors[a.index()], actor);
+        self.graveyard.push((a, corpse));
+        self.crashed[a.index()] = false;
+        self.metrics.restarts += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.record(self.time, TraceKind::Restart { actor: a });
+        }
+        self.dispatch(a, |actor, ctx| actor.on_start(ctx));
+    }
+
     /// Injects a message from `from` to `to` as if `from` had sent it now.
     /// Useful for harness-driven stimuli.
     pub fn inject(&mut self, from: ActorId, to: ActorId, msg: M) {
@@ -234,6 +314,21 @@ impl<M: Message> World<M> {
     /// Immutable typed access to an actor's state (post-run inspection).
     pub fn actor<T: Actor<Msg = M>>(&self, id: ActorId) -> Option<&T> {
         self.actors.get(id.index())?.as_any().downcast_ref::<T>()
+    }
+
+    /// Typed access to the dead incarnations of actor `id`: every actor
+    /// value a restart displaced, in displacement order. A crashed process
+    /// forgets, but the simulation's omniscient observers (auditors,
+    /// checkers) must not — they read what each incarnation had recorded
+    /// before it died here.
+    pub fn dead_incarnations<T: Actor<Msg = M>>(
+        &self,
+        id: ActorId,
+    ) -> impl Iterator<Item = &T> + '_ {
+        self.graveyard
+            .iter()
+            .filter(move |(a, _)| *a == id)
+            .filter_map(|(_, actor)| actor.as_any().downcast_ref::<T>())
     }
 
     /// Mutable typed access to an actor's state.
@@ -407,6 +502,10 @@ impl<M: Message> World<M> {
                 if let Some(t) = self.trace.as_mut() {
                     t.record(self.time, TraceKind::Crash { actor: a });
                 }
+            }
+            EventKind::Restart { actor, builder } => {
+                let rebuilt = builder();
+                self.restart_now(actor, rebuilt);
             }
         }
         true
@@ -605,6 +704,47 @@ mod tests {
         w.inject(ActorId(1), ActorId(0), Msg::Pong(99));
         w.run_to_quiescence();
         assert!(w.actor::<Echo>(ActorId(0)).unwrap().pongs.contains(&99));
+    }
+
+    #[test]
+    fn restart_rebuilds_and_reboots() {
+        // Echo 3 dies at t=0 and is rebuilt at t=2ms; a fresh ping after
+        // the restart reaches it, while pings sent during the downtime
+        // stay dropped.
+        let mut w = world_with(4, 2);
+        w.enable_trace(64);
+        w.schedule_crash(ActorId(3), Time::ZERO);
+        w.schedule_restart(ActorId(3), Time(2_000_000), || Box::new(Echo::new()));
+        w.run_to_quiescence();
+        assert!(!w.is_crashed(ActorId(3)));
+        assert_eq!(w.metrics().restarts, 1);
+        assert!(w.metrics().messages_dropped_crashed > 0);
+        let t = w.trace().unwrap();
+        assert_eq!(
+            t.records()
+                .filter(|r| matches!(r.kind, TraceKind::Restart { .. }))
+                .count(),
+            1
+        );
+        // Post-restart traffic flows: inject a ping, expect a pong back.
+        w.inject(ActorId(0), ActorId(3), Msg::Ping(42));
+        w.run_to_quiescence();
+        let a0 = w.actor::<Echo>(ActorId(0)).unwrap();
+        assert!(a0.pongs.contains(&42), "restarted actor must answer");
+    }
+
+    #[test]
+    fn restart_now_replaces_state() {
+        let mut w = world_with(2, 9);
+        w.run_to_quiescence();
+        w.crash_now(ActorId(1));
+        assert!(w.is_crashed(ActorId(1)));
+        let mut fresh = Echo::new();
+        fresh.pongs.push(777); // "recovered" state travels in with the actor
+        w.restart_now(ActorId(1), Box::new(fresh));
+        assert!(!w.is_crashed(ActorId(1)));
+        assert_eq!(w.actor::<Echo>(ActorId(1)).unwrap().pongs, vec![777]);
+        assert_eq!(w.metrics().restarts, 1);
     }
 
     #[test]

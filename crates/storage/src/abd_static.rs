@@ -12,9 +12,11 @@ use std::any::Any;
 use std::collections::BTreeMap;
 use std::fmt;
 
+use awr_epoch::CheckpointCadence;
 use awr_sim::{Actor, ActorId, Context, Message, Time};
-use awr_types::{ObjectId, ProcessId, ServerId, Tag, TaggedValue};
+use awr_types::{ChangeSet, ObjectId, ProcessId, ServerId, Tag, TaggedValue};
 
+use crate::durable::{Snapshot, StorageHandle, WalRecord};
 use crate::history::{HistOp, OpKind};
 use crate::quorum_rule::QuorumRule;
 
@@ -80,10 +82,17 @@ impl<V: Value> Message for AbdMsg<V> {
 }
 
 /// A static-ABD server: stores a sparse map of tagged registers, one per
-/// object (absent = bottom).
+/// object (absent = bottom). Optionally durable: with a
+/// [`StorageHandle`] attached, every adopted register is WAL-logged (and
+/// folded into a snapshot on the configured cadence), and
+/// [`AbdServer::recover`] rebuilds a crashed server from that state. The
+/// static protocol has no change set, so its WAL carries
+/// [`WalRecord::Register`] entries only.
 #[derive(Debug)]
 pub struct AbdServer<V> {
     registers: BTreeMap<ObjectId, TaggedValue<V>>,
+    storage: Option<StorageHandle<V>>,
+    checkpoint: Option<CheckpointCadence>,
 }
 
 impl<V: Value> AbdServer<V> {
@@ -91,6 +100,56 @@ impl<V: Value> AbdServer<V> {
     pub fn new() -> AbdServer<V> {
         AbdServer {
             registers: BTreeMap::new(),
+            storage: None,
+            checkpoint: None,
+        }
+    }
+
+    /// Creates an empty *durable* server: adopted registers are appended
+    /// to `storage`'s WAL and snapshotted on the `checkpoint` cadence
+    /// (`None` = WAL only, never snapshot).
+    pub fn with_storage(
+        storage: StorageHandle<V>,
+        checkpoint: Option<CheckpointCadence>,
+    ) -> AbdServer<V> {
+        AbdServer {
+            registers: BTreeMap::new(),
+            storage: Some(storage),
+            checkpoint,
+        }
+    }
+
+    /// Rebuilds a crashed server from its durable state: snapshot
+    /// registers, then the WAL suffix replayed with the same
+    /// adopt-if-newer rule the live path uses. No rejoin round is needed —
+    /// static ABD's phase-2 write-back re-propagates anything this server
+    /// missed while down, exactly as it does for a slow server.
+    pub fn recover(
+        storage: StorageHandle<V>,
+        checkpoint: Option<CheckpointCadence>,
+    ) -> AbdServer<V> {
+        let mut registers: BTreeMap<ObjectId, TaggedValue<V>> = BTreeMap::new();
+        if let Some((snapshot, wal)) = storage.load() {
+            if let Some(snap) = snapshot {
+                registers = snap.registers;
+            }
+            for record in wal {
+                if let WalRecord::Register(obj, reg) = record {
+                    match registers.get_mut(&obj) {
+                        Some(cur) => {
+                            cur.adopt_if_newer(&reg);
+                        }
+                        None => {
+                            registers.insert(obj, reg);
+                        }
+                    }
+                }
+            }
+        }
+        AbdServer {
+            registers,
+            storage: Some(storage),
+            checkpoint,
         }
     }
 
@@ -108,13 +167,28 @@ impl<V: Value> AbdServer<V> {
     }
 
     fn adopt_register(&mut self, obj: ObjectId, incoming: &TaggedValue<V>) {
-        match self.registers.get_mut(&obj) {
-            Some(cur) => {
-                cur.adopt_if_newer(incoming);
-            }
+        let adopted = match self.registers.get_mut(&obj) {
+            Some(cur) => cur.adopt_if_newer(incoming),
             None => {
                 if incoming.tag > Tag::bottom() {
                     self.registers.insert(obj, incoming.clone());
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if !adopted {
+            return;
+        }
+        if let Some(st) = &self.storage {
+            st.append(WalRecord::Register(obj, incoming.clone()));
+            if let Some(cad) = self.checkpoint {
+                if cad.due(st.wal_len()) {
+                    st.install_snapshot(Snapshot {
+                        changes: ChangeSet::default(),
+                        registers: self.registers.clone(),
+                    });
                 }
             }
         }

@@ -65,10 +65,12 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use awr_core::restricted::{ApplyRequest, CoreEvent, TransferCore, TransferStart, WrMsg};
 use awr_core::{RpConfig, TransferError, TransferOutcome};
-use awr_sim::{Actor, ActorId, Context, Message, Time};
+use awr_epoch::CheckpointCadence;
+use awr_sim::{Actor, ActorId, Context, Message, Nanos, Time, TimerId};
 use awr_types::{ChangeSet, CsRef, ObjectId, ProcessId, Ratio, ServerId, Tag, TaggedValue};
 
 use crate::abd_static::Value;
+use crate::durable::{Snapshot, StorageHandle, WalRecord};
 use crate::history::{HistOp, OpKind};
 
 /// Wire messages of the dynamic-weighted storage: the weight-reassignment
@@ -136,12 +138,10 @@ pub enum DynMsg<V> {
     RefreshR {
         /// Refresher-local operation number.
         op: u64,
-        /// The refresher's current per-object register tags. Lets repliers
-        /// delta-encode: a register no newer than the refresher's tag for
-        /// that object cannot change the refresh outcome, so its value is
-        /// suppressed on the wire. Objects absent from the map are ones
-        /// the refresher has never stored (implicitly at the bottom tag).
-        have: BTreeMap<ObjectId, Tag>,
+        /// What the refresher already holds — per-object tags, or a bound
+        /// digest of them above [`DynOptions::refresh_tags_cap`] (see
+        /// [`RefreshHave`]).
+        have: RefreshHave,
     },
     /// Reply to [`DynMsg::RefreshR`]: the subset of the replier's registers
     /// that are *strictly newer* than the tags the refresher presented.
@@ -156,7 +156,72 @@ pub enum DynMsg<V> {
         op: u64,
         /// The replier's registers that are newer than the refresher's.
         regs: BTreeMap<ObjectId, TaggedValue<V>>,
+        /// Set when the request presented a [`RefreshHave::Digest`] that
+        /// did not match: the replier cannot tell which registers are
+        /// newer. The refresher answers with a per-key
+        /// [`RefreshHave::Tags`] round aimed at this replier alone; only
+        /// the substantive reply counts toward the `n − f` quorum.
+        need_tags: bool,
     },
+    /// Recovery rejoin, request leg: a restarted server presents the digest
+    /// of its recovered change set and asks each peer for whatever it
+    /// missed while down. Never sent in a crash-free run.
+    SyncR {
+        /// Digest of the recovering server's `C`.
+        digest: u64,
+    },
+    /// Recovery rejoin, reply leg: the cheapest reference that brings the
+    /// recovering server up to the replier's `C` — a delta against the
+    /// presented digest when the replier's journal covers the gap, the
+    /// full set otherwise. One round suffices: delta adds are absorbed
+    /// even when the base has moved (facts are facts), and register
+    /// catch-up runs separately through the refresh read.
+    SyncAck {
+        /// Reference to the replier's change set.
+        changes: CsRef,
+    },
+}
+
+/// What a refresher presents in [`DynMsg::RefreshR`] to let repliers elide
+/// registers the refresher already has.
+///
+/// The per-object tag map is exact but linear in the number of stored
+/// keys; on a shard with many objects that made every refresh request
+/// O(|objects|) on the wire. Above [`DynOptions::refresh_tags_cap`] the
+/// refresher sends a constant-size commutative digest of its `(object,
+/// tag)` pairs instead: a replier whose own pairs digest identically has
+/// nothing newer and acks empty, and a replier that differs answers
+/// `need_tags` so the refresher falls back to a per-key round with that
+/// replier alone. Converged steady state therefore costs O(1) per
+/// replier, and the fallback is bounded by one extra round trip.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RefreshHave {
+    /// Exact per-object register tags (absent = bottom).
+    Tags(BTreeMap<ObjectId, Tag>),
+    /// Commutative digest over the refresher's `(object, tag)` pairs plus
+    /// their count, constant-size whatever the shard holds.
+    Digest {
+        /// [`reg_tag_digest`] of the refresher's register map.
+        digest: u64,
+        /// Number of registers the refresher holds.
+        count: usize,
+    },
+}
+
+/// Commutative digest of a register map's `(object, tag)` pairs: equal
+/// maps digest equally regardless of insertion order, and (w.h.p.) unequal
+/// maps do not. The register *values* are deliberately excluded — tags
+/// alone decide freshness.
+pub fn reg_tag_digest<V>(registers: &BTreeMap<ObjectId, TaggedValue<V>>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    registers
+        .iter()
+        .map(|(o, r)| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            (o, r.tag).hash(&mut h);
+            h.finish() | 1
+        })
+        .fold(0u64, u64::wrapping_add)
 }
 
 impl<V: Value> Message for DynMsg<V> {
@@ -169,6 +234,8 @@ impl<V: Value> Message for DynMsg<V> {
             DynMsg::WAck { .. } => "W_A",
             DynMsg::RefreshR { .. } => "RefR",
             DynMsg::RefreshAck { .. } => "RefA",
+            DynMsg::SyncR { .. } => "SyR",
+            DynMsg::SyncAck { .. } => "SyA",
         }
     }
 
@@ -187,19 +254,27 @@ impl<V: Value> Message for DynMsg<V> {
             DynMsg::RAck { reg, changes, .. } | DynMsg::W { reg, changes, .. } => {
                 16 + OBJ + std::mem::size_of_val(reg) + changes.wire_size()
             }
-            // Header + one (key, tag) pair per object the refresher holds —
-            // the per-reassignment cost of covering the whole object space,
-            // independent of register value sizes.
-            DynMsg::RefreshR { have, .. } => 16 + have.len() * (OBJ + std::mem::size_of::<Tag>()),
+            // Tags mode: header + one (key, tag) pair per object the
+            // refresher holds — the per-reassignment cost of covering the
+            // whole object space, independent of register value sizes.
+            // Digest mode: a constant header + digest + count, however many
+            // objects the shard holds.
+            DynMsg::RefreshR { have, .. } => match have {
+                RefreshHave::Tags(t) => 16 + t.len() * (OBJ + std::mem::size_of::<Tag>()),
+                RefreshHave::Digest { .. } => 16 + 12,
+            },
             // Elided registers cost nothing: a converged replier sends a
-            // 16-byte header however many objects the shard holds. Shipped
-            // registers are charged at their footprint plus their key.
+            // 16-byte header (the `need_tags` bit rides in it) however many
+            // objects the shard holds. Shipped registers are charged at
+            // their footprint plus their key.
             DynMsg::RefreshAck { regs, .. } => {
                 16 + regs
                     .values()
                     .map(|r| OBJ + std::mem::size_of_val(r))
                     .sum::<usize>()
             }
+            DynMsg::SyncR { .. } => 12,
+            DynMsg::SyncAck { changes } => 16 + changes.wire_size(),
         }
     }
 
@@ -212,7 +287,11 @@ impl<V: Value> Message for DynMsg<V> {
             | DynMsg::RAck { obj, .. }
             | DynMsg::W { obj, .. }
             | DynMsg::WAck { obj, .. } => Some(obj.key()),
-            DynMsg::Wr(_) | DynMsg::RefreshR { .. } | DynMsg::RefreshAck { .. } => None,
+            DynMsg::Wr(_)
+            | DynMsg::RefreshR { .. }
+            | DynMsg::RefreshAck { .. }
+            | DynMsg::SyncR { .. }
+            | DynMsg::SyncAck { .. } => None,
         }
     }
 }
@@ -243,6 +322,20 @@ pub struct DynOptions {
     pub refresh_on_gain: bool,
     /// Wire representation of change sets on the ABD phases.
     pub wire: WireMode,
+    /// Journal-compaction (and, with a [`crate::StorageHandle`] attached,
+    /// snapshot) cadence. `None` — the default — never compacts, which is
+    /// the pre-durability behaviour: the journal holds every change.
+    pub checkpoint: Option<CheckpointCadence>,
+    /// Largest register map a refresher will enumerate per-key in
+    /// [`DynMsg::RefreshR`]; above it the request carries a
+    /// [`RefreshHave::Digest`] instead (constant-size, one extra round
+    /// trip per diverged replier).
+    pub refresh_tags_cap: usize,
+    /// Client-side rebroadcast for operations stalled because their quorum
+    /// contacts died mid-phase. `None` — the default — never retries,
+    /// matching the crash-free model where every sent message is
+    /// eventually delivered.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for DynOptions {
@@ -251,6 +344,42 @@ impl Default for DynOptions {
             restart_on_stale: true,
             refresh_on_gain: true,
             wire: WireMode::Negotiate,
+            checkpoint: None,
+            refresh_tags_cap: 64,
+            retry: None,
+        }
+    }
+}
+
+/// Bounded-backoff rebroadcast for in-flight client operations (see
+/// [`DynOptions::retry`]).
+///
+/// When armed, the [`DynOpDriver`] sets a timer after broadcasting a
+/// phase; if the operation is still in the same numbered attempt when the
+/// timer fires, the driver re-broadcasts the *current* phase (phase 1
+/// verbatim; phase 2 with the already-chosen register) and re-arms with
+/// the delay doubled. Retries are tag-idempotent by construction: servers
+/// adopt registers only if strictly newer, and the driver's reply/ack
+/// accounting is keyed by [`ServerId`], so a duplicate delivery can
+/// neither double-apply a write nor double-count a quorum member. A
+/// crash-free schedule with `retry: Some(..)` therefore completes every
+/// operation before its first timer matters only when the network outruns
+/// `base`; with the default `retry: None` no timer is ever set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delay before the first rebroadcast; doubles per attempt.
+    pub base: Nanos,
+    /// Rebroadcast at most this many times per operation attempt.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            // 200 µs: comfortably above the simulated latencies used in
+            // tests, so healthy quorums always answer first.
+            base: 200_000,
+            max_attempts: 8,
         }
     }
 }
@@ -313,6 +442,11 @@ pub struct DynOpDriver<V> {
     phase: DynPhase<V>,
     /// Completed operations, oldest first.
     pub completed: Vec<DynCompletedOp<V>>,
+    /// The armed rebroadcast timer, if [`DynOptions::retry`] is on and an
+    /// operation is in flight.
+    retry_timer: Option<TimerId>,
+    /// Rebroadcasts already spent on the current operation attempt.
+    attempts: u32,
 }
 
 impl<V: Value> DynOpDriver<V> {
@@ -327,6 +461,8 @@ impl<V: Value> DynOpDriver<V> {
             op_cnt: 0,
             phase: DynPhase::Idle,
             completed: Vec::new(),
+            retry_timer: None,
+            attempts: 0,
         }
     }
 
@@ -375,7 +511,90 @@ impl<V: Value> DynOpDriver<V> {
             replies: Default::default(),
             weight: Ratio::ZERO,
         };
+        self.attempts = 0;
         self.send_phase1(ctx, wrap);
+        self.arm_retry(ctx);
+    }
+
+    /// (Re)arms the rebroadcast timer for the current operation, with the
+    /// delay doubled per attempt already spent. No-op unless
+    /// [`DynOptions::retry`] is configured.
+    fn arm_retry<M: Message>(&mut self, ctx: &mut Context<'_, M>) {
+        let Some(rp) = self.options.retry else { return };
+        if let Some(t) = self.retry_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        let delay = rp.base.saturating_mul(1u64 << self.attempts.min(16));
+        self.retry_timer = Some(ctx.set_timer(delay, self.op_cnt));
+    }
+
+    /// Disarms the rebroadcast timer (operation finished or superseded).
+    fn disarm_retry<M: Message>(&mut self, ctx: &mut Context<'_, M>) {
+        if let Some(t) = self.retry_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.attempts = 0;
+    }
+
+    /// Timer callback: rebroadcasts the current phase if the operation the
+    /// timer was armed for is still in flight (see [`RetryPolicy`]).
+    /// Embedding actors forward [`Actor::on_timer`] here.
+    pub fn on_timer<M: Message>(
+        &mut self,
+        tag: u64,
+        ctx: &mut Context<'_, M>,
+        wrap: impl Fn(DynMsg<V>) -> M + Copy,
+    ) {
+        let Some(rp) = self.options.retry else { return };
+        let cur_op = match &self.phase {
+            DynPhase::One { op, .. } | DynPhase::Two { op, .. } => *op,
+            DynPhase::Idle => return,
+        };
+        if tag != cur_op {
+            return; // stale timer from a superseded attempt
+        }
+        self.retry_timer = None;
+        if self.attempts >= rp.max_attempts {
+            return; // give up rebroadcasting; the op stays pending
+        }
+        self.attempts += 1;
+        match &self.phase {
+            DynPhase::One { .. } => self.send_phase1(ctx, wrap),
+            DynPhase::Two {
+                op, obj, chosen, ..
+            } => {
+                // Same op number, same chosen register: a server that
+                // already adopted it (or something newer) acks without
+                // effect, and the driver's ack set dedupes by ServerId —
+                // the write cannot double-apply.
+                let (op, obj, reg) = (*op, *obj, chosen.clone());
+                for i in 0..self.cfg.n {
+                    ctx.send(
+                        ActorId(self.actor_base + i),
+                        wrap(DynMsg::W {
+                            op,
+                            obj,
+                            reg: reg.clone(),
+                            changes: self.cs_payload(),
+                        }),
+                    );
+                }
+            }
+            DynPhase::Idle => unreachable!("checked above"),
+        }
+        self.arm_retry(ctx);
+    }
+
+    /// Client-side journal hygiene: a client's journal exists only to feed
+    /// its own `delta_since` — but clients never *serve* deltas (they send
+    /// summaries or full sets), so beyond a small tail the journal is dead
+    /// weight. Compacts on the configured cadence; no-op by default.
+    fn maybe_compact(&mut self) {
+        if let Some(cad) = self.options.checkpoint {
+            if cad.due(self.changes.journal_len()) {
+                self.changes.compact_journal(cad.min_retain);
+            }
+        }
     }
 
     /// The wire reference this client attaches to its `R`/`W` requests: an
@@ -453,7 +672,9 @@ impl<V: Value> DynOpDriver<V> {
             replies: Default::default(),
             weight: Ratio::ZERO,
         };
+        self.attempts = 0;
         self.send_phase1(ctx, wrap);
+        self.arm_retry(ctx);
     }
 
     /// Feeds a client-side message. Returns the completed operation when the
@@ -491,7 +712,9 @@ impl<V: Value> DynOpDriver<V> {
                     // presents our (possibly unchanged) digest again; a
                     // server whose delta failed to resolve degrades its
                     // next reply to `Full`, keeping the exchange bounded.
-                    if self.changes.apply_ref(changes).learned() {
+                    let learned = self.changes.apply_ref(changes).learned();
+                    self.maybe_compact();
+                    if learned {
                         self.restart(ctx, wrap);
                     } else {
                         ctx.send(
@@ -576,7 +799,9 @@ impl<V: Value> DynOpDriver<V> {
                     return None;
                 }
                 if !accepted && self.options.restart_on_stale {
-                    if self.changes.apply_ref(changes).learned() {
+                    let learned = self.changes.apply_ref(changes).learned();
+                    self.maybe_compact();
+                    if learned {
                         self.restart(ctx, wrap);
                     } else if let DynPhase::Two { chosen, .. } = &self.phase {
                         // Re-poll the behind server with the same write.
@@ -623,6 +848,7 @@ impl<V: Value> DynOpDriver<V> {
                     };
                     self.phase = DynPhase::Idle;
                     self.completed.push(done.clone());
+                    self.disarm_retry(ctx);
                     return Some(done);
                 }
                 None
@@ -662,14 +888,38 @@ pub struct DynServer<V> {
     pub transfer_log: Vec<TransferOutcome>,
     /// Number of register refreshes performed (metric for E10c).
     pub refreshes: u64,
+    /// Durable backend, if this server runs durably. Every adopted change
+    /// and register lands in its WAL before the triggering callback's
+    /// outgoing messages are released (the [`Context`] buffers effects
+    /// until the callback returns), so anything this server ever *said* is
+    /// recoverable from what it *stored*.
+    storage: Option<StorageHandle<V>>,
+    /// Digest of `core.changes()` as of the last persist point. The WAL
+    /// diff is `delta_since(persisted_digest)` — the journal suffix grown
+    /// since that state — which keeps persisting O(new changes). The
+    /// anchor is a digest, not a length: a sync-round merge can *adopt* a
+    /// peer's storage wholesale (journal and all), after which length
+    /// arithmetic would mis-address the suffix; when no journal suffix
+    /// expresses the growth, persisting falls back to a full snapshot.
+    persisted_digest: u64,
+    /// Last change-set digest each client presented, feeding the
+    /// compaction retention heuristic: the journal keeps enough depth to
+    /// cut deltas for every digest still in sight.
+    peer_digests: BTreeMap<ActorId, u64>,
+    /// Set by [`DynServer::recover`]: on the next [`Actor::on_start`] this
+    /// server runs the rejoin round (change-set sync + register refresh)
+    /// before resuming normal service.
+    rejoin: bool,
 }
 
 impl<V: Value> DynServer<V> {
     /// Creates the server for `me` under `cfg`. Servers must occupy world
     /// indices `0..n`.
     pub fn new(cfg: RpConfig, me: ServerId, options: DynOptions) -> DynServer<V> {
+        let core = TransferCore::new(cfg, me, 0);
+        let persisted_digest = core.changes().digest();
         DynServer {
-            core: TransferCore::new(cfg, me, 0),
+            core,
             registers: BTreeMap::new(),
             options,
             pending_applies: VecDeque::new(),
@@ -678,6 +928,139 @@ impl<V: Value> DynServer<V> {
             nego: BTreeMap::new(),
             transfer_log: Vec::new(),
             refreshes: 0,
+            storage: None,
+            persisted_digest,
+            peer_digests: BTreeMap::new(),
+            rejoin: false,
+        }
+    }
+
+    /// Creates a *fresh* durable server: like [`DynServer::new`], but every
+    /// subsequently adopted change and register is appended to `storage`'s
+    /// WAL (and snapshotted on the [`DynOptions::checkpoint`] cadence).
+    /// The initial changes are derived from `cfg`, never logged — recovery
+    /// re-derives them the same way.
+    pub fn with_storage(
+        cfg: RpConfig,
+        me: ServerId,
+        options: DynOptions,
+        storage: StorageHandle<V>,
+    ) -> DynServer<V> {
+        let mut s = DynServer::new(cfg, me, options);
+        s.storage = Some(storage);
+        s
+    }
+
+    /// Reconstructs a crashed server from its durable state: loads the
+    /// snapshot (if any), replays the WAL suffix over it, and resumes the
+    /// reassignment engine via [`TransferCore::recover`] (which re-derives
+    /// a safe logical clock from the recovered set; in-flight transfer
+    /// state is legitimately lost — a crash-stop observer cannot tell a
+    /// recovered server from a slow one that never started those rounds).
+    /// The returned server rejoins on its next [`Actor::on_start`]: it
+    /// syncs its change set off every peer ([`DynMsg::SyncR`]) and runs a
+    /// register refresh, the same count-based read that guards weight
+    /// gains.
+    pub fn recover(
+        cfg: RpConfig,
+        me: ServerId,
+        options: DynOptions,
+        storage: StorageHandle<V>,
+    ) -> DynServer<V> {
+        let mut changes = ChangeSet::from_initial_weights(&cfg.initial_weights);
+        let mut registers: BTreeMap<ObjectId, TaggedValue<V>> = BTreeMap::new();
+        if let Some((snapshot, wal)) = storage.load() {
+            if let Some(snap) = snapshot {
+                changes = snap.changes;
+                registers = snap.registers;
+            }
+            for record in wal {
+                match record {
+                    WalRecord::Change(c) => {
+                        changes.insert(c);
+                    }
+                    WalRecord::Register(obj, reg) => match registers.get_mut(&obj) {
+                        Some(cur) => {
+                            cur.adopt_if_newer(&reg);
+                        }
+                        None => {
+                            registers.insert(obj, reg);
+                        }
+                    },
+                }
+            }
+        }
+        let persisted_digest = changes.digest();
+        DynServer {
+            core: TransferCore::recover(cfg, me, 0, changes),
+            registers,
+            options,
+            pending_applies: VecDeque::new(),
+            refresh: None,
+            refresh_ops: 0,
+            nego: BTreeMap::new(),
+            transfer_log: Vec::new(),
+            refreshes: 0,
+            storage: Some(storage),
+            persisted_digest,
+            peer_digests: BTreeMap::new(),
+            rejoin: true,
+        }
+    }
+
+    /// Appends the change-set growth since the last persist point to the
+    /// WAL. Must run before [`DynServer::maybe_checkpoint`] (compaction
+    /// drops journal entries; the persist-before-compact order keeps the
+    /// anchor addressable). When the set did not grow linearly from the
+    /// persisted state — a rejoin sync merged a peer's set wholesale, or a
+    /// second compaction outran the anchor — no journal suffix expresses
+    /// the diff, and the whole state is checkpointed instead (the snapshot
+    /// also resets the WAL, so durable cost stays bounded).
+    fn persist_new_changes(&mut self) {
+        let Some(st) = &self.storage else { return };
+        let digest = self.core.changes().digest();
+        if digest == self.persisted_digest {
+            return;
+        }
+        match self.core.changes().delta_since(self.persisted_digest) {
+            Some(suffix) => {
+                for c in suffix {
+                    st.append(WalRecord::Change(*c));
+                }
+            }
+            None => st.install_snapshot(Snapshot {
+                changes: self.core.changes().clone(),
+                registers: self.registers.clone(),
+            }),
+        }
+        self.persisted_digest = digest;
+    }
+
+    /// Checkpoint pass, on the [`DynOptions::checkpoint`] cadence:
+    /// truncates the in-memory journal (keeping enough depth to serve
+    /// deltas for every client digest recently seen) and, when a durable
+    /// backend is attached and its WAL has grown past the cadence, folds
+    /// WAL + state into a fresh snapshot.
+    fn maybe_checkpoint(&mut self) {
+        let Some(cad) = self.options.checkpoint else {
+            return;
+        };
+        if cad.due(self.core.changes().journal_len()) {
+            let deepest = self
+                .peer_digests
+                .values()
+                .filter_map(|d| self.core.changes().delta_since(*d).map(<[_]>::len))
+                .max()
+                .unwrap_or(0);
+            self.core.compact_journal(cad.retain(deepest));
+        }
+        if let Some(st) = &self.storage {
+            if cad.due(st.wal_len()) {
+                st.install_snapshot(Snapshot {
+                    changes: self.core.changes().clone(),
+                    registers: self.registers.clone(),
+                });
+            }
         }
     }
 
@@ -770,17 +1153,26 @@ impl<V: Value> DynServer<V> {
     /// Adopts `incoming` for `obj` if it is strictly newer than what the
     /// sparse map holds (absent = bottom). Keys are only materialized by
     /// genuinely newer registers, so an idle object costs nothing anywhere.
-    fn adopt_register(&mut self, obj: ObjectId, incoming: &TaggedValue<V>) {
-        match self.registers.get_mut(&obj) {
-            Some(cur) => {
-                cur.adopt_if_newer(incoming);
-            }
+    /// Every adoption is WAL-logged when a durable backend is attached;
+    /// returns whether the map changed.
+    fn adopt_register(&mut self, obj: ObjectId, incoming: &TaggedValue<V>) -> bool {
+        let adopted = match self.registers.get_mut(&obj) {
+            Some(cur) => cur.adopt_if_newer(incoming),
             None => {
                 if incoming.tag > Tag::bottom() {
                     self.registers.insert(obj, incoming.clone());
+                    true
+                } else {
+                    false
                 }
             }
+        };
+        if adopted {
+            if let Some(st) = &self.storage {
+                st.append(WalRecord::Register(obj, incoming.clone()));
+            }
         }
+        adopted
     }
 
     /// Completed own transfers with completion times.
@@ -803,6 +1195,8 @@ impl<V: Value> DynServer<V> {
         if let TransferStart::Null(o) = &r {
             self.transfer_log.push(o.clone());
         }
+        self.persist_new_changes();
+        self.maybe_checkpoint();
         Ok(r)
     }
 
@@ -825,6 +1219,8 @@ impl<V: Value> DynServer<V> {
         if let TransferStart::Null(o) = &r {
             self.transfer_log.push(o.clone());
         }
+        self.persist_new_changes();
+        self.maybe_checkpoint();
         Ok(r)
     }
 
@@ -844,29 +1240,7 @@ impl<V: Value> DynServer<V> {
                 // observes every completed write and can never deadlock —
                 // even when f + 1 gainers refresh simultaneously (where a
                 // weight-judged read provably stalls; see DESIGN.md §5).
-                self.refreshes += 1;
-                self.refresh_ops += 1;
-                let op = self.refresh_ops;
-                self.refresh = Some(RefreshRead {
-                    op,
-                    acks: 0,
-                    best: BTreeMap::new(),
-                });
-                let n = self.core.config().n;
-                // One read covers the whole object space: present the tag
-                // held for every key, so repliers can elide everything this
-                // server is already up to date on.
-                let have: BTreeMap<ObjectId, Tag> =
-                    self.registers.iter().map(|(o, r)| (*o, r.tag)).collect();
-                for i in 0..n {
-                    ctx.send(
-                        ActorId(i),
-                        DynMsg::RefreshR {
-                            op,
-                            have: have.clone(),
-                        },
-                    );
-                }
+                self.start_refresh(true, ctx);
                 return; // resume in on_message when the read completes
             }
             let req = self.pending_applies.pop_front().expect("peeked");
@@ -874,8 +1248,53 @@ impl<V: Value> DynServer<V> {
         }
     }
 
+    /// What this server would present in a refresh request: the exact
+    /// per-key tag map while small, a constant-size digest of it once the
+    /// object count exceeds [`DynOptions::refresh_tags_cap`].
+    fn refresh_have(&self) -> RefreshHave {
+        if self.registers.len() <= self.options.refresh_tags_cap {
+            RefreshHave::Tags(self.registers.iter().map(|(o, r)| (*o, r.tag)).collect())
+        } else {
+            RefreshHave::Digest {
+                digest: reg_tag_digest(&self.registers),
+                count: self.registers.len(),
+            }
+        }
+    }
+
+    /// Starts the whole-object-space count read. `for_apply` records
+    /// whether the head of the apply queue is waiting on it (a weight-gain
+    /// refresh) or not (a recovery rejoin): only the former may pop an
+    /// apply on completion — an apply that arrived mid-rejoin still needs
+    /// its *own* refresh decision in [`DynServer::drain_applies`].
+    fn start_refresh(&mut self, for_apply: bool, ctx: &mut Context<'_, DynMsg<V>>) {
+        self.refreshes += 1;
+        self.refresh_ops += 1;
+        let op = self.refresh_ops;
+        self.refresh = Some(RefreshRead {
+            op,
+            for_apply,
+            acks: BTreeSet::new(),
+            best: BTreeMap::new(),
+        });
+        let n = self.core.config().n;
+        // One read covers the whole object space: present what this server
+        // holds, so repliers can elide everything it is up to date on.
+        let have = self.refresh_have();
+        for i in 0..n {
+            ctx.send(
+                ActorId(i),
+                DynMsg::RefreshR {
+                    op,
+                    have: have.clone(),
+                },
+            );
+        }
+    }
+
     fn on_refresh_complete(
         &mut self,
+        for_apply: bool,
         best: BTreeMap<ObjectId, TaggedValue<V>>,
         ctx: &mut Context<'_, DynMsg<V>>,
     ) {
@@ -888,8 +1307,10 @@ impl<V: Value> DynServer<V> {
             self.adopt_register(*obj, reg);
         }
         // The head request triggered this refresh: apply it now.
-        if let Some(req) = self.pending_applies.pop_front() {
-            self.core.apply(req, ctx, DynMsg::Wr);
+        if for_apply {
+            if let Some(req) = self.pending_applies.pop_front() {
+                self.core.apply(req, ctx, DynMsg::Wr);
+            }
         }
         self.drain_applies(ctx);
     }
@@ -899,13 +1320,41 @@ impl<V: Value> DynServer<V> {
 #[derive(Debug)]
 struct RefreshRead<V> {
     op: u64,
-    acks: usize,
+    /// Whether the head apply is waiting on this read (weight-gain refresh)
+    /// as opposed to a recovery rejoin.
+    for_apply: bool,
+    /// Counted repliers (deduped — a rebroadcast or the digest-mismatch
+    /// second round must not double-count a server).
+    acks: BTreeSet<ActorId>,
     /// Freshest register observed so far, per object.
     best: BTreeMap<ObjectId, TaggedValue<V>>,
 }
 
 impl<V: Value> Actor for DynServer<V> {
     type Msg = DynMsg<V>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, DynMsg<V>>) {
+        if !self.rejoin {
+            return;
+        }
+        self.rejoin = false;
+        // Rejoin round (recovery only — never runs in a crash-free world):
+        // ask every peer for the change-set suffix this server missed while
+        // down, and catch the registers up with the same count-based read
+        // that guards weight gains. Until the acks land the server answers
+        // from its recovered state, which is exactly what a slow-but-alive
+        // server would do — crash-stop recovery adds no new behaviours.
+        let digest = self.core.changes().digest();
+        let me = self.core.server_id().index();
+        for i in 0..self.core.config().n {
+            if i != me {
+                ctx.send(ActorId(i), DynMsg::SyncR { digest });
+            }
+        }
+        if self.refresh.is_none() {
+            self.start_refresh(false, ctx);
+        }
+    }
 
     fn on_message(&mut self, from: ActorId, msg: DynMsg<V>, ctx: &mut Context<'_, DynMsg<V>>) {
         match msg {
@@ -930,7 +1379,10 @@ impl<V: Value> Actor for DynServer<V> {
             }
             DynMsg::R { op, obj, changes } => {
                 // Algorithm 6's accept check `C = C_i`, answered from the
-                // reference without materializing the client's set.
+                // reference without materializing the client's set. The
+                // digest is remembered so journal compaction keeps enough
+                // depth to cut deltas for clients still at it.
+                self.peer_digests.insert(from, changes.implied_digest());
                 let accepted = self.core.changes().matches_ref(&changes);
                 let reply = if accepted {
                     self.nego.remove(&from);
@@ -955,6 +1407,7 @@ impl<V: Value> Actor for DynServer<V> {
                 reg,
                 changes,
             } => {
+                self.peer_digests.insert(from, changes.implied_digest());
                 let accepted = self.core.changes().matches_ref(&changes);
                 let reply = if accepted {
                     self.nego.remove(&from);
@@ -980,44 +1433,111 @@ impl<V: Value> Actor for DynServer<V> {
                 // what the refresher already holds for that key (absent =
                 // bottom). In the converged case the ack is a bare header
                 // however many objects the shard stores.
-                let regs: BTreeMap<ObjectId, TaggedValue<V>> = self
-                    .registers
-                    .iter()
-                    .filter(|(obj, reg)| {
-                        reg.tag > have.get(obj).copied().unwrap_or_else(Tag::bottom)
-                    })
-                    .map(|(obj, reg)| (*obj, reg.clone()))
-                    .collect();
-                ctx.send(from, DynMsg::RefreshAck { op, regs });
+                match have {
+                    RefreshHave::Tags(have) => {
+                        let regs: BTreeMap<ObjectId, TaggedValue<V>> = self
+                            .registers
+                            .iter()
+                            .filter(|(obj, reg)| {
+                                reg.tag > have.get(obj).copied().unwrap_or_else(Tag::bottom)
+                            })
+                            .map(|(obj, reg)| (*obj, reg.clone()))
+                            .collect();
+                        ctx.send(
+                            from,
+                            DynMsg::RefreshAck {
+                                op,
+                                regs,
+                                need_tags: false,
+                            },
+                        );
+                    }
+                    RefreshHave::Digest { digest, count } => {
+                        // A matching digest + count means (w.h.p.) identical
+                        // per-key tags — nothing newer here; ack empty. On a
+                        // mismatch this replier cannot tell *which* keys
+                        // differ, so it asks for the per-key round.
+                        let same = count == self.registers.len()
+                            && digest == reg_tag_digest(&self.registers);
+                        ctx.send(
+                            from,
+                            DynMsg::RefreshAck {
+                                op,
+                                regs: BTreeMap::new(),
+                                need_tags: !same,
+                            },
+                        );
+                    }
+                }
             }
-            DynMsg::RefreshAck { op, regs } => {
+            DynMsg::RefreshAck {
+                op,
+                regs,
+                need_tags,
+            } => {
                 let cfg_needed = self.core.config().n - self.core.config().f;
+                let mut resend_tags = false;
                 let done = match self.refresh.as_mut() {
                     Some(r) if r.op == op => {
-                        r.acks += 1;
-                        for (obj, reg) in regs {
-                            match r.best.get_mut(&obj) {
-                                Some(b) => {
-                                    b.adopt_if_newer(&reg);
-                                }
-                                None => {
-                                    r.best.insert(obj, reg);
+                        if need_tags {
+                            // Digest mismatch: this replier needs the exact
+                            // tag map before it can answer substantively.
+                            // Its eventual Tags-round ack is the one that
+                            // counts.
+                            resend_tags = true;
+                            false
+                        } else {
+                            r.acks.insert(from);
+                            for (obj, reg) in regs {
+                                match r.best.get_mut(&obj) {
+                                    Some(b) => {
+                                        b.adopt_if_newer(&reg);
+                                    }
+                                    None => {
+                                        r.best.insert(obj, reg);
+                                    }
                                 }
                             }
+                            r.acks.len() >= cfg_needed
                         }
-                        r.acks >= cfg_needed
                     }
                     _ => false,
                 };
-                if done {
-                    let best = self.refresh.take().expect("checked").best;
-                    self.on_refresh_complete(best, ctx);
+                if resend_tags {
+                    let have = RefreshHave::Tags(
+                        self.registers.iter().map(|(o, r)| (*o, r.tag)).collect(),
+                    );
+                    ctx.send(from, DynMsg::RefreshR { op, have });
                 }
+                if done {
+                    let r = self.refresh.take().expect("checked");
+                    self.on_refresh_complete(r.for_apply, r.best, ctx);
+                }
+            }
+            DynMsg::SyncR { digest } => {
+                // A recovering peer presented the digest of what it salvaged;
+                // answer with the cheapest reference that covers the gap (a
+                // delta when the journal reaches back that far). Equal
+                // digests come back as a no-op summary.
+                let changes = CsRef::for_peer(self.core.changes(), digest);
+                ctx.send(from, DynMsg::SyncAck { changes });
+            }
+            DynMsg::SyncAck { changes } => {
+                // One absorb per peer suffices: delta adds land even when
+                // the base digest has moved on (set union of facts), and a
+                // peer whose journal could not cover the gap sent `Full`.
+                self.core.absorb_ref(&changes);
             }
             DynMsg::RAck { .. } | DynMsg::WAck { .. } => {
                 // Client-side replies; a server has no client driver.
             }
         }
+        // Durability epilogue, once per delivery: WAL whatever `C` gained,
+        // then (on cadence) compact the journal and roll a snapshot. The
+        // Context buffers outgoing sends until this callback returns, so
+        // state is persisted before any message that presupposes it leaves.
+        self.persist_new_changes();
+        self.maybe_checkpoint();
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -1100,6 +1620,10 @@ impl<V: Value> Actor for DynClient<V> {
 
     fn on_message(&mut self, from: ActorId, msg: DynMsg<V>, ctx: &mut Context<'_, DynMsg<V>>) {
         let _ = self.driver.on_message(from, &msg, ctx, |m| m);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, DynMsg<V>>) {
+        self.driver.on_timer(tag, ctx, |m| m);
     }
 
     fn as_any(&self) -> &dyn Any {

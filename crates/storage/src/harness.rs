@@ -4,10 +4,11 @@
 use std::collections::BTreeMap;
 
 use awr_core::{RpConfig, TransferError, TransferOutcome};
-use awr_sim::{ActorId, NetworkModel, Time, World};
+use awr_sim::{ActorId, FaultPlan, NetworkModel, Time, World};
 use awr_types::{Change, ChangeSet, ClientId, ObjectId, ProcessId, Ratio, ServerId};
 
 use crate::abd_static::Value;
+use crate::durable::StorageHandle;
 use crate::dynamic::{DynClient, DynCompletedOp, DynMsg, DynOptions, DynServer};
 use crate::history::History;
 
@@ -35,6 +36,11 @@ pub struct StorageHarness<V: Value> {
     pub world: World<DynMsg<V>>,
     cfg: RpConfig,
     n_clients: usize,
+    options: DynOptions,
+    /// Per-server durable stores (empty unless built with
+    /// [`StorageHarness::build_durable`]). Index = server index. The
+    /// handles outlive crashed incarnations — that is what recovery reads.
+    storage: Vec<StorageHandle<V>>,
 }
 
 impl<V: Value> StorageHarness<V> {
@@ -64,7 +70,107 @@ impl<V: Value> StorageHarness<V> {
             world,
             cfg,
             n_clients,
+            options,
+            storage: Vec::new(),
         }
+    }
+
+    /// Like [`StorageHarness::build`], but every server runs durably over
+    /// its own in-memory [`StorageHandle`] (WAL + snapshots on the
+    /// [`DynOptions::checkpoint`] cadence), which makes the harness's
+    /// crash/restart machinery — [`StorageHarness::install_fault_plan`]
+    /// and [`StorageHarness::restart_server`] — available.
+    pub fn build_durable(
+        cfg: RpConfig,
+        n_clients: usize,
+        seed: u64,
+        network: impl NetworkModel + 'static,
+        options: DynOptions,
+    ) -> StorageHarness<V> {
+        let mut world = World::new(seed, network);
+        let mut storage = Vec::new();
+        for s in cfg.servers() {
+            let handle = StorageHandle::in_memory();
+            world.add_actor(DynServer::<V>::with_storage(
+                cfg.clone(),
+                s,
+                options,
+                handle.clone(),
+            ));
+            storage.push(handle);
+        }
+        for c in 0..n_clients {
+            world.add_actor(DynClient::<V>::new(
+                ProcessId::Client(ClientId(c as u32)),
+                cfg.clone(),
+                options,
+            ));
+        }
+        StorageHarness {
+            world,
+            cfg,
+            n_clients,
+            options,
+            storage,
+        }
+    }
+
+    /// Server `s`'s durable store, if the harness was built durable.
+    pub fn storage_handle(&self, s: ServerId) -> Option<&StorageHandle<V>> {
+        self.storage.get(s.index())
+    }
+
+    /// Installs a crash/restart campaign: every kill in `plan` becomes a
+    /// scheduled crash, and every restart rebuilds that server via
+    /// [`DynServer::recover`] from its durable store (so the rebooted
+    /// incarnation replays snapshot + WAL and rejoins through the sync +
+    /// refresh round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the harness was not built with
+    /// [`StorageHarness::build_durable`], or if the plan targets a
+    /// non-server actor.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        assert!(
+            !self.storage.is_empty(),
+            "fault plans need a durable harness (build_durable)"
+        );
+        for f in &plan.faults {
+            assert!(
+                f.actor.index() < self.cfg.n,
+                "fault plan targets non-server actor {:?}",
+                f.actor
+            );
+        }
+        let cfg = self.cfg.clone();
+        let options = self.options;
+        let storage = self.storage.clone();
+        plan.apply(&mut self.world, move |a| {
+            Box::new(DynServer::<V>::recover(
+                cfg.clone(),
+                ServerId(a.index() as u32),
+                options,
+                storage[a.index()].clone(),
+            ))
+        });
+    }
+
+    /// Immediately reboots a previously crashed server from its durable
+    /// store (the manual counterpart of a planned restart).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the harness is not durable or the server is not down.
+    pub fn restart_server(&mut self, s: ServerId) {
+        let handle = self
+            .storage
+            .get(s.index())
+            .expect("restart needs a durable harness (build_durable)")
+            .clone();
+        let server = DynServer::<V>::recover(self.cfg.clone(), s, self.options, handle);
+        self.world
+            .restart_now(self.server_actor(s), Box::new(server));
     }
 
     /// The configuration.
@@ -360,8 +466,16 @@ impl<V: Value> StorageHarness<V> {
     pub fn all_completed_transfers(&self) -> Vec<(TransferOutcome, Time)> {
         let mut all = Vec::new();
         for s in self.cfg.servers() {
-            if let Some(srv) = self.world.actor::<DynServer<V>>(self.server_actor(s)) {
+            let a = self.server_actor(s);
+            if let Some(srv) = self.world.actor::<DynServer<V>>(a) {
                 all.extend(srv.completed_transfers().iter().cloned());
+            }
+            // A crash wipes the live list; the auditor is an omniscient
+            // observer, so completions recorded by dead incarnations still
+            // count (incarnations are disjoint — a recovered server starts
+            // with an empty list).
+            for dead in self.world.dead_incarnations::<DynServer<V>>(a) {
+                all.extend(dead.completed_transfers().iter().cloned());
             }
         }
         all.sort_by_key(|(o, t)| (*t, o.from, o.counter));

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod abd_static;
+pub mod durable;
 mod dynamic;
 mod harness;
 mod history;
@@ -37,8 +38,11 @@ mod quorum_rule;
 pub mod workload;
 
 pub use abd_static::{AbdClient, AbdMsg, AbdServer, CompletedOp, Value};
+pub use awr_epoch::CheckpointCadence;
+pub use durable::{FileStorage, MemStorage, Snapshot, Storage, StorageHandle, WalRecord};
 pub use dynamic::{
-    DynClient, DynCompletedOp, DynMsg, DynOpDriver, DynOptions, DynServer, WireMode,
+    reg_tag_digest, DynClient, DynCompletedOp, DynMsg, DynOpDriver, DynOptions, DynServer,
+    RefreshHave, RetryPolicy, WireMode,
 };
 pub use harness::StorageHarness;
 pub use history::{HistOp, History, OpKind};

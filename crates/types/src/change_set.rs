@@ -38,12 +38,16 @@
 //! * `digest == Σ {mix(c) | c ∈ changes}` (wrapping), a commutative
 //!   combination of per-change SipHash values, so it is order-insensitive
 //!   and updatable in O(1) per insert;
-//! * `journal` holds every change exactly once in the order this replica
-//!   learned it (so [`ChangeSet::delta_since`] can roll the digest back to
-//!   any historical prefix), and `by_target[s]` / `target_digests[s]` index
-//!   the journal per target server (so [`ChangeSet::changes_for`],
-//!   [`ChangeSet::restricted_to`], and [`ChangeSet::target_digest`] avoid
-//!   O(|C|) scans).
+//! * `journal` holds a *suffix* of the changes in the order this replica
+//!   learned them — every change exactly once until
+//!   [`ChangeSet::compact_journal`] checkpoints and truncates a prefix
+//!   (whose digest is folded into `checkpoint`) — so
+//!   [`ChangeSet::delta_since`] can roll the digest back to any *retained*
+//!   historical prefix; and `by_target[s]` / `target_digests[s]` hold the
+//!   per-target changes and digests independently of the journal (so
+//!   [`ChangeSet::changes_for`], [`ChangeSet::restricted_to`], and
+//!   [`ChangeSet::target_digest`] avoid O(|C|) scans and survive
+//!   compaction).
 //!
 //! Equal sets therefore always have equal digests; *unequal* sets collide
 //! with probability ≈ 2⁻⁶⁴. Fast paths that conclude *inequality* from a
@@ -73,21 +77,31 @@ struct Inner {
     /// Commutative content digest (wrapping sum of per-change hashes).
     digest: u64,
     /// Append-order journal: every change exactly once, in the order this
-    /// replica learned it. Because the digest is a commutative sum, the
-    /// digest of any journal *prefix* can be recovered by subtracting the
-    /// suffix mixes — which is what [`ChangeSet::delta_since`] exploits to
-    /// extract wire deltas without storing historical snapshots.
+    /// replica learned it — possibly *truncated from the front* by
+    /// [`ChangeSet::compact_journal`], in which case `checkpoint` digests
+    /// the dropped prefix. Because the digest is a commutative sum, the
+    /// digest of any *retained* journal prefix can be recovered by
+    /// subtracting the suffix mixes — which is what
+    /// [`ChangeSet::delta_since`] exploits to extract wire deltas without
+    /// storing historical snapshots.
     journal: Vec<Change>,
     /// The precomputed mix of each journal entry (parallel to `journal`),
     /// so the digest-rollback walk of [`ChangeSet::delta_since`] is
     /// subtraction-only instead of one SipHash per step.
     journal_mixes: Vec<u64>,
-    /// Per-target index: `by_target[s]` holds *journal indices* of the
-    /// changes created for server `s`, in append order. Indices rather
-    /// than copies keep the per-change storage at one `Change` plus a
-    /// `u32` (the `BTreeSet` holds the other copy). Length tracks
+    /// Commutative digest of the journal prefix dropped by compaction
+    /// (zero while the journal is complete). The digest-rollback walk of
+    /// [`ChangeSet::delta_since`] bottoms out here: a `base` digesting a
+    /// dropped prefix is no longer recoverable and the caller degrades to
+    /// [`crate::sync::CsRef::Full`].
+    checkpoint: u64,
+    /// Per-target index: `by_target[s]` holds owned copies of the changes
+    /// created for server `s`, in append order. Owned copies (rather than
+    /// journal indices) keep [`ChangeSet::changes_for`] and
+    /// [`ChangeSet::restricted_to`] exact across journal compaction, which
+    /// drops journal entries but never set membership. Length tracks
     /// `weights`.
-    by_target: Vec<Vec<u32>>,
+    by_target: Vec<Vec<Change>>,
     /// Per-target commutative digests (same mix as `digest`, restricted to
     /// one target), so a restriction's digest is readable in O(1).
     target_digests: Vec<u64>,
@@ -116,7 +130,7 @@ impl Inner {
         let mix = change_mix(c);
         self.digest = self.digest.wrapping_add(mix);
         self.target_digests[idx] = self.target_digests[idx].wrapping_add(mix);
-        self.by_target[idx].push(self.journal.len() as u32);
+        self.by_target[idx].push(*c);
         self.journal.push(*c);
         self.journal_mixes.push(mix);
     }
@@ -303,9 +317,9 @@ impl ChangeSet {
         self.inner.changes.iter()
     }
 
-    /// Journal indices of the changes created for server `s`, in append
-    /// order — the backing slice of the per-target index (O(1) to obtain).
-    fn target_indices(&self, s: ServerId) -> &[u32] {
+    /// The changes created for server `s`, in append order — the backing
+    /// slice of the per-target index (O(1) to obtain).
+    fn target_slice(&self, s: ServerId) -> &[Change] {
         self.inner
             .by_target
             .get(s.index())
@@ -316,10 +330,7 @@ impl ChangeSet {
     /// All changes created for server `s` (the `get_changes(s)` of
     /// Algorithm 4 line 6). O(|C_s|) via the per-target index, not O(|C|).
     pub fn changes_for(&self, s: ServerId) -> impl Iterator<Item = &Change> {
-        let journal = &self.inner.journal;
-        self.target_indices(s)
-            .iter()
-            .map(move |&i| &journal[i as usize])
+        self.target_slice(s).iter()
     }
 
     /// The subset of changes created for `s`, as an owned set. O(|C_s|);
@@ -333,7 +344,7 @@ impl ChangeSet {
 
     /// Number of changes created for server `s`. O(1).
     pub fn target_len(&self, s: ServerId) -> usize {
-        self.target_indices(s).len()
+        self.target_slice(s).len()
     }
 
     /// Commutative digest of the changes created for `s` — equal to
@@ -412,10 +423,14 @@ impl ChangeSet {
     /// delta. O(k) where `k` is the delta length — O(1)-ish when the peer is
     /// barely behind, O(|C|) when `base` is not found.
     ///
-    /// Returns `None` if no journal prefix digests to `base`: the peer is
-    /// ahead, diverged, or followed a different append order. Callers fall
-    /// back to [`crate::sync::CsRef::Full`]. `delta_since(0)` always
-    /// succeeds with the entire journal (the empty prefix digests to 0).
+    /// Returns `None` if no *retained* journal prefix digests to `base`:
+    /// the peer is ahead, diverged, followed a different append order, or
+    /// sits behind the compaction checkpoint (see
+    /// [`ChangeSet::compact_journal`]). Callers fall back to
+    /// [`crate::sync::CsRef::Full`]. On an uncompacted set,
+    /// `delta_since(0)` always succeeds with the entire journal (the empty
+    /// prefix digests to 0); after compaction the walk bottoms out at the
+    /// checkpoint digest instead.
     ///
     /// A hit means the peer's *content* equals the prefix only w.h.p.
     /// (digest collision ≈ 2⁻⁶⁴) — the same probabilistic contract as the
@@ -435,6 +450,70 @@ impl ChangeSet {
             i -= 1;
             d = d.wrapping_sub(mixes[i]);
         }
+    }
+
+    /// Number of journal entries currently retained — equal to
+    /// [`ChangeSet::len`] until [`ChangeSet::compact_journal`] drops a
+    /// prefix. This, times `size_of::<Change>() + 8`, is the journal's
+    /// resident memory: the quantity the soak bench gates as flat.
+    pub fn journal_len(&self) -> usize {
+        self.inner.journal.len()
+    }
+
+    /// Approximate resident bytes of the retained journal (entries plus
+    /// their cached mixes).
+    pub fn journal_bytes(&self) -> usize {
+        self.journal_len() * (std::mem::size_of::<Change>() + std::mem::size_of::<u64>())
+    }
+
+    /// Commutative digest of the journal prefix dropped by compaction
+    /// (zero while the journal is complete). Peers whose summary digests a
+    /// prefix of the dropped region can no longer be served a
+    /// [`crate::sync::CsRef::Delta`] and degrade to
+    /// [`crate::sync::CsRef::Full`].
+    pub fn checkpoint_digest(&self) -> u64 {
+        self.inner.checkpoint
+    }
+
+    /// The most recent `k` journal entries, oldest first — the suffix a
+    /// write-ahead log appends after its last persist point. Callers must
+    /// persist before compacting: `k` may not exceed
+    /// [`ChangeSet::journal_len`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > self.journal_len()`.
+    pub fn journal_tail(&self, k: usize) -> &[Change] {
+        let len = self.inner.journal.len();
+        &self.inner.journal[len - k..]
+    }
+
+    /// Checkpoints and truncates the journal to at most `keep` most-recent
+    /// entries, folding the dropped prefix into the checkpoint digest.
+    /// Returns the number of entries dropped.
+    ///
+    /// Set membership, weights, the content digest, and the per-target
+    /// indexes are all untouched — compaction only narrows what
+    /// [`ChangeSet::delta_since`] can reconstruct. A peer whose acked
+    /// digest still lands in the retained suffix keeps getting
+    /// [`crate::sync::CsRef::Delta`]s; one that has fallen behind the
+    /// checkpoint degrades to [`crate::sync::CsRef::Full`], so the
+    /// negotiation ladder (and every liveness argument built on it) is
+    /// unchanged. Servers key `keep` on an acked watermark: the longest
+    /// suffix any tracked peer still needs, floored by the cadence's
+    /// minimum retention (see `awr_epoch::CheckpointCadence`).
+    pub fn compact_journal(&mut self, keep: usize) -> usize {
+        let drop = self.inner.journal.len().saturating_sub(keep);
+        if drop == 0 {
+            return 0;
+        }
+        let inner = Arc::make_mut(&mut self.inner);
+        for m in &inner.journal_mixes[..drop] {
+            inner.checkpoint = inner.checkpoint.wrapping_add(*m);
+        }
+        inner.journal.drain(..drop);
+        inner.journal_mixes.drain(..drop);
+        drop
     }
 
     /// Approximate serialized size in bytes: a fixed header (digest and
@@ -499,6 +578,9 @@ impl<'a> IntoIterator for &'a ChangeSet {
 
 // Serialized as `{"changes": [...]}` — the same shape the seed's derived
 // implementation produced — with the caches rebuilt on deserialization.
+// Compaction state is *not* carried: a deserialized set has a complete
+// journal (in set order) and a zero checkpoint; owners re-compact on their
+// own cadence.
 impl Serialize for ChangeSet {
     fn to_value(&self) -> serde::Value {
         serde::Value::Map(vec![("changes".to_string(), self.inner.changes.to_value())])
@@ -549,26 +631,52 @@ mod tests {
         assert_journal_exact(set);
     }
 
-    /// The journal and per-target index must mirror the set exactly: same
-    /// membership, no duplicates, per-target slices in journal-relative
-    /// order, and per-target digests that re-sum from scratch.
+    /// The journal and per-target index must mirror the set exactly: the
+    /// retained journal is a duplicate-free subset whose length accounts
+    /// for every compacted entry, the checkpoint digest plus retained
+    /// mixes re-sum to the content digest, per-target slices hold exactly
+    /// the set's per-target changes with digests that re-sum from scratch,
+    /// and `delta_since` round-trips every *retained* prefix.
     fn assert_journal_exact(set: &ChangeSet) {
         let journal = set.journal_for_tests();
-        assert_eq!(journal.len(), set.len(), "journal length drifted");
+        assert_eq!(journal.len(), set.journal_len());
+        assert!(journal.len() <= set.len(), "journal longer than the set");
         let as_set: BTreeSet<Change> = journal.iter().copied().collect();
+        assert_eq!(as_set.len(), journal.len(), "journal holds duplicates");
         let model: BTreeSet<Change> = set.iter().copied().collect();
-        assert_eq!(as_set, model, "journal membership drifted");
+        assert!(as_set.is_subset(&model), "journal membership drifted");
         let mixes: Vec<u64> = journal.iter().map(change_mix).collect();
         assert_eq!(set.inner.journal_mixes, mixes, "journal mixes drifted");
+        let resum = mixes
+            .iter()
+            .fold(set.checkpoint_digest(), |d, m| d.wrapping_add(*m));
+        assert_eq!(resum, set.digest(), "checkpoint + retained mixes drifted");
+        if set.checkpoint_digest() == 0 {
+            assert_eq!(journal.len(), set.len(), "uncompacted journal length");
+            assert_eq!(as_set, model, "uncompacted journal membership");
+        }
         let n_targets = set.inner.by_target.len();
         assert_eq!(set.inner.weights.len(), n_targets);
         assert_eq!(set.inner.target_digests.len(), n_targets);
         for t in 0..n_targets {
             let s = ServerId(t as u32);
-            let expect: Vec<Change> = journal.iter().filter(|c| c.target == s).copied().collect();
+            let expect: BTreeSet<Change> =
+                model.iter().filter(|c| c.target == s).copied().collect();
             let indexed: Vec<Change> = set.changes_for(s).copied().collect();
             assert_eq!(
-                indexed, expect,
+                indexed.len(),
+                expect.len(),
+                "per-target index cardinality drifted for {s}"
+            );
+            let indexed_set: BTreeSet<Change> = indexed.iter().copied().collect();
+            assert_eq!(indexed_set, expect, "per-target membership drifted for {s}");
+            // The retained journal's per-target order must be a suffix of
+            // the index's append order (the prefix predates compaction).
+            let journal_order: Vec<Change> =
+                journal.iter().filter(|c| c.target == s).copied().collect();
+            assert_eq!(
+                &indexed[indexed.len() - journal_order.len()..],
+                journal_order.as_slice(),
                 "per-target index out of journal order for {s}"
             );
             let d: u64 = expect
@@ -578,8 +686,8 @@ mod tests {
             assert_eq!(set.target_digest(s), d);
             assert_eq!(set.target_len(s), expect.len());
         }
-        // delta_since round-trips every journal prefix.
-        let mut prefix_digest = 0u64;
+        // delta_since round-trips every retained journal prefix...
+        let mut prefix_digest = set.checkpoint_digest();
         for k in 0..=journal.len() {
             assert_eq!(
                 set.delta_since(prefix_digest),
@@ -589,6 +697,11 @@ mod tests {
             if k < journal.len() {
                 prefix_digest = prefix_digest.wrapping_add(change_mix(&journal[k]));
             }
+        }
+        // ...and refuses pre-checkpoint bases once compacted (0 digests
+        // the empty prefix, which compaction dropped).
+        if set.checkpoint_digest() != 0 && set.digest() != 0 {
+            assert_eq!(set.delta_since(0), None, "compacted prefix resurfaced");
         }
     }
 
@@ -783,7 +896,7 @@ mod tests {
 
         fn op_strategy() -> impl Strategy<Value = (u8, usize, usize, Change, u32)> {
             (
-                0u8..4,
+                0u8..5,
                 0usize..3,
                 0usize..3,
                 (0u32..6, 1u64..5, 0u32..6, -30i128..30).prop_map(|(i, lc, t, d)| {
@@ -821,7 +934,7 @@ mod tests {
                             sets[i] = u;
                             models[i] = model;
                         }
-                        _ => {
+                        3 => {
                             let s = ServerId(server);
                             sets[i] = sets[i].restricted_to(s);
                             models[i] = models[i]
@@ -829,6 +942,16 @@ mod tests {
                                 .filter(|c| c.target == s)
                                 .copied()
                                 .collect();
+                        }
+                        _ => {
+                            // Compaction must be invisible to everything
+                            // except delta extraction; the model is
+                            // untouched on purpose.
+                            let before = sets[i].journal_len();
+                            let keep = server as usize;
+                            let dropped = sets[i].compact_journal(keep);
+                            prop_assert_eq!(dropped, before.saturating_sub(keep));
+                            prop_assert_eq!(sets[i].journal_len(), before - dropped);
                         }
                     }
                     // (a) The set's content matches the model exactly.
@@ -867,6 +990,79 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn compact_journal_preserves_content_and_recent_deltas() {
+        let mut c = ChangeSet::uniform_initial(3, Ratio::ONE);
+        for lc in 2..12u64 {
+            c.insert(Change::new(s(0), lc, s(1), Ratio::new(1, 100)));
+        }
+        let full = c.clone();
+        // A peer that acked 4 entries ago.
+        let near = {
+            let j = c.journal_for_tests();
+            let cut = j.len() - 4;
+            j[..cut]
+                .iter()
+                .fold(0u64, |d, ch| d.wrapping_add(change_mix(ch)))
+        };
+        assert_eq!(c.compact_journal(6), 7); // 13 entries -> keep 6
+        assert_eq!(c.journal_len(), 6);
+        assert_ne!(c.checkpoint_digest(), 0);
+        // Content, weights, digest: untouched.
+        assert_eq!(c, full);
+        assert_eq!(c.digest(), full.digest());
+        assert_eq!(c.server_weight(s(1)), full.server_weight(s(1)));
+        assert_eq!(c.target_len(s(1)), full.target_len(s(1)));
+        assert_eq!(
+            c.restricted_to(s(1)).iter().collect::<Vec<_>>(),
+            full.restricted_to(s(1)).iter().collect::<Vec<_>>()
+        );
+        // A recently-acked peer still gets a delta; an ancient one (and
+        // the empty prefix) degrade to None -> CsRef::Full.
+        assert_eq!(c.delta_since(near).map(<[Change]>::len), Some(4));
+        assert_eq!(c.delta_since(0), None);
+        assert_eq!(c.delta_since(c.digest()).map(<[Change]>::len), Some(0));
+        assert_caches_exact(&c);
+        // Compacting an already-short journal is a no-op.
+        assert_eq!(c.compact_journal(6), 0);
+        assert_eq!(c.compact_journal(100), 0);
+        // Repeated compaction keeps folding into the checkpoint.
+        assert_eq!(c.compact_journal(0), 6);
+        assert_eq!(c.journal_len(), 0);
+        assert_eq!(c.checkpoint_digest(), c.digest());
+        assert_eq!(c.delta_since(c.digest()).map(<[Change]>::len), Some(0));
+        assert_caches_exact(&c);
+        assert_eq!(c, full);
+    }
+
+    #[test]
+    fn compaction_is_copy_on_write() {
+        let mut a = ChangeSet::uniform_initial(4, Ratio::ONE);
+        let b = a.clone();
+        assert_eq!(a.compact_journal(1), 3);
+        assert!(!a.shares_storage_with(&b), "compaction must deep-copy");
+        assert_eq!(b.journal_len(), 4, "clone keeps its full journal");
+        assert_eq!(b.checkpoint_digest(), 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn growth_after_compaction_journals_normally() {
+        let mut c = ChangeSet::uniform_initial(2, Ratio::ONE);
+        c.compact_journal(0);
+        let base = c.digest();
+        c.insert(Change::new(s(0), 2, s(1), Ratio::dec("0.5")));
+        c.insert(Change::new(s(1), 2, s(0), Ratio::dec("-0.5")));
+        assert_eq!(c.journal_len(), 2);
+        assert_eq!(c.delta_since(base).map(<[Change]>::len), Some(2));
+        assert_eq!(c.journal_tail(1).len(), 1);
+        assert_eq!(
+            c.journal_bytes(),
+            2 * (std::mem::size_of::<Change>() + std::mem::size_of::<u64>())
+        );
+        assert_caches_exact(&c);
     }
 
     #[test]
