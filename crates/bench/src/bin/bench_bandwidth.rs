@@ -15,6 +15,9 @@
 //!
 //! Run with: `cargo run --release --bin bench_bandwidth [-- --smoke] [out.json]`
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr_core::RpConfig;
 use awr_sim::constrained_uplink;
 use awr_storage::{DynClient, DynOptions, StorageHarness, WireMode};

@@ -5,6 +5,9 @@
 //!
 //! Run with: `cargo run --release --bin bench_changeset`
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use std::hint::black_box;
 use std::time::Instant;
 

@@ -38,6 +38,9 @@
 //!
 //! Run with: `cargo run --release --bin bench_placement [-- --smoke] [out.json]`
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr_core::RpConfig;
 use awr_quorum::placement::{LatencyGreedy, PlacementPolicy, Static, UtilizationAware};
 use awr_sim::{

@@ -27,6 +27,9 @@
 //!
 //! Run with: `cargo run --release --bin bench_soak [-- --smoke] [out.json]`
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr_core::{audit_transfers, RpConfig};
 use awr_sim::UniformLatency;
 use awr_storage::{

@@ -11,6 +11,9 @@
 //!
 //! Run with: `cargo run --release --bin bench_wire [-- --smoke] [out.json]`
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr_core::RpConfig;
 use awr_sim::UniformLatency;
 use awr_storage::{DynOptions, StorageHarness, WireMode};

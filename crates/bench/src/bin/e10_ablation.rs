@@ -8,6 +8,9 @@
 //! * (c) dropping the register refresh on weight gain (Algorithm 4 lines
 //!   8–9) lets a freshly-empowered minority quorum serve old data.
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr_bench::print_table;
 use awr_core::{RpConfig, RpHarness};
 use awr_sim::{ActorId, TargetedDelay, Time, UniformLatency, SECOND};

@@ -1,6 +1,9 @@
 //! **E11 / Definition 1 + Property 1** — how weighted quorums respond to
 //! weight skew, and where the availability boundary sits.
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr_bench::{f2, print_table};
 use awr_quorum::{
     approximate_load, fastest_quorum_latency, skew_sweep, GridQuorumSystem, MajorityQuorumSystem,

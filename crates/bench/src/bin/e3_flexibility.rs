@@ -8,6 +8,9 @@
 //! pairwise reassignment the slow servers' weight is stuck entirely —
 //! the smallest live quorum is 5 and nothing can shrink it.
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use std::collections::BTreeSet;
 
 use awr_bench::print_table;

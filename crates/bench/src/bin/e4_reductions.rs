@@ -7,6 +7,9 @@
 //! asynchronous implementation to exhibit the Integrity violation that
 //! makes the oracle necessary.
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr_bench::{f2, print_table, Stats};
 use awr_core::naive::run_theorem1_race;
 use awr_core::reduction::{run_alg1, run_alg2};

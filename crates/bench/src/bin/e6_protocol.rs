@@ -2,6 +2,9 @@
 //! message complexity of `transfer` and `read_changes` as the system grows,
 //! on the five-region WAN, with and without `f` crashed servers.
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr_bench::{f2, print_table, Stats};
 use awr_core::{RpConfig, RpHarness};
 use awr_sim::five_region_wan;

@@ -12,6 +12,9 @@
 //! shift; after the shift the dynamic system recovers most of the gap while
 //! static-WMQS falls back to MQS-like latency.
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr_bench::{f2, print_table, Stats};
 use awr_core::RpConfig;
 use awr_monitor::plan_transfers;

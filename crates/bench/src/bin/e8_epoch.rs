@@ -8,6 +8,9 @@
 //! reference 11 become measurable: application delay is lower-bounded by the epoch
 //! length, and unmatched decreases leak total voting power.
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr_bench::{f2, print_table};
 use awr_core::{RpConfig, RpHarness};
 use awr_epoch::{EpochEngine, EpochRequest};

@@ -7,6 +7,9 @@
 //! t = 8 s. The consensus-based baseline freezes for the whole window; the
 //! leaderless restricted pairwise protocol keeps completing transfers.
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr_bench::print_table;
 use awr_consensus::{CwrNode, SlotMsg, WeightCmd};
 use awr_core::{RpConfig, RpHarness};

@@ -7,6 +7,9 @@
 //! carries a quorum. Two further transfers by s6 and s7 would breach
 //! RP-Integrity and complete null (the red box of Fig. 1).
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr_bench::print_table;
 use awr_core::{audit_transfers, RpConfig, RpHarness};
 use awr_quorum::{QuorumSystem, WeightedMajorityQuorumSystem};

@@ -21,6 +21,9 @@
 //!
 //! Run with: `cargo run --release --bin profile_threaded`
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use std::any::Any;
 use std::time::Instant;
 

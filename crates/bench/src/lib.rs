@@ -4,6 +4,8 @@
 //! plus criterion micro-benchmarks. This library holds the shared
 //! table-printing and statistics helpers.
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

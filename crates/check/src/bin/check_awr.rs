@@ -1,0 +1,233 @@
+//! Command-line entry point of the bounded model checker.
+//!
+//! ```text
+//! check_awr                       # explore every built-in scenario, unbounded
+//! check_awr --smoke               # CI gate: bounded depth/states, fails on violation
+//! check_awr --scenario basic3     # one scenario
+//! check_awr --depth 12 --states 50000
+//! check_awr --scenario basic3 --replay 'deliver:12 deliver:9'
+//! check_awr --out target/counterexamples
+//! ```
+//!
+//! Exit code 0 = all explored states clean; 1 = violation found (the
+//! counterexample is printed and, with `--out`, written to a file) — or,
+//! under `--require-exhaustive`, a bound/budget cut the search short;
+//! 2 = usage error.
+
+#![allow(clippy::print_stdout)]
+
+use std::process::ExitCode;
+
+use awr_check::{
+    builtin_scenarios, minimize, parse_schedule, render, scenario_by_name, Explorer, Outcome,
+    RunState, Scenario, StateView,
+};
+
+struct Args {
+    smoke: bool,
+    depth: Option<usize>,
+    states: Option<u64>,
+    scenario: Option<String>,
+    out: Option<String>,
+    replay: Option<String>,
+    list: bool,
+    require_exhaustive: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        depth: None,
+        states: None,
+        scenario: None,
+        out: None,
+        replay: None,
+        list: false,
+        require_exhaustive: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} expects an argument"))
+        };
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--list" => args.list = true,
+            "--require-exhaustive" => args.require_exhaustive = true,
+            "--depth" => {
+                args.depth = Some(
+                    value("--depth")?
+                        .parse()
+                        .map_err(|_| "--depth expects a number".to_string())?,
+                )
+            }
+            "--states" => {
+                args.states = Some(
+                    value("--states")?
+                        .parse()
+                        .map_err(|_| "--states expects a number".to_string())?,
+                )
+            }
+            "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--help" | "-h" => {
+                return Err("usage: check_awr [--smoke] [--depth N] [--states N] \
+                     [--scenario NAME] [--out DIR] [--replay SCHEDULE] [--list] \
+                     [--require-exhaustive]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            println!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        for s in builtin_scenarios() {
+            println!("{:<14} {}", s.name, s.about);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let scenarios: Vec<Scenario> = match &args.scenario {
+        Some(name) => match scenario_by_name(name) {
+            Some(s) => vec![s],
+            None => {
+                println!("unknown scenario {name:?} (try --list)");
+                return ExitCode::from(2);
+            }
+        },
+        None => builtin_scenarios(),
+    };
+
+    if let Some(schedule) = &args.replay {
+        let schedule = match parse_schedule(schedule) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        return replay(&scenarios[0], &schedule);
+    }
+
+    // Smoke bounds keep the CI gate under a minute; explicit flags win.
+    let depth = args.depth.or(if args.smoke { Some(14) } else { None });
+    let states = args.states.or(if args.smoke { Some(60_000) } else { None });
+
+    let mut failed = false;
+    for scenario in scenarios {
+        let name = scenario.name;
+        let about = scenario.about;
+        let explorer = Explorer {
+            scenario,
+            invariants: awr_check::default_invariants(),
+            max_depth: depth,
+            max_states: states,
+        };
+        println!("== {name}: {about}");
+        let started = std::time::Instant::now();
+        let outcome = explorer.run();
+        let stats = outcome.stats();
+        println!(
+            "   {} states visited, {} deduped, {} replays, max depth {}, {} depth cuts ({:.1?})",
+            stats.states_visited,
+            stats.states_deduped,
+            stats.replays,
+            stats.max_depth_reached,
+            stats.depth_limit_hits,
+            started.elapsed(),
+        );
+        match outcome {
+            Outcome::Clean(ref s) => {
+                if s.depth_limit_hits == 0 {
+                    println!("   clean — state space exhausted, all invariants hold");
+                } else {
+                    println!("   clean within depth bound {}", depth.unwrap_or(0));
+                    if args.require_exhaustive {
+                        println!("   FAIL: --require-exhaustive set but the depth bound cut paths");
+                        failed = true;
+                    }
+                }
+            }
+            Outcome::BudgetExhausted(_) => {
+                println!(
+                    "   inconclusive — state budget {} exhausted first",
+                    states.unwrap_or(0)
+                );
+                if args.require_exhaustive {
+                    println!("   FAIL: --require-exhaustive set but the state budget ran out");
+                    failed = true;
+                }
+            }
+            Outcome::Violation(report, _) => {
+                failed = true;
+                let minimized = minimize(&explorer.scenario, &report);
+                let text = render(&explorer.scenario, &report, &minimized);
+                println!("{text}");
+                if let Some(dir) = &args.out {
+                    let path = format!("{dir}/{name}.counterexample.txt");
+                    match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &text)) {
+                        Ok(()) => println!("   written to {path}"),
+                        Err(e) => println!("   could not write {path}: {e}"),
+                    }
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Replays a schedule against the first named scenario, printing each
+/// invariant evaluation — the counterexample-reproduction path.
+fn replay(scenario: &Scenario, schedule: &[awr_check::Choice]) -> ExitCode {
+    let invariants = awr_check::default_invariants();
+    let mut rs = RunState::build(scenario);
+    rs.harness.world.enable_trace(4096);
+    let mut prev = StateView::capture(&rs);
+    let mut violated = false;
+    for (i, c) in schedule.iter().enumerate() {
+        if !rs.apply(*c) {
+            println!("[{i}] {c} — not applicable, skipped");
+            continue;
+        }
+        let cur = StateView::capture(&rs);
+        for inv in &invariants {
+            if let Err(detail) = inv.check(Some(&prev), &cur) {
+                println!("[{i}] {c} — VIOLATION of {}: {detail}", inv.name());
+                violated = true;
+            }
+        }
+        if !violated {
+            println!("[{i}] {c} — ok");
+        }
+        prev = cur;
+        if violated {
+            break;
+        }
+    }
+    if let Some(t) = rs.harness.world.trace() {
+        println!("trace:\n{}", t.render());
+    }
+    if violated {
+        ExitCode::FAILURE
+    } else {
+        println!("schedule replayed clean");
+        ExitCode::SUCCESS
+    }
+}

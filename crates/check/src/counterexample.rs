@@ -1,0 +1,98 @@
+//! Counterexample minimization and rendering.
+//!
+//! The explorer returns the raw schedule that first reached a violation.
+//! [`minimize`] greedily deletes choices — replaying the candidate with
+//! skip-if-inapplicable semantics and keeping a deletion only if the
+//! *same invariant* still fails — until no single deletion survives.
+//! [`render`] replays the final schedule with simulator tracing enabled
+//! and produces a human-readable, machine-replayable report.
+
+use crate::explore::ViolationReport;
+use crate::invariant::{default_invariants, StateView};
+use crate::scenario::{render_schedule, Choice, RunState, Scenario};
+
+/// Replays `schedule` leniently and reports whether `invariant` fails at
+/// any visited state (including the root and the skipped-choice drift).
+pub fn schedule_violates(scenario: &Scenario, schedule: &[Choice], invariant: &str) -> bool {
+    let invariants = default_invariants();
+    let mut rs = RunState::build(scenario);
+    let mut prev = StateView::capture(&rs);
+    let fails = |prev: Option<&StateView>, cur: &StateView| {
+        invariants
+            .iter()
+            .filter(|inv| inv.name() == invariant)
+            .any(|inv| inv.check(prev, cur).is_err())
+    };
+    if fails(None, &prev) {
+        return true;
+    }
+    for c in schedule {
+        if !rs.apply(*c) {
+            continue;
+        }
+        let cur = StateView::capture(&rs);
+        if fails(Some(&prev), &cur) {
+            return true;
+        }
+        prev = cur;
+    }
+    false
+}
+
+/// Greedy 1-minimal deletion: repeatedly removes any single choice whose
+/// removal still reproduces the violation, until none does. The result
+/// replays to the same invariant failure and is usually a fraction of the
+/// search path's length (the search reaches states depth-first, dragging
+/// irrelevant deliveries along).
+pub fn minimize(scenario: &Scenario, report: &ViolationReport) -> Vec<Choice> {
+    let mut schedule = report.schedule.clone();
+    debug_assert!(schedule_violates(scenario, &schedule, report.invariant));
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < schedule.len() {
+            let mut candidate = schedule.clone();
+            candidate.remove(i);
+            if schedule_violates(scenario, &candidate, report.invariant) {
+                schedule = candidate;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !reduced {
+            return schedule;
+        }
+    }
+}
+
+/// Replays a (minimized) schedule with tracing on and renders the full
+/// counterexample: the violated property, the choice schedule in
+/// [`crate::scenario::parse_schedule`] format, and the simulator trace of
+/// what each choice delivered.
+pub fn render(scenario: &Scenario, report: &ViolationReport, schedule: &[Choice]) -> String {
+    let mut rs = RunState::build(scenario);
+    rs.harness.world.enable_trace(4096);
+    rs.apply_all_lenient(schedule);
+    let trace = rs
+        .harness
+        .world
+        .trace()
+        .map(|t| t.render())
+        .unwrap_or_default();
+    format!(
+        "counterexample: {invariant} violated in scenario {name}\n\
+         paper property: {paper}\n\
+         detail: {detail}\n\
+         schedule ({len} choices, replay with `check_awr --scenario {name} --replay '{sched}'`):\n\
+         {sched}\n\
+         trace:\n{trace}",
+        invariant = report.invariant,
+        name = scenario.name,
+        paper = report.paper_property,
+        detail = report.detail,
+        len = schedule.len(),
+        sched = render_schedule(schedule),
+        trace = trace,
+    )
+}

@@ -1,0 +1,262 @@
+//! The bounded explorer: depth-first enumeration of every scheduling
+//! decision (message-delivery order, timer firings, crash/restart points)
+//! with state-hash deduplication and replay-based backtracking.
+//!
+//! Actors are not clonable, so the search cannot snapshot worlds.
+//! Instead a state is *named* by the choice sequence that reaches it:
+//! stepping deeper applies one cheap [`Choice`]; backtracking rebuilds the
+//! scenario and replays the current prefix. The simulator is fully
+//! deterministic, so replays are exact. Dedup hashes combine the world's
+//! canonical digest (actor state + in-flight multiset, times excluded)
+//! with the durable stores and the fault budget, so two schedules that
+//! collide have identical futures and one subtree suffices.
+//!
+//! Two search modes:
+//!
+//! * **exhaustive** (`max_depth: None`) — explore until the frontier is
+//!   empty; with a finite protocol (no retry timers) this terminates and
+//!   proves every reachable state invariant-clean;
+//! * **iterative deepening** ([`Explorer::run_deepening`]) — restart with
+//!   a doubling depth limit, which finds *minimal-depth* counterexamples
+//!   first (the mutation tests use this to keep counterexamples short).
+
+use crate::invariant::{Invariant, StateView};
+use crate::scenario::{Choice, RunState, Scenario};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Exploration counters.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// States reached (post-closure), root excluded.
+    pub states_visited: u64,
+    /// States pruned because their hash was already expanded at an equal
+    /// or shallower depth.
+    pub states_deduped: u64,
+    /// Deepest schedule applied.
+    pub max_depth_reached: usize,
+    /// Full prefix replays performed while backtracking.
+    pub replays: u64,
+    /// States cut by the depth limit (0 means the space was exhausted).
+    pub depth_limit_hits: u64,
+}
+
+/// A found invariant violation, with the schedule that reaches it.
+#[derive(Clone, Debug)]
+pub struct ViolationReport {
+    /// [`Invariant::name`] of the violated property.
+    pub invariant: &'static str,
+    /// [`Invariant::paper_property`] of the violated property.
+    pub paper_property: &'static str,
+    /// Human-readable details from the failed check.
+    pub detail: String,
+    /// The choice schedule reaching the violating state (pre-minimization).
+    pub schedule: Vec<Choice>,
+}
+
+/// How an exploration ended.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Every state within the bounds satisfied every invariant; if
+    /// `stats.depth_limit_hits == 0` the bounds never cut anything and
+    /// the result is an exhaustive proof over the scenario.
+    Clean(Stats),
+    /// An invariant failed.
+    Violation(ViolationReport, Stats),
+    /// The state budget ran out before the space (or depth bound) was
+    /// exhausted; no conclusion beyond the states already checked.
+    BudgetExhausted(Stats),
+}
+
+impl Outcome {
+    /// The counters, whichever way the run ended.
+    pub fn stats(&self) -> &Stats {
+        match self {
+            Outcome::Clean(s) => s,
+            Outcome::Violation(_, s) => s,
+            Outcome::BudgetExhausted(s) => s,
+        }
+    }
+
+    /// The violation, if one was found.
+    pub fn violation(&self) -> Option<&ViolationReport> {
+        match self {
+            Outcome::Violation(v, _) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A configured search over one scenario.
+pub struct Explorer {
+    /// The scenario under test.
+    pub scenario: Scenario,
+    /// The invariant battery to evaluate at every state.
+    pub invariants: Vec<Box<dyn Invariant>>,
+    /// Depth bound (`None` = exhaustive).
+    pub max_depth: Option<usize>,
+    /// State budget: abort with [`Outcome::BudgetExhausted`] past this
+    /// many visited states.
+    pub max_states: Option<u64>,
+}
+
+struct Frame {
+    choices: Vec<Choice>,
+    next: usize,
+}
+
+impl Explorer {
+    /// An explorer with the default invariant battery and no bounds.
+    pub fn new(scenario: Scenario) -> Explorer {
+        Explorer {
+            scenario,
+            invariants: crate::invariant::default_invariants(),
+            max_depth: None,
+            max_states: None,
+        }
+    }
+
+    /// Runs one depth-first search under the configured bounds.
+    pub fn run(&self) -> Outcome {
+        self.run_with_depth(self.max_depth)
+    }
+
+    fn run_with_depth(&self, max_depth: Option<usize>) -> Outcome {
+        let mut stats = Stats::default();
+        let mut visited: HashMap<u64, usize> = HashMap::new();
+
+        let mut rs = RunState::build(&self.scenario);
+        let mut path: Vec<Choice> = Vec::new();
+        // The world matches `path` unless a prune/backtrack happened since
+        // the last apply; replay lazily, only when stepping again.
+        let mut world_current = true;
+
+        let root_view = StateView::capture(&rs);
+        if let Err(report) = self.check_state(None, &root_view, &path) {
+            return Outcome::Violation(report, stats);
+        }
+        visited.insert(rs.state_digest(), 0);
+
+        let mut views: Vec<StateView> = vec![root_view];
+        let mut stack: Vec<Frame> = vec![Frame {
+            choices: rs.choices(),
+            next: 0,
+        }];
+
+        while let Some(frame) = stack.last_mut() {
+            if frame.next >= frame.choices.len() {
+                stack.pop();
+                views.pop();
+                if path.pop().is_some() {
+                    world_current = false;
+                }
+                continue;
+            }
+            let choice = frame.choices[frame.next];
+            frame.next += 1;
+
+            if let Some(cap) = self.max_states {
+                if stats.states_visited >= cap {
+                    return Outcome::BudgetExhausted(stats);
+                }
+            }
+
+            if !world_current {
+                rs = RunState::build(&self.scenario);
+                for c in &path {
+                    assert!(rs.apply(*c), "deterministic replay diverged");
+                }
+                stats.replays += 1;
+                world_current = true;
+            }
+
+            assert!(rs.apply(choice), "explorer chose an inapplicable event");
+            path.push(choice);
+            stats.states_visited += 1;
+            stats.max_depth_reached = stats.max_depth_reached.max(path.len());
+
+            let view = StateView::capture(&rs);
+            if let Err(report) = self.check_state(views.last(), &view, &path) {
+                return Outcome::Violation(report, stats);
+            }
+
+            let depth = path.len();
+            let mut expand = true;
+            match visited.entry(rs.state_digest()) {
+                Entry::Occupied(mut e) => {
+                    if *e.get() <= depth {
+                        stats.states_deduped += 1;
+                        expand = false;
+                    } else {
+                        // Reached shallower than before: under a depth
+                        // limit the old expansion may have been cut, so
+                        // re-expand from here.
+                        e.insert(depth);
+                    }
+                }
+                Entry::Vacant(e) => {
+                    e.insert(depth);
+                }
+            }
+            if expand {
+                if let Some(limit) = max_depth {
+                    if depth >= limit {
+                        let more = !rs.choices().is_empty();
+                        if more {
+                            stats.depth_limit_hits += 1;
+                        }
+                        expand = false;
+                    }
+                }
+            }
+
+            if expand {
+                views.push(view);
+                stack.push(Frame {
+                    choices: rs.choices(),
+                    next: 0,
+                });
+            } else {
+                path.pop();
+                world_current = false;
+            }
+        }
+        Outcome::Clean(stats)
+    }
+
+    /// Iterative deepening: runs with a doubling depth limit starting at
+    /// `start_depth` until a violation is found, the space is exhausted
+    /// under the limit (no cuts — a full proof), or the state budget runs
+    /// dry. Counterexamples found this way have near-minimal depth.
+    pub fn run_deepening(&self, start_depth: usize) -> Outcome {
+        let mut limit = start_depth.max(1);
+        loop {
+            let outcome = self.run_with_depth(Some(limit));
+            match outcome {
+                Outcome::Clean(ref stats) if stats.depth_limit_hits > 0 => {
+                    limit *= 2;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn check_state(
+        &self,
+        prev: Option<&StateView>,
+        cur: &StateView,
+        path: &[Choice],
+    ) -> Result<(), ViolationReport> {
+        for inv in &self.invariants {
+            if let Err(detail) = inv.check(prev, cur) {
+                return Err(ViolationReport {
+                    invariant: inv.name(),
+                    paper_property: inv.paper_property(),
+                    detail,
+                    schedule: path.to_vec(),
+                });
+            }
+        }
+        Ok(())
+    }
+}

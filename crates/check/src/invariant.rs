@@ -1,0 +1,352 @@
+//! The invariant layer: executable safety and liveness predicates
+//! evaluated at every state the explorer reaches.
+//!
+//! Each [`Invariant`] names the paper property it operationalizes (see
+//! `docs/CHECKING.md` for the full table). Checks run over a [`StateView`]
+//! — a cheap snapshot of the protocol-relevant state — so the explorer
+//! can keep one view per search depth and hand `(prev, cur)` pairs to
+//! history-sensitive predicates like tag monotonicity.
+
+use std::collections::BTreeMap;
+
+use awr_core::{audit_transfers, RpConfig, TransferOutcome};
+use awr_sim::{ActorId, Time};
+use awr_storage::{DynClient, DynServer, WalRecord};
+use awr_types::{ChangeSet, ObjectId, Ratio, ServerId, Tag, TaggedValue, WeightMap};
+
+use crate::scenario::{RunState, Val};
+
+/// A snapshot of everything the invariants read, taken after each
+/// scheduling choice.
+#[derive(Clone, Debug)]
+pub struct StateView {
+    /// The configuration (for thresholds and the audit).
+    pub cfg: RpConfig,
+    /// Weight view (from its own `C`) of every quorum-judging participant:
+    /// servers first, then clients. Crashed servers are excluded — a
+    /// crashed process issues no quorums.
+    pub weights: Vec<(String, WeightMap)>,
+    /// Per-server crash flag.
+    pub crashed: Vec<bool>,
+    /// Per-server change-set digest.
+    pub change_digests: Vec<u64>,
+    /// Per-server register tags (absent key = bottom).
+    pub register_tags: Vec<BTreeMap<ObjectId, Tag>>,
+    /// All completed transfers so far, completion-ordered, including those
+    /// recorded by crashed incarnations (the audit is omniscient).
+    pub completed: Vec<(TransferOutcome, Time)>,
+    /// Transfers the scenario issued in total.
+    pub transfers_issued: usize,
+    /// Crash choices consumed so far.
+    pub crashes_used: usize,
+    /// No pending events: the schedule can end here.
+    pub terminal: bool,
+    /// Every scripted client op completed and every client is idle.
+    pub clients_done: bool,
+    /// Per-server WAL-accounting result (durable scenarios): `Some(err)`
+    /// when replaying snapshot + WAL does not reproduce the live state.
+    pub wal_mismatch: Vec<Option<String>>,
+}
+
+impl StateView {
+    /// Captures the view from a built run state.
+    pub fn capture(rs: &RunState) -> StateView {
+        let sc = rs.scenario();
+        let cfg = sc.cfg.clone();
+        let n = cfg.n;
+        let world = &rs.harness.world;
+        let mut weights = Vec::new();
+        let mut crashed = Vec::new();
+        let mut change_digests = Vec::new();
+        let mut register_tags = Vec::new();
+        let mut wal_mismatch = Vec::new();
+        for i in 0..n {
+            let a = ActorId(i);
+            let srv = world.actor::<DynServer<Val>>(a).expect("server actor");
+            crashed.push(world.is_crashed(a));
+            change_digests.push(srv.changes().digest());
+            register_tags.push(srv.registers().iter().map(|(o, r)| (*o, r.tag)).collect());
+            if !world.is_crashed(a) {
+                weights.push((format!("s{i}"), srv.changes().weights(n)));
+            }
+            if sc.durable {
+                let handle = rs
+                    .harness
+                    .storage_handle(ServerId(i as u32))
+                    .expect("durable harness");
+                wal_mismatch.push(wal_replay_mismatch(
+                    &cfg,
+                    handle.load(),
+                    srv.changes(),
+                    srv.registers(),
+                ));
+            }
+        }
+        for k in 0..sc.scripts.len() {
+            let c = world
+                .actor::<DynClient<Val>>(rs.harness.client_actor(k))
+                .expect("client actor");
+            weights.push((format!("c{k}"), c.driver.changes.weights(n)));
+        }
+        StateView {
+            cfg,
+            weights,
+            crashed,
+            change_digests,
+            register_tags,
+            completed: rs.harness.all_completed_transfers(),
+            transfers_issued: rs.transfers_issued(),
+            crashes_used: rs.crashes_used,
+            terminal: world.pending_events().is_empty(),
+            clients_done: rs.clients_done(),
+            wal_mismatch,
+        }
+    }
+}
+
+/// Replays a durable store the way [`DynServer::recover`] would and
+/// reports the first divergence from the live state, if any.
+fn wal_replay_mismatch(
+    cfg: &RpConfig,
+    recovered: Option<awr_storage::Recovered<Val>>,
+    live_changes: &ChangeSet,
+    live_registers: &BTreeMap<ObjectId, TaggedValue<Val>>,
+) -> Option<String> {
+    let mut changes = ChangeSet::from_initial_weights(&cfg.initial_weights);
+    let mut registers: BTreeMap<ObjectId, TaggedValue<Val>> = BTreeMap::new();
+    if let Some((snapshot, wal)) = recovered {
+        if let Some(snap) = snapshot {
+            changes = snap.changes;
+            registers = snap.registers;
+        }
+        for record in wal {
+            match record {
+                WalRecord::Change(c) => {
+                    changes.insert(c);
+                }
+                WalRecord::Register(obj, reg) => match registers.get_mut(&obj) {
+                    Some(cur) => {
+                        cur.adopt_if_newer(&reg);
+                    }
+                    None => {
+                        registers.insert(obj, reg);
+                    }
+                },
+            }
+        }
+    }
+    if changes.digest() != live_changes.digest() {
+        return Some(format!(
+            "WAL+snapshot replay yields change-set digest {:#x}, live set digests {:#x}",
+            changes.digest(),
+            live_changes.digest()
+        ));
+    }
+    if &registers != live_registers {
+        return Some(format!(
+            "WAL+snapshot replay yields registers {:?}, live map is {:?}",
+            registers
+                .iter()
+                .map(|(o, r)| (*o, r.tag))
+                .collect::<Vec<_>>(),
+            live_registers
+                .iter()
+                .map(|(o, r)| (*o, r.tag))
+                .collect::<Vec<_>>(),
+        ));
+    }
+    None
+}
+
+/// One checkable property.
+pub trait Invariant {
+    /// Short stable identifier (used in reports and tests).
+    fn name(&self) -> &'static str;
+    /// The paper property this operationalizes.
+    fn paper_property(&self) -> &'static str;
+    /// Evaluates the property on `cur` (with `prev` for history-sensitive
+    /// predicates; `None` at the initial state).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violation.
+    fn check(&self, prev: Option<&StateView>, cur: &StateView) -> Result<(), String>;
+}
+
+/// The standard battery, in evaluation order.
+pub fn default_invariants() -> Vec<Box<dyn Invariant>> {
+    vec![
+        Box::new(QuorumIntersection),
+        Box::new(TagMonotonicity),
+        Box::new(RpIntegrityAudit),
+        Box::new(WalSoundness),
+        Box::new(JoinLiveness),
+    ]
+}
+
+/// Any two quorums — judged by any two participants under their own
+/// (possibly different) change sets — must intersect. This is the safety
+/// core of the whole construction: Property 1 keeps every reachable
+/// weight vector intersection-safe *across views*, and atomicity of the
+/// storage stands on it.
+pub struct QuorumIntersection;
+
+impl Invariant for QuorumIntersection {
+    fn name(&self) -> &'static str {
+        "quorum-intersection"
+    }
+    fn paper_property(&self) -> &'static str {
+        "Property 1 / Definition 1 (WMQS consistency across views)"
+    }
+    fn check(&self, _prev: Option<&StateView>, cur: &StateView) -> Result<(), String> {
+        let n = cur.cfg.n;
+        let half = cur.cfg.initial_total().half();
+        let set_weight = |w: &WeightMap, mask: usize| -> Ratio {
+            (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| w.weight(ServerId(i as u32)))
+                .sum()
+        };
+        let full = (1usize << n) - 1;
+        for (la, wa) in &cur.weights {
+            for (lb, wb) in &cur.weights {
+                for mask in 0..=full {
+                    let comp = full & !mask;
+                    if set_weight(wa, mask) > half && set_weight(wb, comp) > half {
+                        return Err(format!(
+                            "disjoint quorums: {la} accepts {{{}}} (weights {wa}), \
+                             {lb} accepts the complement {{{}}} (weights {wb})",
+                            mask_names(mask, n),
+                            mask_names(comp, n),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn mask_names(mask: usize, n: usize) -> String {
+    (0..n)
+        .filter(|i| mask & (1 << i) != 0)
+        .map(|i| format!("s{i}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// A server's register tag never decreases, per object — the server-side
+/// face of atomicity (Algorithm 5's adopt-if-newer discipline), which
+/// must survive refreshes, weight gains, and WAL recovery alike.
+pub struct TagMonotonicity;
+
+impl Invariant for TagMonotonicity {
+    fn name(&self) -> &'static str {
+        "tag-monotonicity"
+    }
+    fn paper_property(&self) -> &'static str {
+        "Atomicity (Lemma 2 machinery: timestamps only grow)"
+    }
+    fn check(&self, prev: Option<&StateView>, cur: &StateView) -> Result<(), String> {
+        let Some(prev) = prev else { return Ok(()) };
+        for (i, prev_tags) in prev.register_tags.iter().enumerate() {
+            for (obj, old_tag) in prev_tags {
+                let new_tag = cur.register_tags[i]
+                    .get(obj)
+                    .copied()
+                    .unwrap_or_else(Tag::bottom);
+                if new_tag < *old_tag {
+                    return Err(format!(
+                        "server s{i} rolled {obj:?} back from tag {old_tag:?} to {new_tag:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The completed-transfer log must audit clean at every state: weights
+/// stay above the RP-Integrity floor, the f heaviest stay below half,
+/// totals are conserved, C1 holds, and change pairs cancel exactly.
+pub struct RpIntegrityAudit;
+
+impl Invariant for RpIntegrityAudit {
+    fn name(&self) -> &'static str {
+        "rp-integrity-audit"
+    }
+    fn paper_property(&self) -> &'static str {
+        "RP-Integrity (Def. 5), Property 1, RP-Validity-I, C1"
+    }
+    fn check(&self, _prev: Option<&StateView>, cur: &StateView) -> Result<(), String> {
+        let report = audit_transfers(&cur.cfg, &cur.completed);
+        match report.violations.first() {
+            None => Ok(()),
+            Some(v) => Err(format!("transfer audit: {v}")),
+        }
+    }
+}
+
+/// Durable scenarios only: at every inter-event point, replaying a
+/// server's snapshot + WAL must reproduce its live change set and
+/// registers — the persist-before-send contract the recovery path
+/// depends on.
+pub struct WalSoundness;
+
+impl Invariant for WalSoundness {
+    fn name(&self) -> &'static str {
+        "wal-soundness"
+    }
+    fn paper_property(&self) -> &'static str {
+        "crash-recovery extension (PR 6): recoverable state ⊇ advertised state"
+    }
+    fn check(&self, _prev: Option<&StateView>, cur: &StateView) -> Result<(), String> {
+        for (i, mismatch) in cur.wal_mismatch.iter().enumerate() {
+            if let Some(err) = mismatch {
+                return Err(format!("server s{i}: {err}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// At crash-free terminal states (no pending events, nothing left to
+/// schedule): every scripted client op completed, every issued transfer
+/// reached an outcome, and all servers converged to the same change set.
+/// With crashes in the schedule the predicate is vacuous — operations may
+/// legitimately stall when their messages died with a down server (the
+/// crash-free model's liveness assumes reliable links).
+pub struct JoinLiveness;
+
+impl Invariant for JoinLiveness {
+    fn name(&self) -> &'static str {
+        "join-liveness"
+    }
+    fn paper_property(&self) -> &'static str {
+        "RP-Liveness / Validity-II at quiescence"
+    }
+    fn check(&self, _prev: Option<&StateView>, cur: &StateView) -> Result<(), String> {
+        if !cur.terminal || cur.crashes_used > 0 {
+            return Ok(());
+        }
+        if !cur.clients_done {
+            return Err("quiescent with a client operation still in flight".into());
+        }
+        if cur.completed.len() != cur.transfers_issued {
+            return Err(format!(
+                "quiescent with {} of {} transfers completed",
+                cur.completed.len(),
+                cur.transfers_issued
+            ));
+        }
+        let first = cur.change_digests[0];
+        for (i, d) in cur.change_digests.iter().enumerate() {
+            if *d != first {
+                return Err(format!(
+                    "change sets diverged at quiescence: s0 digests {first:#x}, s{i} digests {d:#x}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,303 @@
+//! Checker validation by mutation: arm each seeded protocol bug
+//! (`awr_sim::mutate`) and assert the explorer finds a counterexample for
+//! it within the CI budget — then that the minimized schedule still
+//! reproduces the violation, and that the *unmutated* protocol replays the
+//! same schedule clean.
+//!
+//! Only meaningful with the seeded bugs compiled in:
+//! `cargo test -p awr_check --features mutate --test mutation_detect`.
+
+#![cfg(feature = "mutate")]
+
+use awr_check::scenario::Val;
+use awr_check::{
+    default_invariants, minimize, schedule_violates, ClientOp, Explorer, Outcome, RunState,
+    Scenario, ViolationReport,
+};
+use awr_core::RpConfig;
+use awr_sim::mutate::{with_mutation, Mutation};
+use awr_sim::{ActorId, PendingEvent, PendingKind};
+use awr_storage::DynServer;
+use awr_types::{ObjectId, Ratio, ServerId, Tag};
+
+/// Runs the full detection pipeline under `mutation`: explore, assert the
+/// expected invariant fails, minimize, assert the minimized schedule still
+/// reproduces — then, disarmed, assert the same schedule replays clean
+/// (the violation is the mutation's fault, not the scenario's).
+fn assert_caught(
+    scenario: &Scenario,
+    mutation: Mutation,
+    expected_invariant: &str,
+    explore: impl FnOnce(&Explorer) -> Outcome,
+) -> ViolationReport {
+    let (report, minimized) = with_mutation(mutation, || {
+        let explorer = Explorer {
+            scenario: scenario.clone(),
+            invariants: default_invariants(),
+            max_depth: None,
+            max_states: Some(500_000),
+        };
+        let outcome = explore(&explorer);
+        let report = outcome
+            .violation()
+            .unwrap_or_else(|| {
+                panic!(
+                    "{mutation:?} not caught in {} ({:?})",
+                    scenario.name,
+                    outcome.stats()
+                )
+            })
+            .clone();
+        let minimized = minimize(scenario, &report);
+        assert!(
+            schedule_violates(scenario, &minimized, report.invariant),
+            "{mutation:?}: minimized schedule must still reproduce the violation"
+        );
+        (report, minimized)
+    });
+    assert_eq!(
+        report.invariant, expected_invariant,
+        "{mutation:?} caught by the wrong invariant: {}",
+        report.detail
+    );
+    assert!(
+        !minimized.is_empty(),
+        "counterexample minimized away to nothing"
+    );
+    assert!(
+        !schedule_violates(scenario, &minimized, report.invariant),
+        "unmutated protocol also violates {} on the minimized schedule — \
+         the scenario is broken, not the mutation",
+        report.invariant
+    );
+    report
+}
+
+/// Bounded clean sweep of the scenario without any mutation armed.
+fn assert_clean_unmutated(scenario: &Scenario, depth: usize, states: u64) {
+    let explorer = Explorer {
+        scenario: scenario.clone(),
+        invariants: default_invariants(),
+        max_depth: Some(depth),
+        max_states: Some(states),
+    };
+    let outcome = explorer.run();
+    assert!(
+        outcome.violation().is_none(),
+        "unmutated {} must explore clean: {:?}",
+        scenario.name,
+        outcome.violation()
+    );
+}
+
+/// Mutation 1 target: a transfer of 1/2 from a weight-1 issuer in
+/// uniform(3,1). The floor is W/(2(n−f)) = 3/4, so the honest protocol
+/// nullifies this at issue time (zero explorable events). With the clamp
+/// dropped the transfer proceeds and its completion record puts s0 at
+/// weight 1/2 < 3/4 — an RP-Integrity audit violation.
+fn floor_scenario() -> Scenario {
+    Scenario {
+        name: "mut-floor",
+        about: "3 servers, one below-floor transfer (null when honest)",
+        cfg: RpConfig::uniform(3, 1),
+        scripts: vec![],
+        transfers: vec![(ServerId(0), ServerId(1), Ratio::new(1, 2))],
+        durable: false,
+        crash_budget: 0,
+        setup: None,
+    }
+}
+
+#[test]
+fn drop_floor_clamp_is_caught() {
+    let scenario = floor_scenario();
+    assert_clean_unmutated(&scenario, 14, 60_000);
+    let report = assert_caught(
+        &scenario,
+        Mutation::DropFloorClamp,
+        "rp-integrity-audit",
+        |e| e.run(),
+    );
+    assert!(report.detail.contains("audit"), "{}", report.detail);
+}
+
+/// Count of pending `kind` deliveries addressed to `to`.
+fn pending_kind_to(rs: &RunState, to: ActorId, kind: &str) -> usize {
+    rs.harness
+        .world
+        .pending_events()
+        .iter()
+        .filter(
+            |e| matches!(e.kind, PendingKind::Deliver { to: t, kind: k, .. } if t == to && k == kind),
+        )
+        .count()
+}
+
+/// The tag server `i` currently stores for the default object.
+fn reg_tag(rs: &RunState, i: usize) -> Tag {
+    rs.harness
+        .world
+        .actor::<DynServer<Val>>(ActorId(i))
+        .expect("server actor")
+        .register_of(ObjectId::DEFAULT)
+        .tag
+}
+
+/// Deterministic setup driver: repeatedly steps the earliest pending
+/// event `step_ok` admits (running the closure after each) until `until`
+/// holds. Panics on a stall — a scenario authoring error.
+fn run_until(
+    rs: &mut RunState,
+    step_ok: impl Fn(&PendingEvent) -> bool,
+    mut until: impl FnMut(&RunState) -> bool,
+) {
+    loop {
+        if until(rs) {
+            return;
+        }
+        let next = rs.harness.world.pending_events().into_iter().find(&step_ok);
+        match next {
+            Some(e) => {
+                rs.harness.world.step_seq(e.seq);
+                rs.closure();
+            }
+            None => panic!("setup stalled before reaching its target state"),
+        }
+    }
+}
+
+/// Mutation 2 target: server s0 gains weight (refresh on gain) while
+/// writes race it. The refresh's `have` is fixed when the read starts,
+/// and a server's change set only advances when the *paused* apply runs —
+/// so the dangerous order is: the refresh starts while s0 is blank, s0
+/// then adopts racing writes (accepted precisely because its change set
+/// is still the initial one an unaware client references), and only
+/// *then* does a replier's ack — carrying the older write — arrive. The
+/// honest absorb compares tags and keeps the newer register; the mutated
+/// one installs the stale ack, rolling s0's register back: tag
+/// monotonicity.
+///
+/// Setup pins everything up to that race so the explorer only has to
+/// order the refresh traffic, not rediscover a 20-step preamble. The
+/// transfer issuer s1's change set advances synchronously at issue time,
+/// so the client must never hear from s1 or it stops matching s0's stale
+/// set — both writes run through the quorum {s0, s2} with s1 frozen:
+///   1. deliver exactly the ⟨T⟩ envelope to s0: the weight gain pauses
+///      behind a register refresh whose `have` is still empty;
+///   2. complete write(1) through {s0, s2} — every party still holds the
+///      initial change set, so the rounds accept cleanly (s0 adopting
+///      tag1 is fine: `have` was fixed at bottom when the read started);
+///   3. continue until write(2)'s W round is in flight;
+///   4. deliver write(2)'s W to s0 only — s0 now holds tag2 while s2
+///      still holds tag1, and the refresh acks are all still pending.
+fn refresh_setup(rs: &mut RunState) {
+    let envelope = rs
+        .harness
+        .world
+        .pending_events()
+        .iter()
+        .find(|e| {
+            matches!(e.kind, PendingKind::Deliver { to, kind, .. }
+            if to == ActorId(0) && kind == "T")
+        })
+        .map(|e| e.seq)
+        .expect("setup: no ⟨T⟩ envelope pending at s0");
+    rs.harness.world.step_seq(envelope);
+    rs.closure();
+    let client = rs.harness.client_actor(0);
+    let quorum = move |e: &PendingEvent| match e.kind {
+        PendingKind::Deliver { to, kind, .. } => {
+            (to == ActorId(0) || to == ActorId(2) || to == client)
+                && matches!(kind, "R" | "R_A" | "W" | "W_A")
+        }
+        _ => false,
+    };
+    run_until(rs, quorum, |rs| !rs.harness.history().is_empty());
+    run_until(rs, quorum, |rs| pending_kind_to(rs, ActorId(0), "W") >= 1);
+    let w2 = rs
+        .harness
+        .world
+        .pending_events()
+        .iter()
+        .find(|e| {
+            matches!(e.kind, PendingKind::Deliver { to, kind, .. }
+            if to == ActorId(0) && kind == "W")
+        })
+        .map(|e| e.seq)
+        .expect("setup: write(2)'s W is not pending at s0");
+    rs.harness.world.step_seq(w2);
+    rs.closure();
+    assert!(
+        reg_tag(rs, 0) > reg_tag(rs, 2),
+        "setup: s0 must hold the newer register while s2 holds the older"
+    );
+}
+
+/// See [`refresh_setup`] for the staged race this scenario pins.
+fn refresh_scenario() -> Scenario {
+    Scenario {
+        name: "mut-refresh",
+        about: "weight gain refresh racing a second write (stale-ack adopt)",
+        cfg: RpConfig::uniform(3, 1),
+        scripts: vec![vec![
+            ClientOp::Write(ObjectId::DEFAULT, 1),
+            ClientOp::Write(ObjectId::DEFAULT, 2),
+        ]],
+        transfers: vec![(ServerId(1), ServerId(0), Ratio::new(1, 8))],
+        durable: false,
+        crash_budget: 0,
+        setup: Some(refresh_setup),
+    }
+}
+
+#[test]
+fn skip_refresh_tag_check_is_caught() {
+    let scenario = refresh_scenario();
+    assert_clean_unmutated(&scenario, 12, 60_000);
+    let report = assert_caught(
+        &scenario,
+        Mutation::SkipRefreshTagCheck,
+        "tag-monotonicity",
+        |e| e.run_deepening(6),
+    );
+    assert!(report.detail.contains("rolled"), "{}", report.detail);
+}
+
+/// Mutation 3 target: two transfers from the same issuer. The second is
+/// queued behind the first and drained in a fresh RB broadcast on
+/// completion; with the sequence number reused, every peer deduplicates
+/// that broadcast as already-seen, nobody acks, and the second transfer
+/// never completes — caught at quiescence by join-liveness.
+///
+/// Deltas are 1/16 so *both* transfers clear the uniform(3,1) floor of 3/4
+/// (after a 1/8 debit the issuer sits exactly at floor + 1/8 and the clamp
+/// is strict, so a second 1/8 would be nullified and never broadcast).
+fn reuse_scenario() -> Scenario {
+    Scenario {
+        name: "mut-reuse",
+        about: "same-issuer transfer pair; drained second broadcast swallowed",
+        cfg: RpConfig::uniform(3, 1),
+        scripts: vec![],
+        transfers: vec![
+            (ServerId(0), ServerId(1), Ratio::new(1, 16)),
+            (ServerId(0), ServerId(2), Ratio::new(1, 16)),
+        ],
+        durable: false,
+        crash_budget: 0,
+        setup: None,
+    }
+}
+
+#[test]
+fn reuse_rb_seq_is_caught() {
+    let scenario = reuse_scenario();
+    assert_clean_unmutated(&scenario, 10, 60_000);
+    let report = assert_caught(&scenario, Mutation::ReuseRbSeq, "join-liveness", |e| {
+        e.run()
+    });
+    assert!(
+        report.detail.contains("transfers completed"),
+        "{}",
+        report.detail
+    );
+}

@@ -1,0 +1,80 @@
+//! Replay fidelity: the foundation the explorer and the counterexample
+//! minimizer stand on.
+//!
+//! The explorer names a state by the choice sequence that reaches it and
+//! rebuilds worlds by replaying prefixes; [`awr_check::minimize`] replays
+//! shortened schedules. Both are only sound if replay is *exact*: applying
+//! the same prefix to a fresh scenario must land on the same canonical
+//! state hash every time. This property test records a pseudo-random
+//! schedule together with the state digest after every step, then replays
+//! **every** prefix from scratch and asserts the digests match.
+
+use awr_check::{builtin_scenarios, Choice, RunState, Scenario};
+use proptest::prelude::*;
+
+/// Drives `scenario` with a deterministic pseudo-random schedule derived
+/// from `seed`, recording the digest after each applied choice (index 0 =
+/// the root digest).
+fn record(scenario: &Scenario, seed: u64, max_steps: usize) -> (Vec<Choice>, Vec<u64>) {
+    let mut rs = RunState::build(scenario);
+    let mut schedule = Vec::new();
+    let mut digests = vec![rs.state_digest()];
+    let mut x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0xD1B5);
+    for _ in 0..max_steps {
+        let choices = rs.choices();
+        if choices.is_empty() {
+            break;
+        }
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let c = choices[((x >> 33) as usize) % choices.len()];
+        assert!(rs.apply(c), "recorded choice must be applicable");
+        schedule.push(c);
+        digests.push(rs.state_digest());
+    }
+    (schedule, digests)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any prefix of a recorded schedule replays to the recorded hash —
+    /// across every built-in scenario (including the durable one, whose
+    /// choices cover crash/restart points).
+    #[test]
+    fn any_prefix_replays_to_recorded_hash(seed in 0u64..10_000, pick in 0usize..16) {
+        let scenarios = builtin_scenarios();
+        let scenario = &scenarios[pick % scenarios.len()];
+        let (schedule, digests) = record(scenario, seed, 24);
+        prop_assert!(!digests.is_empty());
+        for prefix in 0..=schedule.len() {
+            let mut rs = RunState::build(scenario);
+            for c in &schedule[..prefix] {
+                prop_assert!(rs.apply(*c), "replay diverged: choice inapplicable");
+            }
+            prop_assert_eq!(
+                rs.state_digest(),
+                digests[prefix],
+                "prefix of {} / {} choices diverged in scenario {}",
+                prefix,
+                schedule.len(),
+                scenario.name
+            );
+        }
+    }
+
+    /// Replaying the *same full schedule* twice in a row is also stable —
+    /// no hidden global state leaks between builds.
+    #[test]
+    fn full_replay_is_idempotent(seed in 0u64..10_000, pick in 0usize..16) {
+        let scenarios = builtin_scenarios();
+        let scenario = &scenarios[pick % scenarios.len()];
+        let (schedule, digests) = record(scenario, seed, 24);
+        let (schedule2, digests2) = record(scenario, seed, 24);
+        prop_assert_eq!(schedule, schedule2);
+        prop_assert_eq!(digests, digests2);
+    }
+}

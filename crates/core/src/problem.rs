@@ -85,7 +85,7 @@ impl RpConfig {
 
 /// The outcome of a completed `transfer` invocation, i.e. the
 /// `⟨Complete, c⟩` message of §V plus bookkeeping for the auditor.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TransferOutcome {
     /// The source server (and, under C1, the issuer).
     pub from: ServerId,

@@ -228,6 +228,38 @@ impl TransferCore {
         !self.pending.is_empty() || !self.queued.is_empty()
     }
 
+    /// A canonical digest of this engine's logical state, for the
+    /// model-checking explorer. Covers everything that decides future
+    /// behaviour — counter, change set, RB engine, in-flight/queued/acked
+    /// bookkeeping, completed outcomes — but no virtual times (two
+    /// schedules reaching the same protocol state must hash equal).
+    /// Hash-set contents are sorted before hashing.
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.lc.hash(&mut h);
+        self.changes.digest().hash(&mut h);
+        self.rb.state_digest().hash(&mut h);
+        for (counter, p) in &self.pending {
+            counter.hash(&mut h);
+            p.outcome.hash(&mut h);
+            p.needed.hash(&mut h);
+            let mut acks: Vec<usize> = p.acks.iter().map(|a| a.index()).collect();
+            acks.sort_unstable();
+            acks.hash(&mut h);
+        }
+        for (to, delta) in &self.queued {
+            (to, delta).hash(&mut h);
+        }
+        let mut acked: Vec<(ServerId, u64)> = self.acked.iter().copied().collect();
+        acked.sort_unstable();
+        acked.hash(&mut h);
+        for (outcome, _at) in &self.completed {
+            outcome.hash(&mut h);
+        }
+        h.finish()
+    }
+
     fn validate(&self, to: ServerId, delta: Ratio) -> Result<(), TransferError> {
         if !delta.is_positive() {
             return Err(TransferError::InvalidArguments {
@@ -321,7 +353,14 @@ impl TransferCore {
             let counter = self.lc;
             self.lc += 1;
             // Line 12: the local C2 check — weight() > Δ + W_{S,0}/(2(n−f)).
-            if self.weight() > delta + self.cfg.floor() {
+            let clamp_ok = self.weight() > delta + self.cfg.floor();
+            #[cfg(feature = "mutate")]
+            // MUTATION: drop the Property-1 floor clamp — the transfer
+            // proceeds even when it takes the issuer below the RP-Integrity
+            // floor.
+            let clamp_ok =
+                clamp_ok || awr_sim::mutate::armed(awr_sim::mutate::Mutation::DropFloorClamp);
+            if clamp_ok {
                 let pair = TransferChanges::new(self.me, to, counter, delta, true);
                 // Line 13: add both changes to the local set now.
                 self.changes.insert(pair.debit);
@@ -673,6 +712,46 @@ impl ReadChangesClient {
     /// Whether an invocation is in flight.
     pub fn is_busy(&self) -> bool {
         self.pending.is_some()
+    }
+
+    /// A canonical digest of this engine's logical state (no virtual
+    /// times), for the model-checking explorer. Hash-container contents are
+    /// sorted before hashing.
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        fn sorted_ids(set: &HashSet<ActorId>) -> Vec<usize> {
+            let mut v: Vec<usize> = set.iter().map(|a| a.index()).collect();
+            v.sort_unstable();
+            v
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.next_op.hash(&mut h);
+        if let Some(p) = &self.pending {
+            p.op.hash(&mut h);
+            p.target.hash(&mut h);
+            p.acc.digest().hash(&mut h);
+            sorted_ids(&p.responders).hash(&mut h);
+            let mut digests: Vec<(usize, u64)> = p
+                .peer_digests
+                .iter()
+                .map(|(a, d)| (a.index(), *d))
+                .collect();
+            digests.sort_unstable();
+            digests.hash(&mut h);
+            sorted_ids(&p.forced_full).hash(&mut h);
+            sorted_ids(&p.wc_retried).hash(&mut h);
+            p.wrote_back.hash(&mut h);
+            sorted_ids(&p.wc_acks).hash(&mut h);
+        }
+        for (target, set) in &self.cache {
+            target.hash(&mut h);
+            set.digest().hash(&mut h);
+        }
+        for r in &self.results {
+            r.target.hash(&mut h);
+            r.changes.digest().hash(&mut h);
+        }
+        h.finish()
     }
 
     /// Invokes `read_changes(target)`: broadcasts `⟨RC, target⟩` to all

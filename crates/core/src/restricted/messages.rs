@@ -133,6 +133,42 @@ impl Message for WrMsg {
             _ => std::mem::size_of_val(self),
         }
     }
+
+    fn content_digest(&self) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        fn hash_cs_ref(h: &mut impl Hasher, r: &CsRef) {
+            // The variant matters, not just the implied set: a Summary and
+            // a Delta describing the same set draw different receiver
+            // behaviour (a summary can miss, content applies).
+            match r {
+                CsRef::Summary { digest, len } => (0u8, digest, len).hash(h),
+                CsRef::Delta { base_digest, adds } => (1u8, base_digest, adds).hash(h),
+                CsRef::Full(set) => (2u8, set.digest(), set.len()).hash(h),
+            }
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        match self {
+            WrMsg::Rb(env) => (0u8, env.origin.index(), env.seq, &env.payload).hash(&mut h),
+            WrMsg::TAck { counter } => (1u8, counter).hash(&mut h),
+            WrMsg::Rc { op, target, known } => (2u8, op, target, known).hash(&mut h),
+            WrMsg::RcAck { op, changes } => {
+                (3u8, op).hash(&mut h);
+                hash_cs_ref(&mut h, changes);
+            }
+            WrMsg::Wc {
+                op,
+                target,
+                changes,
+            } => {
+                (4u8, op, target).hash(&mut h);
+                hash_cs_ref(&mut h, changes);
+            }
+            WrMsg::WcAck { op } => (5u8, op).hash(&mut h),
+            WrMsg::WcMiss { op, have } => (6u8, op, have).hash(&mut h),
+            WrMsg::Invoke { to, delta } => (7u8, to, delta).hash(&mut h),
+        }
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]

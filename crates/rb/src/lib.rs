@@ -105,6 +105,19 @@ impl<P: Clone + fmt::Debug + Send + 'static> RbEngine<P> {
         self.next_seq = self.next_seq.max(seq);
     }
 
+    /// A canonical digest of this engine's logical state (sequence cursor
+    /// and sorted dedup set), for the model-checking explorer.
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.next_seq.hash(&mut h);
+        self.delivered_count.hash(&mut h);
+        let mut seen: Vec<(usize, u64)> = self.seen.iter().map(|(a, s)| (a.index(), *s)).collect();
+        seen.sort_unstable();
+        seen.hash(&mut h);
+        h.finish()
+    }
+
     /// RB-broadcasts `payload`. Sends the envelope to every *other* member
     /// and delivers locally at once (the local delivery is the return
     /// value — handle it exactly like a delivery from the network).
@@ -114,12 +127,24 @@ impl<P: Clone + fmt::Debug + Send + 'static> RbEngine<P> {
         ctx: &mut Context<'_, M>,
         wrap: impl Fn(RbEnvelope<P>) -> M,
     ) -> P {
+        #[cfg(feature = "mutate")]
+        let seq =
+            if awr_sim::mutate::armed(awr_sim::mutate::Mutation::ReuseRbSeq) && self.next_seq > 0 {
+                // MUTATION: reuse the previous sequence number — every peer's
+                // dedup set already contains (origin, seq), so this broadcast
+                // is swallowed network-wide.
+                self.next_seq - 1
+            } else {
+                self.next_seq
+            };
+        #[cfg(not(feature = "mutate"))]
+        let seq = self.next_seq;
         let env = RbEnvelope {
             origin: self.self_id,
-            seq: self.next_seq,
+            seq,
             payload: payload.clone(),
         };
-        self.next_seq += 1;
+        self.next_seq = self.next_seq.max(seq + 1);
         self.seen.insert((env.origin, env.seq));
         self.delivered_count += 1;
         for &m in &self.members {

@@ -76,6 +76,20 @@ pub trait Message: Clone + fmt::Debug + Send + 'static {
     fn object_key(&self) -> Option<u64> {
         None
     }
+
+    /// Content digest of this message, used by the model-checking explorer
+    /// to identify in-flight messages independently of delivery times and
+    /// queue positions. Two messages with equal digests are treated as the
+    /// same pending event when deduplicating explored states, so the digest
+    /// must cover the full payload — a partial digest silently merges
+    /// distinct states and makes the exploration unsound.
+    ///
+    /// The default `None` means "not diggestible": worlds carrying such
+    /// messages report no canonical digest
+    /// ([`crate::World::canonical_digest`]) and cannot be state-deduped.
+    fn content_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// An event-driven process.
@@ -95,6 +109,20 @@ pub trait Actor: 'static {
 
     /// Called when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, _tag: u64, _ctx: &mut Context<'_, Self::Msg>) {}
+
+    /// Canonical digest of this actor's protocol state, used by the
+    /// model-checking explorer to deduplicate reachable states. Must be
+    /// deterministic across replays *in the same process*: implementations
+    /// hash logical protocol state only (no times, no event sequence
+    /// numbers) and must sort any `HashMap`/`HashSet` contents before
+    /// hashing — iteration order of std hash containers differs per
+    /// instance.
+    ///
+    /// The default `None` means "not diggestible"; a world containing such
+    /// an actor reports no canonical digest.
+    fn state_digest(&self) -> Option<u64> {
+        None
+    }
 
     /// Upcast for harness inspection.
     fn as_any(&self) -> &dyn Any;

@@ -95,6 +95,8 @@
 mod actor;
 mod fault;
 mod metrics;
+#[cfg(feature = "mutate")]
+pub mod mutate;
 mod network;
 mod threaded;
 mod time;
@@ -123,7 +125,7 @@ pub use workload::{
     BurstyOnOff, ConstantBitrate, CrossTraffic, CrossTrafficStats, Flow, ReassignmentBurst,
     RegimeShift, TrafficGen,
 };
-pub use world::World;
+pub use world::{PendingEvent, PendingKind, World};
 
 #[cfg(test)]
 mod proptests {

@@ -1,0 +1,69 @@
+//! Seeded protocol mutations for validating the model checker.
+//!
+//! A checker that has never caught a bug proves nothing. This module holds
+//! a thread-local switch that arms exactly one deliberate protocol bug at a
+//! time; the protocol crates (`awr_core`, `awr_storage`, `awr_rb`) consult
+//! it at the mutated decision points, and `crates/check` asserts that the
+//! explorer finds a counterexample for every armed mutation.
+//!
+//! The switch is thread-local because each simulated [`crate::World`] runs
+//! on a single thread while `cargo test` runs many tests in parallel — a
+//! process-global switch would leak mutations across unrelated tests.
+//!
+//! Only compiled with the `mutate` feature; production builds carry none of
+//! these code paths.
+
+use std::cell::Cell;
+
+/// One deliberate protocol bug.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mutation {
+    /// Drop the Property-1 floor clamp in `TransferCore::start_batch`: a
+    /// transfer that would take the issuer below the RP-Integrity floor
+    /// proceeds instead of degrading to a null transfer. Caught by the
+    /// RP-Integrity audit invariant.
+    DropFloorClamp,
+    /// Skip the tag comparison when absorbing `RefreshAck` registers: the
+    /// refresher adopts whatever the ack carries instead of
+    /// strictly-newer-only, so a stale replier can roll a register's tag
+    /// backwards. Caught by the tag-monotonicity invariant.
+    SkipRefreshTagCheck,
+    /// Reuse the previous RB sequence number when broadcasting: peers
+    /// deduplicate the second broadcast as already-seen, so a transfer
+    /// batch is silently swallowed. Caught by the join-liveness invariant
+    /// (the transfer never completes and restrictions never converge).
+    ReuseRbSeq,
+}
+
+thread_local! {
+    static ARMED: Cell<Option<Mutation>> = const { Cell::new(None) };
+}
+
+/// Arms `m` on this thread (replacing any previously armed mutation).
+pub fn arm(m: Mutation) {
+    ARMED.with(|a| a.set(Some(m)));
+}
+
+/// Disarms all mutations on this thread.
+pub fn disarm() {
+    ARMED.with(|a| a.set(None));
+}
+
+/// Is `m` armed on this thread?
+pub fn armed(m: Mutation) -> bool {
+    ARMED.with(|a| a.get()) == Some(m)
+}
+
+/// Runs `f` with `m` armed, disarming afterwards even on panic-free early
+/// return paths.
+pub fn with_mutation<R>(m: Mutation, f: impl FnOnce() -> R) -> R {
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            disarm();
+        }
+    }
+    let _guard = Disarm;
+    arm(m);
+    f()
+}

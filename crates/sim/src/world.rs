@@ -100,6 +100,59 @@ impl<M> Ord for QueuedEvent<M> {
     }
 }
 
+/// A pending event summary exposed by [`World::pending_events`] — the
+/// explorer's view of one schedulable choice. `seq` is the handle to hand
+/// back to [`World::step_seq`]; within one deterministic replay, sequence
+/// numbers are assigned identically, so a recorded `seq` names the same
+/// event on every replay of the same prefix.
+#[derive(Clone, Debug)]
+pub struct PendingEvent {
+    /// The event's sequence number (pass to [`World::step_seq`]).
+    pub seq: u64,
+    /// The virtual time the event-clock scheduler would run it at.
+    pub at: Time,
+    /// What the event is.
+    pub kind: PendingKind,
+}
+
+/// The payload-free shape of a pending event.
+#[derive(Clone, Debug)]
+pub enum PendingKind {
+    /// An actor's `on_start` callback.
+    Start {
+        /// The starting actor.
+        actor: ActorId,
+    },
+    /// A message delivery.
+    Deliver {
+        /// Sender.
+        from: ActorId,
+        /// Receiver.
+        to: ActorId,
+        /// The message's [`Message::kind`] label.
+        kind: &'static str,
+        /// The message's [`Message::content_digest`], if any.
+        digest: Option<u64>,
+    },
+    /// A pending (uncancelled) timer.
+    Timer {
+        /// The timer's owner.
+        actor: ActorId,
+        /// The timer tag passed back to `on_timer`.
+        tag: u64,
+    },
+    /// A scheduled crash.
+    Crash {
+        /// The actor to crash.
+        actor: ActorId,
+    },
+    /// A scheduled restart.
+    Restart {
+        /// The actor to rebuild.
+        actor: ActorId,
+    },
+}
+
 /// A deterministic discrete-event simulation of an asynchronous
 /// message-passing system.
 ///
@@ -431,18 +484,54 @@ impl<M: Message> World<M> {
     ///
     /// Panics if the event limit is exceeded (runaway protocol).
     pub fn step(&mut self) -> bool {
-        self.started = true;
         let Some(Reverse(ev)) = self.queue.pop() else {
+            self.started = true;
             return false;
         };
+        debug_assert!(ev.at >= self.time, "time went backwards");
+        self.process_event(ev);
+        true
+    }
+
+    /// Processes the pending event with sequence number `seq`, regardless
+    /// of its position in the time order — the explorer-driven scheduling
+    /// seam. Virtual time only moves forward: delivering a "late" event
+    /// before an "early" one clamps the clock to the later of the two, so
+    /// actors still observe monotonic `now()`. Returns `false` if no
+    /// pending event has that sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event limit is exceeded (runaway protocol).
+    pub fn step_seq(&mut self, seq: u64) -> bool {
+        let mut rest = Vec::with_capacity(self.queue.len());
+        let mut found = None;
+        for Reverse(ev) in self.queue.drain() {
+            if ev.seq == seq && found.is_none() {
+                found = Some(ev);
+            } else {
+                rest.push(Reverse(ev));
+            }
+        }
+        self.queue = rest.into();
+        match found {
+            Some(ev) => {
+                self.process_event(ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn process_event(&mut self, ev: QueuedEvent<M>) {
+        self.started = true;
         assert!(
             self.metrics.events_processed < self.event_limit,
             "event limit exceeded ({}) — runaway protocol?",
             self.event_limit
         );
         self.metrics.events_processed += 1;
-        debug_assert!(ev.at >= self.time, "time went backwards");
-        self.time = ev.at;
+        self.time = self.time.max(ev.at);
         self.metrics.last_time = self.time;
         match ev.kind {
             EventKind::Start(a) => {
@@ -508,7 +597,88 @@ impl<M: Message> World<M> {
                 self.restart_now(actor, rebuilt);
             }
         }
-        true
+    }
+
+    /// The pending events, in `(time, seq)` order, with opaque payloads
+    /// summarized — what an explorer enumerates to choose the next
+    /// scheduling decision. Cancelled timers are omitted (firing them is a
+    /// no-op).
+    pub fn pending_events(&self) -> Vec<PendingEvent> {
+        let mut out: Vec<PendingEvent> = self
+            .queue
+            .iter()
+            .filter_map(|Reverse(ev)| {
+                let kind = match &ev.kind {
+                    EventKind::Start(a) => PendingKind::Start { actor: *a },
+                    EventKind::Deliver { from, to, msg, .. } => PendingKind::Deliver {
+                        from: *from,
+                        to: *to,
+                        kind: msg.kind(),
+                        digest: msg.content_digest(),
+                    },
+                    EventKind::Timer { actor, id, tag } => {
+                        if self.cancelled_timers.contains(id) {
+                            return None;
+                        }
+                        PendingKind::Timer {
+                            actor: *actor,
+                            tag: *tag,
+                        }
+                    }
+                    EventKind::Crash(a) => PendingKind::Crash { actor: *a },
+                    EventKind::Restart { actor, .. } => PendingKind::Restart { actor: *actor },
+                };
+                Some(PendingEvent {
+                    seq: ev.seq,
+                    at: ev.at,
+                    kind,
+                })
+            })
+            .collect();
+        out.sort_by_key(|e| (e.at, e.seq));
+        out
+    }
+
+    /// A canonical digest of the world's logical state: every actor's
+    /// [`Actor::state_digest`] (live and dead incarnations), crash flags,
+    /// and the multiset of in-flight messages and pending timers —
+    /// deliberately excluding virtual times and event sequence numbers, so
+    /// two different schedules that reach the same protocol state hash
+    /// equal. Returns `None` if any actor or any in-flight message is not
+    /// diggestible.
+    pub fn canonical_digest(&self) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (i, a) in self.actors.iter().enumerate() {
+            i.hash(&mut h);
+            self.crashed[i].hash(&mut h);
+            a.state_digest()?.hash(&mut h);
+        }
+        for (id, corpse) in &self.graveyard {
+            id.index().hash(&mut h);
+            corpse.state_digest()?.hash(&mut h);
+        }
+        // In-flight events as a sorted multiset of identities, independent
+        // of delivery times and queue positions.
+        let mut pending: Vec<(u8, usize, usize, u64)> = Vec::with_capacity(self.queue.len());
+        for Reverse(ev) in self.queue.iter() {
+            match &ev.kind {
+                EventKind::Start(a) => pending.push((0, a.index(), 0, 0)),
+                EventKind::Deliver { from, to, msg, .. } => {
+                    pending.push((1, from.index(), to.index(), msg.content_digest()?));
+                }
+                EventKind::Timer { actor, id, tag } => {
+                    if !self.cancelled_timers.contains(id) {
+                        pending.push((2, actor.index(), 0, *tag));
+                    }
+                }
+                EventKind::Crash(a) => pending.push((3, a.index(), 0, 0)),
+                EventKind::Restart { actor, .. } => pending.push((4, actor.index(), 0, 0)),
+            }
+        }
+        pending.sort_unstable();
+        pending.hash(&mut h);
+        Some(h.finish())
     }
 
     /// Runs until the event queue drains. Returns the metrics summary.

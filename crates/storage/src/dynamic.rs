@@ -278,6 +278,74 @@ impl<V: Value> Message for DynMsg<V> {
         }
     }
 
+    // Full-content digest for the model-checking explorer: `Value: Hash`
+    // lets register payloads hash directly, and change-set references hash
+    // by variant + implied digest (see `WrMsg::content_digest`).
+    fn content_digest(&self) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        fn hash_cs_ref(h: &mut impl Hasher, r: &CsRef) {
+            match r {
+                CsRef::Summary { digest, len } => (0u8, digest, len).hash(h),
+                CsRef::Delta { base_digest, adds } => (1u8, base_digest, adds).hash(h),
+                CsRef::Full(set) => (2u8, set.digest(), set.len()).hash(h),
+            }
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        match self {
+            DynMsg::Wr(m) => (0u8, m.content_digest()?).hash(&mut h),
+            DynMsg::R { op, obj, changes } => {
+                (1u8, op, obj).hash(&mut h);
+                hash_cs_ref(&mut h, changes);
+            }
+            DynMsg::RAck {
+                op,
+                obj,
+                reg,
+                changes,
+                accepted,
+            } => {
+                (2u8, op, obj, reg, accepted).hash(&mut h);
+                hash_cs_ref(&mut h, changes);
+            }
+            DynMsg::W {
+                op,
+                obj,
+                reg,
+                changes,
+            } => {
+                (3u8, op, obj, reg).hash(&mut h);
+                hash_cs_ref(&mut h, changes);
+            }
+            DynMsg::WAck {
+                op,
+                obj,
+                changes,
+                accepted,
+            } => {
+                (4u8, op, obj, accepted).hash(&mut h);
+                hash_cs_ref(&mut h, changes);
+            }
+            DynMsg::RefreshR { op, have } => {
+                (5u8, op).hash(&mut h);
+                match have {
+                    RefreshHave::Tags(tags) => (0u8, tags).hash(&mut h),
+                    RefreshHave::Digest { digest, count } => (1u8, digest, count).hash(&mut h),
+                }
+            }
+            DynMsg::RefreshAck {
+                op,
+                regs,
+                need_tags,
+            } => (6u8, op, regs, need_tags).hash(&mut h),
+            DynMsg::SyncR { digest } => (7u8, digest).hash(&mut h),
+            DynMsg::SyncAck { changes } => {
+                8u8.hash(&mut h);
+                hash_cs_ref(&mut h, changes);
+            }
+        }
+        Some(h.finish())
+    }
+
     // Per-object byte attribution: the four keyed ABD phases carry their
     // object; reassignment traffic and the (whole-space) refresh legs are
     // shared infrastructure and stay unattributed.
@@ -469,6 +537,50 @@ impl<V: Value> DynOpDriver<V> {
     /// Whether an operation is in flight.
     pub fn is_busy(&self) -> bool {
         !matches!(self.phase, DynPhase::Idle)
+    }
+
+    /// A canonical digest of the driver's logical state, for the
+    /// model-checking explorer. Invocation times and timer identities are
+    /// excluded — two schedules reaching the same protocol state at
+    /// different simulated clocks must collide.
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.id.hash(&mut h);
+        self.op_cnt.hash(&mut h);
+        self.changes.digest().hash(&mut h);
+        self.attempts.hash(&mut h);
+        self.retry_timer.is_some().hash(&mut h);
+        match &self.phase {
+            DynPhase::Idle => 0u8.hash(&mut h),
+            DynPhase::One {
+                op,
+                obj,
+                write_value,
+                invoke: _,
+                restarts,
+                replies,
+                weight,
+            } => {
+                (1u8, op, obj, write_value, restarts, replies, weight).hash(&mut h);
+            }
+            DynPhase::Two {
+                op,
+                obj,
+                write_value,
+                invoke: _,
+                restarts,
+                chosen,
+                acks,
+                weight,
+            } => {
+                (2u8, op, obj, write_value, restarts, chosen, acks, weight).hash(&mut h);
+            }
+        }
+        for c in &self.completed {
+            (c.obj, &c.kind, c.restarts).hash(&mut h);
+        }
+        h.finish()
     }
 
     /// Begins `read()` (write value `None`) or `write(v)` on the
@@ -1304,6 +1416,20 @@ impl<V: Value> DynServer<V> {
         // that become possible once the weight gain applies cannot serve
         // stale data through us for any object.
         for (obj, reg) in &best {
+            #[cfg(feature = "mutate")]
+            if awr_sim::mutate::armed(awr_sim::mutate::Mutation::SkipRefreshTagCheck) {
+                // MUTATION: install the refresh outcome without the
+                // strictly-newer comparison — a register adopted from an
+                // in-flight write while the refresh ran can be rolled back
+                // to an older tag.
+                if reg.tag > Tag::bottom() {
+                    self.registers.insert(*obj, reg.clone());
+                    if let Some(st) = &self.storage {
+                        st.append(WalRecord::Register(*obj, reg.clone()));
+                    }
+                }
+                continue;
+            }
             self.adopt_register(*obj, reg);
         }
         // The head request triggered this refresh: apply it now.
@@ -1489,6 +1615,16 @@ impl<V: Value> Actor for DynServer<V> {
                         } else {
                             r.acks.insert(from);
                             for (obj, reg) in regs {
+                                #[cfg(feature = "mutate")]
+                                if awr_sim::mutate::armed(
+                                    awr_sim::mutate::Mutation::SkipRefreshTagCheck,
+                                ) {
+                                    // MUTATION: absorb without the tag
+                                    // comparison — a stale replier's
+                                    // register clobbers a newer best.
+                                    r.best.insert(obj, reg);
+                                    continue;
+                                }
                                 match r.best.get_mut(&obj) {
                                     Some(b) => {
                                         b.adopt_if_newer(&reg);
@@ -1538,6 +1674,45 @@ impl<V: Value> Actor for DynServer<V> {
         // state is persisted before any message that presupposes it leaves.
         self.persist_new_changes();
         self.maybe_checkpoint();
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.core.state_digest().hash(&mut h);
+        // BTreeMaps/Sets iterate sorted, so hashing them whole is
+        // deterministic; everything time-valued is excluded.
+        self.registers.hash(&mut h);
+        self.pending_applies.len().hash(&mut h);
+        for req in &self.pending_applies {
+            req.new_changes.hash(&mut h);
+            req.wc_ack.map(|(a, op)| (a.index(), op)).hash(&mut h);
+        }
+        match &self.refresh {
+            None => false.hash(&mut h),
+            Some(r) => {
+                true.hash(&mut h);
+                (r.op, r.for_apply).hash(&mut h);
+                let acks: Vec<usize> = r.acks.iter().map(|a| a.index()).collect();
+                acks.hash(&mut h);
+                r.best.hash(&mut h);
+            }
+        }
+        self.refresh_ops.hash(&mut h);
+        self.refreshes.hash(&mut h);
+        for (a, d) in &self.nego {
+            (a.index(), d).hash(&mut h);
+        }
+        self.transfer_log.hash(&mut h);
+        self.persisted_digest.hash(&mut h);
+        for (a, d) in &self.peer_digests {
+            (a.index(), d).hash(&mut h);
+        }
+        self.rejoin.hash(&mut h);
+        // Durable content is digested separately by the explorer (it can
+        // reach the backend through the harness); here only presence.
+        self.storage.is_some().hash(&mut h);
+        Some(h.finish())
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -1624,6 +1799,10 @@ impl<V: Value> Actor for DynClient<V> {
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, DynMsg<V>>) {
         self.driver.on_timer(tag, ctx, |m| m);
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        Some(self.driver.state_digest())
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -39,7 +39,9 @@ pub mod workload;
 
 pub use abd_static::{AbdClient, AbdMsg, AbdServer, CompletedOp, Value};
 pub use awr_epoch::CheckpointCadence;
-pub use durable::{FileStorage, MemStorage, Snapshot, Storage, StorageHandle, WalRecord};
+pub use durable::{
+    FileStorage, MemStorage, Recovered, Snapshot, Storage, StorageHandle, WalRecord,
+};
 pub use dynamic::{
     reg_tag_digest, DynClient, DynCompletedOp, DynMsg, DynOpDriver, DynOptions, DynServer,
     RefreshHave, RetryPolicy, WireMode,

@@ -12,6 +12,7 @@
 //!   pairs are pruned (the classic bitmask DP, windows capped at 64 ops).
 
 use std::collections::HashSet;
+use std::fmt::Debug;
 use std::hash::Hash;
 
 use awr_types::ObjectId;
@@ -25,6 +26,11 @@ pub struct LinError {
     pub window: (usize, usize),
     /// Human-readable diagnosis.
     pub detail: String,
+    /// The offending window's operations, rendered one per entry as
+    /// `c<client> <op> @[invoke, response]`. Values stand in for tags:
+    /// harness workloads write distinct values, so a value names the
+    /// write (and hence the tag) a read observed.
+    pub ops: Vec<String>,
 }
 
 impl std::fmt::Display for LinError {
@@ -33,19 +39,42 @@ impl std::fmt::Display for LinError {
             f,
             "history not linearizable in ops [{}, {}): {}",
             self.window.0, self.window.1, self.detail
-        )
+        )?;
+        for op in &self.ops {
+            write!(f, "\n    {op}")?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for LinError {}
 
+fn render_op<V: Debug>(op: &HistOp<V>) -> String {
+    let kind = match &op.kind {
+        OpKind::Write(v) => format!("write({v:?})"),
+        OpKind::Read(Some(v)) => format!("read -> {v:?}"),
+        OpKind::Read(None) => "read -> (initial)".to_string(),
+    };
+    format!(
+        "c{} {} @[{}, {}]",
+        op.client, kind, op.invoke.0, op.response.0
+    )
+}
+
 /// Checks that `history` is linearizable as a single read/write register
 /// initialized to `None`.
+///
+/// Object ids are deliberately ignored: the whole history is treated as
+/// one register (erased to [`ObjectId::DEFAULT`]) and handed to
+/// [`check_linearizable_keyed`], the single entry point of the checker.
+/// A multi-object history that is keyed-linearizable can therefore still
+/// fail here — writes to other objects read as overwrites of the one
+/// register.
 ///
 /// # Errors
 ///
 /// Returns [`LinError`] when no linearization exists, identifying the
-/// smallest window in which the search failed.
+/// smallest window in which the search failed and its operations.
 ///
 /// # Panics
 ///
@@ -69,7 +98,26 @@ impl std::error::Error for LinError {}
 /// h.record(HistOp { client: 1, obj, kind: OpKind::Read(Some(9)), invoke: Time(21), response: Time(30) });
 /// assert!(check_linearizable(&h).is_err());
 /// ```
-pub fn check_linearizable<V: Clone + Eq + Hash>(history: &History<V>) -> Result<(), LinError> {
+pub fn check_linearizable<V: Clone + Eq + Hash + Debug>(
+    history: &History<V>,
+) -> Result<(), LinError> {
+    let erased = History {
+        ops: history
+            .ops
+            .iter()
+            .map(|o| {
+                let mut o = o.clone();
+                o.obj = ObjectId::DEFAULT;
+                o
+            })
+            .collect(),
+    };
+    check_linearizable_keyed(&erased).map_err(|e| e.inner)
+}
+
+/// The single-register engine: quiescent partitioning over one object's
+/// ops, bitmask search within each window.
+fn check_register<V: Clone + Eq + Hash + Debug>(history: &History<V>) -> Result<(), LinError> {
     let mut ops: Vec<&HistOp<V>> = history.ops.iter().collect();
     ops.sort_by_key(|o| (o.invoke, o.response));
 
@@ -96,6 +144,7 @@ pub fn check_linearizable<V: Clone + Eq + Hash>(history: &History<V>) -> Result<
         states = check_window(window, &states).map_err(|detail| LinError {
             window: (start, end),
             detail,
+            ops: window.iter().map(|o| render_op(o)).collect(),
         })?;
         start = end;
     }
@@ -111,6 +160,14 @@ pub struct KeyedLinError {
     pub inner: LinError,
 }
 
+impl KeyedLinError {
+    /// The failing window — the key it belongs to, its index range within
+    /// that key's sorted partition, and its rendered operations.
+    pub fn failing_window(&self) -> (ObjectId, (usize, usize), &[String]) {
+        (self.obj, self.inner.window, &self.inner.ops)
+    }
+}
+
 impl std::fmt::Display for KeyedLinError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "object {}: {}", self.obj, self.inner)
@@ -122,13 +179,15 @@ impl std::error::Error for KeyedLinError {}
 /// Checks that `history` is linearizable as a *space of independent
 /// read/write registers*, one per [`ObjectId`], each initialized to `None`.
 ///
-/// Objects are separate registers, so the history is
-/// [partitioned per object](History::partition_by_object) and each part is
-/// checked with [`check_linearizable`] on its own. Besides being the
-/// correct condition for a keyed store, this is the scalability device that
-/// keeps checking tractable at many objects: operations on different keys
-/// never entangle, so a window that would span hundreds of concurrent ops
-/// globally decomposes into small per-key windows.
+/// This is the checker's **single entry point**: the history is
+/// [partitioned per object](History::partition_by_object) and each part
+/// runs through one shared single-register engine. (The single-object
+/// wrapper [`check_linearizable`] erases keys and delegates here.)
+/// Besides being the correct condition for a keyed store, partitioning is
+/// the scalability device that keeps checking tractable at many objects:
+/// operations on different keys never entangle, so a window that would
+/// span hundreds of concurrent ops globally decomposes into small per-key
+/// windows.
 ///
 /// On a single-object history this is exactly [`check_linearizable`]
 /// (pinned by the `keyed_checker` test suite).
@@ -136,17 +195,19 @@ impl std::error::Error for KeyedLinError {}
 /// # Errors
 ///
 /// Returns [`KeyedLinError`] naming the first object (in key order) whose
-/// partition admits no linearization.
+/// partition admits no linearization, with the failing window's key,
+/// index range, and rendered operations
+/// ([`KeyedLinError::failing_window`]).
 ///
 /// # Panics
 ///
 /// Panics if any *per-object* window exceeds 64 mutually-entangled
 /// operations (the underlying checker's bitmask capacity).
-pub fn check_linearizable_keyed<V: Clone + Eq + Hash>(
+pub fn check_linearizable_keyed<V: Clone + Eq + Hash + Debug>(
     history: &History<V>,
 ) -> Result<(), KeyedLinError> {
     for (obj, part) in history.partition_by_object() {
-        check_linearizable(&part).map_err(|inner| KeyedLinError { obj, inner })?;
+        check_register(&part).map_err(|inner| KeyedLinError { obj, inner })?;
     }
     Ok(())
 }
@@ -393,6 +454,20 @@ mod tests {
         let err = check_linearizable_keyed(&h).unwrap_err();
         assert_eq!(err.obj, ObjectId(9));
         assert!(err.to_string().contains("o9"), "{err}");
+    }
+
+    #[test]
+    fn error_surfaces_failing_window_ops() {
+        let mut bad = rd(1, Some(77), 20, 30);
+        bad.obj = ObjectId(9);
+        let h = hist(vec![w(0, 1, 0, 10), rd(1, Some(1), 20, 30), bad]);
+        let err = check_linearizable_keyed(&h).unwrap_err();
+        let (obj, window, ops) = err.failing_window();
+        assert_eq!(obj, ObjectId(9));
+        assert_eq!(window, (0, 1));
+        assert_eq!(ops, ["c1 read -> 77 @[20, 30]"]);
+        let rendered = err.to_string();
+        assert!(rendered.contains("read -> 77"), "{rendered}");
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //!
 //! Run with: `cargo run --example adaptive_weights`
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr::core::{audit_transfers, RpConfig, RpHarness};
 use awr::monitor::{plan_transfers, LatencyMonitor, RegimeShift, WeightPolicy};
 use awr::sim::UniformLatency;

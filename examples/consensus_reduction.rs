@@ -6,6 +6,9 @@
 //!
 //! Run with: `cargo run --example consensus_reduction`
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr::core::naive::run_theorem1_race;
 use awr::core::reduction::{run_alg1, run_alg1_threads, run_alg2};
 

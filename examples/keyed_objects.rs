@@ -7,6 +7,9 @@
 //!
 //! Run with: `cargo run --example keyed_objects`
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr::core::{audit_transfers, RpConfig};
 use awr::sim::UniformLatency;
 use awr::storage::workload::{run_keyed_workload, KeyDistribution, KeyedWorkloadSpec};

@@ -6,6 +6,9 @@
 //!
 //! Run with: `cargo run --example placement_policies`
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr::core::{audit_transfers, RpConfig};
 use awr::quorum::placement::{LatencyGreedy, PlacementPolicy, Static, UtilizationAware};
 use awr::sim::{

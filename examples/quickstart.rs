@@ -3,6 +3,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr::core::{audit_transfers, RpConfig, RpHarness};
 use awr::quorum::{QuorumSystem, WeightedMajorityQuorumSystem};
 use awr::sim::UniformLatency;

@@ -7,6 +7,9 @@
 //!
 //! Run with: `cargo run --example wan_storage`
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use awr::core::{audit_transfers, RpConfig};
 use awr::sim::{five_region_wan, Region};
 use awr::storage::{check_linearizable, DynOptions, StorageHarness};

@@ -7,6 +7,9 @@
 //! ns/iter is reported (robust to scheduler noise). No HTML reports, no
 //! statistical regression machinery.
 
+// stdout is this target's interface; exempt from the workspace print lint.
+#![allow(clippy::print_stdout)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 
