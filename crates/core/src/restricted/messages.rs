@@ -26,6 +26,7 @@
 use awr_rb::RbEnvelope;
 use awr_sim::Message;
 use awr_types::{CsRef, ServerId, TransferChanges};
+use serde::{Deserialize, Serialize};
 
 /// Protocol messages. Names follow the paper's:
 ///
@@ -41,7 +42,7 @@ use awr_types::{CsRef, ServerId, TransferChanges};
 ///   the reply carrying a [`CsRef`] to the replier's restriction;
 /// * `⟨WC, s, ref⟩` / `⟨WC_Ack⟩` / `⟨WC_Miss⟩` — read_changes write-back
 ///   phase with digest negotiation (see the module docs).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum WrMsg {
     /// Reliable-broadcast leg carrying a batch of transfer change pairs.
     Rb(RbEnvelope<Vec<TransferChanges>>),

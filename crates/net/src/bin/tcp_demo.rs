@@ -1,0 +1,633 @@
+//! Multi-process localhost demo of the TCP runtime.
+//!
+//! The parent process spawns `N` durable server processes and `K` client
+//! processes (re-executing this binary in `--server` / `--client` child
+//! modes), wires them into a full TCP mesh, drives the keyed read/write
+//! workload over real sockets, and then **cross-validates the byte
+//! accounting**: the per-kind `Message::wire_size` totals metered by each
+//! process's `NodeHost` must equal, exactly, the totals a same-seed
+//! simulator run charges for the same workload — and the frames actually
+//! written to the sockets must cost only bounded per-message overhead on
+//! top. A weight transfer is then invoked on a live server, propagated
+//! through the mesh (RB envelopes, refresh, client restarts — all on the
+//! wire), and a second burst of client operations proves the system still
+//! serves reads and writes under the moved weights. Exits 0 only if every
+//! phase (including clean child shutdown) succeeds.
+//!
+//! ```text
+//! tcp_demo [--smoke] [--servers N] [--clients K] [--ops M] [--objects O] [--seed S]
+//! ```
+//!
+//! Child protocol (internal): children print `PORT <p>` after binding,
+//! receive `MESH <p0> <p1> …` on stdin, and then obey line commands —
+//! `report`, `transfer <to> <num> <den>`, `ops <m>`, `quit` — answering
+//! with `METRICS <json>` / `DONE <json>` / `TRANSFER_DONE` lines. See
+//! `docs/RUNTIME.md` for a walkthrough.
+
+#![allow(clippy::print_stdout)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::process::{Child as OsChild, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use awr_core::RpConfig;
+use awr_net::TcpTransport;
+use awr_sim::{ActorId, KindStats, NodeHost, UniformLatency};
+use awr_storage::{DynClient, DynMsg, DynOptions, DynServer, StorageHandle, StorageHarness};
+use awr_types::{ClientId, ObjectId, ProcessId, Ratio, ServerId};
+use serde::{Deserialize, Serialize};
+
+/// Value type carried by the replicated registers in this demo.
+type V = u64;
+
+/// The four steady-state ABD kinds whose byte totals are validated
+/// exactly against the simulator.
+const VALIDATED_KINDS: [&str; 4] = ["R", "R_A", "W", "W_A"];
+
+/// Allowed mean per-frame overhead of the real wire over the simulator's
+/// `wire_size` charge (framing header, field names, varints).
+const FRAME_SLACK_PER_MSG: u64 = 512;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    if let Some(i) = get("--server") {
+        return server_main(i.parse().expect("--server index"), Params::from_args(&get));
+    }
+    if let Some(k) = get("--client") {
+        return client_main(k.parse().expect("--client index"), Params::from_args(&get));
+    }
+
+    // Parent mode.
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let p = Params {
+        servers: get("--servers")
+            .map(|v| v.parse().expect("--servers"))
+            .unwrap_or(if smoke { 3 } else { 5 }),
+        clients: get("--clients")
+            .map(|v| v.parse().expect("--clients"))
+            .unwrap_or(if smoke { 2 } else { 3 }),
+        ops: get("--ops")
+            .map(|v| v.parse().expect("--ops"))
+            .unwrap_or(if smoke { 6 } else { 20 }),
+        objects: get("--objects")
+            .map(|v| v.parse().expect("--objects"))
+            .unwrap_or(3),
+        seed: get("--seed")
+            .map(|v| v.parse().expect("--seed"))
+            .unwrap_or(7),
+        data_dir: PathBuf::new(), // parent fills per spawn
+    };
+    std::process::exit(parent_main(p));
+}
+
+/// Workload parameters shared by the parent and both child roles.
+#[derive(Clone, Debug)]
+struct Params {
+    servers: usize,
+    clients: usize,
+    ops: u64,
+    objects: u64,
+    seed: u64,
+    data_dir: PathBuf,
+}
+
+impl Params {
+    fn from_args(get: &impl Fn(&str) -> Option<String>) -> Params {
+        Params {
+            servers: get("--servers").expect("--servers").parse().unwrap(),
+            clients: get("--clients").expect("--clients").parse().unwrap(),
+            ops: get("--ops").map(|v| v.parse().unwrap()).unwrap_or(0),
+            objects: get("--objects").map(|v| v.parse().unwrap()).unwrap_or(1),
+            seed: get("--seed").expect("--seed").parse().unwrap(),
+            data_dir: get("--data-dir").map(PathBuf::from).unwrap_or_default(),
+        }
+    }
+
+    fn cfg(&self) -> RpConfig {
+        RpConfig::uniform(self.servers, (self.servers - 1) / 2)
+    }
+
+    fn mesh_size(&self) -> usize {
+        self.servers + self.clients
+    }
+}
+
+/// One process's stats report, shipped as JSON on stdout.
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    role: String,
+    idx: usize,
+    /// Completed client operations (0 for servers).
+    ops: u64,
+    /// `wire_size`-metered sends (what the simulator charges).
+    wire: KindStats,
+    /// Frames actually written to sockets, per kind.
+    frames: KindStats,
+    /// Sends dropped after the reconnect budget.
+    dropped: u64,
+    /// Frames decoded off accepted connections.
+    frames_received: u64,
+}
+
+// ---------------------------------------------------------------------
+// Deterministic workload derivation (shared by TCP clients and the
+// simulator comparator — this is what makes the byte totals comparable).
+// ---------------------------------------------------------------------
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Operation `j` of client `k`: `(object, Some(value) = write / None = read)`.
+fn op_spec(seed: u64, k: usize, j: u64, objects: u64) -> (ObjectId, Option<V>) {
+    let h = splitmix64(seed ^ (k as u64).wrapping_mul(0x517C_C1B7_2722_0A95) ^ j);
+    let obj = ObjectId(h % objects.max(1));
+    if j.is_multiple_of(2) {
+        (obj, Some(h | 1)) // writes carry a nonzero derived value
+    } else {
+        (obj, None)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Child-side plumbing.
+// ---------------------------------------------------------------------
+
+/// Binds a listener, prints `PORT`, waits for `MESH`, and returns the
+/// transport plus the stdin command channel.
+fn child_handshake(me: ActorId, p: &Params) -> (TcpTransport<DynMsg<V>>, mpsc::Receiver<String>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let port = listener.local_addr().expect("local_addr").port();
+    println!("PORT {port}");
+    std::io::stdout().flush().expect("flush");
+
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mesh = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("MESH line before timeout");
+    let ports: Vec<u16> = mesh
+        .strip_prefix("MESH ")
+        .expect("MESH prefix")
+        .split_whitespace()
+        .map(|p| p.parse().expect("port"))
+        .collect();
+    assert_eq!(ports.len(), p.mesh_size(), "mesh size mismatch");
+    let addrs: Vec<SocketAddr> = ports
+        .iter()
+        .map(|&p| SocketAddr::from(([127, 0, 0, 1], p)))
+        .collect();
+    let transport = TcpTransport::start(me, listener, addrs).expect("transport start");
+    (transport, rx)
+}
+
+fn report<A: awr_sim::Actor<Msg = DynMsg<V>>>(
+    role: &str,
+    idx: usize,
+    ops: u64,
+    host: &NodeHost<A, TcpTransport<DynMsg<V>>>,
+) -> String {
+    let r = Report {
+        role: role.to_string(),
+        idx,
+        ops,
+        wire: KindStats::of(host.metrics()),
+        frames: host.transport().sent_frames().clone(),
+        dropped: host.transport().pool_stats().dropped,
+        frames_received: host.transport().frames_received(),
+    };
+    serde_json::to_string(&r).expect("report json")
+}
+
+fn server_main(i: usize, p: Params) {
+    let dir = p.data_dir.join(format!("s{i}"));
+    std::fs::create_dir_all(&dir).expect("server data dir");
+    let storage = StorageHandle::<V>::file(&dir);
+    let server =
+        DynServer::with_storage(p.cfg(), ServerId(i as u32), DynOptions::default(), storage);
+    let (transport, rx) = child_handshake(ActorId(i), &p);
+    let mut host = NodeHost::start(server, transport, p.seed);
+
+    let mut transfer_watch: Option<usize> = None;
+    loop {
+        host.step(Duration::from_millis(2));
+        if let Some(baseline) = transfer_watch {
+            if host.actor().completed_transfers().len() > baseline {
+                println!("TRANSFER_DONE");
+                std::io::stdout().flush().expect("flush");
+                transfer_watch = None;
+            }
+        }
+        let cmd = match rx.try_recv() {
+            Ok(c) => c,
+            Err(mpsc::TryRecvError::Empty) => continue,
+            Err(mpsc::TryRecvError::Disconnected) => return,
+        };
+        let mut words = cmd.split_whitespace();
+        match words.next() {
+            Some("report") => {
+                // Drain in-flight traffic so the counters are settled.
+                host.run_until_idle(Duration::from_millis(50));
+                println!("METRICS {}", report("server", i, 0, &host));
+                std::io::stdout().flush().expect("flush");
+            }
+            Some("transfer") => {
+                let to: u32 = words.next().expect("to").parse().expect("to");
+                let num: i128 = words.next().expect("num").parse().expect("num");
+                let den: i128 = words.next().expect("den").parse().expect("den");
+                transfer_watch = Some(host.actor().completed_transfers().len());
+                host.with_actor(|s, ctx| {
+                    s.begin_transfer_queued(ServerId(to), Ratio::new(num, den), ctx)
+                })
+                .expect("transfer start");
+            }
+            Some("quit") => return,
+            _ => {}
+        }
+    }
+}
+
+fn client_main(k: usize, p: Params) {
+    let client = DynClient::<V>::new(
+        ProcessId::Client(ClientId(k as u32)),
+        p.cfg(),
+        DynOptions::default(),
+    );
+    let (transport, rx) = child_handshake(ActorId(p.servers + k), &p);
+    let mut host = NodeHost::start(client, transport, p.seed);
+
+    let mut next_j: u64 = 0;
+    let run_burst = |host: &mut NodeHost<DynClient<V>, TcpTransport<DynMsg<V>>>,
+                     next_j: &mut u64,
+                     burst: u64| {
+        for _ in 0..burst {
+            let (obj, value) = op_spec(p.seed, k, *next_j, p.objects);
+            *next_j += 1;
+            let done_before = host.actor().driver.completed.len();
+            host.with_actor(|c, ctx| match value {
+                Some(v) => c.begin_write_obj(obj, v, ctx),
+                None => c.begin_read_obj(obj, ctx),
+            });
+            let deadline = Instant::now() + Duration::from_secs(20);
+            while host.actor().driver.completed.len() == done_before {
+                host.step(Duration::from_millis(2));
+                assert!(
+                    Instant::now() < deadline,
+                    "client {k} op {} timed out",
+                    *next_j
+                );
+            }
+        }
+    };
+
+    // Initial validation burst, then obey commands.
+    run_burst(&mut host, &mut next_j, p.ops);
+    let done = host.actor().driver.completed.len() as u64;
+    println!("DONE {}", report("client", k, done, &host));
+    std::io::stdout().flush().expect("flush");
+
+    loop {
+        host.step(Duration::from_millis(2));
+        let cmd = match rx.try_recv() {
+            Ok(c) => c,
+            Err(mpsc::TryRecvError::Empty) => continue,
+            Err(mpsc::TryRecvError::Disconnected) => return,
+        };
+        let mut words = cmd.split_whitespace();
+        match words.next() {
+            Some("ops") => {
+                let burst: u64 = words.next().expect("count").parse().expect("count");
+                run_burst(&mut host, &mut next_j, burst);
+                let done = host.actor().driver.completed.len() as u64;
+                println!("DONE {}", report("client", k, done, &host));
+                std::io::stdout().flush().expect("flush");
+            }
+            Some("quit") => return,
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parent: orchestration and validation.
+// ---------------------------------------------------------------------
+
+/// A spawned child with a line-reader thread over its stdout.
+struct Proc {
+    name: String,
+    child: OsChild,
+    lines: mpsc::Receiver<String>,
+}
+
+impl Proc {
+    fn spawn(name: String, args: Vec<String>) -> Proc {
+        let exe = std::env::current_exe().expect("current_exe");
+        let mut child = Command::new(exe)
+            .args(&args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn child");
+        let stdout = child.stdout.take().expect("child stdout");
+        let (tx, lines) = mpsc::channel();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if tx.send(line).is_err() {
+                    break;
+                }
+            }
+        });
+        Proc { name, child, lines }
+    }
+
+    fn send(&mut self, line: &str) {
+        let stdin = self.child.stdin.as_mut().expect("child stdin");
+        writeln!(stdin, "{line}").expect("write to child");
+        stdin.flush().expect("flush to child");
+    }
+
+    /// Waits for the next line starting with `prefix`, returning the rest.
+    fn expect(&mut self, prefix: &str, timeout: Duration) -> Result<String, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match self.lines.recv_timeout(left) {
+                Ok(line) => {
+                    if let Some(rest) = line.strip_prefix(prefix) {
+                        return Ok(rest.trim().to_string());
+                    }
+                    // Unexpected chatter: surface it but keep waiting.
+                    eprintln!("[{}] {}", self.name, line);
+                }
+                Err(_) => return Err(format!("{}: no `{prefix}` line in time", self.name)),
+            }
+        }
+    }
+
+    fn join(mut self, timeout: Duration) -> Result<(), String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(status)) if status.success() => return Ok(()),
+                Ok(Some(status)) => return Err(format!("{}: exited {status}", self.name)),
+                Ok(None) if Instant::now() >= deadline => {
+                    let _ = self.child.kill();
+                    return Err(format!("{}: killed after shutdown timeout", self.name));
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                Err(e) => return Err(format!("{}: wait failed: {e}", self.name)),
+            }
+        }
+    }
+}
+
+/// The simulator's per-kind accounting for the identical workload.
+fn simulate_reference(p: &Params) -> KindStats {
+    let mut h = StorageHarness::<V>::build(
+        p.cfg(),
+        p.clients,
+        p.seed,
+        UniformLatency::new(1_000, 50_000),
+        DynOptions::default(),
+    );
+    for k in 0..p.clients {
+        for j in 0..p.ops {
+            let (obj, value) = op_spec(p.seed, k, j, p.objects);
+            match value {
+                Some(v) => {
+                    h.write_obj(k, obj, v).expect("sim write");
+                }
+                None => {
+                    h.read_obj(k, obj).expect("sim read");
+                }
+            }
+        }
+    }
+    KindStats::of(h.world.metrics())
+}
+
+fn parent_main(mut p: Params) -> i32 {
+    let started = Instant::now();
+    p.data_dir = std::env::temp_dir().join(format!("awr_tcp_demo_{}", std::process::id()));
+    std::fs::create_dir_all(&p.data_dir).expect("data dir");
+    println!(
+        "tcp_demo: {} servers + {} clients on localhost, {} ops/client over {} objects, seed {}",
+        p.servers, p.clients, p.ops, p.objects, p.seed
+    );
+
+    let common = |p: &Params| {
+        vec![
+            "--servers".into(),
+            p.servers.to_string(),
+            "--clients".into(),
+            p.clients.to_string(),
+            "--seed".into(),
+            p.seed.to_string(),
+        ]
+    };
+
+    // 1. Spawn the mesh and exchange ports.
+    let mut procs: Vec<Proc> = Vec::new();
+    for i in 0..p.servers {
+        let mut args = vec!["--server".to_string(), i.to_string()];
+        args.extend(common(&p));
+        args.extend(["--data-dir".into(), p.data_dir.display().to_string()]);
+        procs.push(Proc::spawn(format!("server{i}"), args));
+    }
+    for k in 0..p.clients {
+        let mut args = vec!["--client".to_string(), k.to_string()];
+        args.extend(common(&p));
+        args.extend([
+            "--ops".into(),
+            p.ops.to_string(),
+            "--objects".into(),
+            p.objects.to_string(),
+        ]);
+        procs.push(Proc::spawn(format!("client{k}"), args));
+    }
+    let mut ports = Vec::new();
+    for proc in procs.iter_mut() {
+        match proc.expect("PORT ", Duration::from_secs(30)) {
+            Ok(port) => ports.push(port),
+            Err(e) => {
+                eprintln!("tcp_demo: {e}");
+                return fail(procs, &p);
+            }
+        }
+    }
+    let mesh = format!("MESH {}", ports.join(" "));
+    for proc in procs.iter_mut() {
+        proc.send(&mesh);
+    }
+    println!("tcp_demo: mesh up on ports [{}]", ports.join(", "));
+
+    // 2. Clients run the validation workload.
+    let mut reports: Vec<Report> = Vec::new();
+    for k in 0..p.clients {
+        let proc = &mut procs[p.servers + k];
+        match proc.expect("DONE ", Duration::from_secs(120)) {
+            Ok(json) => reports.push(serde_json::from_str(&json).expect("client report")),
+            Err(e) => {
+                eprintln!("tcp_demo: {e}");
+                return fail(procs, &p);
+            }
+        }
+    }
+    let tcp_ops: u64 = reports.iter().map(|r| r.ops).sum();
+    assert_eq!(tcp_ops, p.ops * p.clients as u64);
+    println!(
+        "tcp_demo: {} operations completed over TCP in {:.2}s",
+        tcp_ops,
+        started.elapsed().as_secs_f64()
+    );
+
+    // 3. Byte cross-validation against the same-seed simulator run.
+    let expected = simulate_reference(&p);
+    let mut agg = KindStats::default();
+    let mut frames = KindStats::default();
+    for r in &reports {
+        agg.absorb(&r.wire);
+        frames.absorb(&r.frames);
+    }
+    // Servers may still be writing their final acks when the clients
+    // report; poll until their counters settle at the expectation.
+    let mut server_reports: Vec<Report> = Vec::new();
+    let poll_deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        server_reports.clear();
+        let mut all = agg.clone();
+        let mut all_frames = frames.clone();
+        for i in 0..p.servers {
+            procs[i].send("report");
+            match procs[i].expect("METRICS ", Duration::from_secs(10)) {
+                Ok(json) => {
+                    let r: Report = serde_json::from_str(&json).expect("server report");
+                    all.absorb(&r.wire);
+                    all_frames.absorb(&r.frames);
+                    server_reports.push(r);
+                }
+                Err(e) => {
+                    eprintln!("tcp_demo: {e}");
+                    return fail(procs, &p);
+                }
+            }
+        }
+        let settled = VALIDATED_KINDS
+            .iter()
+            .all(|k| all.msgs.get(*k) == expected.msgs.get(*k));
+        if settled || Instant::now() >= poll_deadline {
+            agg = all;
+            frames = all_frames;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    println!();
+    println!("  kind   msgs(tcp)  msgs(sim)  wire_bytes(tcp)  wire_bytes(sim)  frame_bytes");
+    let mut ok = true;
+    for kind in VALIDATED_KINDS {
+        let (tm, sm) = (
+            agg.msgs.get(kind).copied().unwrap_or(0),
+            expected.msgs.get(kind).copied().unwrap_or(0),
+        );
+        let (tb, sb) = (
+            agg.wire_bytes.get(kind).copied().unwrap_or(0),
+            expected.wire_bytes.get(kind).copied().unwrap_or(0),
+        );
+        let fb = frames.wire_bytes.get(kind).copied().unwrap_or(0);
+        let row_ok = tm == sm && tb == sb && tm > 0 && {
+            // Real frames may only cost bounded overhead per message.
+            let fm = frames.msgs.get(kind).copied().unwrap_or(0);
+            fm == tm && fb / fm.max(1) <= tb / tm.max(1) + FRAME_SLACK_PER_MSG
+        };
+        ok &= row_ok;
+        println!(
+            "  {kind:<6} {tm:>9}  {sm:>9}  {tb:>15}  {sb:>15}  {fb:>11}  {}",
+            if row_ok { "ok" } else { "MISMATCH" }
+        );
+    }
+    if !ok {
+        eprintln!("tcp_demo: byte accounting diverged from the simulator");
+        return fail(procs, &p);
+    }
+    println!("  wire_size accounting matches the simulator exactly; frame overhead bounded");
+
+    // 4. Live weight transfer, then prove the system still serves ops.
+    println!();
+    println!("tcp_demo: transferring 1/8 weight from server 0 to server 1 over TCP …");
+    procs[0].send("transfer 1 1 8");
+    if let Err(e) = procs[0].expect("TRANSFER_DONE", Duration::from_secs(30)) {
+        eprintln!("tcp_demo: {e}");
+        return fail(procs, &p);
+    }
+    let post_burst: u64 = 4;
+    for k in 0..p.clients {
+        procs[p.servers + k].send(&format!("ops {post_burst}"));
+        match procs[p.servers + k].expect("DONE ", Duration::from_secs(60)) {
+            Ok(json) => {
+                let r: Report = serde_json::from_str(&json).expect("client report");
+                assert_eq!(r.ops, p.ops + post_burst, "client {k} post-transfer ops");
+            }
+            Err(e) => {
+                eprintln!("tcp_demo: {e}");
+                return fail(procs, &p);
+            }
+        }
+    }
+    println!(
+        "tcp_demo: all {} post-transfer operations completed under the moved weights",
+        post_burst * p.clients as u64
+    );
+
+    // 5. Clean shutdown.
+    for proc in procs.iter_mut() {
+        proc.send("quit");
+    }
+    let mut clean = true;
+    for proc in procs {
+        if let Err(e) = proc.join(Duration::from_secs(10)) {
+            eprintln!("tcp_demo: {e}");
+            clean = false;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&p.data_dir);
+    if !clean {
+        return 1;
+    }
+    println!(
+        "tcp_demo: PASS in {:.2}s ({} processes, clean exit)",
+        started.elapsed().as_secs_f64(),
+        p.mesh_size()
+    );
+    0
+}
+
+fn fail(procs: Vec<Proc>, p: &Params) -> i32 {
+    for mut proc in procs {
+        let _ = proc.child.kill();
+    }
+    let _ = std::fs::remove_dir_all(&p.data_dir);
+    1
+}

@@ -1,0 +1,72 @@
+//! # awr-net — the real-transport runtime
+//!
+//! The third runtime of the workspace: the same protocol actors that run
+//! in the deterministic simulator (`awr_sim::World`) and the in-process
+//! threaded system (`awr_sim::ThreadedSystem`) here run **one OS process
+//! per actor**, exchanging length-prefixed binary frames over plain
+//! blocking [`std::net::TcpStream`]s on localhost or a real network.
+//!
+//! Nothing in the protocol crates changes: this crate only implements the
+//! [`awr_sim::Transport`] seam (see `awr_sim::transport`) and the plumbing
+//! under it —
+//!
+//! * [`frame`] — the wire format: `u32` little-endian length prefix, a
+//!   version byte, and a compact binary encoding of the message's serde
+//!   value tree, with oversize/truncation/version checks on both ends;
+//! * [`pool`] — dialer-side connectivity: framed duplex [`Channel`]s, the
+//!   per-peer [`ConnectionPool`] with reconnect-on-error and crash-model
+//!   drop semantics, [`BroadcastPool`], and the weight-aware quorum-wait
+//!   [`Replies`] combinator;
+//! * [`tcp`] — [`TcpTransport`], the mesh endpoint (listener thread +
+//!   reader threads feeding an inbox) that an `awr_sim::NodeHost` pumps.
+//!
+//! The `tcp_demo` binary in this crate boots a full multi-process system:
+//! N durable server processes and K client processes on localhost, the
+//! keyed workload driven over real sockets, per-kind wire accounting
+//! cross-validated against a same-seed simulator run. `docs/RUNTIME.md`
+//! at the repository root walks through all three runtimes and the demo.
+//!
+//! ## Example: a two-node mesh in two threads
+//!
+//! Processes are the intended unit, but the transport does not care —
+//! each endpoint is self-contained, so a test can run a mesh in threads:
+//!
+//! ```
+//! use std::net::TcpListener;
+//! use std::time::Duration;
+//! use awr_net::TcpTransport;
+//! use awr_sim::{ActorId, Message, Transport};
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+//! struct Ping(u32);
+//! impl Message for Ping {}
+//!
+//! // Bind both listeners first so the address list is complete...
+//! let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+//! let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+//! let addrs = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+//!
+//! // ...then start one endpoint per node.
+//! let mut t0 = TcpTransport::<Ping>::start(ActorId(0), l0, addrs.clone()).unwrap();
+//! let mut t1 = TcpTransport::<Ping>::start(ActorId(1), l1, addrs).unwrap();
+//!
+//! t0.send(ActorId(1), Ping(7));
+//! let (from, msg) = t1.recv_timeout(Duration::from_secs(5)).unwrap();
+//! assert_eq!((from, msg), (ActorId(0), Ping(7)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod pool;
+pub mod tcp;
+
+pub use frame::{
+    decode_frame, encode_frame, read_frame, write_frame, FrameError, MAX_FRAME, WIRE_VERSION,
+};
+pub use pool::{
+    BroadcastPool, Channel, ConnectionPool, PoolStats, QuorumTimeout, Reconnect, Replies,
+};
+pub use tcp::TcpTransport;

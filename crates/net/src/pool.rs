@@ -1,0 +1,432 @@
+//! Dialer-side connection management: framed channels, a per-peer
+//! [`ConnectionPool`] with reconnect-on-error, broadcast, and the
+//! weight-aware quorum-wait [`Replies`] combinator.
+//!
+//! The pool owns the **outbound** half of a node's connectivity: every
+//! process dials its peers lazily on first send, prefixing each connection
+//! with a fixed 13-byte hello (`magic ∥ version ∥ ActorId`) so the
+//! acceptor knows who is talking, then switching to [`crate::frame`]
+//! frames. A send that hits a dead socket redials once
+//! ([`Reconnect::attempts`] dials with [`Reconnect::backoff`] between
+//! them) and then **drops** the message — the crash model's contract: an
+//! unreachable peer is indistinguishable from a crashed one, and the
+//! protocols above already tolerate crashed peers (see
+//! `awr_sim::transport`'s module docs).
+//!
+//! Channels are duplex: the pool can also *receive* on the connections it
+//! dialed, which is the classic RPC shape — broadcast a request, collect
+//! replies on the same sockets. [`BroadcastPool::broadcast`] returns a
+//! [`Replies`] collector whose quorum predicates are weight-aware:
+//! [`Replies::wait_weight`] completes as soon as the replied weight
+//! strictly exceeds half the total, the paper's read/write quorum rule,
+//! under *any* weight assignment. (The full replicated-register protocols
+//! do their own reply matching inside the actors and use the pool only for
+//! sending, via `TcpTransport`; the RPC shape is for control planes,
+//! tools, and tests.)
+
+use std::io::{Read, Write};
+use std::marker::PhantomData;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use awr_sim::ActorId;
+use awr_types::{ChangeSet, Ratio, ServerId};
+use serde::{DeserializeOwned, Serialize};
+
+use crate::frame::{decode_frame, write_frame, FrameError, WIRE_VERSION};
+
+/// First bytes of every connection, before any frame.
+pub const HELLO_MAGIC: [u8; 4] = *b"AWRT";
+
+/// Writes the connection hello: magic, wire version, and the dialer's id.
+pub fn write_hello(w: &mut impl Write, me: ActorId) -> Result<(), FrameError> {
+    let mut hello = [0u8; 13];
+    hello[..4].copy_from_slice(&HELLO_MAGIC);
+    hello[4] = WIRE_VERSION;
+    hello[5..].copy_from_slice(&(me.index() as u64).to_le_bytes());
+    w.write_all(&hello).map_err(FrameError::Io)
+}
+
+/// Reads and validates a connection hello, returning the dialer's id.
+pub fn read_hello(r: &mut impl Read) -> Result<ActorId, FrameError> {
+    let mut hello = [0u8; 13];
+    r.read_exact(&mut hello)?;
+    if hello[..4] != HELLO_MAGIC {
+        return Err(FrameError::Codec(serde::Error::custom("bad hello magic")));
+    }
+    if hello[4] != WIRE_VERSION {
+        return Err(FrameError::BadVersion(hello[4]));
+    }
+    let id = u64::from_le_bytes(hello[5..].try_into().unwrap());
+    Ok(ActorId(id as usize))
+}
+
+/// Dial-retry policy for [`ConnectionPool`].
+#[derive(Clone, Copy, Debug)]
+pub struct Reconnect {
+    /// Dial attempts per send before the message is dropped.
+    pub attempts: u32,
+    /// Pause between attempts.
+    pub backoff: Duration,
+}
+
+impl Default for Reconnect {
+    fn default() -> Reconnect {
+        Reconnect {
+            attempts: 5,
+            backoff: Duration::from_millis(40),
+        }
+    }
+}
+
+/// One framed, duplex TCP connection: typed sends of `S`, typed receives
+/// of `R`.
+///
+/// Receives go through an internal buffer filled by non-blocking reads, so
+/// polling never strands a half-read frame: bytes accumulate until a whole
+/// frame is present, then it is decoded and drained atomically.
+#[derive(Debug)]
+pub struct Channel<S, R> {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    _types: PhantomData<fn(&S) -> R>,
+}
+
+impl<S: Serialize, R: DeserializeOwned> Channel<S, R> {
+    /// Dials `addr` and sends the hello identifying this side as `me`.
+    pub fn connect(addr: SocketAddr, me: ActorId) -> Result<Channel<S, R>, FrameError> {
+        let mut stream = TcpStream::connect(addr).map_err(FrameError::Io)?;
+        stream.set_nodelay(true).map_err(FrameError::Io)?;
+        write_hello(&mut stream, me)?;
+        Ok(Channel::from_stream(stream))
+    }
+
+    /// Wraps an already-established stream (the acceptor side, after it
+    /// has consumed the hello itself).
+    pub fn from_stream(stream: TcpStream) -> Channel<S, R> {
+        Channel {
+            stream,
+            rbuf: Vec::new(),
+            _types: PhantomData,
+        }
+    }
+
+    /// Sends one message as a frame (blocking write), returning the frame
+    /// size in bytes.
+    pub fn send(&mut self, msg: &S) -> Result<usize, FrameError> {
+        self.stream.set_nonblocking(false).map_err(FrameError::Io)?;
+        write_frame(&mut self.stream, msg)
+    }
+
+    /// Non-blocking receive: returns a message if a whole frame has
+    /// arrived, `None` if the connection is merely quiet. Errors mean the
+    /// connection is dead (closed, reset, or speaking garbage).
+    pub fn poll(&mut self) -> Result<Option<R>, FrameError> {
+        self.stream.set_nonblocking(true).map_err(FrameError::Io)?;
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.rbuf.is_empty() {
+                        Err(FrameError::Closed)
+                    } else {
+                        Err(FrameError::Truncated)
+                    };
+                }
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        match decode_frame::<R>(&self.rbuf)? {
+            Some((msg, consumed)) => {
+                self.rbuf.drain(..consumed);
+                Ok(Some(msg))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Shuts the connection down in both directions (best effort).
+    pub fn close(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Send-side counters of a [`ConnectionPool`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolStats {
+    /// Frames successfully written.
+    pub frames_sent: u64,
+    /// Total frame bytes written (header + version + payload).
+    pub frame_bytes_sent: u64,
+    /// Messages dropped after the reconnect budget was exhausted.
+    pub dropped: u64,
+    /// Successful dials (first connections and reconnects).
+    pub dials: u64,
+}
+
+/// Lazily-dialed, self-healing connections to a fixed set of peers.
+///
+/// Peer `i` of `addrs` is [`ActorId`]`(i)` — the same dense id space the
+/// rest of the workspace uses. See the [module docs](self) for the
+/// send/drop semantics.
+#[derive(Debug)]
+pub struct ConnectionPool<S, R> {
+    me: ActorId,
+    addrs: Vec<SocketAddr>,
+    conns: Vec<Option<Channel<S, R>>>,
+    reconnect: Reconnect,
+    stats: PoolStats,
+}
+
+impl<S: Serialize, R: DeserializeOwned> ConnectionPool<S, R> {
+    /// Creates a pool speaking for `me`, with one slot per peer address.
+    pub fn new(me: ActorId, addrs: Vec<SocketAddr>) -> ConnectionPool<S, R> {
+        ConnectionPool::with_reconnect(me, addrs, Reconnect::default())
+    }
+
+    /// [`ConnectionPool::new`] with an explicit dial-retry policy.
+    pub fn with_reconnect(
+        me: ActorId,
+        addrs: Vec<SocketAddr>,
+        reconnect: Reconnect,
+    ) -> ConnectionPool<S, R> {
+        let conns = addrs.iter().map(|_| None).collect();
+        ConnectionPool {
+            me,
+            addrs,
+            conns,
+            reconnect,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// The id this pool dials as.
+    pub fn local_id(&self) -> ActorId {
+        self.me
+    }
+
+    /// Number of peer slots (the mesh size).
+    pub fn n_peers(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Send-side counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    fn dial(&mut self, to: ActorId) -> bool {
+        for attempt in 0..self.reconnect.attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.reconnect.backoff);
+            }
+            if let Ok(ch) = Channel::connect(self.addrs[to.index()], self.me) {
+                self.conns[to.index()] = Some(ch);
+                self.stats.dials += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Sends `msg` to `to`: dials on first use, redials once on a write
+    /// error, and otherwise drops the message (crash-model semantics).
+    /// Returns the frame size written, or `None` if the message was
+    /// dropped.
+    pub fn send(&mut self, to: ActorId, msg: &S) -> Option<usize> {
+        for _ in 0..2 {
+            if self.conns[to.index()].is_none() && !self.dial(to) {
+                break;
+            }
+            let ch = self.conns[to.index()].as_mut().expect("dialed above");
+            match ch.send(msg) {
+                Ok(bytes) => {
+                    self.stats.frames_sent += 1;
+                    self.stats.frame_bytes_sent += bytes as u64;
+                    return Some(bytes);
+                }
+                Err(_) => {
+                    // Dead socket: discard it and let the next loop
+                    // iteration redial exactly once.
+                    ch.close();
+                    self.conns[to.index()] = None;
+                }
+            }
+        }
+        self.stats.dropped += 1;
+        None
+    }
+
+    /// Polls every live dialed connection once for an inbound message.
+    /// Dead connections are discarded (their peer is "crashed" until a
+    /// send redials).
+    pub fn poll_any(&mut self) -> Option<(ActorId, R)> {
+        for i in 0..self.conns.len() {
+            let Some(ch) = self.conns[i].as_mut() else {
+                continue;
+            };
+            match ch.poll() {
+                Ok(Some(msg)) => return Some((ActorId(i), msg)),
+                Ok(None) => {}
+                Err(_) => {
+                    ch.close();
+                    self.conns[i] = None;
+                }
+            }
+        }
+        None
+    }
+
+    /// Broadcast view over the whole mesh: [`BroadcastPool::broadcast`]
+    /// sends to every peer and collects replies.
+    pub fn all(&mut self) -> BroadcastPool<'_, S, R> {
+        let targets = (0..self.n_peers()).map(ActorId).collect();
+        BroadcastPool {
+            pool: self,
+            targets,
+        }
+    }
+
+    /// Broadcast view over an explicit target set.
+    pub fn targets(&mut self, targets: Vec<ActorId>) -> BroadcastPool<'_, S, R> {
+        BroadcastPool {
+            pool: self,
+            targets,
+        }
+    }
+
+    /// Closes every live connection.
+    pub fn close_all(&mut self) {
+        for c in self.conns.iter_mut() {
+            if let Some(ch) = c.take() {
+                ch.close();
+            }
+        }
+    }
+}
+
+/// A one-shot broadcast over a subset of a pool's peers.
+#[derive(Debug)]
+pub struct BroadcastPool<'p, S, R> {
+    pool: &'p mut ConnectionPool<S, R>,
+    targets: Vec<ActorId>,
+}
+
+impl<'p, S: Serialize, R: DeserializeOwned> BroadcastPool<'p, S, R> {
+    /// Sends `msg` to every target (unreachable targets are dropped, per
+    /// the pool's semantics) and returns the reply collector.
+    pub fn broadcast(self, msg: &S) -> Replies<'p, S, R> {
+        for &t in &self.targets {
+            self.pool.send(t, msg);
+        }
+        Replies {
+            outstanding: self.targets,
+            pool: self.pool,
+            got: Vec::new(),
+        }
+    }
+}
+
+/// Why a [`Replies`] wait gave up.
+#[derive(Debug)]
+pub struct QuorumTimeout<R> {
+    /// The replies that did arrive before the deadline.
+    pub got: Vec<(ActorId, R)>,
+}
+
+/// Collects one reply per broadcast target until a quorum predicate is
+/// satisfied.
+///
+/// The collector reads the pool's dialed connections directly, so it is
+/// for the RPC usage shape: one request in flight per pool, each target
+/// answering each request at most once. Replies from targets that answer
+/// *after* the predicate is satisfied stay buffered in their channels and
+/// surface on the next broadcast's wait — matching replies to requests
+/// across overlapping operations is the caller's protocol concern (the
+/// replicated-register actors do exactly that with op-tagged messages).
+#[derive(Debug)]
+pub struct Replies<'p, S, R> {
+    pool: &'p mut ConnectionPool<S, R>,
+    outstanding: Vec<ActorId>,
+    got: Vec<(ActorId, R)>,
+}
+
+impl<S: Serialize, R: DeserializeOwned> Replies<'_, S, R> {
+    /// Waits until `done(&replies)` holds, polling the mesh, or until
+    /// `timeout` passes. On success returns the replies collected when the
+    /// predicate first held.
+    pub fn wait(
+        mut self,
+        timeout: Duration,
+        mut done: impl FnMut(&[(ActorId, R)]) -> bool,
+    ) -> Result<Vec<(ActorId, R)>, QuorumTimeout<R>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if done(&self.got) {
+                return Ok(self.got);
+            }
+            if self.outstanding.is_empty() || Instant::now() >= deadline {
+                return Err(QuorumTimeout { got: self.got });
+            }
+            match self.pool.poll_any() {
+                Some((from, msg)) => {
+                    if let Some(i) = self.outstanding.iter().position(|&t| t == from) {
+                        self.outstanding.swap_remove(i);
+                        self.got.push((from, msg));
+                    }
+                    // A reply from a non-outstanding peer is a straggler
+                    // from an earlier exchange: dropped, like the network
+                    // losing a late ack.
+                }
+                None => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+    }
+
+    /// Waits for at least `count` replies.
+    pub fn wait_count(
+        self,
+        timeout: Duration,
+        count: usize,
+    ) -> Result<Vec<(ActorId, R)>, QuorumTimeout<R>> {
+        self.wait(timeout, |got| got.len() >= count)
+    }
+
+    /// Weight-aware quorum wait: completes once the summed weight of the
+    /// replied peers **strictly exceeds half of `total`** — the paper's
+    /// quorum rule, valid under any weight assignment. `weight_of` maps a
+    /// peer to its current weight (zero for non-servers).
+    pub fn wait_weight(
+        self,
+        timeout: Duration,
+        total: Ratio,
+        mut weight_of: impl FnMut(ActorId) -> Ratio,
+    ) -> Result<Vec<(ActorId, R)>, QuorumTimeout<R>> {
+        let half = total.half();
+        self.wait(timeout, |got| {
+            let mut sum = Ratio::ZERO;
+            for (from, _) in got {
+                sum += weight_of(*from);
+            }
+            sum > half
+        })
+    }
+
+    /// [`Replies::wait_weight`] with weights taken from a [`ChangeSet`]
+    /// over an `n`-server system, mapping peer `i` to `ServerId(i)` (the
+    /// workspace's server placement).
+    pub fn wait_weight_quorum(
+        self,
+        timeout: Duration,
+        changes: &ChangeSet,
+        n: usize,
+    ) -> Result<Vec<(ActorId, R)>, QuorumTimeout<R>> {
+        let total = changes.total_weight(n);
+        self.wait_weight(timeout, total, |a| {
+            changes.server_weight(ServerId(a.index() as u32))
+        })
+    }
+}

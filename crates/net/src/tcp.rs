@@ -1,0 +1,244 @@
+//! The socket-mesh [`Transport`]: one OS process per actor, TCP links
+//! between them.
+//!
+//! Topology: every process — server or client — **listens**, and every
+//! message travels on a connection *dialed by its sender* (the
+//! [`crate::pool::ConnectionPool`]). Accepted connections are
+//! receive-only: a listener thread accepts them, reads the
+//! [hello](crate::pool::read_hello) identifying the dialer, and hands the
+//! socket to a reader thread that decodes frames into a shared inbox. The
+//! hosting [`awr_sim::NodeHost`] then consumes that inbox through
+//! [`Transport::recv_timeout`], single-threaded, exactly as it would any
+//! other transport.
+//!
+//! This shape gives the transport contract of `awr_sim::transport` for
+//! free:
+//!
+//! * **FIFO per directed link** — each `(sender, receiver)` pair is one
+//!   TCP connection at a time, and TCP preserves byte order;
+//! * **best-effort send, crash-model drops** — a send that outlives its
+//!   reconnect budget is dropped, like traffic to a crashed process;
+//! * **no duplication** — a reconnect opens a fresh connection but the
+//!   failed frame is *not* retransmitted.
+//!
+//! The transport meters what actually crosses the wire: per-kind frame
+//! counts and frame bytes on the send side ([`TcpTransport::sent_frames`])
+//! and aggregate receive counters. The hosting `NodeHost` independently
+//! meters the same sends by [`Message::wire_size`], which is what the
+//! simulator charges — the two views together let the demo cross-validate
+//! the sim's byte accounting against real sockets.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use awr_sim::{ActorId, KindStats, Message, Transport};
+use serde::{DeserializeOwned, Serialize};
+
+use crate::frame::read_frame;
+use crate::pool::{read_hello, ConnectionPool, PoolStats, Reconnect};
+
+/// Receive-side counters, shared with the reader threads.
+#[derive(Debug, Default)]
+struct RecvCounters {
+    frames: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// A node's endpoint in the TCP mesh. See the [module docs](self).
+///
+/// Build one with [`TcpTransport::start`] from a bound listener and the
+/// full mesh address list, then hand it to an `awr_sim::NodeHost`.
+/// Dropping the transport stops the listener and closes every connection.
+#[derive(Debug)]
+pub struct TcpTransport<M> {
+    me: ActorId,
+    n: usize,
+    pool: ConnectionPool<M, M>,
+    inbox: mpsc::Receiver<(ActorId, M)>,
+    sent_frames: KindStats,
+    recv: Arc<RecvCounters>,
+    shutdown: Arc<AtomicBool>,
+    accepted: Arc<Mutex<Vec<TcpStream>>>,
+    listener_thread: Option<JoinHandle<()>>,
+}
+
+impl<M> TcpTransport<M>
+where
+    M: Message + Serialize + DeserializeOwned + Send + 'static,
+{
+    /// Starts the endpoint for `me`: spawns the acceptor loop on
+    /// `listener` (which must already be bound; `127.0.0.1:0` then
+    /// [`TcpListener::local_addr`] is the usual dance) and prepares a
+    /// dialer pool toward `addrs`, where `addrs[i]` is the listener of
+    /// [`ActorId`]`(i)`.
+    pub fn start(
+        me: ActorId,
+        listener: TcpListener,
+        addrs: Vec<SocketAddr>,
+    ) -> std::io::Result<TcpTransport<M>> {
+        TcpTransport::start_with(me, listener, addrs, Reconnect::default())
+    }
+
+    /// [`TcpTransport::start`] with an explicit reconnect policy.
+    pub fn start_with(
+        me: ActorId,
+        listener: TcpListener,
+        addrs: Vec<SocketAddr>,
+        reconnect: Reconnect,
+    ) -> std::io::Result<TcpTransport<M>> {
+        let n = addrs.len();
+        let (tx, inbox) = mpsc::channel::<(ActorId, M)>();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(Mutex::new(Vec::new()));
+        let recv = Arc::new(RecvCounters::default());
+
+        listener.set_nonblocking(true)?;
+        let listener_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let accepted = Arc::clone(&accepted);
+            let recv = Arc::clone(&recv);
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if stream.set_nonblocking(false).is_err() {
+                                continue;
+                            }
+                            if let Ok(clone) = stream.try_clone() {
+                                accepted.lock().expect("accepted list lock").push(clone);
+                            }
+                            let tx = tx.clone();
+                            let recv = Arc::clone(&recv);
+                            std::thread::spawn(move || reader_loop(stream, tx, recv));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+
+        Ok(TcpTransport {
+            me,
+            n,
+            pool: ConnectionPool::with_reconnect(me, addrs, reconnect),
+            inbox,
+            sent_frames: KindStats::default(),
+            recv,
+            shutdown,
+            accepted,
+            listener_thread: Some(listener_thread),
+        })
+    }
+
+    /// Per-kind counts and byte totals of the frames actually written to
+    /// sockets (header + version + payload — compare against the
+    /// `wire_size`-metered numbers the hosting `NodeHost` records).
+    pub fn sent_frames(&self) -> &KindStats {
+        &self.sent_frames
+    }
+
+    /// Send-side pool counters (dials, drops).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Total frames decoded from accepted connections.
+    pub fn frames_received(&self) -> u64 {
+        self.recv.frames.load(Ordering::Relaxed)
+    }
+
+    /// Total frame bytes decoded from accepted connections.
+    pub fn frame_bytes_received(&self) -> u64 {
+        self.recv.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// [`std::io::Read`] adapter that tallies how many bytes pass through, so
+/// the reader loop can meter frame sizes without re-encoding anything.
+struct CountingReader<R> {
+    inner: R,
+    count: u64,
+}
+
+impl<R: std::io::Read> std::io::Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.count += n as u64;
+        Ok(n)
+    }
+}
+
+/// Drains frames from one accepted connection into the shared inbox.
+fn reader_loop<M: DeserializeOwned>(
+    mut stream: TcpStream,
+    tx: mpsc::Sender<(ActorId, M)>,
+    recv: Arc<RecvCounters>,
+) {
+    let Ok(from) = read_hello(&mut stream) else {
+        return;
+    };
+    let mut counting = CountingReader {
+        inner: stream,
+        count: 0,
+    };
+    loop {
+        let before = counting.count;
+        match read_frame::<M>(&mut counting) {
+            Ok(msg) => {
+                recv.frames.fetch_add(1, Ordering::Relaxed);
+                recv.bytes
+                    .fetch_add(counting.count - before, Ordering::Relaxed);
+                if tx.send((from, msg)).is_err() {
+                    return; // transport dropped; process is going away
+                }
+            }
+            Err(_) => return, // closed, truncated, or corrupt: peer is gone
+        }
+    }
+}
+
+impl<M> Transport<M> for TcpTransport<M>
+where
+    M: Message + Serialize + DeserializeOwned + Send + 'static,
+{
+    fn local_id(&self) -> ActorId {
+        self.me
+    }
+
+    fn n_actors(&self) -> usize {
+        self.n
+    }
+
+    fn send(&mut self, to: ActorId, msg: M) {
+        if let Some(bytes) = self.pool.send(to, &msg) {
+            let kind = msg.kind().to_string();
+            *self.sent_frames.msgs.entry(kind.clone()).or_default() += 1;
+            *self.sent_frames.wire_bytes.entry(kind).or_default() += bytes as u64;
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(ActorId, M)> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+}
+
+impl<M> Drop for TcpTransport<M> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Ok(streams) = self.accepted.lock() {
+            for s in streams.iter() {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        if let Some(h) = self.listener_thread.take() {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Loopback exercise of the broadcast → quorum-wait RPC shape: echo
+//! servers on localhost, one slow and one silent, under weighted quorum
+//! predicates.
+
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use awr_net::frame::{read_frame, write_frame};
+use awr_net::pool::{read_hello, ConnectionPool};
+use awr_sim::ActorId;
+use awr_types::Ratio;
+
+/// Spawns an echo peer: accepts one connection, reads the hello, and
+/// answers every `u64` request with `request + offset` after `delay` —
+/// or, if `mute`, swallows requests forever (a live-but-useless peer).
+fn spawn_peer(delay: Duration, mute: bool, offset: u64) -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::spawn(move || {
+        let Ok((mut stream, _)) = listener.accept() else {
+            return;
+        };
+        if read_hello(&mut stream).is_err() {
+            return;
+        }
+        while let Ok(req) = read_frame::<u64>(&mut stream) {
+            if mute {
+                continue;
+            }
+            std::thread::sleep(delay);
+            if write_frame(&mut stream, &(req + offset)).is_err() {
+                return;
+            }
+        }
+    });
+    addr
+}
+
+/// Weights: fast peers 0 and 1 hold 1/6 each, the slow peer holds 2/6,
+/// the mute peer 2/6. Total 1, quorum > 1/2 — so the two fast replies
+/// (2/6) are NOT a quorum, and the wait must hold on for the slow peer
+/// (reaching 4/6) while never needing the mute one.
+fn weight_of(a: ActorId) -> Ratio {
+    match a.index() {
+        0 | 1 => Ratio::new(1, 6),
+        _ => Ratio::new(2, 6),
+    }
+}
+
+#[test]
+fn weighted_quorum_waits_for_slow_peer_and_survives_a_dead_one() {
+    let slow = Duration::from_millis(200);
+    let addrs = vec![
+        spawn_peer(Duration::ZERO, false, 100),
+        spawn_peer(Duration::ZERO, false, 100),
+        spawn_peer(slow, false, 100),
+        spawn_peer(Duration::ZERO, true, 0), // mute: holds weight, never answers
+    ];
+    let mut pool = ConnectionPool::<u64, u64>::new(ActorId(9), addrs);
+
+    let t0 = Instant::now();
+    let got = pool
+        .all()
+        .broadcast(&7)
+        .wait_weight(Duration::from_secs(10), Ratio::ONE, weight_of)
+        .expect("quorum should form without the mute peer");
+    let elapsed = t0.elapsed();
+
+    // The slow peer was necessary: the wait can't have finished before its
+    // delay, and its reply must be among those collected.
+    assert!(elapsed >= slow, "quorum formed too early: {elapsed:?}");
+    let mut from: Vec<usize> = got.iter().map(|(a, _)| a.index()).collect();
+    from.sort_unstable();
+    assert_eq!(from, vec![0, 1, 2]);
+    for (_, reply) in &got {
+        assert_eq!(*reply, 107);
+    }
+}
+
+#[test]
+fn count_quorum_times_out_when_it_needs_the_dead_peer() {
+    let addrs = vec![
+        spawn_peer(Duration::ZERO, false, 1),
+        spawn_peer(Duration::ZERO, false, 1),
+        spawn_peer(Duration::ZERO, true, 0),
+    ];
+    let mut pool = ConnectionPool::<u64, u64>::new(ActorId(9), addrs);
+    let err = pool
+        .all()
+        .broadcast(&41)
+        .wait_count(Duration::from_millis(400), 3)
+        .expect_err("three replies can never arrive");
+    // Both live peers did answer before the deadline.
+    assert_eq!(err.got.len(), 2);
+    for (_, reply) in &err.got {
+        assert_eq!(*reply, 42);
+    }
+}
+
+#[test]
+fn sends_to_an_unreachable_peer_drop_instead_of_failing() {
+    // A peer that was never started: dialing must exhaust the reconnect
+    // budget and drop, like traffic to a crashed process.
+    let live = spawn_peer(Duration::ZERO, false, 1);
+    let dead = {
+        // Bind-then-drop guarantees an unused port at the time of test.
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr")
+    };
+    let mut pool = ConnectionPool::<u64, u64>::with_reconnect(
+        ActorId(5),
+        vec![live, dead],
+        awr_net::Reconnect {
+            attempts: 1,
+            backoff: Duration::ZERO,
+        },
+    );
+    assert!(pool.send(ActorId(0), &1).is_some());
+    assert!(pool.send(ActorId(1), &1).is_none());
+    assert_eq!(pool.stats().dropped, 1);
+    // Drain the echo of the direct send so it can't be mistaken for a
+    // reply to the upcoming broadcast (replies match by peer, not by
+    // request — the documented single-exchange-in-flight contract).
+    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    while pool.poll_any().is_none() {
+        assert!(Instant::now() < drain_deadline, "echo never arrived");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let got = pool
+        .all()
+        .broadcast(&9)
+        .wait_count(Duration::from_secs(5), 1)
+        .expect("the live peer answers");
+    assert_eq!(got[0].1, 10);
+    assert_eq!(pool.stats().dropped, 2, "broadcast dropped the dead leg");
+}

@@ -42,10 +42,11 @@ use std::collections::HashSet;
 use std::fmt;
 
 use awr_sim::{ActorId, Context, Message};
+use serde::{Deserialize, Serialize};
 
 /// A broadcast instance on the wire: the origin's id, the origin-local
 /// sequence number (deduplication key), and the payload.
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RbEnvelope<P> {
     /// The process that invoked `RB-broadcast`.
     pub origin: ActorId,

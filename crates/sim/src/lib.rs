@@ -16,6 +16,12 @@
 //! * [`ThreadedSystem`] — the same [`Actor`] trait over real threads and
 //!   crossbeam channels, for wall-clock benchmarks.
 //!
+//! A third runtime — real processes over TCP — lives in the `awr_net`
+//! crate and plugs in through the [`transport`] seam defined here: a
+//! [`Transport`] abstracts one node's message fabric and a [`NodeHost`]
+//! pumps any [`Actor`] over it (see `docs/RUNTIME.md` for the
+//! architecture).
+//!
 //! # The network model: propagation, transmission, serialization
 //!
 //! Delivery delay is decided by a [`NetworkModel`], which sees each
@@ -102,6 +108,7 @@ mod threaded;
 mod time;
 mod topology;
 mod trace;
+pub mod transport;
 pub mod workload;
 mod world;
 
@@ -121,6 +128,7 @@ pub use topology::{
     Region, GBIT10,
 };
 pub use trace::{Trace, TraceKind, TraceRecord};
+pub use transport::{ChannelTransport, KindStats, NodeHost, Step, Transport};
 pub use workload::{
     BurstyOnOff, ConstantBitrate, CrossTraffic, CrossTrafficStats, Flow, ReassignmentBurst,
     RegimeShift, TrafficGen,

@@ -1,0 +1,530 @@
+//! The runtime seam: hosting an [`Actor`] over a pluggable message fabric.
+//!
+//! The workspace runs the same protocol state machines in three runtimes:
+//!
+//! 1. the discrete-event [`crate::World`] (deterministic, adversarial —
+//!    the reference semantics);
+//! 2. the in-process [`crate::ThreadedSystem`] (real threads, channel
+//!    fabric, wall-clock benchmarks);
+//! 3. the real-socket runtime of the `awr_net` crate (one OS process per
+//!    actor, TCP between them).
+//!
+//! The first two drive actors directly. This module is the seam that
+//! admits the third — and any future fourth — without touching protocol
+//! code: a [`Transport`] abstracts "send a message / receive a message"
+//! for **one** node, and a [`NodeHost`] pumps any [`Actor`] over any
+//! [`Transport`], reproducing the callback-and-effects contract the actors
+//! were written against. A runtime is therefore just a `Transport`
+//! implementation plus whatever process/thread scaffolding it needs;
+//! [`ChannelTransport`] is the minimal in-process example (and the test
+//! double for transport-generic code).
+//!
+//! # Semantics a `Transport` must provide
+//!
+//! The paper's system model (§II) asks for reliable, FIFO-per-link,
+//! asynchronous point-to-point channels between non-Byzantine processes.
+//! Concretely:
+//!
+//! * **Best-effort send, crash-model drops.** `send` may not fail loudly:
+//!   a peer that cannot be reached is indistinguishable from a crashed
+//!   peer, and the protocols already tolerate crashed peers. A transport
+//!   reports delivery trouble by *dropping*, never by duplicating or
+//!   reordering within a link.
+//! * **FIFO per directed link.** Two messages from `a` to `b` arrive in
+//!   send order (the RB engine and the phase drivers rely on this only
+//!   weakly, but the DES provides it and equivalence arguments assume it).
+//! * **No timers, no clock.** Like [`crate::ThreadedSystem`], a hosted
+//!   actor's `SetTimer`/`CancelTimer` effects are ignored; none of the
+//!   default-configured protocols set timers ([`crate::World`] remains the
+//!   runtime for timer-dependent options such as client retry policies).
+//!
+//! # Persist-before-send
+//!
+//! Durable servers (`awr_storage`) append to their WAL *inside* the
+//! callback, while sends are buffered [`crate::Context`] effects applied
+//! only after the callback returns. [`NodeHost`] preserves exactly that
+//! ordering — effects are flushed to the transport strictly after the
+//! callback completes — so the persist-before-send invariant holds on
+//! every runtime built through this seam, not just the DES.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::actor::{Actor, ActorId, Context, Effect, Message};
+use crate::metrics::Metrics;
+use crate::time::Time;
+
+/// One node's view of the message fabric: identity, mesh size, best-effort
+/// sends, and blocking-with-deadline receives.
+///
+/// Implementations exist for in-process channels ([`ChannelTransport`])
+/// and real TCP sockets (`awr_net::TcpTransport`); the contract each must
+/// honour is spelled out in the [module docs](self).
+///
+/// # Examples
+///
+/// Two nodes ping-pong over the in-process implementation:
+///
+/// ```
+/// use std::time::Duration;
+/// use awr_sim::{ActorId, ChannelTransport, Transport};
+///
+/// let mut mesh = ChannelTransport::<u32>::mesh(2);
+/// let mut b = mesh.pop().unwrap();
+/// let mut a = mesh.pop().unwrap();
+/// assert_eq!((a.local_id(), b.local_id()), (ActorId(0), ActorId(1)));
+///
+/// a.send(ActorId(1), 7);
+/// let (from, msg) = b.recv_timeout(Duration::from_secs(1)).unwrap();
+/// assert_eq!((from, msg), (ActorId(0), 7));
+/// b.send(from, msg + 1);
+/// assert_eq!(a.recv_timeout(Duration::from_secs(1)), Some((ActorId(1), 8)));
+/// ```
+pub trait Transport<M> {
+    /// The actor id this transport speaks for.
+    fn local_id(&self) -> ActorId;
+
+    /// Total number of actors in the mesh (dense ids `0..n_actors`).
+    fn n_actors(&self) -> usize;
+
+    /// Sends `msg` to `to`, best-effort: an unreachable peer means the
+    /// message is dropped, exactly as the crash model drops traffic to a
+    /// dead process. Must preserve FIFO order per directed link.
+    fn send(&mut self, to: ActorId, msg: M);
+
+    /// Receives the next `(sender, message)` pair, waiting at most
+    /// `timeout`. `None` means the deadline passed with nothing to
+    /// deliver (not an error — an asynchronous network is allowed to be
+    /// arbitrarily quiet).
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(ActorId, M)>;
+}
+
+/// What one [`NodeHost::step`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// A message was received and dispatched to the actor.
+    Delivered,
+    /// The receive deadline passed with no traffic.
+    Idle,
+    /// The actor has crashed itself; no further callbacks will run.
+    Stopped,
+}
+
+/// Hosts one [`Actor`] over one [`Transport`]: the event loop of the
+/// real-transport runtimes.
+///
+/// The host reproduces the runtime contract actors are written against —
+/// callbacks receive a [`Context`], effects are buffered during the
+/// callback and applied after it returns (sends go to the transport,
+/// timers are ignored, `CrashSelf` stops the host) — and meters every send
+/// through [`Message::wire_size`] into a [`Metrics`], so byte accounting
+/// is comparable across all runtimes.
+///
+/// Driving is explicit and single-threaded: call [`NodeHost::step`] in a
+/// loop (servers), or interleave [`NodeHost::with_actor`] invocations with
+/// steps (clients starting operations). This mirrors how the DES harness
+/// drives `World` and keeps the host free of locks.
+pub struct NodeHost<A: Actor, T: Transport<A::Msg>> {
+    actor: A,
+    transport: T,
+    rng: StdRng,
+    next_timer: u64,
+    metrics: Metrics,
+    running: bool,
+}
+
+impl<A: Actor, T: Transport<A::Msg>> NodeHost<A, T> {
+    /// Builds the host and runs the actor's `on_start` (flushing its
+    /// effects), exactly as both in-process runtimes do before any
+    /// delivery. `seed` feeds the actor's [`Context::rng`]; hosts derive
+    /// per-node streams the same way [`crate::ThreadedSystem`] does.
+    pub fn start(actor: A, transport: T, seed: u64) -> NodeHost<A, T> {
+        let id = transport.local_id();
+        let rng = StdRng::seed_from_u64(seed ^ (id.index() as u64).wrapping_mul(0x9E37_79B9));
+        let mut host = NodeHost {
+            actor,
+            transport,
+            rng,
+            next_timer: 0,
+            metrics: Metrics::default(),
+            running: true,
+        };
+        host.callback(|a, ctx| a.on_start(ctx));
+        host
+    }
+
+    /// Runs one callback with a fresh [`Context`] and flushes the
+    /// resulting effects (the send-after-return discipline that makes
+    /// persist-before-send hold; see the module docs).
+    fn callback<R>(&mut self, f: impl FnOnce(&mut A, &mut Context<'_, A::Msg>) -> R) -> R {
+        let mut effects: Vec<Effect<A::Msg>> = Vec::new();
+        let self_id = self.transport.local_id();
+        let n_actors = self.transport.n_actors();
+        let out = {
+            let mut ctx = Context {
+                now: Time::ZERO,
+                self_id,
+                n_actors,
+                rng: &mut self.rng,
+                effects: &mut effects,
+                next_timer: &mut self.next_timer,
+            };
+            f(&mut self.actor, &mut ctx)
+        };
+        for e in effects {
+            match e {
+                Effect::Send { to, msg } => {
+                    self.record_send(self_id, to, &msg);
+                    self.transport.send(to, msg);
+                }
+                Effect::SetTimer { .. } | Effect::CancelTimer { .. } => {
+                    // Timers are a DES-only facility (module docs).
+                }
+                Effect::CrashSelf => self.running = false,
+            }
+        }
+        out
+    }
+
+    fn record_send(&mut self, from: ActorId, to: ActorId, msg: &A::Msg) {
+        let bytes = msg.wire_size() as u64;
+        self.metrics.messages_sent += 1;
+        self.metrics.bytes_sent += bytes;
+        *self.metrics.sent_by_kind.entry(msg.kind()).or_default() += 1;
+        *self.metrics.bytes_by_kind.entry(msg.kind()).or_default() += bytes;
+        *self.metrics.msgs_by_link.entry((from, to)).or_default() += 1;
+        *self.metrics.bytes_by_link.entry((from, to)).or_default() += bytes;
+        if let Some(o) = msg.object_key() {
+            *self.metrics.msgs_by_object.entry(o).or_default() += 1;
+            *self.metrics.bytes_by_object.entry(o).or_default() += bytes;
+        }
+    }
+
+    /// Waits up to `timeout` for one message and dispatches it. Returns
+    /// what happened; once [`Step::Stopped`] has been returned the host
+    /// delivers nothing further (the crash model: a dead process's inbound
+    /// traffic is dropped).
+    pub fn step(&mut self, timeout: Duration) -> Step {
+        if !self.running {
+            return Step::Stopped;
+        }
+        match self.transport.recv_timeout(timeout) {
+            Some((from, msg)) => {
+                self.callback(|a, ctx| a.on_message(from, msg, ctx));
+                if self.running {
+                    Step::Delivered
+                } else {
+                    Step::Stopped
+                }
+            }
+            None => Step::Idle,
+        }
+    }
+
+    /// Keeps stepping until the fabric has been quiet for `idle` (or the
+    /// actor stopped). The localhost analogue of the DES's
+    /// run-to-quiescence, useful for draining stray acks before a
+    /// measurement boundary.
+    pub fn run_until_idle(&mut self, idle: Duration) {
+        while self.step(idle) == Step::Delivered {}
+    }
+
+    /// Runs `f` against the actor with a live [`Context`] (for starting
+    /// client operations, invoking transfers, …) and flushes the effects
+    /// it requested. The transport-runtime counterpart of
+    /// `World::with_actor_ctx`.
+    pub fn with_actor<R>(&mut self, f: impl FnOnce(&mut A, &mut Context<'_, A::Msg>) -> R) -> R {
+        self.callback(f)
+    }
+
+    /// The hosted actor (read-only; mutate through
+    /// [`NodeHost::with_actor`] so effects are flushed).
+    pub fn actor(&self) -> &A {
+        &self.actor
+    }
+
+    /// Send-side accounting, metered through [`Message::wire_size`] — the
+    /// same quantity the DES and threaded runtimes record, which is what
+    /// makes cross-runtime byte comparisons meaningful.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The underlying transport.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Whether the actor is still live (has not crashed itself).
+    pub fn is_running(&self) -> bool {
+        self.running
+    }
+
+    /// Tears the host apart, returning the actor and transport (final
+    /// inspection, transport-level metric harvesting).
+    pub fn into_parts(self) -> (A, T) {
+        (self.actor, self.transport)
+    }
+}
+
+/// In-process [`Transport`] over `std::sync::mpsc` channels: the minimal
+/// implementation of the seam, used as the reference double in
+/// transport-generic tests and doc examples. One mesh = `n` transports,
+/// each owning its receiver and a sender to every peer.
+///
+/// Messages never drop (no process can die), so this models the crash-free
+/// asynchronous network; FIFO per link follows from channel FIFO.
+pub struct ChannelTransport<M> {
+    me: ActorId,
+    n: usize,
+    peers: Vec<mpsc::Sender<(ActorId, M)>>,
+    rx: mpsc::Receiver<(ActorId, M)>,
+}
+
+impl<M: Send> ChannelTransport<M> {
+    /// Builds a fully connected mesh of `n` transports; element `i` speaks
+    /// for [`ActorId`]`(i)`.
+    pub fn mesh(n: usize) -> Vec<ChannelTransport<M>> {
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| mpsc::channel()).unzip();
+        rxs.into_iter()
+            .enumerate()
+            .map(|(i, rx)| ChannelTransport {
+                me: ActorId(i),
+                n,
+                peers: txs.clone(),
+                rx,
+            })
+            .collect()
+    }
+}
+
+impl<M: Send> Transport<M> for ChannelTransport<M> {
+    fn local_id(&self) -> ActorId {
+        self.me
+    }
+
+    fn n_actors(&self) -> usize {
+        self.n
+    }
+
+    fn send(&mut self, to: ActorId, msg: M) {
+        // A closed receiver is a dead peer: the message is dropped, per
+        // the crash model.
+        let _ = self.peers[to.index()].send((self.me, msg));
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(ActorId, M)> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// Per-kind tallies of a transport run, serializable shape shared by the
+/// demo processes when they report metrics across the process boundary.
+/// (The in-memory [`Metrics`] uses `&'static str` kind keys, which cannot
+/// cross a serialization boundary; this owns its strings.)
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Messages sent, per message kind.
+    pub msgs: BTreeMap<String, u64>,
+    /// [`Message::wire_size`]-accounted bytes, per message kind.
+    pub wire_bytes: BTreeMap<String, u64>,
+}
+
+impl KindStats {
+    /// Extracts the owned per-kind view of `m`.
+    pub fn of(m: &Metrics) -> KindStats {
+        KindStats {
+            msgs: m
+                .sent_by_kind
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            wire_bytes: m
+                .bytes_by_kind
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+        }
+    }
+
+    /// Adds `other` into `self` (aggregating several processes' reports).
+    pub fn absorb(&mut self, other: &KindStats) {
+        for (k, v) in &other.msgs {
+            *self.msgs.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.wire_bytes {
+            *self.wire_bytes.entry(k.clone()).or_default() += v;
+        }
+    }
+
+    /// Total wire-accounted bytes across kinds.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.wire_bytes.values().sum()
+    }
+
+    /// Total messages across kinds.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.values().sum()
+    }
+}
+
+// Manual serde impls: the vendored serde stand-in has no generic
+// `BTreeMap` Deserialize, so maps travel as sequences of `[key, value]`
+// pairs (the same idiom awr_storage's durable records use).
+impl serde::Serialize for KindStats {
+    fn to_value(&self) -> serde::Value {
+        fn pairs(m: &BTreeMap<String, u64>) -> serde::Value {
+            serde::Value::Seq(m.iter().map(|(k, v)| (k.clone(), *v).to_value()).collect())
+        }
+        serde::Value::Map(vec![
+            ("msgs".to_string(), pairs(&self.msgs)),
+            ("wire_bytes".to_string(), pairs(&self.wire_bytes)),
+        ])
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for KindStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("KindStats: expected map"))?;
+        fn unpairs(v: &serde::Value) -> Result<BTreeMap<String, u64>, serde::Error> {
+            let pairs: Vec<(String, u64)> = serde::Deserialize::from_value(v)?;
+            Ok(pairs.into_iter().collect())
+        }
+        Ok(KindStats {
+            msgs: unpairs(serde::map_get(m, "msgs")?)?,
+            wire_bytes: unpairs(serde::map_get(m, "wire_bytes")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    #[derive(Clone, Debug)]
+    enum Ping {
+        Hit,
+        Report,
+        Count(u64),
+    }
+    impl Message for Ping {}
+
+    struct Counter {
+        hits: u64,
+        reported: Option<u64>,
+    }
+
+    impl Actor for Counter {
+        type Msg = Ping;
+        fn on_message(&mut self, from: ActorId, msg: Ping, ctx: &mut Context<'_, Ping>) {
+            match msg {
+                Ping::Hit => self.hits += 1,
+                Ping::Report => ctx.send(from, Ping::Count(self.hits)),
+                Ping::Count(c) => self.reported = Some(c),
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn host_pumps_actor_over_channel_mesh() {
+        let mut mesh = ChannelTransport::mesh(2);
+        let t1 = mesh.pop().unwrap();
+        let t0 = mesh.pop().unwrap();
+        let mut h0 = NodeHost::start(
+            Counter {
+                hits: 0,
+                reported: None,
+            },
+            t0,
+            1,
+        );
+        let mut h1 = NodeHost::start(
+            Counter {
+                hits: 0,
+                reported: None,
+            },
+            t1,
+            1,
+        );
+        h1.with_actor(|_, ctx| {
+            for _ in 0..10 {
+                ctx.send(ActorId(0), Ping::Hit);
+            }
+            ctx.send(ActorId(0), Ping::Report);
+        });
+        for _ in 0..11 {
+            assert_eq!(h0.step(Duration::from_secs(1)), Step::Delivered);
+        }
+        assert_eq!(h1.step(Duration::from_secs(1)), Step::Delivered);
+        assert_eq!(h1.actor().reported, Some(10));
+        // Sends are wire_size-metered, same as the other runtimes.
+        assert_eq!(h1.metrics().messages_sent, 11);
+        assert_eq!(h0.metrics().sent_of_kind("msg"), 1);
+    }
+
+    #[test]
+    fn crash_self_stops_the_host() {
+        struct Quitter;
+        impl Actor for Quitter {
+            type Msg = Ping;
+            fn on_message(&mut self, _f: ActorId, _m: Ping, ctx: &mut Context<'_, Ping>) {
+                ctx.crash_self();
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut mesh = ChannelTransport::mesh(1);
+        let t = mesh.pop().unwrap();
+        let mut h = NodeHost::start(Quitter, t, 3);
+        h.with_actor(|_, ctx| ctx.send(ActorId(0), Ping::Hit));
+        assert!(h.is_running());
+        assert_eq!(h.step(Duration::from_secs(1)), Step::Stopped);
+        assert_eq!(h.step(Duration::from_millis(1)), Step::Stopped);
+        assert!(!h.is_running());
+    }
+
+    #[test]
+    fn idle_when_quiet() {
+        let mut mesh = ChannelTransport::<Ping>::mesh(1);
+        let t = mesh.pop().unwrap();
+        let mut h = NodeHost::start(
+            Counter {
+                hits: 0,
+                reported: None,
+            },
+            t,
+            0,
+        );
+        assert_eq!(h.step(Duration::from_millis(5)), Step::Idle);
+    }
+
+    #[test]
+    fn kind_stats_roundtrip_and_absorb() {
+        let mut m = Metrics::default();
+        *m.sent_by_kind.entry("R").or_default() += 3;
+        *m.bytes_by_kind.entry("R").or_default() += 300;
+        let mut a = KindStats::of(&m);
+        let b = a.clone();
+        a.absorb(&b);
+        assert_eq!(a.msgs["R"], 6);
+        assert_eq!(a.total_wire_bytes(), 600);
+        assert_eq!(a.total_msgs(), 6);
+    }
+}

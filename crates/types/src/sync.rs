@@ -55,13 +55,17 @@
 //! assert_eq!(receiver, sender);
 //! ```
 
+use serde::{Deserialize, Serialize};
+
 use crate::change_set::change_mix;
 use crate::{Change, ChangeSet};
 
 /// A wire reference to a [`ChangeSet`]: summary, delta, or full content.
 ///
 /// See the [module docs](self) for the negotiation discipline.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Serializable so the real-transport runtime (`awr_net`) can frame the
+/// negotiation exactly as the sim models it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CsRef {
     /// Digest and cardinality of the sender's set — O(1) on the wire.
     Summary {
