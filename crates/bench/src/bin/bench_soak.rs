@@ -232,13 +232,35 @@ fn main() {
         let max = |rs: &[Row]| rs.iter().map(f).max().unwrap_or(0);
         (max(&rows[..mid]), max(&rows[mid..]))
     };
-    let drift_checks: [(&str, (u64, u64), f64); 3] = [
-        ("journal", halves(&|r| r.max_journal as u64), 1.25),
-        ("wal", halves(&|r| r.max_wal as u64), 1.25),
-        ("recovery time", halves(&|r| r.recovery_ns), 1.5),
+    // Each check carries an absolute floor under which ratio drift is
+    // noise: a short (smoke) campaign recovers in a few virtual ms, where
+    // one extra refresh round trip can be half the total, and a
+    // half-empty journal can double on a straggler. Drift only fails once
+    // the second-half max also clears its floor — the full run's values
+    // sit far above these, so the flat-curve gate keeps its teeth there.
+    let drift_checks: [(&str, (u64, u64), f64, u64); 3] = [
+        (
+            "journal",
+            halves(&|r| r.max_journal as u64),
+            1.25,
+            CADENCE.every as u64,
+        ),
+        (
+            "wal",
+            halves(&|r| r.max_wal as u64),
+            1.25,
+            CADENCE.every as u64,
+        ),
+        (
+            "recovery time",
+            halves(&|r| r.recovery_ns),
+            1.5,
+            // 50 virtual ms: several full sync + refresh rounds.
+            50_000_000,
+        ),
     ];
-    for (what, (first, second), slack) in drift_checks {
-        if second as f64 > first as f64 * slack {
+    for (what, (first, second), slack, floor) in drift_checks {
+        if second as f64 > first as f64 * slack && second > floor {
             eprintln!("FAIL: {what} drifts: first-half max {first}, second-half max {second}");
             ok = false;
         }

@@ -104,6 +104,8 @@ mod metrics;
 #[cfg(feature = "mutate")]
 pub mod mutate;
 mod network;
+pub mod openloop;
+pub mod sched;
 mod threaded;
 mod time;
 mod topology;
@@ -120,6 +122,8 @@ pub use network::{
     HealingPartition, LatencyModel, LinkDiscipline, NetworkModel, ReceiveDiscipline, SharedLatency,
     SlowActors, TargetedDelay, UniformLatency, WanMatrix, UNLIMITED_BANDWIDTH,
 };
+pub use openloop::{ArrivalProcess, ArrivalSpec, BurstyArrivals, PoissonArrivals};
+pub use sched::{BinaryHeapScheduler, Scheduler, SchedulerKind, TimingWheel};
 pub use threaded::{downcast_actor, ThreadedMetrics, ThreadedSystem};
 pub use time::{Nanos, Time, MICRO, MILLI, SECOND};
 pub use topology::{

@@ -5,8 +5,7 @@
 //! replays the exact same schedule — the property all experiment harnesses
 //! and failure-injection tests rely on.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashSet;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,6 +13,7 @@ use rand::SeedableRng;
 use crate::actor::{Actor, ActorId, Context, Effect, Message, TimerId};
 use crate::metrics::Metrics;
 use crate::network::NetworkModel;
+use crate::sched::{build_scheduler, Scheduler, SchedulerKind};
 use crate::time::{Nanos, Time};
 use crate::trace::{Trace, TraceKind};
 
@@ -73,30 +73,6 @@ impl<M: std::fmt::Debug> std::fmt::Debug for EventKind<M> {
                 .field("actor", actor)
                 .finish_non_exhaustive(),
         }
-    }
-}
-
-struct QueuedEvent<M> {
-    at: Time,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for QueuedEvent<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for QueuedEvent<M> {}
-impl<M> PartialOrd for QueuedEvent<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for QueuedEvent<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Time first, then insertion sequence: a deterministic total order.
-        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -195,7 +171,8 @@ pub enum PendingKind {
 pub struct World<M: Message> {
     time: Time,
     seq: u64,
-    queue: BinaryHeap<Reverse<QueuedEvent<M>>>,
+    queue: Box<dyn Scheduler<EventKind<M>>>,
+    scheduler_kind: SchedulerKind,
     actors: Vec<Box<dyn Actor<Msg = M>>>,
     crashed: Vec<bool>,
     /// Dead incarnations displaced by [`World::restart_now`], kept for
@@ -218,11 +195,28 @@ impl<M: Message> World<M> {
     /// Creates a world with the given RNG seed and network model. Any
     /// [`crate::LatencyModel`] works directly (infinite bandwidth); wrap it
     /// in [`crate::BandwidthLinks`] to make message sizes shape delivery.
+    ///
+    /// Events run on the default [`SchedulerKind::TimingWheel`]; the
+    /// tie-break contract (ascending `(at, seq)`) makes the schedule
+    /// identical under every [`SchedulerKind`], so this is purely a
+    /// wall-clock choice — see [`World::new_with_scheduler`].
     pub fn new(seed: u64, network: impl NetworkModel + 'static) -> World<M> {
+        Self::new_with_scheduler(seed, network, SchedulerKind::TimingWheel)
+    }
+
+    /// [`World::new`] with an explicit event-queue implementation —
+    /// `tests/scheduler_equivalence.rs` uses this to pin the timing wheel
+    /// against the [`SchedulerKind::BinaryHeap`] reference seed-for-seed.
+    pub fn new_with_scheduler(
+        seed: u64,
+        network: impl NetworkModel + 'static,
+        kind: SchedulerKind,
+    ) -> World<M> {
         World {
             time: Time::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: build_scheduler(kind),
+            scheduler_kind: kind,
             actors: Vec::new(),
             crashed: Vec::new(),
             graveyard: Vec::new(),
@@ -280,6 +274,28 @@ impl<M: Message> World<M> {
     /// Overrides the runaway-event guard (default 50 M events).
     pub fn set_event_limit(&mut self, limit: u64) {
         self.event_limit = limit;
+    }
+
+    /// The event-queue implementation this world runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.scheduler_kind
+    }
+
+    /// Swaps the event-queue implementation, migrating every pending
+    /// event (sequence numbers preserved). Because all schedulers honor
+    /// the same `(at, seq)` total order, this changes nothing about the
+    /// schedule — harnesses built on [`World::new`] use it to rerun a
+    /// scenario on the [`SchedulerKind::BinaryHeap`] reference.
+    pub fn set_scheduler(&mut self, kind: SchedulerKind) {
+        if kind == self.scheduler_kind {
+            return;
+        }
+        let mut fresh = build_scheduler(kind);
+        while let Some((at, seq, ev)) = self.queue.pop() {
+            fresh.push(at, seq, ev);
+        }
+        self.queue = fresh;
+        self.scheduler_kind = kind;
     }
 
     /// Schedules actor `a` to crash at virtual time `at`. Crashed actors
@@ -425,7 +441,7 @@ impl<M: Message> World<M> {
     fn push_event(&mut self, at: Time, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+        self.queue.push(at, seq, kind);
     }
 
     fn apply_effects(&mut self, from: ActorId, effects: Vec<Effect<M>>) {
@@ -484,12 +500,12 @@ impl<M: Message> World<M> {
     ///
     /// Panics if the event limit is exceeded (runaway protocol).
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some((at, _seq, kind)) = self.queue.pop() else {
             self.started = true;
             return false;
         };
-        debug_assert!(ev.at >= self.time, "time went backwards");
-        self.process_event(ev);
+        debug_assert!(at >= self.time, "time went backwards");
+        self.process_event(at, kind);
         true
     }
 
@@ -504,26 +520,16 @@ impl<M: Message> World<M> {
     ///
     /// Panics if the event limit is exceeded (runaway protocol).
     pub fn step_seq(&mut self, seq: u64) -> bool {
-        let mut rest = Vec::with_capacity(self.queue.len());
-        let mut found = None;
-        for Reverse(ev) in self.queue.drain() {
-            if ev.seq == seq && found.is_none() {
-                found = Some(ev);
-            } else {
-                rest.push(Reverse(ev));
-            }
-        }
-        self.queue = rest.into();
-        match found {
-            Some(ev) => {
-                self.process_event(ev);
+        match self.queue.take_seq(seq) {
+            Some((at, _seq, kind)) => {
+                self.process_event(at, kind);
                 true
             }
             None => false,
         }
     }
 
-    fn process_event(&mut self, ev: QueuedEvent<M>) {
+    fn process_event(&mut self, at: Time, kind: EventKind<M>) {
         self.started = true;
         assert!(
             self.metrics.events_processed < self.event_limit,
@@ -531,9 +537,9 @@ impl<M: Message> World<M> {
             self.event_limit
         );
         self.metrics.events_processed += 1;
-        self.time = self.time.max(ev.at);
+        self.time = self.time.max(at);
         self.metrics.last_time = self.time;
-        match ev.kind {
+        match kind {
             EventKind::Start(a) => {
                 self.dispatch(a, |actor, ctx| actor.on_start(ctx));
             }
@@ -604,37 +610,30 @@ impl<M: Message> World<M> {
     /// scheduling decision. Cancelled timers are omitted (firing them is a
     /// no-op).
     pub fn pending_events(&self) -> Vec<PendingEvent> {
-        let mut out: Vec<PendingEvent> = self
-            .queue
-            .iter()
-            .filter_map(|Reverse(ev)| {
-                let kind = match &ev.kind {
-                    EventKind::Start(a) => PendingKind::Start { actor: *a },
-                    EventKind::Deliver { from, to, msg, .. } => PendingKind::Deliver {
-                        from: *from,
-                        to: *to,
-                        kind: msg.kind(),
-                        digest: msg.content_digest(),
-                    },
-                    EventKind::Timer { actor, id, tag } => {
-                        if self.cancelled_timers.contains(id) {
-                            return None;
-                        }
-                        PendingKind::Timer {
-                            actor: *actor,
-                            tag: *tag,
-                        }
+        let mut out: Vec<PendingEvent> = Vec::with_capacity(self.queue.len());
+        self.queue.for_each(&mut |at, seq, ev| {
+            let kind = match ev {
+                EventKind::Start(a) => PendingKind::Start { actor: *a },
+                EventKind::Deliver { from, to, msg, .. } => PendingKind::Deliver {
+                    from: *from,
+                    to: *to,
+                    kind: msg.kind(),
+                    digest: msg.content_digest(),
+                },
+                EventKind::Timer { actor, id, tag } => {
+                    if self.cancelled_timers.contains(id) {
+                        return;
                     }
-                    EventKind::Crash(a) => PendingKind::Crash { actor: *a },
-                    EventKind::Restart { actor, .. } => PendingKind::Restart { actor: *actor },
-                };
-                Some(PendingEvent {
-                    seq: ev.seq,
-                    at: ev.at,
-                    kind,
-                })
-            })
-            .collect();
+                    PendingKind::Timer {
+                        actor: *actor,
+                        tag: *tag,
+                    }
+                }
+                EventKind::Crash(a) => PendingKind::Crash { actor: *a },
+                EventKind::Restart { actor, .. } => PendingKind::Restart { actor: *actor },
+            };
+            out.push(PendingEvent { seq, at, kind });
+        });
         out.sort_by_key(|e| (e.at, e.seq));
         out
     }
@@ -661,20 +660,23 @@ impl<M: Message> World<M> {
         // In-flight events as a sorted multiset of identities, independent
         // of delivery times and queue positions.
         let mut pending: Vec<(u8, usize, usize, u64)> = Vec::with_capacity(self.queue.len());
-        for Reverse(ev) in self.queue.iter() {
-            match &ev.kind {
-                EventKind::Start(a) => pending.push((0, a.index(), 0, 0)),
-                EventKind::Deliver { from, to, msg, .. } => {
-                    pending.push((1, from.index(), to.index(), msg.content_digest()?));
+        let mut undigestible = false;
+        self.queue.for_each(&mut |_, _, ev| match ev {
+            EventKind::Start(a) => pending.push((0, a.index(), 0, 0)),
+            EventKind::Deliver { from, to, msg, .. } => match msg.content_digest() {
+                Some(d) => pending.push((1, from.index(), to.index(), d)),
+                None => undigestible = true,
+            },
+            EventKind::Timer { actor, id, tag } => {
+                if !self.cancelled_timers.contains(id) {
+                    pending.push((2, actor.index(), 0, *tag));
                 }
-                EventKind::Timer { actor, id, tag } => {
-                    if !self.cancelled_timers.contains(id) {
-                        pending.push((2, actor.index(), 0, *tag));
-                    }
-                }
-                EventKind::Crash(a) => pending.push((3, a.index(), 0, 0)),
-                EventKind::Restart { actor, .. } => pending.push((4, actor.index(), 0, 0)),
             }
+            EventKind::Crash(a) => pending.push((3, a.index(), 0, 0)),
+            EventKind::Restart { actor, .. } => pending.push((4, actor.index(), 0, 0)),
+        });
+        if undigestible {
+            return None;
         }
         pending.sort_unstable();
         pending.hash(&mut h);
@@ -704,8 +706,8 @@ impl<M: Message> World<M> {
     pub fn run_for(&mut self, duration: Nanos) {
         let deadline = self.time + duration;
         loop {
-            match self.queue.peek() {
-                Some(Reverse(ev)) if ev.at <= deadline => {
+            match self.queue.next_key() {
+                Some((at, _)) if at <= deadline => {
                     self.step();
                 }
                 _ => {

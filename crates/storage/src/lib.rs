@@ -33,6 +33,7 @@ mod dynamic;
 mod harness;
 mod history;
 mod lin;
+pub mod openloop;
 pub mod placement;
 mod quorum_rule;
 pub mod workload;
@@ -49,6 +50,7 @@ pub use dynamic::{
 pub use harness::StorageHarness;
 pub use history::{HistOp, History, OpKind};
 pub use lin::{check_linearizable, check_linearizable_keyed, KeyedLinError, LinError};
+pub use openloop::{OpenLoopClient, OpenLoopHarness, OpenLoopSpec, OpenLoopStats};
 pub use placement::{run_adaptive_workload, PlacementDriver};
 pub use quorum_rule::QuorumRule;
 

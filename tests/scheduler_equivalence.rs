@@ -1,0 +1,257 @@
+//! Seed-for-seed equivalence of the two event-queue implementations:
+//! the hierarchical [`TimingWheel`] (the default) and the
+//! [`BinaryHeapScheduler`] reference.
+//!
+//! The simulator's determinism contract is that events pop in ascending
+//! `(at, seq)` order — time first, insertion sequence as the tie-break.
+//! Any scheduler honoring that total order replays a seeded scenario
+//! *identically*: same trace records in the same order, same metrics,
+//! same protocol outcomes, same virtual end time. These tests pin that
+//! claim three ways:
+//!
+//! * whole-system replays under keyed open-loop load (uniform and Zipf
+//!   keys), under a crash/restart fault campaign with retries, and on a
+//!   bandwidth-constrained topology where transmission times make the
+//!   schedule irregular;
+//! * a property test feeding both schedulers the same random batches of
+//!   pushes, pops, and mid-queue removals — with deliberate
+//!   same-timestamp ties — and asserting the popped sequences match
+//!   element for element.
+
+use awr::core::RpConfig;
+use awr::sim::{
+    constrained_uplink, ActorId, ArrivalSpec, BinaryHeapScheduler, FaultPlan, Scheduler,
+    SchedulerKind, Time, TimingWheel, TraceRecord, UniformLatency, MILLI, SECOND,
+};
+use awr::storage::workload::{run_mixed_workload, KeyDistribution, WorkloadSpec};
+use awr::storage::{
+    CheckpointCadence, DynOptions, OpenLoopHarness, OpenLoopSpec, RetryPolicy, StorageHarness,
+};
+use proptest::prelude::*;
+
+/// Everything observable about a finished run.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    trace: Vec<TraceRecord>,
+    events: u64,
+    sent: u64,
+    bytes: u64,
+    timers: u64,
+    end_ns: u64,
+}
+
+fn fingerprint_of(world: &awr::sim::World<awr::storage::DynMsg<u64>>) -> Fingerprint {
+    let m = world.metrics();
+    Fingerprint {
+        trace: world
+            .trace()
+            .expect("trace enabled")
+            .records()
+            .cloned()
+            .collect(),
+        events: m.events_processed,
+        sent: m.messages_sent,
+        bytes: m.bytes_sent,
+        timers: m.timers_fired,
+        end_ns: m.last_time.nanos(),
+    }
+}
+
+/// Open-loop keyed load on a plain latency network.
+fn openloop_run(kind: SchedulerKind, dist: KeyDistribution, seed: u64) -> (Fingerprint, u64, u64) {
+    let mut h = OpenLoopHarness::build(
+        RpConfig::uniform(3, 1),
+        &OpenLoopSpec {
+            n_clients: 6,
+            n_objects: 5,
+            dist,
+            write_fraction: 0.4,
+            arrivals: ArrivalSpec::Poisson {
+                rate_per_sec: 2_000.0,
+            },
+            duration: SECOND / 4,
+            per_object: false,
+            seed,
+        },
+        UniformLatency::new(100_000, 900_000),
+        DynOptions::default(),
+    );
+    h.inner.world.set_scheduler(kind);
+    h.inner.world.enable_trace(1 << 20);
+    h.run(None, 50 * MILLI);
+    let s = h.stats();
+    assert_eq!(s.completed, s.generated);
+    (fingerprint_of(&h.inner.world), s.generated, s.arrival_hash)
+}
+
+#[test]
+fn openloop_replays_identically_uniform_and_zipf() {
+    for dist in [
+        KeyDistribution::Uniform,
+        KeyDistribution::Zipfian { exponent: 1.0 },
+    ] {
+        for seed in [3u64, 17] {
+            let wheel = openloop_run(SchedulerKind::TimingWheel, dist, seed);
+            let heap = openloop_run(SchedulerKind::BinaryHeap, dist, seed);
+            assert_eq!(wheel, heap, "{dist:?} seed {seed} diverged");
+        }
+    }
+}
+
+#[test]
+fn crash_restart_campaign_replays_identically() {
+    let run = |kind: SchedulerKind, seed: u64| {
+        let cfg = RpConfig::uniform(5, 1);
+        let servers: Vec<_> = (0..5).map(ActorId).collect();
+        let mut h: StorageHarness<u64> = StorageHarness::build_durable(
+            cfg,
+            3,
+            seed,
+            UniformLatency::new(1_000, 50_000),
+            DynOptions {
+                checkpoint: Some(CheckpointCadence::default()),
+                retry: Some(RetryPolicy::default()),
+                ..DynOptions::default()
+            },
+        );
+        h.world.set_scheduler(kind);
+        h.world.enable_trace(1 << 20);
+        let plan = FaultPlan::random(seed, &servers, Time(3_000_000), 700_000, 250_000);
+        assert!(!plan.is_empty());
+        h.install_fault_plan(&plan);
+        let stats = run_mixed_workload(&mut h, 3, &WorkloadSpec::default(), seed);
+        h.settle();
+        (
+            fingerprint_of(&h.world),
+            stats.reads,
+            stats.writes,
+            h.total_restarts(),
+        )
+    };
+    for seed in 40..43u64 {
+        let wheel = run(SchedulerKind::TimingWheel, seed);
+        let heap = run(SchedulerKind::BinaryHeap, seed);
+        assert!(wheel.3 > 0, "seed {seed}: campaign never restarted anyone");
+        assert_eq!(wheel, heap, "seed {seed} diverged under faults");
+    }
+}
+
+#[test]
+fn bandwidth_constrained_topology_replays_identically() {
+    // Shared uplinks charge per-byte transmission time, so the schedule
+    // is shaped by message sizes — the hardest case for an event queue
+    // because delivery times are highly irregular and collide often.
+    let run = |kind: SchedulerKind| {
+        let n_clients = 4;
+        let mut h = OpenLoopHarness::build(
+            RpConfig::uniform(3, 1),
+            &OpenLoopSpec {
+                n_clients,
+                n_objects: 3,
+                dist: KeyDistribution::Zipfian { exponent: 1.0 },
+                write_fraction: 0.5,
+                arrivals: ArrivalSpec::Bursty {
+                    on_rate_per_sec: 3_000.0,
+                    on_ns: 20 * MILLI,
+                    off_ns: 60 * MILLI,
+                },
+                duration: SECOND / 4,
+                per_object: false,
+                seed: 0xB0BA,
+            },
+            constrained_uplink(3 + n_clients, 500_000),
+            DynOptions::default(),
+        );
+        h.inner.world.set_scheduler(kind);
+        h.inner.world.enable_trace(1 << 20);
+        h.seed_changes(50);
+        h.run(None, 50 * MILLI);
+        let s = h.stats();
+        assert_eq!(s.completed, s.generated);
+        assert!(s.max_backlog > 0, "constrained run never queued");
+        (fingerprint_of(&h.inner.world), s.arrival_hash)
+    };
+    assert_eq!(
+        run(SchedulerKind::TimingWheel),
+        run(SchedulerKind::BinaryHeap)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random interleavings of push / pop / take_seq keep the two
+    /// schedulers in lock-step, including same-timestamp ties (which must
+    /// pop in insertion order) and far-future jumps (which exercise the
+    /// wheel's higher levels and overflow).
+    #[test]
+    fn wheel_matches_heap_on_random_batches(
+        ops in proptest::collection::vec((0u32..10, 0u32..8, 0u64..1_000_000_000), 1..300),
+    ) {
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut heap: BinaryHeapScheduler<u64> = BinaryHeapScheduler::new();
+        let mut seq = 0u64;
+        // Pushes never precede the last pop — the contract the World
+        // upholds (virtual time is monotone).
+        let mut floor = 0u64;
+        let mut pending: Vec<u64> = Vec::new();
+        for (op, shape, raw) in ops {
+            match op {
+                // Push (biased: most ops grow the queue).
+                0..=5 => {
+                    let at = match shape {
+                        // Exact tie with the current floor.
+                        0 | 1 => floor,
+                        // Cluster tightly (forces same-slot collisions).
+                        2 | 3 => floor.saturating_add(raw % 128),
+                        // Near future (level 0-2).
+                        4 | 5 => floor.saturating_add(raw),
+                        // Far future (high levels).
+                        6 => floor.saturating_add(raw << 30),
+                        // Beyond the wheel horizon (overflow heap).
+                        _ => floor.saturating_add(raw << 50),
+                    };
+                    wheel.push(Time(at), seq, seq);
+                    heap.push(Time(at), seq, seq);
+                    pending.push(seq);
+                    seq += 1;
+                }
+                // Pop.
+                6 | 7 => {
+                    let a = wheel.pop();
+                    let b = heap.pop();
+                    prop_assert_eq!(&a, &b);
+                    if let Some((at, s, _)) = a {
+                        floor = at.0;
+                        pending.retain(|&x| x != s);
+                    }
+                }
+                // Remove a random pending event from the middle.
+                8 => {
+                    if !pending.is_empty() {
+                        let victim = pending[(raw as usize) % pending.len()];
+                        let a = wheel.take_seq(victim);
+                        let b = heap.take_seq(victim);
+                        prop_assert_eq!(&a, &b);
+                        prop_assert!(a.is_some());
+                        pending.retain(|&x| x != victim);
+                    }
+                }
+                // Peek.
+                _ => {
+                    prop_assert_eq!(wheel.next_key(), heap.next_key());
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+        }
+        // Drain: the full remaining order must agree.
+        loop {
+            let a = wheel.pop();
+            let b = heap.pop();
+            prop_assert_eq!(&a, &b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! A fixed-bucket, log-scaled value histogram — the vendored stand-in
+//! for `hdrhistogram`, covering exactly the surface the workspace's
+//! open-loop load harness needs.
+//!
+//! # Bucket scheme
+//!
+//! Values are `u64` (the workspace records latencies in nanoseconds).
+//! The first 32 buckets are exact (one per value 0–31); above that,
+//! each power-of-two range splits into 32 linear sub-buckets, so the
+//! bucket containing `v` spans at most `v/32` — a ≤ 3.125% relative
+//! error, constant across the full `u64` range. That fixes the bucket
+//! count at `60×32 = 1920` (≈ 15 KB of counters), small enough to
+//! pre-allocate flat:
+//!
+//! * [`Histogram::record`] is array-index + add — **zero allocations**
+//!   on the hot path (asserted by a counting-allocator test);
+//! * [`Histogram::merge`] is element-wise add, so per-client or
+//!   per-shard histograms combine exactly — `merge(a, b)` is
+//!   indistinguishable from having fed both streams into one histogram;
+//! * [`Histogram::quantile`] returns the upper edge of the bucket
+//!   holding the rank-`⌈q·n⌉` value (clamped to the observed max), so
+//!   it is within one bucket (≤ 3.125%) of the exact order statistic.
+//!
+//! `min`/`max`/`mean` are tracked exactly, outside the bucket grid.
+
+#![warn(missing_docs)]
+
+/// Sub-bucket resolution: each power-of-two range splits into
+/// `2^SUB_BITS` linear sub-buckets.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per power-of-two range.
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count: values below `SUB` get exact buckets, and each
+/// possible `shift = floor(log2 v) - SUB_BITS` in `0..=58` contributes
+/// `SUB` sub-buckets at indices `[32(shift+1), 32(shift+2))`.
+const N_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// The bucket index holding `v`.
+#[inline]
+fn index_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let top = 63 - v.leading_zeros(); // >= SUB_BITS
+    let shift = top - SUB_BITS;
+    // sub in [SUB, 2*SUB): the top SUB_BITS+1 bits of v.
+    let sub = (v >> shift) as usize;
+    (shift as usize) * SUB + sub
+}
+
+/// The largest value mapping to bucket `i` — the histogram's quantile
+/// representative.
+#[inline]
+fn upper_edge(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let shift = (i / SUB - 1) as u32;
+    let sub = (SUB + i % SUB) as u64;
+    // ((sub + 1) << shift) - 1, saturating at the top of the u64 range
+    // (only the very last sub-bucket overflows).
+    let up = ((sub + 1) as u128) << shift;
+    if up > u64::MAX as u128 {
+        u64::MAX
+    } else {
+        up as u64 - 1
+    }
+}
+
+/// A mergeable log-bucketed histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram. This is the only allocation the histogram
+    /// ever performs.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample. Allocation-free.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` occurrences of `v`. Allocation-free.
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[index_of(v)] += n;
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper edge of the
+    /// bucket holding the rank-`⌈q·count⌉` sample (rank at least 1),
+    /// clamped to the exact observed maximum. Within one bucket
+    /// (≤ 3.125% relative error) of the exact order statistic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return upper_edge(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self`. Exact: the result equals a histogram
+    /// fed both sample streams.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets to empty without deallocating.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// The relative half-width of the bucket containing `v` — the
+    /// worst-case quantile error at that magnitude.
+    pub fn bucket_error(v: u64) -> u64 {
+        upper_edge(index_of(v)) - lower_edge(index_of(v))
+    }
+}
+
+/// The smallest value mapping to bucket `i`.
+#[inline]
+fn lower_edge(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let shift = (i / SUB - 1) as u32;
+    let sub = (SUB + i % SUB) as u64;
+    sub << shift
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        for q in [0.01f64, 0.25, 0.5, 0.99] {
+            let rank = ((q * 32.0).ceil() as u64).max(1);
+            assert_eq!(h.quantile(q), rank - 1, "q={q}");
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.mean(), 15.5);
+    }
+
+    #[test]
+    fn index_and_edges_are_consistent() {
+        // Every probed value lands in a bucket whose edges bracket it.
+        let mut probes = vec![0u64, 1, 31, 32, 33, 63, 64, 100, 1_000];
+        for shift in 6..64 {
+            probes.push(1u64 << shift);
+            probes.push((1u64 << shift) + 1);
+            probes.push((1u64 << shift) - 1);
+        }
+        probes.push(u64::MAX);
+        for &v in &probes {
+            let i = index_of(v);
+            assert!(i < N_BUCKETS, "index {i} out of range for {v}");
+            assert!(lower_edge(i) <= v, "lower_edge({i}) > {v}");
+            assert!(upper_edge(i) >= v, "upper_edge({i}) < {v}");
+            // Relative width <= 1/SUB above the exact range.
+            if v >= SUB as u64 {
+                let width = upper_edge(i) - lower_edge(i);
+                assert!(
+                    (width as f64) <= v as f64 / SUB as f64,
+                    "bucket at {v} too wide: {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_buckets_tile_the_range() {
+        for i in 0..N_BUCKETS - 1 {
+            if upper_edge(i) == u64::MAX {
+                continue;
+            }
+            assert_eq!(
+                upper_edge(i) + 1,
+                lower_edge(i + 1),
+                "gap or overlap between buckets {i} and {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_of_point_mass() {
+        let mut h = Histogram::new();
+        h.record_n(1_000_000, 10_000);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            let got = h.quantile(q);
+            assert!(
+                (1_000_000..=1_000_000 + 1_000_000 / 32 + 1).contains(&got),
+                "q={q} got {got}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn merge_equals_feed_all_smoke() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [5u64, 77, 10_000, u64::MAX, 0, 123_456_789] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [9u64, 77, 2, 1 << 40] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::new();
+        h.record(42);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h, Histogram::new());
+    }
+}

@@ -1,0 +1,66 @@
+//! Pins the zero-allocation contract on the record hot path: an
+//! open-loop run records millions of latencies, so a single allocation
+//! per sample would dominate the harness.
+//!
+//! The counting shim is the one place this crate touches `unsafe`: a
+//! `GlobalAlloc` that delegates verbatim to the system allocator and
+//! counts calls. The crate-level lint is `deny`, overridden here only.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hist::Histogram;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Delegates to [`System`], counting every allocation.
+struct CountingAlloc;
+
+// SAFETY: forwards every call unchanged to the system allocator; the
+// only addition is a relaxed counter bump, which allocates nothing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn record_allocates_nothing() {
+    // Construction is the histogram's one allowed allocation.
+    let mut h = Histogram::new();
+    let mut other = Histogram::new();
+    for v in [1u64, 77, 100_000, u64::MAX] {
+        other.record(v);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..200_000u64 {
+        h.record(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        h.record_n(i, 3);
+    }
+    // Merge and quantile are also allocation-free (flat arrays, no
+    // intermediate collections).
+    h.merge(&other);
+    let _ = h.quantile(0.99);
+    let _ = h.quantile(0.999);
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "record/merge/quantile hot path allocated"
+    );
+    assert_eq!(h.count(), 200_000 * 4 + 4);
+}

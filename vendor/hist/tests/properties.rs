@@ -1,0 +1,111 @@
+//! Property tests pinning the histogram against a sorted-vector oracle.
+
+use hist::Histogram;
+use proptest::prelude::*;
+
+/// The exact order statistic the histogram approximates: the
+/// rank-`⌈q·n⌉` smallest sample (rank at least 1).
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Sample sets spanning the interesting magnitudes: exact small buckets,
+/// protocol-latency scales, and the saturation extremes. (The vendored
+/// proptest has no `prop_oneof!`; a selector tuple does the same job.)
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((0u32..5, 0u64..10_000_000_000), 1..400).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(sel, v)| match sel {
+                0 => v % 64,
+                1 => 1_000 + v % 99_000,
+                2 => v,
+                3 => u64::MAX,
+                _ => 0,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// quantile(q) is within one bucket of the exact order statistic:
+    /// it never undershoots the oracle, and overshoots by at most the
+    /// oracle's bucket width.
+    #[test]
+    fn quantile_within_one_bucket_of_oracle(
+        vs in samples(),
+        qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &vs {
+            h.record(v);
+        }
+        let mut sorted = vs.clone();
+        sorted.sort_unstable();
+        for q in qs {
+            let exact = oracle_quantile(&sorted, q);
+            let got = h.quantile(q);
+            prop_assert!(got >= exact, "q={q}: {got} < oracle {exact}");
+            let slack = Histogram::bucket_error(exact);
+            prop_assert!(
+                got <= exact.saturating_add(slack),
+                "q={q}: {got} > oracle {exact} + bucket width {slack}"
+            );
+        }
+        // q = 1.0 is exact: the clamp to the observed max.
+        prop_assert_eq!(h.quantile(1.0), *sorted.last().unwrap());
+    }
+
+    /// Merging two histograms is exactly equivalent to feeding both
+    /// sample streams into one.
+    #[test]
+    fn merge_equals_feed_all(a in samples(), b in samples()) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut all = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            all.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            all.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(&ha, &all);
+        for q in [0.5, 0.99, 0.999] {
+            prop_assert_eq!(ha.quantile(q), all.quantile(q));
+        }
+        prop_assert_eq!(ha.count(), (a.len() + b.len()) as u64);
+    }
+
+    /// Exact aggregates survive any input: count, min, max, mean.
+    #[test]
+    fn exact_aggregates(vs in samples()) {
+        let mut h = Histogram::new();
+        for &v in &vs {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), vs.len() as u64);
+        prop_assert_eq!(h.min(), *vs.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *vs.iter().max().unwrap());
+        let mean = vs.iter().map(|&v| v as f64).sum::<f64>() / vs.len() as f64;
+        // Sum is tracked in u128, so the only error is the final division.
+        prop_assert!((h.mean() - mean).abs() <= mean * 1e-12 + 1e-9);
+    }
+
+    /// record_n(v, n) is n records of v.
+    #[test]
+    fn record_n_equals_repeated_record(v in 0u64..u64::MAX, n in 1u64..50) {
+        let mut a = Histogram::new();
+        a.record_n(v, n);
+        let mut b = Histogram::new();
+        for _ in 0..n {
+            b.record(v);
+        }
+        prop_assert_eq!(a, b);
+    }
+}
