@@ -124,6 +124,30 @@ fn run(epochs: usize, transfers_per_epoch: usize) -> (Vec<Row>, u64) {
         h.restart_server(victim);
         h.settle();
         let recovery_ns = h.world.now() - t0;
+        // Epoch gate: a full ping-pong cycle must land the shard back on
+        // the initial weighted view, on *every* server's change set. The
+        // check reads the `ChangeSet` weight caches — O(n) per epoch —
+        // instead of re-deriving weights by folding the ever-growing |C|.
+        let expect_total = cfg.initial_total();
+        for sv in cfg.servers() {
+            let srv = h
+                .world
+                .actor::<DynServer<u64>>(h.server_actor(sv))
+                .expect("server");
+            let ch = srv.changes();
+            assert_eq!(
+                ch.total_weight(N),
+                expect_total,
+                "epoch {epoch}: total weight diverged in {sv}'s view"
+            );
+            for peer in cfg.servers() {
+                assert_eq!(
+                    Some(ch.server_weight(peer)),
+                    cfg.initial_weights.get(peer),
+                    "epoch {epoch}: {sv}'s view of {peer} left the uniform point"
+                );
+            }
+        }
         let (changes, max_journal, max_wal) = sample(&h, &cfg);
         rows.push(Row {
             epoch,
@@ -208,21 +232,21 @@ fn main() {
     // interval plus the retained suffix (and the retention heuristic may
     // keep a straggler's delta on top, bounded by the same interval).
     let journal_bound = 2 * CADENCE.every + CADENCE.min_retain;
-    let mut ok = true;
+    let mut failed: Vec<String> = Vec::new();
     for r in &rows {
         if r.max_journal > journal_bound {
             eprintln!(
                 "FAIL: epoch {}: journal {} exceeds bound {journal_bound}",
                 r.epoch, r.max_journal
             );
-            ok = false;
+            failed.push(format!("journal bound (epoch {})", r.epoch));
         }
         if r.max_wal > journal_bound {
             eprintln!(
                 "FAIL: epoch {}: WAL {} exceeds bound {journal_bound}",
                 r.epoch, r.max_wal
             );
-            ok = false;
+            failed.push(format!("wal bound (epoch {})", r.epoch));
         }
     }
     // Then drift: second-half maxima must not exceed first-half maxima by
@@ -262,19 +286,24 @@ fn main() {
     for (what, (first, second), slack, floor) in drift_checks {
         if second as f64 > first as f64 * slack && second > floor {
             eprintln!("FAIL: {what} drifts: first-half max {first}, second-half max {second}");
-            ok = false;
+            failed.push(format!("{what} drift"));
         }
     }
     let growth = rows.last().unwrap().changes - rows.first().unwrap().changes;
     if growth == 0 {
         eprintln!("FAIL: |C| did not grow — the soak exercised nothing");
-        ok = false;
+        failed.push("|C| growth".to_string());
     }
     println!(
         "soak: {total} reassignments, {restarts} reboots, |C| grew by {growth}, \
          journal bound {journal_bound}, 0 violations"
     );
-    if !ok {
+    if !failed.is_empty() {
+        eprintln!(
+            "FAIL: {} gate(s) tripped: {}",
+            failed.len(),
+            failed.join(", ")
+        );
         std::process::exit(1);
     }
 }

@@ -46,6 +46,11 @@ pub struct StateView {
     /// Per-server WAL-accounting result (durable scenarios): `Some(err)`
     /// when replaying snapshot + WAL does not reproduce the live state.
     pub wal_mismatch: Vec<Option<String>>,
+    /// Keyed-linearizability result over the completed-op history,
+    /// computed only at terminal states with every scripted op done
+    /// (partial histories can be unexplainable without the in-flight
+    /// ops, so mid-schedule checks would false-positive).
+    pub lin_violation: Option<String>,
 }
 
 impl StateView {
@@ -88,6 +93,15 @@ impl StateView {
                 .expect("client actor");
             weights.push((format!("c{k}"), c.driver.changes.weights(n)));
         }
+        let terminal = world.pending_events().is_empty();
+        let clients_done = rs.clients_done();
+        let lin_violation = if terminal && clients_done && !sc.scripts.is_empty() {
+            awr_storage::check_linearizable_keyed(&rs.harness.history())
+                .err()
+                .map(|e| e.to_string())
+        } else {
+            None
+        };
         StateView {
             cfg,
             weights,
@@ -97,9 +111,10 @@ impl StateView {
             completed: rs.harness.all_completed_transfers(),
             transfers_issued: rs.transfers_issued(),
             crashes_used: rs.crashes_used,
-            terminal: world.pending_events().is_empty(),
-            clients_done: rs.clients_done(),
+            terminal,
+            clients_done,
             wal_mismatch,
+            lin_violation,
         }
     }
 }
@@ -181,6 +196,7 @@ pub fn default_invariants() -> Vec<Box<dyn Invariant>> {
         Box::new(RpIntegrityAudit),
         Box::new(WalSoundness),
         Box::new(JoinLiveness),
+        Box::new(ReadAtomicity),
     ]
 }
 
@@ -348,5 +364,29 @@ impl Invariant for JoinLiveness {
             }
         }
         Ok(())
+    }
+}
+
+/// The client-visible face of atomicity: at every terminal state with all
+/// scripted ops completed, the operation history must be keyed-
+/// linearizable. This is the invariant the fast-path read optimization
+/// answers to — a one-phase read that returns a max tag whose replier
+/// weight does *not* carry a quorum can produce a new–old inversion that
+/// no per-server predicate sees, because every individual register is
+/// perfectly monotone.
+pub struct ReadAtomicity;
+
+impl Invariant for ReadAtomicity {
+    fn name(&self) -> &'static str {
+        "read-atomicity"
+    }
+    fn paper_property(&self) -> &'static str {
+        "Atomicity (Theorem 6: the weighted register linearizes)"
+    }
+    fn check(&self, _prev: Option<&StateView>, cur: &StateView) -> Result<(), String> {
+        match &cur.lin_violation {
+            None => Ok(()),
+            Some(err) => Err(format!("completed history not linearizable: {err}")),
+        }
     }
 }

@@ -15,6 +15,7 @@
 //! | `rp-integrity-audit`  | RP-Integrity (Def. 5), Property 1, RP-Validity-I, C1 |
 //! | `wal-soundness`       | durable extension: recoverable ⊇ advertised state |
 //! | `join-liveness`       | RP-Liveness / Validity-II at quiescence |
+//! | `read-atomicity`      | Theorem 6 (completed histories linearize) |
 //!
 //! On a violation the explorer emits the reaching schedule,
 //! [`minimize`]s it by greedy deletion, and renders a replayable

@@ -401,7 +401,7 @@ pub fn run_avoiding(rs: &mut RunState, avoid: ActorId, mut until: impl FnMut(&Ru
 
 /// The built-in scenario registry.
 pub fn builtin_scenarios() -> Vec<Scenario> {
-    vec![basic3(), concurrent4(), durable3()]
+    vec![basic3(), concurrent4(), durable3(), fastpath3()]
 }
 
 /// Looks up a built-in scenario by name.
@@ -453,6 +453,53 @@ pub fn concurrent4() -> Scenario {
         durable: false,
         crash_budget: 0,
         setup: None,
+    }
+}
+
+/// The fast-path read under a reassignment: the converse of [`basic3`]'s
+/// pinning. Setup deterministically completes the transfer *and* the
+/// write — both through {s0, s1}, withholding every delivery to s2 — and
+/// then drains the reassignment/refresh traffic, so the explored frontier
+/// is exactly the ABD deliveries: the completed write's stragglers at s2
+/// (a stale-`C` `R`, its restarted `R`, and the `W` that finally lands
+/// the value) freely interleaved with the read's phase 1. Depending on
+/// the order, the read's max-tag replier weight carries the fast-path
+/// rule (one phase), or s2's still-bottom register forces a *targeted*
+/// write-back to s2 alone — every branch of the optimization, exhausted.
+/// The `read-atomicity` invariant is the one a broken fast path fails.
+pub fn fastpath3() -> Scenario {
+    Scenario {
+        name: "fastpath3",
+        about: "3 servers, fast-path read vs a reassigned config and straggler writes (exhaustive)",
+        cfg: RpConfig::uniform(3, 1),
+        scripts: vec![vec![
+            ClientOp::Write(ObjectId::DEFAULT, 7),
+            ClientOp::Read(ObjectId::DEFAULT),
+        ]],
+        transfers: vec![(ServerId(0), ServerId(1), Ratio::new(1, 8))],
+        durable: false,
+        crash_budget: 0,
+        setup: Some(|rs: &mut RunState| {
+            run_avoiding(rs, ActorId(2), |rs| {
+                !rs.harness.all_completed_transfers().is_empty() && !rs.harness.history().is_empty()
+            });
+            // Drain everything that is not an ABD-phase delivery (the RB
+            // relays of the change pair and the refresh leg headed for
+            // s2, plus their consequences) in deterministic time order.
+            loop {
+                let next = rs.harness.world.pending_events().into_iter().find(|e| {
+                    !matches!(e.kind, PendingKind::Deliver { kind, .. }
+                        if matches!(kind, "R" | "R_A" | "W" | "W_A"))
+                });
+                match next {
+                    Some(e) => {
+                        rs.harness.world.step_seq(e.seq);
+                        rs.closure();
+                    }
+                    None => break,
+                }
+            }
+        }),
     }
 }
 

@@ -288,6 +288,87 @@ fn reuse_scenario() -> Scenario {
     }
 }
 
+/// Mutation 4 target: a fast-path read served off a max-tag replier set
+/// whose cumulative weight is *not* a quorum. Setup pins the split
+/// register state the disarmed rule turns into a new/old inversion:
+/// writer c0 completes write(1) everywhere, then write(2)'s `W` round is
+/// delivered to s0 *only* — s0 holds tag2/v2 while s1 and s2 still hold
+/// tag1/v1 — with reader c1 frozen throughout (its phase-1 `R`s stay
+/// pending, so its reads observe the split at delivery time). The
+/// explorer then owns the order: deliver read(1)'s phase 1 to {s0, s1}
+/// and the disarmed check serves v2 off the lone fresh replier s0 (weight
+/// 1 < 3/2, honestly a miss); deliver read(2)'s phase 1 to {s1, s2} and
+/// it *legitimately* fast-paths v1 (fresh weight 2). Same client, reads
+/// back-to-back: v2 then v1 is a new/old inversion, flagged by
+/// read-atomicity once write(2)'s stragglers drain and the run completes.
+fn fastpath_inversion_setup(rs: &mut RunState) {
+    // Setup runs before `build`'s trailing closure; start the scripted
+    // ops now so there is traffic to schedule.
+    rs.closure();
+    let reader = rs.harness.client_actor(1);
+    let not_reader = move |e: &PendingEvent| match e.kind {
+        PendingKind::Deliver { from, to, .. } => from != reader && to != reader,
+        _ => false,
+    };
+    run_until(rs, not_reader, |rs| !rs.harness.history().is_empty());
+    run_until(rs, not_reader, |rs| {
+        pending_kind_to(rs, ActorId(0), "W") >= 1
+    });
+    let w2 = rs
+        .harness
+        .world
+        .pending_events()
+        .iter()
+        .find(|e| {
+            matches!(e.kind, PendingKind::Deliver { to, kind, .. }
+            if to == ActorId(0) && kind == "W")
+        })
+        .map(|e| e.seq)
+        .expect("setup: write(2)'s W is not pending at s0");
+    rs.harness.world.step_seq(w2);
+    rs.closure();
+    assert!(
+        reg_tag(rs, 0) > reg_tag(rs, 1) && reg_tag(rs, 0) > reg_tag(rs, 2),
+        "setup: s0 must hold write(2)'s register while s1/s2 hold write(1)'s"
+    );
+}
+
+/// See [`fastpath_inversion_setup`] for the split this scenario pins.
+fn fastpath_scenario() -> Scenario {
+    Scenario {
+        name: "mut-fastpath",
+        about: "split registers; weight-free fast path serves a new/old inversion",
+        cfg: RpConfig::uniform(3, 1),
+        scripts: vec![
+            vec![
+                ClientOp::Write(ObjectId::DEFAULT, 1),
+                ClientOp::Write(ObjectId::DEFAULT, 2),
+            ],
+            vec![
+                ClientOp::Read(ObjectId::DEFAULT),
+                ClientOp::Read(ObjectId::DEFAULT),
+            ],
+        ],
+        transfers: vec![],
+        durable: false,
+        crash_budget: 0,
+        setup: Some(fastpath_inversion_setup),
+    }
+}
+
+#[test]
+fn disarm_fastpath_weight_check_is_caught() {
+    let scenario = fastpath_scenario();
+    assert_clean_unmutated(&scenario, 12, 60_000);
+    let report = assert_caught(
+        &scenario,
+        Mutation::DisarmFastPathWeightCheck,
+        "read-atomicity",
+        |e| e.run(),
+    );
+    assert!(report.detail.contains("linearizable"), "{}", report.detail);
+}
+
 #[test]
 fn reuse_rb_seq_is_caught() {
     let scenario = reuse_scenario();

@@ -17,6 +17,10 @@
 //!   per-peer [`ConnectionPool`] with reconnect-on-error and crash-model
 //!   drop semantics, [`BroadcastPool`], and the weight-aware quorum-wait
 //!   [`Replies`] combinator;
+//! * [`rpc`] — [`Rpc`] request-id envelopes and the [`RpcPool`] that
+//!   lifts `Replies`' single-exchange-in-flight contract: any number of
+//!   broadcasts may overlap on one pool, each reply routed to the
+//!   exchange that asked for it (the shape targeted write-backs need);
 //! * [`tcp`] — [`TcpTransport`], the mesh endpoint (listener thread +
 //!   reader threads feeding an inbox) that an `awr_sim::NodeHost` pumps.
 //!
@@ -61,6 +65,7 @@
 
 pub mod frame;
 pub mod pool;
+pub mod rpc;
 pub mod tcp;
 
 pub use frame::{
@@ -69,4 +74,5 @@ pub use frame::{
 pub use pool::{
     BroadcastPool, Channel, ConnectionPool, PoolStats, QuorumTimeout, Reconnect, Replies,
 };
+pub use rpc::{Rpc, RpcPool};
 pub use tcp::TcpTransport;

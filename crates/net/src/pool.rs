@@ -298,6 +298,21 @@ impl<S: Serialize, R: DeserializeOwned> ConnectionPool<S, R> {
         }
     }
 
+    /// Broadcast view over the peers satisfying `keep` — the
+    /// target-filter shape shared with the simulator's
+    /// `Context::broadcast_filter` (a targeted write-back contacts only
+    /// the repliers observed stale).
+    pub fn filtered(&mut self, mut keep: impl FnMut(ActorId) -> bool) -> BroadcastPool<'_, S, R> {
+        let targets = (0..self.n_peers())
+            .map(ActorId)
+            .filter(|a| keep(*a))
+            .collect();
+        BroadcastPool {
+            pool: self,
+            targets,
+        }
+    }
+
     /// Closes every live connection.
     pub fn close_all(&mut self) {
         for c in self.conns.iter_mut() {
@@ -347,6 +362,9 @@ pub struct QuorumTimeout<R> {
 /// surface on the next broadcast's wait — matching replies to requests
 /// across overlapping operations is the caller's protocol concern (the
 /// replicated-register actors do exactly that with op-tagged messages).
+/// To overlap exchanges on one pool without that caller-side matching,
+/// use [`crate::RpcPool`], which tags every message with a request id and
+/// routes replies to the exchange that asked.
 #[derive(Debug)]
 pub struct Replies<'p, S, R> {
     pool: &'p mut ConnectionPool<S, R>,

@@ -1,0 +1,255 @@
+//! Request-id-tagged exchanges: many overlapping broadcasts on one pool.
+//!
+//! [`crate::Replies`] matches replies **by peer**, which forces the
+//! documented single-exchange-in-flight contract: a straggler answering
+//! request *k* while the caller waits on request *k+1* would be
+//! indistinguishable from a fresh reply and is therefore dropped. That is
+//! fine for one-shot control-plane calls, but the fast-path read
+//! optimization wants to *overlap* exchanges on one pool — fire the
+//! targeted write-back of one read while late phase-1 replies of the
+//! previous read are still in flight.
+//!
+//! [`RpcPool`] lifts the contract with a request-id wire field: every
+//! outbound message is wrapped in an [`Rpc`] envelope carrying a
+//! pool-local `req` counter, responders echo the id back
+//! ([`Rpc::reply`]), and the pool routes each inbound reply to the
+//! exchange that asked for it. Waiting on exchange B while a reply to
+//! still-pending exchange A arrives *buffers* A's reply instead of
+//! dropping it; a reply to a finished (retired) exchange is discarded,
+//! like the network losing a late ack.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use awr_sim::ActorId;
+use awr_types::{ChangeSet, Ratio, ServerId};
+use serde::{Deserialize, DeserializeOwned, Serialize};
+
+use crate::pool::{ConnectionPool, PoolStats, QuorumTimeout, Reconnect};
+
+/// The request-id envelope: `req` names the exchange, `body` is the
+/// protocol message. Serialized as-is, so the frame layer needs no
+/// changes — the id is just two extra payload fields away from a bare
+/// body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rpc<T> {
+    /// Pool-local exchange id, echoed verbatim by responders.
+    pub req: u64,
+    /// The wrapped protocol message.
+    pub body: T,
+}
+
+impl<T> Rpc<T> {
+    /// Builds the reply envelope for this request: same `req`, new body.
+    /// Responders answer `Rpc<Req>` with `msg.reply(ans)`.
+    pub fn reply<U>(&self, body: U) -> Rpc<U> {
+        Rpc {
+            req: self.req,
+            body,
+        }
+    }
+}
+
+/// One pending exchange: who has not answered yet, and what arrived.
+#[derive(Debug)]
+struct Exchange<R> {
+    outstanding: Vec<ActorId>,
+    got: Vec<(ActorId, R)>,
+}
+
+/// A [`ConnectionPool`] speaking [`Rpc`]-enveloped frames, with any
+/// number of exchanges in flight.
+///
+/// [`RpcPool::broadcast_to`] starts an exchange and returns its id;
+/// [`RpcPool::wait`] (and the [`RpcPool::wait_weight`] /
+/// [`RpcPool::wait_weight_quorum`] quorum shapes mirroring
+/// [`crate::Replies`]) blocks on *one* exchange while still routing
+/// replies that belong to the others. An exchange retires when its wait
+/// returns (quorum met or timed out); late replies to a retired id are
+/// dropped.
+#[derive(Debug)]
+pub struct RpcPool<S, R> {
+    pool: ConnectionPool<Rpc<S>, Rpc<R>>,
+    next_req: u64,
+    pending: BTreeMap<u64, Exchange<R>>,
+}
+
+impl<S: Serialize, R: DeserializeOwned> RpcPool<S, R> {
+    /// Creates a pool speaking for `me`, one slot per peer address.
+    pub fn new(me: ActorId, addrs: Vec<std::net::SocketAddr>) -> RpcPool<S, R> {
+        RpcPool::with_reconnect(me, addrs, Reconnect::default())
+    }
+
+    /// [`RpcPool::new`] with an explicit dial-retry policy.
+    pub fn with_reconnect(
+        me: ActorId,
+        addrs: Vec<std::net::SocketAddr>,
+        reconnect: Reconnect,
+    ) -> RpcPool<S, R> {
+        RpcPool {
+            pool: ConnectionPool::with_reconnect(me, addrs, reconnect),
+            next_req: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Send-side counters of the underlying pool.
+    pub fn stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Exchanges started and not yet retired by a wait.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Starts an exchange over the whole mesh.
+    pub fn broadcast(&mut self, msg: &S) -> u64
+    where
+        S: Clone,
+    {
+        let all: Vec<ActorId> = (0..self.pool.n_peers()).map(ActorId).collect();
+        self.broadcast_to(all, msg)
+    }
+
+    /// Starts an exchange over the peers satisfying `keep` — the
+    /// target-filter shape shared with the simulator's
+    /// `Context::broadcast_filter` (targeted write-backs contact only the
+    /// stale repliers).
+    pub fn broadcast_filter(&mut self, msg: &S, mut keep: impl FnMut(ActorId) -> bool) -> u64
+    where
+        S: Clone,
+    {
+        let targets: Vec<ActorId> = (0..self.pool.n_peers())
+            .map(ActorId)
+            .filter(|a| keep(*a))
+            .collect();
+        self.broadcast_to(targets, msg)
+    }
+
+    /// Starts an exchange over an explicit target set and returns its id.
+    /// Unreachable targets are dropped per the pool's crash-model
+    /// semantics but stay formally outstanding (like a message the
+    /// network ate).
+    pub fn broadcast_to(&mut self, targets: Vec<ActorId>, msg: &S) -> u64
+    where
+        S: Clone,
+    {
+        let req = self.next_req;
+        self.next_req += 1;
+        let envelope = Rpc {
+            req,
+            body: msg.clone(),
+        };
+        for &t in &targets {
+            self.pool.send(t, &envelope);
+        }
+        self.pending.insert(
+            req,
+            Exchange {
+                outstanding: targets,
+                got: Vec::new(),
+            },
+        );
+        req
+    }
+
+    /// Routes one inbound reply, if any, into its exchange. Replies with
+    /// an unknown (retired or never-issued) id, duplicate replies, and
+    /// replies from peers outside the exchange's target set are dropped.
+    fn pump(&mut self) -> bool {
+        let Some((from, envelope)) = self.pool.poll_any() else {
+            return false;
+        };
+        if let Some(ex) = self.pending.get_mut(&envelope.req) {
+            if let Some(i) = ex.outstanding.iter().position(|&t| t == from) {
+                ex.outstanding.swap_remove(i);
+                ex.got.push((from, envelope.body));
+            }
+        }
+        true
+    }
+
+    /// Waits until `done` holds over exchange `req`'s replies, or until
+    /// `timeout` passes, or until every target has answered without
+    /// satisfying the predicate. The exchange retires either way; replies
+    /// to *other* pending exchanges arriving meanwhile are buffered for
+    /// their own waits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req` was never issued or has already retired.
+    pub fn wait(
+        &mut self,
+        req: u64,
+        timeout: Duration,
+        mut done: impl FnMut(&[(ActorId, R)]) -> bool,
+    ) -> Result<Vec<(ActorId, R)>, QuorumTimeout<R>> {
+        assert!(self.pending.contains_key(&req), "unknown exchange {req}");
+        let deadline = Instant::now() + timeout;
+        loop {
+            let ex = self.pending.get(&req).expect("checked above");
+            if done(&ex.got) {
+                let ex = self.pending.remove(&req).expect("checked above");
+                return Ok(ex.got);
+            }
+            if ex.outstanding.is_empty() || Instant::now() >= deadline {
+                let ex = self.pending.remove(&req).expect("checked above");
+                return Err(QuorumTimeout { got: ex.got });
+            }
+            if !self.pump() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Waits for at least `count` replies to exchange `req`.
+    pub fn wait_count(
+        &mut self,
+        req: u64,
+        timeout: Duration,
+        count: usize,
+    ) -> Result<Vec<(ActorId, R)>, QuorumTimeout<R>> {
+        self.wait(req, timeout, |got| got.len() >= count)
+    }
+
+    /// Weight-aware quorum wait on exchange `req`: completes once the
+    /// summed weight of the replied peers strictly exceeds half of
+    /// `total` (the paper's quorum rule).
+    pub fn wait_weight(
+        &mut self,
+        req: u64,
+        timeout: Duration,
+        total: Ratio,
+        mut weight_of: impl FnMut(ActorId) -> Ratio,
+    ) -> Result<Vec<(ActorId, R)>, QuorumTimeout<R>> {
+        let half = total.half();
+        self.wait(req, timeout, |got| {
+            let mut sum = Ratio::ZERO;
+            for (from, _) in got {
+                sum += weight_of(*from);
+            }
+            sum > half
+        })
+    }
+
+    /// [`RpcPool::wait_weight`] with weights from a [`ChangeSet`] over an
+    /// `n`-server system, peer `i` standing for `ServerId(i)`.
+    pub fn wait_weight_quorum(
+        &mut self,
+        req: u64,
+        timeout: Duration,
+        changes: &ChangeSet,
+        n: usize,
+    ) -> Result<Vec<(ActorId, R)>, QuorumTimeout<R>> {
+        let total = changes.total_weight(n);
+        self.wait_weight(req, timeout, total, |a| {
+            changes.server_weight(ServerId(a.index() as u32))
+        })
+    }
+
+    /// Closes every live connection.
+    pub fn close_all(&mut self) {
+        self.pool.close_all();
+    }
+}

@@ -1,0 +1,139 @@
+//! Loopback exercise of the request-id RPC layer: overlapping exchanges
+//! on one pool, replies routed by `req`, targeted second broadcasts —
+//! the wire shape of the fast-path read's targeted write-back.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use awr_net::frame::{read_frame, write_frame};
+use awr_net::pool::read_hello;
+use awr_net::rpc::{Rpc, RpcPool};
+use awr_sim::ActorId;
+use awr_types::Ratio;
+
+/// Spawns an echo peer answering every `Rpc<u64>` request with
+/// `req.reply(body + offset)` after `delay`. The echoed request id is
+/// what lets the pool route the reply even when exchanges overlap.
+fn spawn_peer(delay: Duration, offset: u64) -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::spawn(move || {
+        let Ok((mut stream, _)) = listener.accept() else {
+            return;
+        };
+        if read_hello(&mut stream).is_err() {
+            return;
+        }
+        while let Ok(req) = read_frame::<Rpc<u64>>(&mut stream) {
+            std::thread::sleep(delay);
+            if write_frame(&mut stream, &req.reply(req.body + offset)).is_err() {
+                return;
+            }
+        }
+    });
+    addr
+}
+
+#[test]
+fn overlapping_exchanges_route_replies_by_request_id() {
+    // Peer 2 is slow: its reply to the FIRST exchange arrives while the
+    // pool is waiting on the SECOND. Under the peer-matched `Replies`
+    // contract that reply would corrupt exchange B (or be dropped); the
+    // request id routes it into exchange A's buffer instead.
+    let slow = Duration::from_millis(150);
+    let addrs = vec![
+        spawn_peer(Duration::ZERO, 100),
+        spawn_peer(Duration::ZERO, 100),
+        spawn_peer(slow, 100),
+    ];
+    let mut pool = RpcPool::<u64, u64>::new(ActorId(9), addrs);
+
+    let a = pool.broadcast(&7);
+    let b = pool.broadcast(&20);
+    assert_eq!(pool.in_flight(), 2);
+
+    // Wait on B first: only fast peers are needed (count 2), but the
+    // slow peer's reply to A lands in between and must not count here.
+    let got_b = pool
+        .wait_count(b, Duration::from_secs(10), 2)
+        .expect("two fast replies to B");
+    for (_, reply) in &got_b {
+        assert_eq!(*reply, 120, "reply routed into the wrong exchange");
+    }
+
+    // A's replies — including the slow one buffered during B's wait —
+    // are all still there.
+    let got_a = pool
+        .wait_count(a, Duration::from_secs(10), 3)
+        .expect("all three replies to A");
+    assert_eq!(got_a.len(), 3);
+    for (_, reply) in &got_a {
+        assert_eq!(*reply, 107);
+    }
+    assert_eq!(pool.in_flight(), 0, "both exchanges retired");
+}
+
+#[test]
+fn targeted_second_broadcast_overlaps_a_pending_read() {
+    // The fast-path wire shape: a weighted phase-1 broadcast to all
+    // peers, then a *targeted* write-back to a subset while a straggler
+    // reply to phase 1 is still in flight.
+    let slow = Duration::from_millis(150);
+    let addrs = vec![
+        spawn_peer(Duration::ZERO, 0),
+        spawn_peer(Duration::ZERO, 0),
+        spawn_peer(slow, 0),
+    ];
+    let mut pool = RpcPool::<u64, u64>::new(ActorId(9), addrs);
+    let weight_of = |a: ActorId| match a.index() {
+        0 | 1 => Ratio::new(1, 4),
+        _ => Ratio::new(2, 4),
+    };
+
+    // Phase 1 to everyone; peers 0 and 1 (weight 1/2) are NOT a quorum,
+    // so this wait needs the slow peer — but we only wait long enough to
+    // collect the fast two, then give up and write back to them.
+    let p1 = pool.broadcast(&1);
+    let timeout = pool
+        .wait_weight(p1, Duration::from_millis(60), Ratio::ONE, weight_of)
+        .expect_err("quorum needs the slow peer");
+    assert_eq!(timeout.got.len(), 2);
+
+    // Targeted write-back to exactly the two fast repliers, via the
+    // filter shape. The slow peer's late phase-1 reply arrives during
+    // this wait; its retired id means it is dropped, not miscounted.
+    let wb = pool.broadcast_filter(&2, |a| a.index() < 2);
+    let got = pool
+        .wait_count(wb, Duration::from_secs(10), 2)
+        .expect("both targeted peers ack");
+    let mut from: Vec<usize> = got.iter().map(|(a, _)| a.index()).collect();
+    from.sort_unstable();
+    assert_eq!(from, vec![0, 1]);
+    for (_, reply) in &got {
+        assert_eq!(*reply, 2, "write-back ack must echo the write-back body");
+    }
+    // Exactly 5 frames left the pool: 3 for phase 1, 2 for the
+    // write-back — the targeted broadcast really skipped peer 2.
+    assert_eq!(pool.stats().frames_sent, 5);
+}
+
+#[test]
+fn reply_to_a_retired_exchange_is_dropped() {
+    let addrs = vec![spawn_peer(Duration::from_millis(100), 0)];
+    let mut pool = RpcPool::<u64, u64>::new(ActorId(9), addrs);
+
+    // Exchange A times out before its reply arrives → retired.
+    let a = pool.broadcast(&1);
+    pool.wait_count(a, Duration::from_millis(10), 1)
+        .expect_err("reply is still sleeping");
+
+    // Exchange B's wait sees A's late reply first; it must neither
+    // satisfy B nor resurrect A.
+    let b = pool.broadcast(&5);
+    let got = pool
+        .wait_count(b, Duration::from_secs(10), 1)
+        .expect("B's own reply arrives");
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].1, 5, "late reply to A leaked into B");
+    assert_eq!(pool.in_flight(), 0);
+}

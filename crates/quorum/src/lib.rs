@@ -61,7 +61,7 @@ pub use placement::{
 };
 pub use system::{minimal_quorums, verify_intersection, QuorumSystem};
 pub use tree::TreeQuorumSystem;
-pub use weighted::WeightedMajorityQuorumSystem;
+pub use weighted::{fast_path_read_quorum, WeightedMajorityQuorumSystem};
 
 #[cfg(test)]
 mod proptests {

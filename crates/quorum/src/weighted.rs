@@ -12,6 +12,31 @@ use awr_types::{Ratio, ServerId, WeightMap};
 
 use crate::QuorumSystem;
 
+/// The weighted one-phase (fast-path) read rule: a read may return at the
+/// end of phase 1 — skipping the write-back phase entirely — iff the
+/// cumulative weight of the phase-1 repliers that reported the *maximum*
+/// tag is itself a quorum under the fixed threshold
+/// (`Σ w > threshold_total / 2`).
+///
+/// Safety sketch: every one of those repliers already stores the max-tag
+/// register (registers are adopt-if-newer monotone), so the execution is
+/// indistinguishable from a two-phase read whose `W` messages to exactly
+/// those servers were delivered with zero delay — the write-back would
+/// change no server state and each fresh replier's `R`-ack doubles as its
+/// `W`-ack. Any quorum a later operation contacts intersects this
+/// weight-quorum (Lemma 3), so it sees a tag ≥ the returned one: no
+/// new/old inversion. In the dynamic-weight setting the rule is only sound
+/// when the weights summed are the ones of the *replier-consistent* change
+/// set — the caller must have verified every counted replier accepted its
+/// request under the same `C` the weights come from (the storage driver's
+/// accept/reject discipline does exactly that).
+///
+/// This is the weight-based generalization of the count-based early
+/// return in dist-register's verified ABD client (SNIPPETS.md, SNIPPET 1).
+pub fn fast_path_read_quorum(max_tag_weight: Ratio, threshold_total: Ratio) -> bool {
+    max_tag_weight > threshold_total.half()
+}
+
 /// A weighted majority quorum system (Definition 1).
 ///
 /// The quorum predicate compares against a fixed threshold `total / 2`. For
@@ -77,6 +102,15 @@ impl WeightedMajorityQuorumSystem {
         self.threshold_total
     }
 
+    /// Whether an already-summed weight satisfies this system's quorum
+    /// predicate — the accumulator-friendly form of
+    /// [`QuorumSystem::is_quorum`] used by clients that maintain a running
+    /// weight per reply instead of re-summing a set (and by the fast-path
+    /// read rule, [`fast_path_read_quorum`]).
+    pub fn is_quorum_weight(&self, weight: Ratio) -> bool {
+        weight > self.threshold_total.half()
+    }
+
     /// Total weight of a candidate set.
     pub fn set_weight(&self, servers: &BTreeSet<ServerId>) -> Ratio {
         servers
@@ -117,7 +151,7 @@ impl QuorumSystem for WeightedMajorityQuorumSystem {
     }
 
     fn is_quorum(&self, servers: &BTreeSet<ServerId>) -> bool {
-        self.set_weight(servers) > self.threshold_total.half()
+        self.is_quorum_weight(self.set_weight(servers))
     }
 
     fn min_quorum_size(&self) -> usize {
@@ -192,6 +226,33 @@ mod tests {
         let q = wmqs.smallest_quorum().unwrap();
         assert!(wmqs.is_quorum_slice(&q));
         assert_eq!(q.len(), wmqs.min_quorum_size());
+    }
+
+    #[test]
+    fn fast_path_rule_matches_set_predicate() {
+        // The accumulator form and the set form must agree on every subset.
+        let w = WeightMap::dec(&["1.6", "1.4", "0.8", "0.8", "0.8", "0.8", "0.8"]);
+        let wmqs = WeightedMajorityQuorumSystem::with_threshold_total(w, Ratio::integer(7));
+        for bits in 0u32..(1 << 7) {
+            let set: BTreeSet<ServerId> = (0..7)
+                .filter(|i| bits & (1 << i) != 0)
+                .map(ServerId)
+                .collect();
+            let sum = wmqs.set_weight(&set);
+            assert_eq!(wmqs.is_quorum(&set), wmqs.is_quorum_weight(sum));
+            assert_eq!(
+                wmqs.is_quorum(&set),
+                fast_path_read_quorum(sum, wmqs.threshold_total())
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_rule_is_strict() {
+        // Exactly half the initial total is NOT enough for a one-phase read.
+        assert!(!fast_path_read_quorum(Ratio::dec("3.5"), Ratio::integer(7)));
+        assert!(fast_path_read_quorum(Ratio::dec("3.6"), Ratio::integer(7)));
+        assert!(!fast_path_read_quorum(Ratio::ZERO, Ratio::integer(7)));
     }
 
     #[test]

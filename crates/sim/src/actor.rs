@@ -143,6 +143,8 @@ pub(crate) enum Effect<M> {
     SetTimer { id: TimerId, after: Nanos, tag: u64 },
     CancelTimer { id: TimerId },
     CrashSelf,
+    Counter { key: &'static str, add: u64 },
+    Sample { key: &'static str, value: u64 },
 }
 
 /// The actor's handle onto the world during a callback.
@@ -202,6 +204,35 @@ impl<'a, M> Context<'a, M> {
         }
     }
 
+    /// Filtered broadcast: sends `msg` to every actor in `targets` that
+    /// satisfies `keep`, returning how many sends were issued. This is the
+    /// targeted write-back shape — phase 2 of an optimized read contacts
+    /// only the repliers observed stale in phase 1 — and the simulator
+    /// analogue of `awr_net`'s filtered `ConnectionPool` broadcast, so
+    /// protocols written against it behave identically on all three
+    /// runtimes.
+    pub fn broadcast_filter(
+        &mut self,
+        targets: impl IntoIterator<Item = ActorId>,
+        msg: M,
+        mut keep: impl FnMut(ActorId) -> bool,
+    ) -> usize
+    where
+        M: Clone,
+    {
+        let mut sent = 0;
+        for t in targets {
+            if keep(t) {
+                self.effects.push(Effect::Send {
+                    to: t,
+                    msg: msg.clone(),
+                });
+                sent += 1;
+            }
+        }
+        sent
+    }
+
     /// Schedules `on_timer(tag)` to fire `after` nanoseconds from now.
     pub fn set_timer(&mut self, after: Nanos, tag: u64) -> TimerId {
         let id = TimerId(*self.next_timer);
@@ -219,6 +250,21 @@ impl<'a, M> Context<'a, M> {
     /// will run and pending deliveries to it are dropped.
     pub fn crash_self(&mut self) {
         self.effects.push(Effect::CrashSelf);
+    }
+
+    /// Bumps the named protocol counter by `add`
+    /// ([`crate::Metrics::counters`]). A metrics-only effect: it changes no
+    /// actor or network state, so protocols may record freely without
+    /// perturbing schedules or state digests.
+    pub fn record_counter(&mut self, key: &'static str, add: u64) {
+        self.effects.push(Effect::Counter { key, add });
+    }
+
+    /// Records one observation of `value` into the named histogram
+    /// ([`crate::Metrics::samples`]). Like [`Context::record_counter`],
+    /// purely observational.
+    pub fn record_sample(&mut self, key: &'static str, value: u64) {
+        self.effects.push(Effect::Sample { key, value });
     }
 }
 

@@ -95,6 +95,14 @@ pub struct Metrics {
     /// propagation — recorded at send from the decided [`Delivery`]).
     /// Empty in the threaded runtime, which has no virtual time.
     pub delay_by_link: BTreeMap<(ActorId, ActorId), LinkDelayStat>,
+    /// Named protocol counters fed by [`crate::Context::record_counter`] —
+    /// e.g. the storage layer's fast-path read hits/misses. Tracked by all
+    /// three runtimes.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Named value histograms (`value → occurrences`) fed by
+    /// [`crate::Context::record_sample`] — e.g. the phase-2 write-back
+    /// fanout distribution. Tracked by all three runtimes.
+    pub samples: BTreeMap<&'static str, BTreeMap<u64, u64>>,
     /// Latest virtual time reached.
     pub last_time: Time,
 }
@@ -134,6 +142,52 @@ impl Metrics {
     pub fn record_object(&mut self, object: u64, bytes: usize) {
         *self.bytes_by_object.entry(object).or_insert(0) += bytes as u64;
         *self.msgs_by_object.entry(object).or_insert(0) += 1;
+    }
+
+    /// Bumps a named protocol counter (the runtimes route
+    /// [`crate::Context::record_counter`] effects here).
+    pub fn record_counter(&mut self, key: &'static str, add: u64) {
+        *self.counters.entry(key).or_insert(0) += add;
+    }
+
+    /// Records one observation into a named histogram (the runtimes route
+    /// [`crate::Context::record_sample`] effects here).
+    pub fn record_sample(&mut self, key: &'static str, value: u64) {
+        *self
+            .samples
+            .entry(key)
+            .or_default()
+            .entry(value)
+            .or_insert(0) += 1;
+    }
+
+    /// The value of a named protocol counter (0 if never bumped).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// The histogram recorded under `key` (`value → occurrences`), if any
+    /// sample landed.
+    pub fn sample_hist(&self, key: &str) -> Option<&BTreeMap<u64, u64>> {
+        self.samples.get(key)
+    }
+
+    /// Total observations recorded under `key`.
+    pub fn sample_count(&self, key: &str) -> u64 {
+        self.samples.get(key).map(|h| h.values().sum()).unwrap_or(0)
+    }
+
+    /// Mean of the observations recorded under `key` (0 if none).
+    pub fn sample_mean(&self, key: &str) -> f64 {
+        let Some(h) = self.samples.get(key) else {
+            return 0.0;
+        };
+        let n: u64 = h.values().sum();
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: u128 = h.iter().map(|(v, c)| *v as u128 * *c as u128).sum();
+        sum as f64 / n as f64
     }
 
     /// Bytes attributed to an object key.
@@ -318,6 +372,15 @@ impl Metrics {
                 .map(|(k, v)| (*k, v.saturating_sub(old.get(k).copied().unwrap_or(0))))
                 .collect()
         }
+        let samples = self
+            .samples
+            .iter()
+            .map(|(k, h)| {
+                let empty = BTreeMap::new();
+                let old = baseline.samples.get(k).unwrap_or(&empty);
+                (*k, sub_map(h, old))
+            })
+            .collect();
         let delay_by_link = self
             .delay_by_link
             .iter()
@@ -355,6 +418,8 @@ impl Metrics {
             bytes_by_link: sub_map(&self.bytes_by_link, &baseline.bytes_by_link),
             link_busy: sub_map(&self.link_busy, &baseline.link_busy),
             msgs_by_link: sub_map(&self.msgs_by_link, &baseline.msgs_by_link),
+            counters: sub_map(&self.counters, &baseline.counters),
+            samples,
             delay_by_link,
             last_time: Time(
                 self.last_time
@@ -483,6 +548,29 @@ mod tests {
         let z = m.since(&m.clone());
         assert_eq!(z.messages_sent, 0);
         assert_eq!(z.max_link_utilization(), 0.0);
+    }
+
+    #[test]
+    fn counters_and_samples() {
+        let mut m = Metrics::default();
+        m.record_counter("hit", 1);
+        m.record_counter("hit", 2);
+        m.record_sample("fanout", 2);
+        m.record_sample("fanout", 2);
+        m.record_sample("fanout", 5);
+        assert_eq!(m.counter("hit"), 3);
+        assert_eq!(m.counter("miss"), 0);
+        assert_eq!(m.sample_count("fanout"), 3);
+        assert_eq!(m.sample_mean("fanout"), 3.0);
+        assert_eq!(m.sample_hist("fanout").unwrap()[&2], 2);
+        assert_eq!(m.sample_mean("absent"), 0.0);
+        let snap = m.clone();
+        m.record_counter("hit", 1);
+        m.record_sample("fanout", 5);
+        let w = m.since(&snap);
+        assert_eq!(w.counter("hit"), 1);
+        assert_eq!(w.sample_count("fanout"), 1);
+        assert_eq!(w.sample_hist("fanout").unwrap()[&5], 1);
     }
 
     #[test]

@@ -33,6 +33,13 @@ pub enum Mutation {
     /// batch is silently swallowed. Caught by the join-liveness invariant
     /// (the transfer never completes and restrictions never converge).
     ReuseRbSeq,
+    /// Disarm the weighted fast-path read check in `awr_storage`: a read
+    /// returns after phase 1 off the max-tag repliers even when their
+    /// cumulative weight is *not* a quorum, so a lone fresh replier can
+    /// serve a value a concurrent write has not yet propagated to a
+    /// quorum — a new/old inversion. Caught by the read-atomicity
+    /// invariant.
+    DisarmFastPathWeightCheck,
 }
 
 thread_local! {

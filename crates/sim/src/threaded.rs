@@ -60,6 +60,8 @@ struct SharedCounters {
     by_kind: Mutex<BTreeMap<&'static str, KindTally>>,
     by_link: Mutex<BTreeMap<(ActorId, ActorId), LinkTally>>,
     by_object: Mutex<BTreeMap<u64, KindTally>>,
+    by_counter: Mutex<BTreeMap<&'static str, u64>>,
+    by_sample: Mutex<BTreeMap<&'static str, BTreeMap<u64, u64>>>,
 }
 
 impl SharedCounters {
@@ -73,6 +75,8 @@ impl SharedCounters {
         local: &BTreeMap<&'static str, KindTally>,
         links: &BTreeMap<(ActorId, ActorId), LinkTally>,
         objects: &BTreeMap<u64, KindTally>,
+        counters: &BTreeMap<&'static str, u64>,
+        samples: &BTreeMap<&'static str, BTreeMap<u64, u64>>,
     ) {
         let mut map = self.by_kind.lock().expect("metrics mutex poisoned");
         for (k, t) in local {
@@ -93,6 +97,19 @@ impl SharedCounters {
             let e = map.entry(*o).or_default();
             e.count += t.count;
             e.bytes += t.bytes;
+        }
+        drop(map);
+        let mut map = self.by_counter.lock().expect("metrics mutex poisoned");
+        for (k, v) in counters {
+            *map.entry(k).or_insert(0) += v;
+        }
+        drop(map);
+        let mut map = self.by_sample.lock().expect("metrics mutex poisoned");
+        for (k, h) in samples {
+            let e = map.entry(k).or_default();
+            for (v, c) in h {
+                *e.entry(*v).or_insert(0) += c;
+            }
         }
     }
 
@@ -169,6 +186,19 @@ impl ThreadedMetrics {
             m.bytes_by_object.insert(*o, t.bytes);
             m.msgs_by_object.insert(*o, t.count);
         }
+        drop(map);
+        m.counters = self
+            .shared
+            .by_counter
+            .lock()
+            .expect("metrics mutex poisoned")
+            .clone();
+        m.samples = self
+            .shared
+            .by_sample
+            .lock()
+            .expect("metrics mutex poisoned")
+            .clone();
         m
     }
 }
@@ -237,6 +267,8 @@ fn spawn_actor_thread<M: Message + Send>(
         let mut kinds: BTreeMap<&'static str, KindTally> = BTreeMap::new();
         let mut links: BTreeMap<(ActorId, ActorId), LinkTally> = BTreeMap::new();
         let mut objects: BTreeMap<u64, KindTally> = BTreeMap::new();
+        let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut samples: BTreeMap<&'static str, BTreeMap<u64, u64>> = BTreeMap::new();
         let mut run_cb = |actor: &mut Box<dyn Actor<Msg = M> + Send>, cb: &mut Callback<'_, M>| {
             let mut effects: Vec<Effect<M>> = Vec::new();
             {
@@ -275,6 +307,12 @@ fn spawn_actor_thread<M: Message + Send>(
                         // Timers are a DES-only facility.
                     }
                     Effect::CrashSelf => crash = true,
+                    Effect::Counter { key, add } => {
+                        *counters.entry(key).or_insert(0) += add;
+                    }
+                    Effect::Sample { key, value } => {
+                        *samples.entry(key).or_default().entry(value).or_insert(0) += 1;
+                    }
                 }
             }
             crash
@@ -300,7 +338,7 @@ fn spawn_actor_thread<M: Message + Send>(
         }
         // Drain silently after crash/stop until Stop arrives so
         // senders never block (channels are unbounded anyway).
-        shared.merge_kinds(&kinds, &links, &objects);
+        shared.merge_kinds(&kinds, &links, &objects, &counters, &samples);
         (actor, rx)
     })
 }

@@ -185,6 +185,8 @@ impl<A: Actor, T: Transport<A::Msg>> NodeHost<A, T> {
                     // Timers are a DES-only facility (module docs).
                 }
                 Effect::CrashSelf => self.running = false,
+                Effect::Counter { key, add } => self.metrics.record_counter(key, add),
+                Effect::Sample { key, value } => self.metrics.record_sample(key, value),
             }
         }
         out

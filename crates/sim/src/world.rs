@@ -466,6 +466,12 @@ impl<M: Message> World<M> {
                 Effect::CrashSelf => {
                     self.crashed[from.index()] = true;
                 }
+                Effect::Counter { key, add } => {
+                    self.metrics.record_counter(key, add);
+                }
+                Effect::Sample { key, value } => {
+                    self.metrics.record_sample(key, value);
+                }
             }
         }
     }

@@ -609,6 +609,37 @@ pub enum WireMode {
     ForceFull,
 }
 
+/// How reads complete: the one-phase weighted fast path or the
+/// paper-literal two phases.
+///
+/// Under [`ReadMode::FastPath`] a read returns at the end of phase 1 when
+/// the cumulative weight of the repliers that reported the maximum tag
+/// already satisfies the quorum rule
+/// ([`awr_quorum::fast_path_read_quorum`]) — those servers all store the
+/// max-tag register, so the write-back phase would change nothing and
+/// their phase-1 acks double as its acks. When the fresh weight falls
+/// short, phase 2 still runs but `W` goes only to the *stale* repliers:
+/// the fresh repliers are pre-counted as acks (same zero-delay-write-back
+/// argument) and the stale repliers' weight tops the quorum up, because
+/// together they are exactly the phase-1 quorum. Writes are unaffected —
+/// their tag is brand-new, so no replier can ever be fresh.
+///
+/// Every fast-path execution is observationally equivalent to a two-phase
+/// execution of the same schedule with some `W` deliveries reordered to
+/// zero delay, so linearizability carries over; `tests/read_fastpath.rs`
+/// pins the equivalence seed-for-seed and the `awr_check` fast-path
+/// scenarios exhaust the racing-reassignment interleavings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReadMode {
+    /// One-phase reads when the max-tag repliers' weight is a quorum;
+    /// targeted write-backs otherwise (the default).
+    #[default]
+    FastPath,
+    /// Always run both phases with a full-fanout write-back — the
+    /// paper-literal Algorithm 5. Baseline for equivalence tests.
+    TwoPhase,
+}
+
 /// Behaviour knobs, defaulting to the paper's protocol (with the
 /// delta-negotiated wire). Turning either boolean off reproduces the E10
 /// ablations (and breaks atomicity, as the checker shows).
@@ -621,6 +652,9 @@ pub struct DynOptions {
     pub refresh_on_gain: bool,
     /// Wire representation of change sets on the ABD phases.
     pub wire: WireMode,
+    /// Read completion strategy (one-phase fast path vs paper-literal two
+    /// phases).
+    pub read: ReadMode,
     /// Journal-compaction (and, with a [`crate::StorageHandle`] attached,
     /// snapshot) cadence. `None` — the default — never compacts, which is
     /// the pre-durability behaviour: the journal holds every change.
@@ -643,6 +677,7 @@ impl Default for DynOptions {
             restart_on_stale: true,
             refresh_on_gain: true,
             wire: WireMode::Negotiate,
+            read: ReadMode::FastPath,
             checkpoint: None,
             refresh_tags_cap: 64,
             retry: None,
@@ -1096,6 +1131,54 @@ impl<V: Value> DynOpDriver<V> {
                         .max_by_key(|r| r.tag)
                         .expect("nonempty")
                         .clone();
+                    let is_read = write_value.is_none();
+                    // The weighted fast path: the repliers already storing
+                    // the max tag, and their cumulative weight under the
+                    // same frozen `C` the phase accumulated against. Every
+                    // counted replier *accepted* under that `C`, which is
+                    // what makes these the replier-consistent weights the
+                    // rule requires.
+                    let mut fresh: BTreeSet<ServerId> = BTreeSet::new();
+                    let mut fresh_weight = Ratio::ZERO;
+                    if is_read && self.options.read == ReadMode::FastPath {
+                        for (s, r) in replies.iter() {
+                            if r.tag == maxreg.tag {
+                                fresh.insert(*s);
+                                fresh_weight += self.changes.server_weight(*s);
+                            }
+                        }
+                        #[allow(unused_mut)]
+                        let mut fast = awr_quorum::fast_path_read_quorum(
+                            fresh_weight,
+                            self.cfg.initial_total(),
+                        );
+                        #[cfg(feature = "mutate")]
+                        {
+                            use awr_sim::mutate::{armed, Mutation};
+                            if armed(Mutation::DisarmFastPathWeightCheck) {
+                                fast = true;
+                            }
+                        }
+                        if fast {
+                            // One phase suffices: the max-tag repliers form
+                            // a quorum that already stores the value, so
+                            // the write-back would change no server state —
+                            // their phase-1 acks double as its acks.
+                            let done = DynCompletedOp {
+                                obj: cur_obj,
+                                kind: OpKind::Read(maxreg.value.clone()),
+                                invoke: *invoke,
+                                response: ctx.now(),
+                                restarts: *restarts,
+                            };
+                            self.phase = DynPhase::Idle;
+                            self.completed.push(done.clone());
+                            self.disarm_retry(ctx);
+                            ctx.record_counter("read_fastpath_hit", 1);
+                            return Some(done);
+                        }
+                        ctx.record_counter("read_fastpath_miss", 1);
+                    }
                     let (chosen, wv) = match write_value.take() {
                         None => (maxreg, None),
                         Some(v) => (
@@ -1104,6 +1187,25 @@ impl<V: Value> DynOpDriver<V> {
                         ),
                     };
                     let (op, invoke, restarts) = (cur_op, *invoke, *restarts);
+                    // Targeted write-back: fresh repliers already store
+                    // `chosen` and accepted under this `C`, so they count
+                    // as acks without being re-contacted (their phase-1
+                    // ack is what a zero-delay `W` round trip would have
+                    // produced) and `W` goes only to the stale repliers,
+                    // whose weight tops the quorum up — fresh + stale is
+                    // exactly the phase-1 quorum. An empty `fresh` (reads
+                    // under TwoPhase, every write) degenerates to the
+                    // paper's full broadcast.
+                    let stale: Vec<ServerId> = replies
+                        .keys()
+                        .filter(|s| !fresh.contains(s))
+                        .copied()
+                        .collect();
+                    let full_fanout = fresh.is_empty();
+                    if is_read && self.options.read == ReadMode::FastPath {
+                        let fan = if full_fanout { self.cfg.n } else { stale.len() };
+                        ctx.record_sample("read_writeback_fanout", fan as u64);
+                    }
                     self.phase = DynPhase::Two {
                         op,
                         obj: cur_obj,
@@ -1111,20 +1213,20 @@ impl<V: Value> DynOpDriver<V> {
                         invoke,
                         restarts,
                         chosen: chosen.clone(),
-                        acks: Default::default(),
-                        weight: Ratio::ZERO,
+                        acks: fresh,
+                        weight: fresh_weight,
                     };
-                    for i in 0..self.cfg.n {
-                        ctx.send(
-                            ActorId(self.actor_base + i),
-                            wrap(DynMsg::W {
-                                op,
-                                obj: cur_obj,
-                                reg: chosen.clone(),
-                                changes: self.cs_payload(),
-                            }),
-                        );
-                    }
+                    let base = self.actor_base;
+                    ctx.broadcast_filter(
+                        (0..self.cfg.n).map(|i| ActorId(base + i)),
+                        wrap(DynMsg::W {
+                            op,
+                            obj: cur_obj,
+                            reg: chosen.clone(),
+                            changes: self.cs_payload(),
+                        }),
+                        |a| full_fanout || stale.iter().any(|s| base + s.index() == a.index()),
+                    );
                 }
                 None
             }
@@ -2230,5 +2332,56 @@ mod driver_tests {
         let o = DynOptions::default();
         assert!(o.restart_on_stale);
         assert!(o.refresh_on_gain);
+        // Reads default to the weighted fast path; the paper-literal
+        // two-phase wire stays available as the equivalence baseline.
+        assert_eq!(o.read, ReadMode::FastPath);
+    }
+
+    #[test]
+    fn quiescent_read_takes_one_phase() {
+        // After a settled write, every server stores the max tag, so a
+        // read's phase-1 repliers are all fresh: no W traffic at all.
+        let mut h = StorageHarness::<u64>::build(
+            RpConfig::uniform(5, 1),
+            1,
+            11,
+            UniformLatency::new(1_000, 2_000),
+            DynOptions::default(),
+        );
+        h.write(0, 42).expect("write");
+        h.settle();
+        let before = h.world.metrics().clone();
+        let (v, _) = h.read(0).expect("read");
+        assert_eq!(v, Some(42));
+        let window = h.world.metrics().since(&before);
+        assert_eq!(window.sent_of_kind("W"), 0, "fast path must skip phase 2");
+        assert_eq!(window.counter("read_fastpath_hit"), 1);
+        assert_eq!(window.counter("read_fastpath_miss"), 0);
+    }
+
+    #[test]
+    fn two_phase_mode_keeps_full_write_back() {
+        let mut h = StorageHarness::<u64>::build(
+            RpConfig::uniform(5, 1),
+            1,
+            11,
+            UniformLatency::new(1_000, 2_000),
+            DynOptions {
+                read: ReadMode::TwoPhase,
+                ..DynOptions::default()
+            },
+        );
+        h.write(0, 42).expect("write");
+        h.settle();
+        let before = h.world.metrics().clone();
+        let (v, _) = h.read(0).expect("read");
+        assert_eq!(v, Some(42));
+        let window = h.world.metrics().since(&before);
+        assert_eq!(
+            window.sent_of_kind("W"),
+            5,
+            "two-phase reads broadcast W to all"
+        );
+        assert_eq!(window.counter("read_fastpath_hit"), 0);
     }
 }

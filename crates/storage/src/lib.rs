@@ -45,7 +45,7 @@ pub use durable::{
 };
 pub use dynamic::{
     reg_tag_digest, DynClient, DynCompletedOp, DynMsg, DynOpDriver, DynOptions, DynServer,
-    RefreshHave, RetryPolicy, WireMode,
+    ReadMode, RefreshHave, RetryPolicy, WireMode,
 };
 pub use harness::StorageHarness;
 pub use history::{HistOp, History, OpKind};

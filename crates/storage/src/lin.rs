@@ -1,7 +1,9 @@
 //! Linearizability checking for register histories (the executable side of
 //! Theorem 6 / Definition 6).
 //!
-//! A Wing&Gong-style search specialized to read/write registers, with two
+//! A Wing&Gong-style search specialized to read/write registers. The
+//! precedence order is real time plus per-client session order (a
+//! sequential client's ops are ordered even at equal timestamps), with two
 //! scalability devices:
 //!
 //! * **quiescent partitioning** — the history is cut wherever every earlier
@@ -117,9 +119,27 @@ pub fn check_linearizable<V: Clone + Eq + Hash + Debug>(
 
 /// The single-register engine: quiescent partitioning over one object's
 /// ops, bitmask search within each window.
+///
+/// Precedence is real time **plus session order**: a client is sequential,
+/// so its own ops are ordered even when the simulator invokes the next op
+/// at the exact instant the previous one responded (equal timestamps
+/// would otherwise read as concurrency and let the search reorder them,
+/// hiding e.g. a same-client new/old inversion). Record order within a
+/// client is completion order, which for a sequential client *is* program
+/// order.
 fn check_register<V: Clone + Eq + Hash + Debug>(history: &History<V>) -> Result<(), LinError> {
-    let mut ops: Vec<&HistOp<V>> = history.ops.iter().collect();
-    ops.sort_by_key(|o| (o.invoke, o.response));
+    let mut next_seq: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut ops: Vec<(usize, &HistOp<V>)> = history
+        .ops
+        .iter()
+        .map(|o| {
+            let seq = next_seq.entry(o.client).or_insert(0);
+            let s = *seq;
+            *seq += 1;
+            (s, o)
+        })
+        .collect();
+    ops.sort_by_key(|(_, o)| (o.invoke, o.response));
 
     // Possible register states entering the current window.
     let mut states: HashSet<Option<V>> = HashSet::new();
@@ -130,9 +150,9 @@ fn check_register<V: Clone + Eq + Hash + Debug>(history: &History<V>) -> Result<
         // Grow the window until a quiescent cut: every op in it responds
         // before the next op's invocation.
         let mut end = start + 1;
-        let mut max_resp = ops[start].response;
-        while end < ops.len() && ops[end].invoke <= max_resp {
-            max_resp = max_resp.max(ops[end].response);
+        let mut max_resp = ops[start].1.response;
+        while end < ops.len() && ops[end].1.invoke <= max_resp {
+            max_resp = max_resp.max(ops[end].1.response);
             end += 1;
         }
         let window = &ops[start..end];
@@ -144,7 +164,7 @@ fn check_register<V: Clone + Eq + Hash + Debug>(history: &History<V>) -> Result<
         states = check_window(window, &states).map_err(|detail| LinError {
             window: (start, end),
             detail,
-            ops: window.iter().map(|o| render_op(o)).collect(),
+            ops: window.iter().map(|(_, o)| render_op(o)).collect(),
         })?;
         start = end;
     }
@@ -215,7 +235,7 @@ pub fn check_linearizable_keyed<V: Clone + Eq + Hash + Debug>(
 /// Explores all linearizations of one window from each possible entry
 /// state; returns the set of possible exit states.
 fn check_window<V: Clone + Eq + Hash>(
-    window: &[&HistOp<V>],
+    window: &[(usize, &HistOp<V>)],
     entry_states: &HashSet<Option<V>>,
 ) -> Result<HashSet<Option<V>>, String> {
     let n = window.len();
@@ -233,17 +253,19 @@ fn check_window<V: Clone + Eq + Hash>(
             exit_states.insert(state);
             continue;
         }
-        for (i, op) in window.iter().enumerate() {
+        for (i, (op_seq, op)) in window.iter().enumerate() {
             let bit = 1u64 << i;
             if mask & bit != 0 {
                 continue;
             }
             // op can linearize next only if no other pending op fully
-            // precedes it.
-            let blocked = window
-                .iter()
-                .enumerate()
-                .any(|(j, other)| j != i && mask & (1 << j) == 0 && other.response < op.invoke);
+            // precedes it — in real time, or in its own client's session.
+            let blocked = window.iter().enumerate().any(|(j, (other_seq, other))| {
+                j != i
+                    && mask & (1 << j) == 0
+                    && (other.response < op.invoke
+                        || (other.client == op.client && other_seq < op_seq))
+            });
             if blocked {
                 continue;
             }
@@ -263,11 +285,11 @@ fn check_window<V: Clone + Eq + Hash>(
     if exit_states.is_empty() {
         // Build a small diagnosis: find a read value with no matching write.
         let mut detail = String::from("no valid linearization order exists");
-        for op in window {
+        for (_, op) in window {
             if let OpKind::Read(Some(v)) = &op.kind {
                 let written = window
                     .iter()
-                    .any(|o| matches!(&o.kind, OpKind::Write(w) if w == v));
+                    .any(|(_, o)| matches!(&o.kind, OpKind::Write(w) if w == v));
                 let carried = entry_states.contains(&Some(v.clone()));
                 if !written && !carried {
                     detail = "a read returned a value never written".into();
@@ -372,6 +394,29 @@ mod tests {
             rd(2, Some(1), 60, 70),
         ]);
         assert!(check_linearizable(&h).is_err());
+    }
+
+    #[test]
+    fn same_instant_session_order_inversion_fails() {
+        // The simulator invokes a client's next op at the exact instant the
+        // previous one responded, so real-time intervals alone cannot order
+        // them — session order must. Client 1's back-to-back reads at one
+        // instant return new-then-old: not linearizable.
+        let h = hist(vec![
+            w(0, 1, 0, 10),
+            w(0, 2, 10, 10),
+            rd(1, Some(2), 10, 10),
+            rd(1, Some(1), 10, 10),
+        ]);
+        assert!(check_linearizable(&h).is_err());
+        // The same values the other way round linearize fine.
+        let ok = hist(vec![
+            w(0, 1, 0, 10),
+            w(0, 2, 10, 10),
+            rd(1, Some(1), 10, 10),
+            rd(1, Some(2), 10, 10),
+        ]);
+        assert!(check_linearizable(&ok).is_ok());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use awr::core::RpConfig;
 use awr::sim::UniformLatency;
 use awr::storage::workload::{run_mixed_workload, WorkloadSpec};
-use awr::storage::{DynOptions, DynServer, OpKind, StorageHarness, WireMode};
+use awr::storage::{DynOptions, DynServer, OpKind, ReadMode, StorageHarness, WireMode};
 use awr::types::{ObjectId, ServerId};
 
 /// One recorded op: (client, is_write, value, invoke ns, response ns).
@@ -91,6 +91,10 @@ fn run(seed: u64, wire: WireMode) -> RunOutcome {
         UniformLatency::new(1_000, 50_000),
         DynOptions {
             wire,
+            // The pinned checksums capture the pre-fast-path engine, whose
+            // reads always ran both phases; `tests/read_fastpath.rs` owns
+            // the FastPath-vs-TwoPhase equivalence.
+            read: ReadMode::TwoPhase,
             ..DynOptions::default()
         },
     );
